@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures from the
+calibrated models, writes the rendered series table to
+``benchmarks/results/<figure>.txt`` (so the full set of reproduced
+rows/series survives the run), and times a representative functional
+workload with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_figure(results_dir):
+    """Render a FigureData to text, persist it, and echo it to stdout."""
+    from repro.bench import render_series_table
+
+    def _save(figure) -> str:
+        text = render_series_table(figure)
+        (results_dir / f"{figure.figure_id}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return text
+
+    return _save

@@ -1,0 +1,68 @@
+"""Sec. 5.4 ablations: atomicMin, coefficient caching, GPU+CPU encoding."""
+
+import pytest
+
+from repro.bench import paper_targets
+from repro.bench.figures import ablations_report
+from repro.cpu import MAC_PRO, CpuEncoder, combined_gpu_cpu_bandwidth
+from repro.gpu import GTX280
+from repro.kernels import (
+    DecodeOptions,
+    EncodeScheme,
+    decode_single_segment_stats,
+    encode_bandwidth,
+)
+
+
+def test_ablations_report(benchmark, save_figure):
+    figure = benchmark(ablations_report)
+    save_figure(figure)
+    metrics = dict(zip(figure.series[0].annotations, figure.series[0].y))
+    assert metrics["atomicMin decode gain (%)"] == pytest.approx(
+        100 * paper_targets.ATOMIC_MIN_GAIN, abs=0.4
+    )
+    low, high = paper_targets.COEFF_CACHING_GAIN_RANGE
+    assert 100 * low * 0.8 < metrics["coefficient caching gain at k=512 (%)"] < 100 * high
+    assert metrics["GPU/CPU encode ratio"] == pytest.approx(
+        paper_targets.GPU_OVER_CPU_ENCODE, rel=0.05
+    )
+
+
+def test_coefficient_caching_gain_band(benchmark):
+    """Sec. 5.4.3: 0.5%-3.4% across block sizes, small k gaining most."""
+
+    def gains():
+        values = []
+        for k in (512, 1024, 4096, 16384):
+            base = decode_single_segment_stats(
+                GTX280, num_blocks=128, block_size=k
+            ).time_seconds(GTX280)
+            cached = decode_single_segment_stats(
+                GTX280,
+                num_blocks=128,
+                block_size=k,
+                options=DecodeOptions(cache_coefficients=True),
+            ).time_seconds(GTX280)
+            values.append((base - cached) / base)
+        return values
+
+    values = benchmark(gains)
+    assert values == sorted(values, reverse=True)  # small k gains most
+    low, high = paper_targets.COEFF_CACHING_GAIN_RANGE
+    assert all(low * 0.8 <= value <= high for value in values)
+
+
+def test_gpu_plus_cpu_combined_encoding(benchmark):
+    """Sec. 5.4.1: combined rate near the sum of the parts."""
+
+    def combined():
+        gpu_rate = encode_bandwidth(
+            GTX280, EncodeScheme.TABLE_5, num_blocks=128, block_size=4096
+        )
+        cpu_rate = CpuEncoder(MAC_PRO).estimate_bandwidth(
+            num_blocks=128, block_size=4096
+        )
+        return combined_gpu_cpu_bandwidth(gpu_rate, cpu_rate), gpu_rate, cpu_rate
+
+    total, gpu_rate, cpu_rate = benchmark(combined)
+    assert 0.95 * (gpu_rate + cpu_rate) < total <= gpu_rate + cpu_rate

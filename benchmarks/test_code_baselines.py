@@ -1,0 +1,111 @@
+"""Sec. 2 related-work comparison as a benchmark.
+
+Quantifies the trade-offs the paper's related-work section argues
+qualitatively: reception overhead, decoding work and loss behaviour of
+random linear codes against Reed–Solomon, LT fountain codes, chunked
+codes and an uncoded data carousel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    carousel_completion_time,
+    chunked_reception_overhead,
+    coded_completion_time,
+    decode_row_operations,
+    reception_overhead,
+)
+from repro.bench.runner import FigureData, Series
+from repro.rlnc.stats import expected_extra_blocks, measure_reception_overhead
+
+
+def test_reception_overhead_comparison(benchmark, save_figure):
+    def build():
+        rng = np.random.default_rng(0)
+        figure = FigureData(
+            figure_id="code-overheads",
+            title="Reception overhead by code family (n=32)",
+            x_label="code index",
+            y_label="blocks needed / n",
+        )
+        rows = [
+            ("RLNC dense GF(2^8)",
+             measure_reception_overhead(32, 4, rng, trials=8)),
+            ("Reed-Solomon (MDS)", 1.0),
+            ("LT fountain", reception_overhead(32, 4, rng, trials=4)),
+            ("chunked q=8", chunked_reception_overhead(32, 8, 4, rng, trials=4)),
+        ]
+        figure.series.append(
+            Series(
+                label="overhead",
+                x=list(range(len(rows))),
+                y=[value for _, value in rows],
+                annotations=[name for name, _ in rows],
+            )
+        )
+        return figure
+
+    figure = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_figure(figure)
+    overheads = dict(zip(figure.series[0].annotations, figure.series[0].y))
+    # RLNC's overhead is within a whisker of the MDS optimum...
+    assert overheads["RLNC dense GF(2^8)"] == pytest.approx(
+        1.0 + expected_extra_blocks(32) / 32, abs=0.02
+    )
+    # ...while the cheap-decoding alternatives pay real multiples.
+    assert overheads["LT fountain"] > 1.1
+    assert overheads["chunked q=8"] > 1.1
+
+
+def test_loss_behaviour_comparison(benchmark, save_figure):
+    def build():
+        rng = np.random.default_rng(1)
+        figure = FigureData(
+            figure_id="loss-behaviour",
+            title="Broadcast under loss: transmissions/n to complete (n=64)",
+            x_label="loss index",
+            y_label="transmissions / n",
+        )
+        losses = [0.0, 0.1, 0.3, 0.5]
+        figure.series.append(
+            Series(
+                label="data carousel",
+                x=list(range(len(losses))),
+                y=[carousel_completion_time(64, p, rng, trials=6) for p in losses],
+                annotations=[f"loss {p:.0%}" for p in losses],
+            )
+        )
+        figure.series.append(
+            Series(
+                label="RLNC",
+                x=list(range(len(losses))),
+                y=[coded_completion_time(64, p, rng, trials=6) for p in losses],
+                annotations=[f"loss {p:.0%}" for p in losses],
+            )
+        )
+        return figure
+
+    figure = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_figure(figure)
+    carousel = figure.series_by_label("data carousel")
+    coded = figure.series_by_label("RLNC")
+    for index in range(1, 4):  # every lossy point
+        assert carousel.y[index] > coded.y[index]
+    # RLNC's cost is just the channel inverse: 1/(1-p).
+    assert coded.y[2] == pytest.approx(1 / 0.7, rel=0.1)
+
+
+def test_decode_work_comparison(benchmark):
+    """RLNC pays n^2 row operations; chunked codes pay n*q — the
+    complexity pressure that motivated the paper's GPU offload."""
+
+    def work():
+        return (
+            decode_row_operations(128),
+            decode_row_operations(128, chunk_size=16),
+        )
+
+    full, chunked = benchmark(work)
+    assert full == 128 * 128
+    assert chunked == 128 * 16

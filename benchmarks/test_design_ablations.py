@@ -1,0 +1,116 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Beyond the paper's own figures: coefficient-density sweep (Sec. 4.3's
+sparse-matrix remark), the Sec. 5.1.3 future-device projections (32 KB
+shared memory, 64-bit ALUs), the ARM v6 port the paper points the
+loop-based scheme at, and multi-GPU scaling (Sec. 2).
+"""
+
+import pytest
+
+from repro.bench.runner import MB, FigureData, Series
+from repro.cpu import ARM_V6, CpuEncoder
+from repro.gpu import GTX280
+from repro.kernels import (
+    EncodeScheme,
+    MultiGpuEncoder,
+    encode_bandwidth,
+)
+
+
+def test_density_ablation(benchmark, save_figure):
+    """Sparser coding matrices encode strictly faster (Sec. 4.3)."""
+    from repro.bench.figures import figure_density_ablation
+
+    figure = benchmark(figure_density_ablation)
+    save_figure(figure)
+    assert figure.series[0].y == sorted(figure.series[0].y)
+
+
+def test_future_device_projections(benchmark, save_figure):
+    """Sec. 5.1.3's two projections land where the paper predicts."""
+    from repro.bench.figures import figure_projections
+
+    figure = benchmark(figure_projections)
+    save_figure(figure)
+    rates = dict(zip(figure.series[0].annotations, figure.series[0].y))
+    assert 320 < rates["32KB smem, conflict-free TB-5"] < 345
+    doubling = (
+        rates["64-bit ALUs, loop-based"] / rates["GTX280 loop-based (measured)"]
+    )
+    assert doubling == pytest.approx(2.0, rel=0.02)
+
+
+def test_arm_v6_port(benchmark, save_figure):
+    """The smartphone target of Sec. 5.1.3: loop-based coding on ARM11."""
+
+    def build():
+        figure = FigureData(
+            figure_id="arm",
+            title="Loop-based encoding on ARM v6 (Sec. 5.1.3 target)",
+            x_label="configuration index",
+            y_label="bandwidth (KB/s)",
+        )
+        arm = CpuEncoder(ARM_V6)
+        rows = [(n, arm.estimate_bandwidth(num_blocks=n, block_size=4096) / 1e3)
+                for n in (32, 64, 128, 256)]
+        figure.series.append(
+            Series(
+                label=ARM_V6.name,
+                x=list(range(len(rows))),
+                y=[rate for _, rate in rows],
+                annotations=[f"n={n}" for n, _ in rows],
+            )
+        )
+        return figure
+
+    figure = benchmark(build)
+    save_figure(figure)
+    rates = figure.series[0].y
+    # Hundreds of KB/s at n=128: enough for a smartphone stream, three
+    # orders of magnitude under the GTX 280.
+    n128 = rates[2]
+    assert 200 < n128 < 2000
+    gtx = encode_bandwidth(
+        GTX280, EncodeScheme.LOOP_BASED, num_blocks=128, block_size=4096
+    ) / 1e3
+    assert gtx / n128 > 100
+
+
+def test_multi_gpu_scaling(benchmark, save_figure):
+    """Sec. 2: 'multiple GPUs can be employed in parallel'."""
+
+    def build():
+        figure = FigureData(
+            figure_id="multigpu",
+            title="Multi-GPU encode scaling (TB-5, n=128)",
+            x_label="rig index",
+            y_label="bandwidth (MB/s)",
+        )
+        rigs = [
+            ("1x GTX280", [GTX280]),
+            ("2x GTX280", [GTX280, GTX280]),
+            ("4x GTX280", [GTX280] * 4),
+        ]
+        rates = [
+            MultiGpuEncoder(devices).aggregate_bandwidth(
+                num_blocks=128, block_size=4096
+            )
+            / MB
+            for _, devices in rigs
+        ]
+        figure.series.append(
+            Series(
+                label="aggregate",
+                x=list(range(len(rigs))),
+                y=rates,
+                annotations=[label for label, _ in rigs],
+            )
+        )
+        return figure
+
+    figure = benchmark(build)
+    save_figure(figure)
+    one, two, four = figure.series[0].y
+    assert 1.85 < two / one < 2.0
+    assert 3.6 < four / one < 4.0

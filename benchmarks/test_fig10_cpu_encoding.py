@@ -1,0 +1,33 @@
+"""Fig. 10: CPU full-block vs partitioned-block encoding (Sec. 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import paper_targets
+from repro.bench.figures import figure_10_cpu_encoding
+from repro.cpu import MAC_PRO, CpuEncoder, CpuPartitioning
+from repro.rlnc import CodingParams, Segment
+
+
+def test_fig10_series(benchmark, save_figure):
+    figure = benchmark(figure_10_cpu_encoding)
+    save_figure(figure)
+    for n, target in paper_targets.ENCODE_CPU_FULL_BLOCK.items():
+        series = figure.series_by_label(f"FB Mac Pro (n={n})")
+        assert series.at(4096) == pytest.approx(target, rel=0.05), n
+    # Partitioned-block converges to full-block as k grows.
+    full = figure.series_by_label("FB Mac Pro (n=128)")
+    part = figure.series_by_label("Mac Pro (n=128)")
+    assert part.at(128) / full.at(128) < 0.6
+    assert part.at(32768) / full.at(32768) > 0.9
+
+
+def test_fig10_functional_cpu_encode(benchmark):
+    """Wall-time of the functional CPU encode path."""
+    params = CodingParams(32, 1024)
+    segment = Segment.random(params, np.random.default_rng(0))
+    encoder = CpuEncoder(MAC_PRO, partitioning=CpuPartitioning.FULL_BLOCK)
+    rng = np.random.default_rng(1)
+
+    result = benchmark(lambda: encoder.encode(segment, 16, rng))
+    assert result.payloads.shape == (16, 1024)

@@ -1,0 +1,41 @@
+"""Fig. 4(b): single-segment decoding, GTX 280 vs the 8-core Mac Pro.
+
+Regenerates the decode bandwidth sweep and benchmarks the functional
+progressive Gauss–Jordan decoder.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import paper_targets
+from repro.bench.figures import figure_4b_decoding
+from repro.gpu import GTX280
+from repro.kernels import GpuSingleSegmentDecoder
+from repro.rlnc import CodingParams, Encoder, Segment
+
+
+def test_fig4b_series(benchmark, save_figure):
+    figure = benchmark(figure_4b_decoding)
+    save_figure(figure)
+    gpu = figure.series_by_label("GTX280 (n=128)")
+    cpu = figure.series_by_label("Mac Pro (n=128)")
+    # Crossover: CPU leads below 8 KB, GPU at and above.
+    assert cpu.at(4096) > gpu.at(4096)
+    assert gpu.at(paper_targets.SINGLE_SEGMENT_CROSSOVER_K) > cpu.at(
+        paper_targets.SINGLE_SEGMENT_CROSSOVER_K
+    )
+    # Decode rates grow with k for both platforms (Sec. 4.3).
+    assert gpu.y == sorted(gpu.y)
+    assert cpu.y == sorted(cpu.y)
+
+
+def test_fig4b_functional_progressive_decode(benchmark):
+    """Wall-time of the functional progressive decoder (reduced size)."""
+    params = CodingParams(32, 512)
+    rng = np.random.default_rng(0)
+    segment = Segment.random(params, rng)
+    blocks = Encoder(segment, rng).encode_blocks(36)
+    decoder = GpuSingleSegmentDecoder(GTX280)
+
+    result = benchmark(lambda: decoder.decode(params, blocks))
+    assert np.array_equal(result.segments[0].blocks, segment.blocks)

@@ -1,0 +1,39 @@
+"""Fig. 4(a): loop-based GPU encoding bandwidth, GTX 280 vs 8800 GT.
+
+Regenerates the figure's six series (two devices x three block counts
+over the 128 B..32 KB sweep) and benchmarks the functional loop-based
+encode kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import paper_targets
+from repro.bench.figures import figure_4a_encoding
+from repro.gpu import GTX280
+from repro.kernels import EncodeScheme, GpuEncoder
+from repro.rlnc import CodingParams, Segment
+
+
+def test_fig4a_series(benchmark, save_figure):
+    figure = benchmark(figure_4a_encoding)
+    save_figure(figure)
+    gtx = figure.series_by_label("GTX280 (n=128)")
+    for n, target in paper_targets.ENCODE_LOOP_GTX280.items():
+        series = figure.series_by_label(f"GTX280 (n={n})")
+        assert series.at(4096) == pytest.approx(target, rel=0.13)
+    # Linear speedup claim: GTX 280 ~2x the 8800 GT everywhere.
+    gt = figure.series_by_label("8800GT (n=128)")
+    for a, b in zip(gtx.y, gt.y):
+        assert 1.8 < a / b < 2.4
+
+
+def test_fig4a_functional_loop_encode(benchmark):
+    """Wall-time of the functional loop-based kernel (reduced size)."""
+    params = CodingParams(32, 1024)
+    segment = Segment.random(params, np.random.default_rng(0))
+    encoder = GpuEncoder(GTX280, EncodeScheme.LOOP_BASED)
+    rng = np.random.default_rng(1)
+
+    result = benchmark(lambda: encoder.encode(segment, 16, rng))
+    assert result.payloads.shape == (16, 1024)

@@ -1,0 +1,49 @@
+"""Fig. 7: the encoding-scheme ladder at n=128 on the GTX 280.
+
+TB-0 through TB-5 plus the loop-based baseline, each within 5% of the
+paper's bar, and the 2.2x headline ratio.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import paper_targets
+from repro.bench.figures import figure_7_scheme_ladder
+from repro.gpu import GTX280
+from repro.kernels import EncodeScheme, GpuEncoder
+from repro.rlnc import CodingParams, Segment
+
+
+def test_fig7_ladder(benchmark, save_figure):
+    figure = benchmark(figure_7_scheme_ladder)
+    save_figure(figure)
+    series = figure.series[0]
+    for annotation, value in zip(series.annotations, series.y):
+        target = paper_targets.ENCODE_LADDER_GTX280_N128[annotation]
+        assert value == pytest.approx(target, rel=0.05), annotation
+    ladder = dict(zip(series.annotations, series.y))
+    ratio = ladder["table-based-5"] / ladder["loop-based"]
+    assert ratio == pytest.approx(paper_targets.TABLE_OVER_LOOP, rel=0.07)
+
+
+@pytest.mark.parametrize(
+    "scheme",
+    [EncodeScheme.TABLE_0, EncodeScheme.TABLE_3, EncodeScheme.TABLE_5],
+    ids=lambda s: s.value,
+)
+def test_fig7_functional_schemes(benchmark, scheme):
+    """Wall-time of each functional scheme variant (identical outputs)."""
+    params = CodingParams(32, 512)
+    segment = Segment.random(params, np.random.default_rng(0))
+    encoder = GpuEncoder(GTX280, scheme)
+    coefficients = np.random.default_rng(1).integers(
+        0, 256, size=(16, 32), dtype=np.uint8
+    )
+    rng = np.random.default_rng(2)
+
+    result = benchmark(
+        lambda: encoder.encode(segment, 16, rng, coefficients=coefficients)
+    )
+    from repro.gf256 import matmul
+
+    assert np.array_equal(result.payloads, matmul(coefficients, segment.blocks))

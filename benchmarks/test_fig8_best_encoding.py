@@ -1,0 +1,34 @@
+"""Fig. 8: highly optimized (TB-5) encoding across n up to 1024."""
+
+import numpy as np
+import pytest
+
+from repro.bench import paper_targets
+from repro.bench.figures import figure_8_best_encoding
+from repro.gpu import GTX280
+from repro.kernels import EncodeScheme, GpuEncoder
+from repro.rlnc import CodingParams, Segment
+
+
+def test_fig8_series(benchmark, save_figure):
+    figure = benchmark(figure_8_best_encoding)
+    save_figure(figure)
+    for n, target in paper_targets.ENCODE_BEST_GTX280.items():
+        series = figure.series_by_label(f"n = {n}")
+        assert series.at(4096) == pytest.approx(target, rel=0.07), n
+    # Bandwidth scales as 1/n (the encoding work per byte is linear in n).
+    at_4k = [figure.series_by_label(f"n = {n}").at(4096) for n in (128, 256, 512, 1024)]
+    for first, second in zip(at_4k, at_4k[1:]):
+        assert first / second == pytest.approx(2.0, rel=0.05)
+
+
+def test_fig8_functional_best_scheme_large_batch(benchmark):
+    """Wall-time of TB-5 on a larger batch (server-style generation)."""
+    params = CodingParams(64, 2048)
+    segment = Segment.random(params, np.random.default_rng(0))
+    encoder = GpuEncoder(GTX280, EncodeScheme.TABLE_5)
+    encoder.upload_segment(segment)
+    rng = np.random.default_rng(1)
+
+    result = benchmark(lambda: encoder.encode(segment, 64, rng))
+    assert result.payloads.shape == (64, 2048)

@@ -1,0 +1,71 @@
+"""Fig. 9: parallel multi-segment decoding on GTX 280 and Mac Pro.
+
+The paper's headline decode result: 30/60-segment GPU decoding reaching
+254 MB/s, 2.7x-27.6x over single-segment GPU decoding, 1.3x-4.2x over the
+8-way Mac Pro, with the first-stage (inversion) share annotations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import BLOCK_SIZE_SWEEP, paper_targets
+from repro.bench.figures import figure_9_multiseg_decoding
+from repro.gpu import GTX280
+from repro.kernels import (
+    GpuMultiSegmentDecoder,
+    decode_single_segment_bandwidth,
+)
+from repro.rlnc import CodingParams, Encoder, Segment
+
+
+def test_fig9_series(benchmark, save_figure):
+    figure = benchmark(figure_9_multiseg_decoding)
+    save_figure(figure)
+    sixty = figure.series_by_label("GTX280-6Seg (n=128)")
+    assert sixty.at(16384) == pytest.approx(
+        paper_targets.DECODE_PEAK_MULTISEG_MBS, rel=0.15
+    )
+    # Gain over single-segment decoding shrinks with k and spans the band.
+    gains = [
+        sixty.at(k)
+        * 1e6
+        / decode_single_segment_bandwidth(GTX280, num_blocks=128, block_size=k)
+        for k in BLOCK_SIZE_SWEEP
+    ]
+    assert gains == sorted(gains, reverse=True)
+    low, high = paper_targets.DECODE_MULTI_OVER_SINGLE_RANGE
+    assert min(gains) == pytest.approx(low, rel=0.35)
+    assert high * 0.5 < max(gains) < high * 1.3
+
+
+def test_fig9_sixty_vs_thirty_gain(benchmark):
+    """Issuing two segments per SM wins 'up to a factor of 1.4'."""
+
+    def gain():
+        from repro.kernels import decode_multi_segment_bandwidth
+
+        b30 = decode_multi_segment_bandwidth(
+            GTX280, num_blocks=128, block_size=512, num_segments=30
+        )
+        b60 = decode_multi_segment_bandwidth(
+            GTX280, num_blocks=128, block_size=512, num_segments=60
+        )
+        return b60 / b30
+
+    value = benchmark(gain)
+    assert 1.1 < value <= 1.45
+
+
+def test_fig9_functional_two_stage_decode(benchmark):
+    """Wall-time of the functional two-stage multi-segment decoder."""
+    params = CodingParams(16, 256)
+    rng = np.random.default_rng(0)
+    segments = [Segment.random(params, rng, segment_id=i) for i in range(4)]
+    per_segment = {
+        s.segment_id: Encoder(s, rng).encode_blocks(18) for s in segments
+    }
+    decoder = GpuMultiSegmentDecoder(GTX280)
+
+    result = benchmark(lambda: decoder.decode(params, per_segment))
+    for original, recovered in zip(segments, result.segments):
+        assert np.array_equal(recovered.blocks, original.blocks)

@@ -1,0 +1,57 @@
+"""Raw functional throughput of the reference codec itself.
+
+Not a paper figure — these benchmarks track the pure-Python/numpy codec's
+real wall-clock performance so regressions in the functional layer are
+visible (the paper figures above are model-derived and deterministic).
+"""
+
+import numpy as np
+
+from repro.gf256 import matmul, mul_scalar_loop, mul_scalar_table
+from repro.rlnc import CodingParams, Encoder, ProgressiveDecoder, Segment
+
+
+def test_gf_matmul_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 256, size=(64, 64), dtype=np.uint8)
+    b = rng.integers(0, 256, size=(64, 4096), dtype=np.uint8)
+    result = benchmark(lambda: matmul(a, b))
+    assert result.shape == (64, 4096)
+
+
+def test_table_row_multiply_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    row = rng.integers(0, 256, size=65536, dtype=np.uint8)
+    benchmark(lambda: mul_scalar_table(row, 87))
+
+
+def test_loop_row_multiply_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    row = rng.integers(0, 256, size=65536, dtype=np.uint8)
+    benchmark(lambda: mul_scalar_loop(row, 87))
+
+
+def test_encoder_block_throughput(benchmark):
+    params = CodingParams(128, 4096)
+    segment = Segment.random(params, np.random.default_rng(3))
+    encoder = Encoder(segment, np.random.default_rng(4))
+    block = benchmark(encoder.encode_block)
+    assert block.payload.shape == (4096,)
+
+
+def test_progressive_decode_throughput(benchmark):
+    params = CodingParams(64, 1024)
+    rng = np.random.default_rng(5)
+    segment = Segment.random(params, rng)
+    blocks = Encoder(segment, rng).encode_blocks(70)
+
+    def decode():
+        decoder = ProgressiveDecoder(params)
+        for block in blocks:
+            if decoder.is_complete:
+                break
+            decoder.consume(block)
+        return decoder
+
+    decoder = benchmark(decode)
+    assert decoder.is_complete

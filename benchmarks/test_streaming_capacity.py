@@ -1,0 +1,52 @@
+"""The Sec. 5.1.2/5.1.3 streaming-server capacity 'table'.
+
+1385 peers at the loop-based rate, >3000 at the best table-based rate,
+~177k coded blocks per live segment, GigE saturation and the device
+segment store.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import paper_targets
+from repro.bench.figures import streaming_capacity_table
+from repro.gpu import GTX280
+from repro.rlnc import CodingParams
+from repro.streaming import (
+    REFERENCE_PROFILE,
+    MediaProfile,
+    StreamingServer,
+    segments_in_device_memory,
+)
+from repro.rlnc import Segment
+
+
+def test_streaming_capacity(benchmark, save_figure):
+    figure = benchmark(streaming_capacity_table)
+    save_figure(figure)
+    series = figure.series[0]
+    peers = dict(zip(("loop", "tb1", "tb5"), series.y))
+    assert peers["loop"] == pytest.approx(
+        paper_targets.PEERS_AT_LOOP_RATE, rel=0.01
+    )
+    assert peers["tb5"] > 0.97 * paper_targets.PEERS_AT_BEST_RATE_MIN
+    assert 5.2 < REFERENCE_PROFILE.segment_duration_seconds < 5.6
+    assert segments_in_device_memory(GTX280, REFERENCE_PROFILE) > 1500
+
+
+def test_streaming_server_serving_loop(benchmark):
+    """Wall-time of serving a burst of peers from the functional server."""
+    profile = MediaProfile(params=CodingParams(16, 256))
+    rng = np.random.default_rng(0)
+    server = StreamingServer(GTX280, profile, rng=rng)
+    segment = Segment.random(profile.params, np.random.default_rng(1))
+    server.publish_segment(segment)
+    for peer in range(8):
+        server.connect(peer)
+
+    def serve_burst():
+        for peer in range(8):
+            server.serve(peer, segment.segment_id, 4)
+
+    benchmark(serve_burst)
+    assert server.stats.blocks_served > 0

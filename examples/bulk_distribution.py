@@ -1,0 +1,79 @@
+"""Avalanche-style bulk content distribution with offline GPU decoding.
+
+Sec. 5.2 motivates multi-segment decoding with exactly this workload:
+"Avalanche, which uses network coding in bulk content distribution,
+gathers a large number of coded blocks over a period of time and
+performs decoding offline."  This example distributes a multi-segment
+file over a random P2P overlay, collects each peer's blocks, and then
+batch-decodes them with the two-stage multi-segment GPU decoder,
+reporting the modelled decode time on a GTX 280.
+
+Run:
+    python examples/bulk_distribution.py
+"""
+
+import numpy as np
+
+from repro.gpu import GTX280
+from repro.kernels import GpuMultiSegmentDecoder
+from repro.p2p import P2PSimulator, Strategy, random_overlay
+from repro.rlnc import CodingParams, Segment
+
+MB = 1e6
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    params = CodingParams(num_blocks=12, block_size=256)
+    num_segments = 5
+    peers = 8
+
+    print(f"distributing {num_segments} segments "
+          f"({num_segments * params.segment_bytes} bytes) to {peers} peers\n")
+
+    # Distribute each segment over the same overlay; every peer keeps
+    # the coded blocks it receives (bulk mode: no online decoding).
+    graph = random_overlay(peers, 3, rng)
+    collected = {peer: {} for peer in range(peers)}
+    segments = []
+    for segment_id in range(num_segments):
+        segment = Segment.random(params, rng, segment_id=segment_id)
+        segments.append(segment)
+        simulator = P2PSimulator(
+            graph,
+            params,
+            source="source",
+            sinks=list(range(peers)),
+            strategy=Strategy.CODING,
+            rng=rng,
+            segment=segment,
+        )
+        result = simulator.run(max_rounds=400)
+        finish = max(result.completion_round.values())
+        print(f"segment {segment_id}: all peers at full rank by round "
+              f"{finish} (innovative ratio {result.innovative_ratio:.0%})")
+        # Harvest blocks: in bulk mode a peer stores coded blocks for
+        # later.  Each node's emit() produces fresh combinations of its
+        # holdings — the same blocks it would have relayed onward.
+        for peer in range(peers):
+            node = simulator.nodes[peer]
+            assert node.is_complete
+            collected[peer][segment_id] = [
+                node.emit() for _ in range(params.num_blocks + 2)
+            ]
+
+    # Offline batch decode on the GPU, one peer shown.
+    decoder = GpuMultiSegmentDecoder(GTX280)
+    decoded = decoder.decode(params, collected[0])
+    print(f"\npeer 0 batch-decoded {len(decoded.segments)} segments "
+          f"({decoded.decoded_bytes} bytes) in modelled "
+          f"{decoded.time_seconds * 1e3:.2f} ms "
+          f"({decoded.bandwidth / MB:.0f} MB/s, stage-1 share "
+          f"{decoded.first_stage_share:.0%})")
+    for original, recovered in zip(segments, decoded.segments):
+        assert np.array_equal(original.blocks, recovered.blocks)
+    print("all segments byte-exact after offline decode")
+
+
+if __name__ == "__main__":
+    main()

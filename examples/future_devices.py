@@ -1,0 +1,77 @@
+"""The paper's forward-looking claims, evaluated (Sec. 5.1.3 and Sec. 2).
+
+Four what-ifs the paper states but could not measure in 2009:
+
+* a GPU with 32 KB shared memory (conflict-free Table-based-5);
+* a GPU with 64-bit integer ALUs (doubled loop-based multiply);
+* the loop-based scheme on an ARM v6 smartphone core;
+* multi-GPU rigs.
+
+Run:
+    python examples/future_devices.py
+"""
+
+from repro.cpu import ARM_V6, MAC_PRO, CpuEncoder
+from repro.gpu import (
+    GEFORCE_8800GT,
+    GTX280,
+    GTX280_32K_PROJECTION,
+    GTX280_64BIT_PROJECTION,
+)
+from repro.kernels import EncodeScheme, MultiGpuEncoder, encode_bandwidth
+
+MB = 1e6
+
+
+def show(label: str, rate_bytes: float, note: str = "") -> None:
+    print(f"  {label:<46} {rate_bytes / MB:>9.1f} MB/s  {note}")
+
+
+def main() -> None:
+    n, k = 128, 4096
+    print(f"encoding at n={n}, k={k} B:\n")
+
+    print("measured devices:")
+    show("GTX 280, table-based-5",
+         encode_bandwidth(GTX280, EncodeScheme.TABLE_5, num_blocks=n, block_size=k),
+         "(paper: 294)")
+    show("GTX 280, loop-based",
+         encode_bandwidth(GTX280, EncodeScheme.LOOP_BASED, num_blocks=n, block_size=k),
+         "(paper: 133)")
+    show("8800 GT, loop-based",
+         encode_bandwidth(GEFORCE_8800GT, EncodeScheme.LOOP_BASED, num_blocks=n, block_size=k),
+         "(paper: ~66)")
+    show("Mac Pro 8-core, full-block SIMD",
+         CpuEncoder(MAC_PRO).estimate_bandwidth(num_blocks=n, block_size=k),
+         "(paper: ~67)")
+
+    print("\nprojections the paper makes:")
+    show("32 KB shared memory: conflict-free TB-5",
+         encode_bandwidth(GTX280_32K_PROJECTION, EncodeScheme.TABLE_5,
+                          num_blocks=n, block_size=k),
+         "(paper projects 330-340)")
+    show("64-bit ALUs: loop-based",
+         encode_bandwidth(GTX280_64BIT_PROJECTION, EncodeScheme.LOOP_BASED,
+                          num_blocks=n, block_size=k),
+         "(paper projects ~2x)")
+    arm_rate = CpuEncoder(ARM_V6).estimate_bandwidth(num_blocks=n, block_size=k)
+    print(f"  {'ARM v6 (smartphone), loop-based':<46} {arm_rate / 1e3:>9.1f} KB/s  "
+          "(the Sec. 5.1.3 mobile target)")
+
+    print("\nmulti-GPU rigs (Sec. 2):")
+    for count in (1, 2, 4):
+        rig = MultiGpuEncoder([GTX280] * count)
+        show(f"{count}x GTX 280, table-based-5",
+             rig.aggregate_bandwidth(num_blocks=n, block_size=k))
+    hetero = MultiGpuEncoder([GTX280, GEFORCE_8800GT])
+    plan = hetero.plan(num_blocks=n, block_size=k, coded_rows=1000)
+    shares = ", ".join(
+        f"{share.spec.name.split('(')[0].strip()}: {share.rows}"
+        for share in plan.shares
+    )
+    show("GTX 280 + 8800 GT (balanced split)",
+         plan.total_rows * k / plan.time_seconds, f"[{shares}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Regenerate the paper's evaluation figures as text tables.
+
+Sweeps the calibrated GPU and CPU models over the paper's parameter
+ranges and prints every reproduced figure (Figs. 4, 6-10) plus the
+streaming/utilization/ablation reports.
+
+Run:
+    python examples/gpu_vs_cpu_sweep.py            # all figures
+    python examples/gpu_vs_cpu_sweep.py fig7 fig9  # a selection
+"""
+
+import sys
+
+from repro.bench import ALL_FIGURES, render_series_table
+
+
+def main(argv: list[str]) -> None:
+    names = argv or sorted(ALL_FIGURES)
+    unknown = [name for name in names if name not in ALL_FIGURES]
+    if unknown:
+        raise SystemExit(
+            f"unknown figure(s) {unknown}; choose from {sorted(ALL_FIGURES)}"
+        )
+    for name in names:
+        print(render_series_table(ALL_FIGURES[name]()))
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

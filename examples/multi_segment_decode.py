@@ -1,0 +1,74 @@
+"""Multi-segment decoding (Sec. 5.2): the paper's decode breakthrough.
+
+Shows functionally and in modelled time why decoding many segments at
+once transforms GPU decoding: single-segment Gauss–Jordan serializes,
+the two-stage multi-segment scheme keeps every SM busy.
+
+Run:
+    python examples/multi_segment_decode.py
+"""
+
+import numpy as np
+
+from repro.gpu import GTX280
+from repro.kernels import (
+    GpuMultiSegmentDecoder,
+    GpuSingleSegmentDecoder,
+    decode_multi_segment_stats,
+    decode_single_segment_bandwidth,
+    decode_multi_segment_bandwidth,
+)
+from repro.rlnc import CodingParams, Encoder, Segment
+
+MB = 1e6
+
+
+def modelled_sweep() -> None:
+    print("modelled decode bandwidth at n=128 (MB/s):")
+    print(f"{'k':>8} {'single':>8} {'30 seg':>8} {'60 seg':>8} "
+          f"{'gain':>6} {'stage1 (60)':>12}")
+    for k in (256, 1024, 4096, 16384, 32768):
+        single = decode_single_segment_bandwidth(
+            GTX280, num_blocks=128, block_size=k
+        )
+        thirty = decode_multi_segment_bandwidth(
+            GTX280, num_blocks=128, block_size=k, num_segments=30
+        )
+        sixty = decode_multi_segment_bandwidth(
+            GTX280, num_blocks=128, block_size=k, num_segments=60
+        )
+        _, share = decode_multi_segment_stats(
+            GTX280, num_blocks=128, block_size=k, num_segments=60
+        )
+        print(f"{k:>8} {single / MB:>8.1f} {thirty / MB:>8.1f} "
+              f"{sixty / MB:>8.1f} {sixty / single:>5.1f}x {share:>11.0%}")
+
+
+def functional_demo() -> None:
+    print("\nfunctional round trip (scaled down):")
+    params = CodingParams(num_blocks=12, block_size=128)
+    rng = np.random.default_rng(11)
+    segments = [Segment.random(params, rng, segment_id=i) for i in range(6)]
+    per_segment = {
+        segment.segment_id: Encoder(segment, rng).encode_blocks(14)
+        for segment in segments
+    }
+
+    single = GpuSingleSegmentDecoder(GTX280)
+    one = single.decode(params, per_segment[0])
+    print(f"  single-segment: {one.decoded_bytes} bytes in modelled "
+          f"{one.time_seconds * 1e3:.2f} ms ({one.bandwidth / MB:.1f} MB/s)")
+
+    multi = GpuMultiSegmentDecoder(GTX280)
+    many = multi.decode(params, per_segment)
+    print(f"  multi-segment:  {many.decoded_bytes} bytes in modelled "
+          f"{many.time_seconds * 1e3:.2f} ms ({many.bandwidth / MB:.1f} MB/s, "
+          f"stage-1 share {many.first_stage_share:.0%})")
+    for original, recovered in zip(segments, many.segments):
+        assert np.array_equal(original.blocks, recovered.blocks)
+    print("  all six segments recovered byte-exactly")
+
+
+if __name__ == "__main__":
+    modelled_sweep()
+    functional_demo()

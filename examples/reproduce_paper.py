@@ -1,0 +1,102 @@
+"""One-shot reproduction report: every paper number vs this library.
+
+Walks all ten experiments, prints a paper-vs-measured table, and exits
+nonzero if any headline deviates beyond its documented tolerance —
+suitable as a release gate.
+
+Run:
+    python examples/reproduce_paper.py
+"""
+
+import sys
+
+from repro.bench import paper_targets
+from repro.bench.figures import (
+    figure_7_scheme_ladder,
+    figure_8_best_encoding,
+    figure_9_multiseg_decoding,
+    figure_10_cpu_encoding,
+    streaming_capacity_table,
+    utilization_report,
+)
+from repro.bench.report import relative_error
+
+
+def check(rows, label, paper, measured, tolerance):
+    error = relative_error(measured, paper)
+    status = "ok" if error <= tolerance else "DEVIATES"
+    rows.append((label, paper, measured, error, status))
+    return status == "ok"
+
+
+def main() -> int:
+    rows = []
+    ok = True
+
+    ladder = dict(
+        zip(
+            figure_7_scheme_ladder().series[0].annotations,
+            figure_7_scheme_ladder().series[0].y,
+        )
+    )
+    for scheme, target in paper_targets.ENCODE_LADDER_GTX280_N128.items():
+        ok &= check(rows, f"Fig7 {scheme}", target, ladder[scheme], 0.05)
+    ok &= check(
+        rows,
+        "TB-5 / loop-based",
+        paper_targets.TABLE_OVER_LOOP,
+        ladder["table-based-5"] / ladder["loop-based"],
+        0.07,
+    )
+
+    fig8 = figure_8_best_encoding()
+    for n, target in paper_targets.ENCODE_BEST_GTX280.items():
+        ok &= check(
+            rows, f"Fig8 TB-5 n={n}", target, fig8.series_by_label(f"n = {n}").at(4096), 0.07
+        )
+
+    fig9 = figure_9_multiseg_decoding()
+    ok &= check(
+        rows,
+        "Fig9 peak multi-seg decode",
+        paper_targets.DECODE_PEAK_MULTISEG_MBS,
+        fig9.series_by_label("GTX280-6Seg (n=128)").at(16384),
+        0.15,
+    )
+
+    fig10 = figure_10_cpu_encoding()
+    for n, target in paper_targets.ENCODE_CPU_FULL_BLOCK.items():
+        ok &= check(
+            rows,
+            f"Fig10 CPU FB n={n}",
+            target,
+            fig10.series_by_label(f"FB Mac Pro (n={n})").at(4096),
+            0.05,
+        )
+
+    peers = streaming_capacity_table().series[0].y
+    ok &= check(
+        rows, "peers @ loop rate", paper_targets.PEERS_AT_LOOP_RATE, peers[0], 0.01
+    )
+
+    util = utilization_report().series[0]
+    metrics = dict(zip(util.annotations, util.y))
+    ok &= check(
+        rows,
+        "GF-mult utilization (%)",
+        100 * paper_targets.UTILIZATION_FRACTION,
+        metrics["GF-mult utilization (%)"],
+        0.04,
+    )
+
+    width = max(len(label) for label, *_ in rows)
+    print(f"{'experiment':<{width}} {'paper':>9} {'measured':>9} {'err':>6}  status")
+    for label, paper, measured, error, status in rows:
+        print(f"{label:<{width}} {paper:>9.1f} {measured:>9.1f} "
+              f"{100 * error:>5.1f}%  {status}")
+    print(f"\n{'ALL HEADLINES REPRODUCED' if ok else 'DEVIATIONS FOUND'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Alternative codes from the paper's related-work comparison (Sec. 2).
+
+Reed–Solomon (MDS, no recoding), LT fountain codes (XOR-only, reception
+overhead, no recoding), and chunked codes (cheap decoding, chunk-coverage
+overhead) — implemented so the trade-offs against RLNC are measurable.
+"""
+
+from repro.baselines.carousel import (
+    CarouselReceiver,
+    CarouselSender,
+    carousel_completion_time,
+    coded_completion_time,
+)
+from repro.baselines.chunked import (
+    ChunkedDecoder,
+    ChunkedEncoder,
+    chunked_reception_overhead,
+    decode_row_operations,
+)
+from repro.baselines.fountain import (
+    LtDecoder,
+    LtEncoder,
+    LtSymbol,
+    reception_overhead,
+    robust_soliton,
+)
+from repro.baselines.reed_solomon import ReedSolomonCode
+
+__all__ = [
+    "CarouselReceiver",
+    "CarouselSender",
+    "ChunkedDecoder",
+    "ChunkedEncoder",
+    "LtDecoder",
+    "LtEncoder",
+    "LtSymbol",
+    "ReedSolomonCode",
+    "carousel_completion_time",
+    "chunked_reception_overhead",
+    "coded_completion_time",
+    "decode_row_operations",
+    "reception_overhead",
+    "robust_soliton",
+]

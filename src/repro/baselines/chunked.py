@@ -1,0 +1,145 @@
+"""Chunked codes: random linear coding restricted to chunks.
+
+The third alternative of the paper's Sec. 2 (Maymounkov et al. [9]):
+divide the n source blocks into chunks of q blocks and code randomly
+*within a uniformly chosen chunk* per coded block.  Decoding runs an
+independent q x q Gauss–Jordan per chunk — O(q^2) row work instead of
+O(n^2) — at the price of a coupon-collector reception overhead across
+chunks and weaker recodability (recoding is only possible within a
+chunk).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodingError
+from repro.gf256.matrix import random_matrix
+from repro.gf256.vector import matmul
+from repro.rlnc.block import CodedBlock, CodingParams, Segment
+from repro.rlnc.decoder import ProgressiveDecoder
+
+
+class ChunkedEncoder:
+    """Encodes a segment chunk by chunk.
+
+    Args:
+        segment: source segment of n blocks.
+        chunk_size: q, blocks per chunk (must divide n).
+        rng: randomness for chunk choice and coefficients.
+    """
+
+    def __init__(
+        self, segment: Segment, chunk_size: int, rng: np.random.Generator
+    ) -> None:
+        n = segment.blocks.shape[0]
+        if chunk_size < 1 or n % chunk_size:
+            raise ConfigurationError(
+                f"chunk size {chunk_size} must divide block count {n}"
+            )
+        self._segment = segment
+        self.chunk_size = chunk_size
+        self.num_chunks = n // chunk_size
+        self._rng = rng
+
+    def encode_block(self, chunk_index: int | None = None) -> tuple[int, CodedBlock]:
+        """Emit one coded block from a (random) chunk.
+
+        Returns ``(chunk_index, block)``; the block's coefficient vector
+        spans only its chunk (length q).
+        """
+        if chunk_index is None:
+            chunk_index = int(self._rng.integers(self.num_chunks))
+        if not 0 <= chunk_index < self.num_chunks:
+            raise ConfigurationError(f"chunk {chunk_index} out of range")
+        q = self.chunk_size
+        start = chunk_index * q
+        coefficients = random_matrix(1, q, self._rng)[0]
+        payload = matmul(
+            coefficients[None, :], self._segment.blocks[start : start + q]
+        )[0]
+        return chunk_index, CodedBlock(
+            coefficients=coefficients,
+            payload=payload,
+            segment_id=self._segment.segment_id,
+        )
+
+
+class ChunkedDecoder:
+    """Per-chunk progressive decoders plus reassembly."""
+
+    def __init__(self, params: CodingParams, chunk_size: int) -> None:
+        if params.num_blocks % chunk_size:
+            raise ConfigurationError("chunk size must divide block count")
+        self.params = params
+        self.chunk_size = chunk_size
+        self.num_chunks = params.num_blocks // chunk_size
+        chunk_params = CodingParams(chunk_size, params.block_size)
+        self._decoders = [
+            ProgressiveDecoder(chunk_params) for _ in range(self.num_chunks)
+        ]
+        self.blocks_received = 0
+
+    @property
+    def chunks_complete(self) -> int:
+        return sum(decoder.is_complete for decoder in self._decoders)
+
+    @property
+    def is_complete(self) -> bool:
+        return self.chunks_complete == self.num_chunks
+
+    def consume(self, chunk_index: int, block: CodedBlock) -> bool:
+        """Absorb one block; returns True if innovative for its chunk."""
+        if not 0 <= chunk_index < self.num_chunks:
+            raise DecodingError(f"chunk {chunk_index} out of range")
+        self.blocks_received += 1
+        decoder = self._decoders[chunk_index]
+        if decoder.is_complete:
+            return False
+        return decoder.consume(block)
+
+    def recover_segment(self) -> Segment:
+        if not self.is_complete:
+            missing = [
+                i for i, d in enumerate(self._decoders) if not d.is_complete
+            ]
+            raise DecodingError(f"chunks not yet decoded: {missing}")
+        blocks = np.vstack(
+            [decoder.recover_segment().blocks for decoder in self._decoders]
+        )
+        return Segment(blocks=blocks)
+
+
+def chunked_reception_overhead(
+    num_blocks: int,
+    chunk_size: int,
+    block_size: int,
+    rng: np.random.Generator,
+    *,
+    trials: int = 5,
+) -> float:
+    """Mean blocks needed to decode, as a multiple of n.
+
+    Demonstrates the chunked-code tradeoff: small chunks decode cheaply
+    but the random chunk choice needs extra blocks to cover every chunk
+    (coupon collector), so overhead grows as chunks shrink.
+    """
+    factors = []
+    params = CodingParams(num_blocks, block_size)
+    for _ in range(trials):
+        segment = Segment.random(params, rng)
+        encoder = ChunkedEncoder(segment, chunk_size, rng)
+        decoder = ChunkedDecoder(params, chunk_size)
+        while not decoder.is_complete:
+            chunk_index, block = encoder.encode_block()
+            decoder.consume(chunk_index, block)
+        factors.append(decoder.blocks_received / num_blocks)
+    return float(np.mean(factors))
+
+
+def decode_row_operations(num_blocks: int, chunk_size: int | None = None) -> int:
+    """Gauss–Jordan row operations to decode: the complexity the paper's
+    Sec. 2 weighs (n^2 for RLNC vs (n/q) * q^2 = n*q for chunked codes)."""
+    if chunk_size is None:
+        return num_blocks * num_blocks
+    return (num_blocks // chunk_size) * chunk_size * chunk_size

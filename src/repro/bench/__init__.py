@@ -1,0 +1,57 @@
+"""Benchmark harness: figure regeneration and paper-vs-measured reports."""
+
+from repro.bench import paper_targets
+from repro.bench.export import export_figures, figure_to_csv
+from repro.bench.figures import (
+    ALL_FIGURES,
+    ablations_report,
+    figure_4a_encoding,
+    figure_4b_decoding,
+    figure_6_table_vs_loop,
+    figure_7_scheme_ladder,
+    figure_8_best_encoding,
+    figure_9_multiseg_decoding,
+    figure_10_cpu_encoding,
+    streaming_capacity_table,
+    utilization_report,
+)
+from repro.bench.report import (
+    comparison_row,
+    relative_error,
+    render_series_table,
+    summarize_figure,
+)
+from repro.bench.runner import (
+    BLOCK_SIZE_SWEEP,
+    MB,
+    NUM_BLOCKS_SWEEP,
+    FigureData,
+    Series,
+    sweep,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "BLOCK_SIZE_SWEEP",
+    "FigureData",
+    "MB",
+    "NUM_BLOCKS_SWEEP",
+    "Series",
+    "ablations_report",
+    "comparison_row",
+    "export_figures",
+    "figure_10_cpu_encoding",
+    "figure_4a_encoding",
+    "figure_4b_decoding",
+    "figure_6_table_vs_loop",
+    "figure_7_scheme_ladder",
+    "figure_8_best_encoding",
+    "figure_9_multiseg_decoding",
+    "figure_to_csv",
+    "paper_targets",
+    "relative_error",
+    "render_series_table",
+    "streaming_capacity_table",
+    "summarize_figure",
+    "sweep",
+]

@@ -1,0 +1,45 @@
+"""CSV export for figure data (plotting-tool friendly)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+
+from repro.bench.runner import FigureData
+
+
+def figure_to_csv(figure: FigureData) -> str:
+    """Render one figure as CSV: first column x, one column per series.
+
+    Annotated (index-style) figures get an extra ``annotation`` column
+    taken from the first series.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    first = figure.series[0]
+    header = [figure.x_label]
+    if first.annotations is not None:
+        header.append("annotation")
+    header.extend(series.label for series in figure.series)
+    writer.writerow(header)
+    for index, x in enumerate(first.x):
+        row: list = [x]
+        if first.annotations is not None:
+            row.append(first.annotations[index])
+        row.extend(f"{series.y[index]:.6g}" for series in figure.series)
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def export_figures(figures: dict, directory: str | pathlib.Path) -> list[pathlib.Path]:
+    """Write every figure's CSV into ``directory``; returns the paths."""
+    target = pathlib.Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name, builder in figures.items():
+        figure = builder() if callable(builder) else builder
+        path = target / f"{figure.figure_id}.csv"
+        path.write_text(figure_to_csv(figure))
+        paths.append(path)
+    return paths

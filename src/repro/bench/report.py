@@ -1,0 +1,56 @@
+"""Text rendering and paper-vs-measured comparison for figure data."""
+
+from __future__ import annotations
+
+from repro.bench.runner import FigureData, Series
+
+
+def render_series_table(figure: FigureData) -> str:
+    """Render one figure's series as an aligned text table.
+
+    Bandwidth figures become a block-size x series matrix; index-style
+    figures (ladders, reports) become one row per annotated point.
+    """
+    lines = [f"== {figure.figure_id}: {figure.title} =="]
+    first = figure.series[0]
+    if first.annotations is not None and figure.x_label != "block size (bytes)":
+        width = max(len(a) for a in first.annotations) + 2
+        for series in figure.series:
+            if len(figure.series) > 1:
+                lines.append(f"-- {series.label} --")
+            for annotation, value in zip(series.annotations, series.y):
+                lines.append(f"  {annotation:<{width}} {value:>10.1f}")
+    else:
+        header = f"{figure.x_label:>18} " + " ".join(
+            f"{series.label:>18}" for series in figure.series
+        )
+        lines.append(header)
+        for row, x in enumerate(first.x):
+            cells = " ".join(
+                f"{series.y[row]:>18.2f}" for series in figure.series
+            )
+            lines.append(f"{x:>18} {cells}")
+    for note in figure.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def relative_error(measured: float, target: float) -> float:
+    """|measured - target| / target."""
+    return abs(measured - target) / target
+
+
+def comparison_row(
+    label: str, paper_value: float, measured: float, unit: str = "MB/s"
+) -> str:
+    """One line of the EXPERIMENTS.md paper-vs-measured table."""
+    error = 100 * relative_error(measured, paper_value)
+    return (
+        f"| {label} | {paper_value:g} {unit} | {measured:.1f} {unit} "
+        f"| {error:.1f}% |"
+    )
+
+
+def summarize_figure(figure: FigureData) -> dict[str, float]:
+    """Compact summary: peak per series (for quick regression checks)."""
+    return {series.label: series.peak for series in figure.series}

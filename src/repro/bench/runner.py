@@ -1,0 +1,74 @@
+"""Benchmark data model and sweep infrastructure.
+
+The paper's evaluation figures are families of bandwidth-vs-block-size
+curves.  :class:`Series` holds one curve, :class:`FigureData` one figure;
+:mod:`repro.bench.figures` populates them from the calibrated models and
+:mod:`repro.bench.report` renders them as the text tables the benchmark
+harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: The paper's block-size sweep: 128 bytes to 32 KB (Sec. 4.3).
+BLOCK_SIZE_SWEEP = [128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768]
+
+#: The paper's block-count settings.
+NUM_BLOCKS_SWEEP = [128, 256, 512]
+
+MB = 1e6
+
+
+@dataclass
+class Series:
+    """One labelled curve: y (MB/s unless stated) against x (block size)."""
+
+    label: str
+    x: list[int]
+    y: list[float]
+    annotations: list[str] | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ConfigurationError(
+                f"series {self.label!r}: {len(self.x)} x vs {len(self.y)} y"
+            )
+        if self.annotations is not None and len(self.annotations) != len(self.x):
+            raise ConfigurationError("annotation count must match points")
+
+    @property
+    def peak(self) -> float:
+        return max(self.y)
+
+    def at(self, x_value: int) -> float:
+        """The y value at one sweep point."""
+        return self.y[self.x.index(x_value)]
+
+
+@dataclass
+class FigureData:
+    """All series of one reproduced figure plus free-form notes."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def series_by_label(self, label: str) -> Series:
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise ConfigurationError(
+            f"{self.figure_id} has no series {label!r}; available: "
+            f"{[s.label for s in self.series]}"
+        )
+
+
+def sweep(fn, xs: list[int]) -> list[float]:
+    """Evaluate ``fn`` over the sweep points."""
+    return [fn(x) for x in xs]

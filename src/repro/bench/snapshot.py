@@ -1,0 +1,71 @@
+"""Calibration snapshot: every headline metric in one dict.
+
+Guards the model against silent calibration drift: the test suite
+compares :func:`calibration_snapshot` against a stored reference, so any
+change to a cost constant that moves a headline number shows up as an
+explicit diff instead of a quiet regression.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.decoder import CpuDecoder
+from repro.cpu.encoder import CpuEncoder
+from repro.cpu.spec import MAC_PRO
+from repro.gpu.spec import GTX280, GEFORCE_8800GT
+from repro.kernels.cost_model import (
+    EncodeScheme,
+    decode_multi_segment_bandwidth,
+    decode_multi_segment_stats,
+    decode_single_segment_bandwidth,
+    encode_bandwidth,
+)
+
+MB = 1e6
+
+
+def calibration_snapshot() -> dict[str, float]:
+    """All headline metrics, rounded to 3 significant decimals (MB/s
+    unless the key says otherwise)."""
+    snapshot: dict[str, float] = {}
+    for scheme in EncodeScheme:
+        snapshot[f"encode/{scheme.value}/n128"] = encode_bandwidth(
+            GTX280, scheme, num_blocks=128, block_size=4096
+        ) / MB
+    snapshot["encode/loop-based/8800gt/n128"] = encode_bandwidth(
+        GEFORCE_8800GT, EncodeScheme.LOOP_BASED, num_blocks=128, block_size=4096
+    ) / MB
+    for n in (256, 512, 1024):
+        snapshot[f"encode/table-based-5/n{n}"] = encode_bandwidth(
+            GTX280, EncodeScheme.TABLE_5, num_blocks=n, block_size=4096
+        ) / MB
+
+    for k in (1024, 16384):
+        snapshot[f"decode/single/k{k}"] = decode_single_segment_bandwidth(
+            GTX280, num_blocks=128, block_size=k
+        ) / MB
+        snapshot[f"decode/60seg/k{k}"] = decode_multi_segment_bandwidth(
+            GTX280, num_blocks=128, block_size=k, num_segments=60
+        ) / MB
+    _, share30 = decode_multi_segment_stats(
+        GTX280, num_blocks=128, block_size=1024, num_segments=30
+    )
+    snapshot["decode/stage1_share/30seg/k1024"] = share30
+
+    cpu_encoder = CpuEncoder(MAC_PRO)
+    snapshot["cpu/encode/full-block/n128"] = cpu_encoder.estimate_bandwidth(
+        num_blocks=128, block_size=4096
+    ) / MB
+    cpu_decoder = CpuDecoder(MAC_PRO)
+    snapshot["cpu/decode/single/k16384"] = (
+        cpu_decoder.estimate_single_segment_bandwidth(
+            num_blocks=128, block_size=16384
+        )
+        / MB
+    )
+    snapshot["cpu/decode/multi/k16384"] = (
+        cpu_decoder.estimate_multi_segment_bandwidth(
+            num_blocks=128, block_size=16384
+        )
+        / MB
+    )
+    return {key: round(value, 3) for key, value in sorted(snapshot.items())}

@@ -1,0 +1,280 @@
+"""Command-line interface for the repro library.
+
+Four subcommands cover the workflows a user of the paper's system runs:
+
+* ``repro figures [NAMES...]`` — regenerate the paper's evaluation
+  figures as text tables (all of them by default);
+* ``repro encode FILE`` — encode a file into framed coded blocks;
+* ``repro decode FILE`` — decode a framed block stream back to content;
+* ``repro capacity`` — plan streaming-server capacity for a device,
+  encoding scheme and media bitrate.
+
+Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.bench.figures import ALL_FIGURES
+from repro.bench.report import render_series_table
+from repro.errors import ReproError
+from repro.gpu.spec import DEVICE_PRESETS, device_by_name
+from repro.kernels.cost_model import EncodeScheme, encode_bandwidth
+from repro.rlnc.block import CodingParams
+from repro.rlnc.encoder import Encoder
+from repro.rlnc.generation import MultiSegmentDecoder, split_into_segments
+from repro.rlnc.wire import decode_stream, encode_stream
+from repro.streaming.capacity import plan_capacity
+from repro.streaming.nic import NicModel
+from repro.streaming.session import MediaProfile
+
+
+def _add_geometry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-n", "--num-blocks", type=int, default=128,
+        help="source blocks per segment (default 128)",
+    )
+    parser.add_argument(
+        "-k", "--block-size", type=int, default=4096,
+        help="bytes per block (default 4096)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU network coding (ICDCS'09 reproduction) toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    figures = commands.add_parser(
+        "figures", help="regenerate the paper's evaluation figures"
+    )
+    figures.add_argument(
+        "names", nargs="*",
+        help=f"figure ids (default: all of {', '.join(sorted(ALL_FIGURES))})",
+    )
+
+    encode = commands.add_parser(
+        "encode", help="encode a file into framed coded blocks"
+    )
+    encode.add_argument("input", help="file to encode")
+    encode.add_argument(
+        "-o", "--output", required=True, help="frame-stream output path"
+    )
+    _add_geometry_arguments(encode)
+    encode.add_argument(
+        "--redundancy", type=float, default=1.1,
+        help="coded blocks emitted per source block (default 1.1)",
+    )
+    encode.add_argument("--seed", type=int, default=None)
+
+    decode = commands.add_parser(
+        "decode", help="decode a framed block stream back to content"
+    )
+    decode.add_argument("input", help="frame-stream file")
+    decode.add_argument("-o", "--output", required=True)
+    decode.add_argument(
+        "--length", type=int, required=True,
+        help="original content length in bytes",
+    )
+
+    capacity = commands.add_parser(
+        "capacity", help="plan streaming-server capacity"
+    )
+    capacity.add_argument(
+        "--device", choices=sorted(DEVICE_PRESETS), default="gtx280"
+    )
+    capacity.add_argument(
+        "--scheme",
+        choices=[scheme.value for scheme in EncodeScheme],
+        default=EncodeScheme.TABLE_5.value,
+    )
+    _add_geometry_arguments(capacity)
+    capacity.add_argument(
+        "--stream-kbps", type=float, default=768.0,
+        help="media bitrate in kilobits/second (default 768)",
+    )
+    capacity.add_argument(
+        "--nics", type=int, default=2, help="bonded GigE interfaces"
+    )
+
+    kernels = commands.add_parser(
+        "kernels", help="show the kernel cost-breakdown table"
+    )
+    kernels.add_argument(
+        "--device", choices=sorted(DEVICE_PRESETS), default="gtx280"
+    )
+
+    p2p = commands.add_parser(
+        "p2p", help="simulate P2P distribution: coding vs routing"
+    )
+    p2p.add_argument(
+        "--topology", choices=["butterfly", "overlay"], default="butterfly"
+    )
+    p2p.add_argument("--peers", type=int, default=12, help="overlay peers")
+    p2p.add_argument("-n", "--num-blocks", type=int, default=16)
+    p2p.add_argument("--loss", type=float, default=0.0)
+    p2p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    names = args.names or sorted(ALL_FIGURES)
+    unknown = [name for name in names if name not in ALL_FIGURES]
+    if unknown:
+        print(
+            f"error: unknown figure(s) {unknown}; choose from "
+            f"{sorted(ALL_FIGURES)}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        print(render_series_table(ALL_FIGURES[name]()))
+        print()
+    return 0
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    params = CodingParams(args.num_blocks, args.block_size)
+    with open(args.input, "rb") as handle:
+        content = handle.read()
+    rng = np.random.default_rng(args.seed)
+    segments = split_into_segments(content, params)
+    blocks = []
+    per_segment = max(1, int(round(args.redundancy * params.num_blocks)))
+    for segment in segments:
+        blocks.extend(Encoder(segment, rng).encode_blocks(per_segment))
+    stream = encode_stream(blocks)
+    with open(args.output, "wb") as handle:
+        handle.write(stream)
+    print(
+        f"encoded {len(content)} bytes as {len(blocks)} coded blocks "
+        f"({len(segments)} segments, {len(stream)} wire bytes)"
+    )
+    print(f"original length (pass to decode --length): {len(content)}")
+    return 0
+
+
+def _cmd_decode(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as handle:
+        stream = handle.read()
+    blocks = decode_stream(stream)
+    if not blocks:
+        print("no frames in input", file=sys.stderr)
+        return 1
+    params = CodingParams(blocks[0].num_blocks, blocks[0].block_size)
+    receiver = MultiSegmentDecoder(params)
+    for block in blocks:
+        receiver.consume(block)
+    expected = max(block.segment_id for block in blocks) + 1
+    content = receiver.recover_bytes(expected, args.length)
+    with open(args.output, "wb") as handle:
+        handle.write(content)
+    print(f"decoded {len(content)} bytes from {len(blocks)} coded blocks")
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    spec = device_by_name(args.device)
+    scheme = EncodeScheme(args.scheme)
+    profile = MediaProfile(
+        params=CodingParams(args.num_blocks, args.block_size),
+        stream_bps=args.stream_kbps * 1000,
+    )
+    rate = encode_bandwidth(
+        spec, scheme, num_blocks=args.num_blocks, block_size=args.block_size
+    )
+    nic = NicModel(count=args.nics)
+    plan = plan_capacity(spec, rate, profile, nic)
+    print(f"device:            {spec.name}")
+    print(f"scheme:            {scheme.value}")
+    print(f"coding bandwidth:  {rate / 1e6:.1f} MB/s")
+    print(f"segment duration:  {profile.segment_duration_seconds:.2f} s")
+    print(f"coding-limited:    {plan.coding_peers} peers")
+    print(f"NIC-limited:       {plan.nic_peers} peers ({args.nics} GigE)")
+    print(f"serveable peers:   {plan.peers} (bottleneck: {plan.bottleneck})")
+    print(f"live blocks/seg:   {plan.blocks_per_segment_live}")
+    print(f"segments on GPU:   {plan.segments_in_memory}")
+    return 0
+
+
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    from repro.kernels.breakdown import render_breakdown_table, workload_roofline
+    from repro.kernels.cost_model import EncodeScheme as Scheme
+
+    spec = device_by_name(args.device)
+    print(render_breakdown_table(spec))
+    roofline = workload_roofline(
+        spec, Scheme.TABLE_5, num_blocks=128, block_size=4096, coded_rows=1024
+    )
+    print(
+        f"\nTB-5 at (n=128, k=4096): {roofline.bound}-bound "
+        f"(memory/compute = {roofline.balance:.2f})"
+    )
+    return 0
+
+
+def _cmd_p2p(args: argparse.Namespace) -> int:
+    from repro.p2p import (
+        Strategy,
+        butterfly,
+        compare_strategies,
+        random_overlay,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    if args.topology == "butterfly":
+        graph, source, sinks = butterfly(), "s", ["t1", "t2"]
+    else:
+        graph = random_overlay(args.peers, 3, rng)
+        source, sinks = "source", list(range(args.peers))
+    params = CodingParams(args.num_blocks, 64)
+    results = compare_strategies(
+        graph, params, source=source, sinks=sinks, seed=args.seed
+    )
+    print(f"topology: {args.topology}, n={args.num_blocks}")
+    for strategy, result in results.items():
+        if result.all_sinks_complete:
+            finish = max(result.completion_round.values())
+            outcome = f"all sinks complete at round {finish}"
+        else:
+            outcome = f"incomplete after {result.rounds} rounds"
+        print(
+            f"  {strategy.value:>10}: {outcome}, "
+            f"innovative ratio {result.innovative_ratio:.0%}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "figures": _cmd_figures,
+    "encode": _cmd_encode,
+    "decode": _cmd_decode,
+    "capacity": _cmd_capacity,
+    "kernels": _cmd_kernels,
+    "p2p": _cmd_p2p,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

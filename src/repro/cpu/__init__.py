@@ -1,0 +1,43 @@
+"""Simulated multicore SIMD CPU substrate (the paper's Mac Pro baseline).
+
+CPU specifications, the SSE2-style GF(2^8) row operations, both encoding
+partitionings of Sec. 5.3, and the single- and multi-segment decoders.
+"""
+
+from repro.cpu.decoder import CpuDecodeResult, CpuDecoder, SPILL_PENALTY
+from repro.cpu.encoder import (
+    CpuEncodeResult,
+    CpuEncoder,
+    CpuMultiplyScheme,
+    CpuPartitioning,
+    combined_gpu_cpu_bandwidth,
+    prefetch_efficiency,
+)
+from repro.cpu.simd import (
+    SIMD_CYCLES_PER_CHUNK,
+    TABLE_BASED_CPU_SLOWDOWN,
+    chunks_for_bytes,
+    simd_mul_add_row,
+    simd_mul_row,
+)
+from repro.cpu.spec import ARM_V6, MAC_PRO, CpuSpec
+
+__all__ = [
+    "ARM_V6",
+    "CpuDecodeResult",
+    "CpuDecoder",
+    "CpuEncodeResult",
+    "CpuEncoder",
+    "CpuMultiplyScheme",
+    "CpuPartitioning",
+    "CpuSpec",
+    "MAC_PRO",
+    "SIMD_CYCLES_PER_CHUNK",
+    "SPILL_PENALTY",
+    "TABLE_BASED_CPU_SLOWDOWN",
+    "chunks_for_bytes",
+    "combined_gpu_cpu_bandwidth",
+    "prefetch_efficiency",
+    "simd_mul_add_row",
+    "simd_mul_row",
+]

@@ -1,0 +1,74 @@
+"""CPU specifications for the paper's host-side baseline.
+
+The paper's CPU testbed is an 8-core Mac Pro: two quad-core 2.8 GHz Intel
+Xeon processors with SSE2, whose aggregate L2 cache is 24 MB (2 x 12 MB,
+the figure Sec. 5.2 cites when multi-segment decoding turns memory-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Host CPU description used by the CPU coding models.
+
+    Attributes:
+        name: label used in benchmark output.
+        cores: physical cores usable by coding threads.
+        clock_hz: per-core clock.
+        simd_width_bytes: vector register width (16 for SSE2/AltiVec).
+        l2_cache_bytes: aggregate last-level cache; the multi-segment
+            decoder's working set is compared against this.
+        thread_sync_seconds: cost of one software barrier across the
+            coding threads (pthread condvar round trip), paid once per
+            Gauss–Jordan row operation in the partitioned decoder.
+        mem_bandwidth_bytes: sustained memory bandwidth once the working
+            set spills out of cache.
+    """
+
+    name: str
+    cores: int
+    clock_hz: float
+    simd_width_bytes: int = 16
+    l2_cache_bytes: int = 24 * 1024 * 1024
+    thread_sync_seconds: float = 0.6e-6
+    mem_bandwidth_bytes: float = 10e9
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigurationError("need at least one core")
+        if self.simd_width_bytes < 1:
+            raise ConfigurationError("SIMD width must be positive")
+
+    @property
+    def peak_simd_chunks_per_second(self) -> float:
+        """16-byte SIMD operations issueable per second across all cores."""
+        return self.cores * self.clock_hz
+
+
+#: The paper's CPU benchmark machine (Secs. 4.3 and 5.3).
+MAC_PRO = CpuSpec(
+    name="8-core Mac Pro (2x quad 2.8 GHz Xeon, SSE2)",
+    cores=8,
+    clock_hz=2.8e9,
+    simd_width_bytes=16,
+    l2_cache_bytes=24 * 1024 * 1024,
+)
+
+#: The mobile target the paper's Sec. 5.1.3 points the loop-based scheme
+#: at: "the mainstream ARM v6 family used in smartphones" — a single
+#: core with plain 32-bit execution units and no SIMD, so the loop-based
+#: multiply operates on 4-byte words (exactly like one GPU SP).
+ARM_V6 = CpuSpec(
+    name="ARM11 (ARMv6, single core, 620 MHz, 32-bit, no SIMD)",
+    cores=1,
+    clock_hz=620e6,
+    simd_width_bytes=4,
+    l2_cache_bytes=128 * 1024,
+    thread_sync_seconds=0.0,
+    mem_bandwidth_bytes=0.8e9,
+)

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing coding-theory errors from simulator-configuration
+errors when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FieldError(ReproError):
+    """Invalid operation in GF(2^8), e.g. division by zero."""
+
+
+class SingularMatrixError(ReproError):
+    """A matrix expected to be invertible is rank deficient."""
+
+
+class DecodingError(ReproError):
+    """The decoder cannot make progress or was used out of order."""
+
+
+class ConfigurationError(ReproError):
+    """A simulator or codec was configured with inconsistent parameters."""
+
+
+class LaunchError(ReproError):
+    """A GPU kernel launch violated the device's execution limits."""
+
+
+class CapacityError(ReproError):
+    """A streaming-server request exceeds available resources."""

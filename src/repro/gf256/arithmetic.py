@@ -1,0 +1,109 @@
+"""Scalar arithmetic in GF(2^8).
+
+These functions mirror, one-for-one, the multiplication routines the paper
+evaluates:
+
+* :func:`gf_mul` — the baseline table-based multiply of the paper's Fig. 1
+  (three table references and an addition).
+* :func:`gf_mul_preprocessed` — the streaming-server variant of Fig. 5 that
+  assumes both operands are already in the logarithmic domain.
+* :func:`gf_mul_loop` — the loop-based ("hand multiplication") variant from
+  the authors' earlier work, which the GPU loop-based kernels model.
+
+Scalar functions are for clarity, tests and small matrices; bulk row
+operations use :mod:`repro.gf256.vector`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FieldError
+from repro.gf256 import tables
+from repro.gf256.tables import EXP, INV, LOG, LOG_ZERO_SENTINEL
+
+
+def gf_add(x: int, y: int) -> int:
+    """Add two field elements (XOR in any GF(2^m))."""
+    return x ^ y
+
+
+def gf_sub(x: int, y: int) -> int:
+    """Subtract two field elements (identical to addition in GF(2^m))."""
+    return x ^ y
+
+
+def gf_mul(x: int, y: int) -> int:
+    """Multiply via the classic log/exp tables (paper Fig. 1).
+
+    ``exp[log[x] + log[y]]`` with an explicit zero test, exactly the
+    baseline the paper starts from: three memory reads and one addition.
+    """
+    if x == 0 or y == 0:
+        return 0
+    return int(EXP[int(LOG[x]) + int(LOG[y])])
+
+
+def gf_mul_preprocessed(log_x: int, log_y: int) -> int:
+    """Multiply two elements already transformed to the log domain.
+
+    This is the paper's Fig. 5 kernel: once source blocks and coefficients
+    have been preprocessed with :func:`gf_log`, each multiplication needs a
+    single table read.  Zero is encoded as the 0xFF sentinel.
+    """
+    if log_x == LOG_ZERO_SENTINEL or log_y == LOG_ZERO_SENTINEL:
+        return 0
+    return int(EXP[log_x + log_y])
+
+
+def gf_mul_loop(x: int, y: int) -> int:
+    """Multiply with the Rijndael shift-and-add loop (no tables).
+
+    Semantically identical to :func:`gf_mul`; this is the multiplication
+    the loop-based GPU/CPU kernels execute, kept as an independent
+    implementation so the two can cross-check each other.
+    """
+    return tables.reference_multiply(x, y)
+
+
+def gf_log(x: int) -> int:
+    """Return log(x), or the 0xFF sentinel for x == 0 (paper convention)."""
+    return int(LOG[x])
+
+
+def gf_exp(power: int) -> int:
+    """Return generator**power for power in [0, 510]."""
+    if not 0 <= power < 512:
+        raise FieldError(f"exp argument out of table range: {power}")
+    return int(EXP[power])
+
+
+def gf_inv(x: int) -> int:
+    """Return the multiplicative inverse of ``x``.
+
+    Raises:
+        FieldError: if ``x`` is zero, which has no inverse.
+    """
+    if x == 0:
+        raise FieldError("0 has no multiplicative inverse in GF(2^8)")
+    return int(INV[x])
+
+
+def gf_div(x: int, y: int) -> int:
+    """Return x / y.
+
+    Raises:
+        FieldError: if ``y`` is zero.
+    """
+    if y == 0:
+        raise FieldError("division by zero in GF(2^8)")
+    if x == 0:
+        return 0
+    return int(EXP[int(LOG[x]) + 255 - int(LOG[y])])
+
+
+def gf_pow(x: int, exponent: int) -> int:
+    """Return ``x`` raised to a non-negative integer power."""
+    if exponent < 0:
+        raise FieldError("negative exponents are expressed via gf_inv")
+    if x == 0:
+        return 0 if exponent else 1
+    return int(EXP[(int(LOG[x]) * exponent) % 255])

@@ -1,0 +1,135 @@
+"""Polynomial arithmetic over GF(2) and field-construction verification.
+
+The coding fields are quotient rings GF(2)[x]/(p(x)); this module
+provides the polynomial arithmetic needed to *prove*, in tests, that the
+constructions are sound rather than assuming it:
+
+* the Rijndael polynomial 0x11B is irreducible (so GF(2^8) is a field);
+* the GF(2^16) polynomial 0x1100B is irreducible;
+* the chosen generators have full multiplicative order (so the log/exp
+  tables are permutations).
+
+Polynomials over GF(2) are represented as Python ints (bit i = the
+coefficient of x^i), which makes addition XOR and keeps everything
+exact for arbitrary degrees.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FieldError
+
+
+def degree(poly: int) -> int:
+    """Degree of a GF(2) polynomial (-1 for the zero polynomial)."""
+    return poly.bit_length() - 1
+
+
+def poly_mul(a: int, b: int) -> int:
+    """Carry-less product of two GF(2) polynomials."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def poly_mod(a: int, modulus: int) -> int:
+    """Remainder of ``a`` modulo ``modulus`` over GF(2).
+
+    Raises:
+        FieldError: if the modulus is zero.
+    """
+    if modulus == 0:
+        raise FieldError("polynomial modulus must be nonzero")
+    mod_degree = degree(modulus)
+    while degree(a) >= mod_degree:
+        a ^= modulus << (degree(a) - mod_degree)
+    return a
+
+
+def poly_mulmod(a: int, b: int, modulus: int) -> int:
+    """(a * b) mod modulus over GF(2)."""
+    return poly_mod(poly_mul(a, b), modulus)
+
+
+def poly_powmod(base: int, exponent: int, modulus: int) -> int:
+    """base**exponent mod modulus via square-and-multiply."""
+    if exponent < 0:
+        raise FieldError("negative exponents are not defined here")
+    result = 1
+    base = poly_mod(base, modulus)
+    while exponent:
+        if exponent & 1:
+            result = poly_mulmod(result, base, modulus)
+        base = poly_mulmod(base, base, modulus)
+        exponent >>= 1
+    return result
+
+
+def poly_gcd(a: int, b: int) -> int:
+    """Greatest common divisor of two GF(2) polynomials."""
+    while b:
+        a, b = b, poly_mod(a, b)
+    return a
+
+
+def is_irreducible(poly: int) -> bool:
+    """Rabin's irreducibility test for a GF(2) polynomial.
+
+    ``poly`` of degree n is irreducible iff x^(2^n) == x (mod poly) and
+    gcd(x^(2^(n/q)) - x, poly) == 1 for every prime divisor q of n.
+    """
+    n = degree(poly)
+    if n <= 0:
+        return False
+    x = 0b10
+    if poly_powmod(x, 1 << n, poly) != poly_mod(x, poly):
+        return False
+    for q in _prime_divisors(n):
+        probe = poly_powmod(x, 1 << (n // q), poly) ^ poly_mod(x, poly)
+        if poly_gcd(probe, poly) != 1:
+            return False
+    return True
+
+
+def element_order(element: int, modulus: int) -> int:
+    """Multiplicative order of ``element`` in GF(2)[x]/(modulus).
+
+    Requires the modulus to be irreducible (so nonzero elements form a
+    cyclic group of size 2^n - 1); factors the group order and strips
+    prime powers, so it runs fast even for GF(2^16).
+
+    Raises:
+        FieldError: for the zero element.
+    """
+    if poly_mod(element, modulus) == 0:
+        raise FieldError("the zero element has no multiplicative order")
+    group = (1 << degree(modulus)) - 1
+    order = group
+    for prime in _prime_divisors(group):
+        while order % prime == 0 and poly_powmod(element, order // prime, modulus) == 1:
+            order //= prime
+    return order
+
+
+def is_primitive_element(element: int, modulus: int) -> bool:
+    """True if ``element`` generates the full multiplicative group."""
+    group = (1 << degree(modulus)) - 1
+    return element_order(element, modulus) == group
+
+
+def _prime_divisors(value: int) -> list[int]:
+    primes = []
+    candidate = 2
+    remaining = value
+    while candidate * candidate <= remaining:
+        if remaining % candidate == 0:
+            primes.append(candidate)
+            while remaining % candidate == 0:
+                remaining //= candidate
+        candidate += 1
+    if remaining > 1:
+        primes.append(remaining)
+    return primes

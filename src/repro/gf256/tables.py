@@ -1,0 +1,131 @@
+"""Lookup tables for GF(2^8) arithmetic.
+
+The paper's table-based coding schemes are built on logarithm/exponential
+tables over the Rijndael field GF(2^8) with reducing polynomial
+``x^8 + x^4 + x^3 + x + 1`` (0x11B) and generator 0x03 (the standard AES
+generator).  This module constructs:
+
+* ``LOG`` / ``EXP`` — the classic tables used by the baseline table-based
+  multiplication of Fig. 1 in the paper (``exp[log[x] + log[y]]``).  As in
+  the paper, ``LOG[0]`` is the sentinel ``0xFF`` so multiplication by zero
+  can be detected by comparing against 0xFF.
+* ``LOG_REMAPPED`` / ``EXP_REMAPPED`` — the Table-based-3 variant
+  (Sec. 5.1.3): the log table is shifted so that a zero input maps to the
+  sentinel ``0x00`` instead of 0xFF, letting the GPU fold the zero test
+  into a register load (predicated execution, no branch).  The exp table
+  is compensated accordingly.
+* ``MUL_TABLE`` — the full 256x256 product table, used by the vectorized
+  numpy back-end (the Python stand-in for "the hardware does a multiply in
+  a few cycles").
+
+All tables are numpy ``uint8``/``uint16`` arrays computed once at import
+time; construction is pure and repeatable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The Rijndael reducing polynomial x^8 + x^4 + x^3 + x + 1.
+RIJNDAEL_POLY = 0x11B
+
+#: Generator element used to build the log/exp tables (0x03 generates the
+#: multiplicative group of the Rijndael field).
+GENERATOR = 0x03
+
+#: Sentinel stored at LOG[0] in the classic tables (the paper's Fig. 5
+#: detects multiplication by zero by testing log values against 0xFF).
+LOG_ZERO_SENTINEL = 0xFF
+
+#: Sentinel used by the Table-based-3 remapped tables (Sec. 5.1.3).
+LOG_ZERO_SENTINEL_REMAPPED = 0x00
+
+
+def _xtime_multiply(a: int, b: int) -> int:
+    """Multiply two field elements by shift-and-add (carry-less, reduced).
+
+    This is the reference "hand multiplication" the table builders are
+    validated against; it is also the semantic model for the paper's
+    loop-based kernels.
+    """
+    product = 0
+    x, y = a, b
+    for _ in range(8):
+        if y & 1:
+            product ^= x
+        y >>= 1
+        x <<= 1
+        if x & 0x100:
+            x ^= RIJNDAEL_POLY
+    return product & 0xFF
+
+
+def _build_log_exp() -> tuple[np.ndarray, np.ndarray]:
+    """Construct the classic log/exp tables from the generator element.
+
+    ``exp`` is sized 512 so that ``exp[log[x] + log[y]]`` needs no modular
+    reduction of the summed logarithms — exactly the memory layout the
+    paper's GPU kernels use (each shared-memory copy holds 512 entries).
+    """
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.uint8)
+    value = 1
+    for power in range(255):
+        exp[power] = value
+        log[value] = power
+        value = _xtime_multiply(value, GENERATOR)
+    # Period is 255: exp repeats so summed logs up to 508 resolve directly.
+    for power in range(255, 512):
+        exp[power] = exp[power - 255]
+    log[0] = LOG_ZERO_SENTINEL
+    return log, exp
+
+
+def _build_remapped_log_exp(
+    log: np.ndarray, exp: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Construct the Table-based-3 remapped tables (Sec. 5.1.3).
+
+    Every true logarithm is shifted up by one so the value 0x00 is freed to
+    act as the zero sentinel.  The exp table is shifted down by two to
+    compensate for the two +1 offsets introduced by a product's pair of
+    remapped logs: ``exp_r[(log[x]+1) + (log[y]+1)] == exp[log[x]+log[y]]``.
+    """
+    log_remapped = np.zeros(256, dtype=np.uint8)
+    log_remapped[1:] = (log[1:].astype(np.uint16) + 1).astype(np.uint8)
+    log_remapped[0] = LOG_ZERO_SENTINEL_REMAPPED
+
+    # Remapped log values are in 1..255, so sums fall in 2..510.
+    exp_remapped = np.zeros(512, dtype=np.uint8)
+    exp_remapped[2:] = exp[: 512 - 2]
+    return log_remapped, exp_remapped
+
+
+def _build_mul_table(exp: np.ndarray, log: np.ndarray) -> np.ndarray:
+    """Construct the dense 256x256 multiplication table."""
+    logs = log.astype(np.uint16)
+    table = exp[logs[:, None] + logs[None, :]]
+    table[0, :] = 0
+    table[:, 0] = 0
+    return np.ascontiguousarray(table)
+
+
+LOG, EXP = _build_log_exp()
+LOG_REMAPPED, EXP_REMAPPED = _build_remapped_log_exp(LOG, EXP)
+MUL_TABLE = _build_mul_table(EXP, LOG)
+
+#: Multiplicative inverse of every nonzero element (INV[0] is 0 and must
+#: never be used; division guards against it).
+INV = np.zeros(256, dtype=np.uint8)
+INV[1:] = EXP[(255 - LOG[1:].astype(np.uint16)) % 255]
+
+
+def reference_multiply(a: int, b: int) -> int:
+    """Multiply two GF(2^8) elements with the reference shift-and-add loop.
+
+    Exposed for tests and for the loop-based kernels; prefer
+    :func:`repro.gf256.arithmetic.gf_mul` (table-based) in hot paths.
+    """
+    if not (0 <= a <= 0xFF and 0 <= b <= 0xFF):
+        raise ValueError(f"GF(2^8) elements must be bytes, got {a!r}, {b!r}")
+    return _xtime_multiply(a, b)

@@ -1,0 +1,47 @@
+"""GF(2^16) substrate for the field-width ablation.
+
+Implements the wider field RLNC deployments sometimes prefer (lower
+linear-dependence probability) and quantifies why the paper's GPU
+table-based schemes stay at GF(2^8): the GF(2^16) log/exp pair needs
+~512 KB — thirty-two SMs' worth of shared memory.
+"""
+
+from repro.gf65536.arithmetic import (
+    coefficient_overhead_ratio,
+    gf16_add,
+    gf16_div,
+    gf16_inv,
+    gf16_mul,
+    matmul16,
+    mul16_add_row,
+    mul16_scalar,
+)
+from repro.gf65536.tables import (
+    EXP16,
+    GENERATOR_16,
+    GROUP_ORDER,
+    LOG16,
+    LOG16_ZERO_SENTINEL,
+    POLY_16,
+    TABLE_BYTES,
+    reference_multiply16,
+)
+
+__all__ = [
+    "EXP16",
+    "GENERATOR_16",
+    "GROUP_ORDER",
+    "LOG16",
+    "LOG16_ZERO_SENTINEL",
+    "POLY_16",
+    "TABLE_BYTES",
+    "coefficient_overhead_ratio",
+    "gf16_add",
+    "gf16_div",
+    "gf16_inv",
+    "gf16_mul",
+    "matmul16",
+    "mul16_add_row",
+    "mul16_scalar",
+    "reference_multiply16",
+]

@@ -1,0 +1,105 @@
+"""Scalar and vectorized GF(2^16) arithmetic.
+
+Scalar operations mirror :mod:`repro.gf256.arithmetic`; vector operations
+work on ``uint16`` numpy arrays via log-domain gathers (a dense product
+table is out of the question at 8 GB — the same size argument that keeps
+the paper's GPU kernels at byte granularity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FieldError
+from repro.gf65536.tables import (
+    EXP16,
+    GROUP_ORDER,
+    LOG16,
+    LOG16_ZERO_SENTINEL,
+)
+
+
+def gf16_add(x: int, y: int) -> int:
+    """Field addition (XOR)."""
+    return x ^ y
+
+
+def gf16_mul(x: int, y: int) -> int:
+    """Field product via the log/exp tables."""
+    if x == 0 or y == 0:
+        return 0
+    return int(EXP16[int(LOG16[x]) + int(LOG16[y])])
+
+
+def gf16_inv(x: int) -> int:
+    """Multiplicative inverse.
+
+    Raises:
+        FieldError: for x == 0.
+    """
+    if x == 0:
+        raise FieldError("0 has no multiplicative inverse in GF(2^16)")
+    return int(EXP16[GROUP_ORDER - int(LOG16[x])])
+
+
+def gf16_div(x: int, y: int) -> int:
+    """Field division.
+
+    Raises:
+        FieldError: for y == 0.
+    """
+    if y == 0:
+        raise FieldError("division by zero in GF(2^16)")
+    if x == 0:
+        return 0
+    return int(EXP16[int(LOG16[x]) + GROUP_ORDER - int(LOG16[y])])
+
+
+def _as_u16(array: np.ndarray) -> np.ndarray:
+    if array.dtype != np.uint16:
+        raise FieldError(f"GF(2^16) arrays must be uint16, got {array.dtype}")
+    return array
+
+
+def mul16_scalar(row: np.ndarray, coefficient: int) -> np.ndarray:
+    """Return ``coefficient * row`` element-wise over uint16 symbols."""
+    _as_u16(row)
+    if coefficient == 0:
+        return np.zeros_like(row)
+    log_c = int(LOG16[coefficient])
+    logs = LOG16[row]
+    out = EXP16[(logs + log_c) % GROUP_ORDER].astype(np.uint16)
+    out[row == 0] = 0
+    return out
+
+
+def mul16_add_row(dest: np.ndarray, source: np.ndarray, coefficient: int) -> None:
+    """In place: ``dest ^= coefficient * source``."""
+    _as_u16(dest)
+    if coefficient == 0:
+        return
+    dest ^= mul16_scalar(source, coefficient)
+
+
+def matmul16(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2^16) on uint16 arrays."""
+    _as_u16(a)
+    _as_u16(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise FieldError(f"incompatible shapes {a.shape} x {b.shape}")
+    m, n = a.shape
+    out = np.zeros((m, b.shape[1]), dtype=np.uint16)
+    for i in range(n):
+        column = a[:, i]
+        for row_index in np.nonzero(column)[0]:
+            mul16_add_row(out[row_index], b[i], int(column[row_index]))
+    return out
+
+
+def coefficient_overhead_ratio(field_bits: int, num_blocks: int, block_size: int) -> float:
+    """Per-block coefficient overhead for a field width (the RLNC
+    trade-off GF(2^16) improves: wider symbols mean fewer coefficient
+    *symbols*, but each is wider — the byte overhead is identical; the
+    real gain is the lower linear-dependence probability ~ 2^-field_bits)."""
+    symbols = num_blocks  # one coefficient symbol per source block
+    return symbols * (field_bits // 8) / block_size

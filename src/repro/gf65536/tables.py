@@ -1,0 +1,73 @@
+"""Lookup tables for GF(2^16) arithmetic.
+
+The paper's table-based GPU schemes stop at GF(2^8) for a structural
+reason it states explicitly (Sec. 4.1): "table-based GF(2^8)
+multiplication is not easily scalable to a higher granularity than the
+byte level".  This package makes that argument *quantitative*: GF(2^16)
+log/exp tables are 2 x 64 K entries x 2 bytes = 256 KB — sixteen times an
+entire Tesla SM's shared memory — while a dense product table would be
+8 GB.  The field itself, however, is perfectly usable on a CPU (and is
+popular in RLNC implementations because it halves the per-block
+coefficient count), so we implement it fully and use it for the
+field-width ablation.
+
+Field: GF(2^16) with reducing polynomial
+``x^16 + x^12 + x^3 + x + 1`` (0x1100B, a standard primitive choice)
+and generator 0x0003.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Reducing polynomial x^16 + x^12 + x^3 + x + 1.
+POLY_16 = 0x1100B
+
+#: Generator of the multiplicative group.
+GENERATOR_16 = 0x0003
+
+#: Sentinel stored at LOG16[0].
+LOG16_ZERO_SENTINEL = 0xFFFF
+
+#: Field order minus one (multiplicative group size).
+GROUP_ORDER = 0xFFFF
+
+
+def _multiply_slow(a: int, b: int) -> int:
+    """Reference shift-and-add multiply, 16 iterations."""
+    product = 0
+    x, y = a, b
+    for _ in range(16):
+        if y & 1:
+            product ^= x
+        y >>= 1
+        x <<= 1
+        if x & 0x10000:
+            x ^= POLY_16
+    return product & 0xFFFF
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(2 * GROUP_ORDER, dtype=np.uint16)
+    log = np.zeros(65536, dtype=np.uint32)
+    value = 1
+    for power in range(GROUP_ORDER):
+        exp[power] = value
+        log[value] = power
+        value = _multiply_slow(value, GENERATOR_16)
+    exp[GROUP_ORDER:] = exp[:GROUP_ORDER]
+    log[0] = LOG16_ZERO_SENTINEL
+    return log, exp
+
+
+LOG16, EXP16 = _build_tables()
+
+#: Bytes the log+exp pair occupies — the number the GPU argument turns on.
+TABLE_BYTES = LOG16.nbytes + EXP16.nbytes
+
+
+def reference_multiply16(a: int, b: int) -> int:
+    """Reference GF(2^16) product (slow; for tests and table validation)."""
+    if not (0 <= a <= 0xFFFF and 0 <= b <= 0xFFFF):
+        raise ValueError(f"GF(2^16) elements must be 16-bit, got {a!r}, {b!r}")
+    return _multiply_slow(a, b)

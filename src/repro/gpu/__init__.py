@@ -1,0 +1,91 @@
+"""Simulated CUDA GPU substrate.
+
+Device specifications (GTX 280, 8800 GT), memory-system models (shared
+banks, coalescing, texture cache), the occupancy/latency-hiding model,
+kernel cycle accounting, and a functional SIMT interpreter for running
+kernels as Python generators.
+"""
+
+from repro.gpu.microisa import ExecutionResult, Instr, MicroInterpreter, ins
+from repro.gpu.microprograms import (
+    loop_multiply_early_exit_program,
+    loop_multiply_program,
+    pack_log_word,
+    remapped_exp_memory,
+    table3_multiply_program,
+)
+from repro.gpu.memory import (
+    CoalescingModel,
+    SharedMemoryModel,
+    TextureCacheModel,
+)
+from repro.gpu.occupancy import (
+    LATENCY_HIDING_TAU,
+    blocks_resident_per_sm,
+    latency_hiding_efficiency,
+    occupancy,
+    warps_per_block,
+)
+from repro.gpu.simt import (
+    Alu,
+    AtomicMin,
+    Barrier,
+    GmemLoad,
+    GmemStore,
+    LaunchResult,
+    SimtDevice,
+    SmemLoad,
+    SmemStore,
+    TexLoad,
+    ThreadContext,
+)
+from repro.gpu.spec import (
+    DEVICE_PRESETS,
+    GEFORCE_8800GT,
+    GTX280,
+    GTX280_32K_PROJECTION,
+    GTX280_64BIT_PROJECTION,
+    DeviceSpec,
+    device_by_name,
+)
+from repro.gpu.timing import KernelStats, TransferStats
+
+__all__ = [
+    "Alu",
+    "AtomicMin",
+    "Barrier",
+    "CoalescingModel",
+    "DEVICE_PRESETS",
+    "DeviceSpec",
+    "ExecutionResult",
+    "GEFORCE_8800GT",
+    "GTX280",
+    "GTX280_32K_PROJECTION",
+    "GTX280_64BIT_PROJECTION",
+    "GmemLoad",
+    "GmemStore",
+    "Instr",
+    "KernelStats",
+    "LATENCY_HIDING_TAU",
+    "LaunchResult",
+    "MicroInterpreter",
+    "SharedMemoryModel",
+    "SimtDevice",
+    "SmemLoad",
+    "SmemStore",
+    "TexLoad",
+    "TextureCacheModel",
+    "ThreadContext",
+    "TransferStats",
+    "blocks_resident_per_sm",
+    "device_by_name",
+    "ins",
+    "latency_hiding_efficiency",
+    "loop_multiply_early_exit_program",
+    "loop_multiply_program",
+    "occupancy",
+    "pack_log_word",
+    "remapped_exp_memory",
+    "table3_multiply_program",
+    "warps_per_block",
+]

@@ -1,0 +1,133 @@
+"""GF(2^8) multiply kernels written in the micro-ISA.
+
+Instruction-level implementations of the paper's two core inner loops,
+runnable on :class:`repro.gpu.microisa.MicroInterpreter`:
+
+* :func:`loop_multiply_program` — the loop-based byte-by-word multiply
+  (Sec. 4.1): eight shift-and-add iterations over a packed 4-byte word,
+  ten instructions each, with the conditional XOR predicated rather
+  than branched.
+* :func:`table3_multiply_program` — the Table-based-3 multiply
+  (Sec. 5.1.3): log-domain operands, remapped zero sentinel, *no
+  branches at all* — zero handling is a SETP/SELP pair folded around
+  each exp lookup.
+
+The retired-instruction counts of these programs are what the cost
+model's per-scheme ALU constants claim; tests execute both against the
+lookup tables for functional equality and assert the counts line up.
+"""
+
+from __future__ import annotations
+
+from repro.gf256.tables import EXP_REMAPPED, LOG_REMAPPED
+from repro.gpu.microisa import Instr, ins
+
+#: Per-byte overflow constant of the Rijndael reduction, replicated.
+_HIGH_BITS = 0x80808080
+_LOW7_MASK = 0xFEFEFEFE
+_REDUCTION = 0x1B  # multiplies 0/1 bytes without cross-byte carries
+
+
+def loop_multiply_program(iterations: int = 8) -> list[Instr]:
+    """Loop-based multiply: registers C (coefficient byte), W (word).
+
+    Returns the product word in R0.  The loop body is exactly ten
+    instructions: predicated accumulate (3), coefficient shift (1), and
+    the parallel per-byte doubling with Rijndael reduction (6).
+    """
+    program: list[Instr] = [
+        ins("MOV", "R0", 0),  # accumulator
+    ]
+    for _ in range(iterations):
+        program.extend(
+            [
+                # if (C & 1) R0 ^= W;   -- predicated, no branch
+                ins("AND", "T", "C", 1),
+                ins("SETP", "p", "ne", "T", 0),
+                ins("XOR", "R0", "R0", "W", pred="p"),
+                ins("SHR", "C", "C", 1),
+                # W = gf_double_bytes(W)
+                ins("AND", "H", "W", _HIGH_BITS),
+                ins("SHL", "W", "W", 1),
+                ins("AND", "W", "W", _LOW7_MASK),
+                ins("SHR", "H", "H", 7),
+                ins("MUL_LO", "H", "H", _REDUCTION),
+                ins("XOR", "W", "W", "H"),
+            ]
+        )
+    program.append(ins("RET"))
+    return program
+
+
+def loop_multiply_early_exit_program() -> list[Instr]:
+    """Loop-based multiply that exits once the coefficient is exhausted.
+
+    Adds a test-and-branch pair per iteration (the divergent-control
+    variant); for random coefficients it retires fewer iterations (~7 on
+    average, the paper's number) at the price of warp divergence.
+    """
+    program: list[Instr] = [ins("MOV", "R0", 0)]
+    body_start = ins("AND", "T", "C", 1, label="loop")
+    program.append(body_start)
+    program.extend(
+        [
+            ins("SETP", "p", "ne", "T", 0),
+            ins("XOR", "R0", "R0", "W", pred="p"),
+            ins("SHR", "C", "C", 1),
+            ins("AND", "H", "W", _HIGH_BITS),
+            ins("SHL", "W", "W", 1),
+            ins("AND", "W", "W", _LOW7_MASK),
+            ins("SHR", "H", "H", 7),
+            ins("MUL_LO", "H", "H", _REDUCTION),
+            ins("XOR", "W", "W", "H"),
+            ins("SETP", "more", "ne", "C", 0),
+            ins("BRP", "more", "loop"),
+            ins("RET"),
+        ]
+    )
+    return program
+
+
+def table3_multiply_program() -> list[Instr]:
+    """Table-based-3 multiply: branch-free log-domain lookups.
+
+    Registers in: LC (remapped log of the coefficient), LW (word of four
+    remapped log bytes).  Memory space ``exp`` holds the remapped exp
+    table.  Zero operands carry the 0x00 sentinel; a SETP/SELP pair per
+    byte (plus one for the coefficient) squashes their contribution —
+    predicated selects, never branches, the entire point of TB-3.
+    """
+    program: list[Instr] = [
+        ins("MOV", "R0", 0),
+        ins("SETP", "cz", "eq", "LC", 0),  # coefficient-is-zero, once
+    ]
+    for lane in range(4):
+        shift = 8 * lane
+        program.extend(
+            [
+                ins("SHR", "T", "LW", shift),
+                ins("AND", "T", "T", 0xFF),
+                ins("ADD", "S", "T", "LC"),
+                ins("LD", "V", "exp", "S"),
+                ins("SETP", "bz", "eq", "T", 0),
+                ins("SELP", "V", 0, "V", "bz"),
+                ins("SELP", "V", 0, "V", "cz"),
+                ins("SHL", "V", "V", shift),
+                ins("OR", "R0", "R0", "V"),
+            ]
+        )
+    program.append(ins("RET"))
+    return program
+
+
+def pack_log_word(byte_values: list[int]) -> int:
+    """Pack four bytes' remapped logs into one little-endian word."""
+    word = 0
+    for lane, value in enumerate(byte_values):
+        word |= int(LOG_REMAPPED[value]) << (8 * lane)
+    return word
+
+
+def remapped_exp_memory() -> list[int]:
+    """The remapped exp table as a micro-ISA memory space."""
+    return [int(v) for v in EXP_REMAPPED]

@@ -1,0 +1,438 @@
+"""A fine-grained SIMT interpreter for CUDA-style kernels.
+
+This is the executable model of the Tesla architecture the paper targets.
+Kernels are Python *generator functions*: each thread yields a stream of
+events (ALU work, shared/global/texture memory accesses, barriers,
+atomics) and the interpreter advances all threads of a block in lockstep,
+grouping the events of each half-warp exactly like the hardware does:
+
+* shared-memory events are scored for **bank conflicts** (16 banks, word
+  broadcast) by :class:`~repro.gpu.memory.SharedMemoryModel`;
+* global-memory events are merged into **coalesced transactions** by
+  :class:`~repro.gpu.memory.CoalescingModel` under the device's compute
+  capability rules;
+* texture events hit the per-TPC :class:`~repro.gpu.memory.TextureCacheModel`;
+* barriers implement ``__syncthreads`` with divergence detection.
+
+The interpreter is *functionally exact* (kernels really compute their
+outputs, which tests compare against the numpy reference) and
+*mechanistically faithful* for the effects above.  It is not cycle-exact
+and it is slow — production-size problems use the analytic cost models in
+:mod:`repro.kernels.cost_model`, whose constants are validated against
+this interpreter on small problem instances.
+
+Intra-step functional ordering: when several threads write the same
+location in the same step, the interpreter applies writes in thread-id
+order.  CUDA leaves this undefined; kernels in this library never rely on
+it (they synchronize instead), and tests assert as much.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+import numpy as np
+
+from repro.errors import LaunchError
+from repro.gpu.memory import (
+    CoalescingModel,
+    SharedMemoryModel,
+    TextureCacheModel,
+)
+from repro.gpu.spec import DeviceSpec
+
+# ---------------------------------------------------------------------------
+# Events a thread can yield.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Alu:
+    """``count`` scalar arithmetic/control instructions."""
+
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class SmemLoad:
+    """Load one element from a named shared array."""
+
+    array: str
+    index: int
+
+
+@dataclass(frozen=True)
+class SmemStore:
+    """Store one element to a named shared array."""
+
+    array: str
+    index: int
+    value: int
+
+
+@dataclass(frozen=True)
+class GmemLoad:
+    """Load one element from a named global buffer."""
+
+    buffer: str
+    index: int
+
+
+@dataclass(frozen=True)
+class GmemStore:
+    """Store one element to a named global buffer."""
+
+    buffer: str
+    index: int
+    value: int
+
+
+@dataclass(frozen=True)
+class TexLoad:
+    """Read one element through the texture cache from a global buffer."""
+
+    buffer: str
+    index: int
+
+
+@dataclass(frozen=True)
+class AtomicMin:
+    """atomicMin on a shared array (cc1.3 only; paper Sec. 5.4.2)."""
+
+    array: str
+    index: int
+    value: int
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """__syncthreads(): all threads of the block must arrive."""
+
+
+Event = Alu | SmemLoad | SmemStore | GmemLoad | GmemStore | TexLoad | AtomicMin | Barrier
+KernelFn = Callable[["ThreadContext"], Generator[Event, Any, None]]
+
+
+class ThreadContext:
+    """Per-thread view of the launch: ids, arguments, event constructors.
+
+    Threads receive one of these as their sole argument.  Scalars in
+    ``args`` are read directly; arrays must be touched through the event
+    constructors so the interpreter can account for them.
+    """
+
+    __slots__ = ("tx", "bx", "bdim", "gdim", "args")
+
+    def __init__(self, tx: int, bx: int, bdim: int, gdim: int, args: dict) -> None:
+        self.tx = tx
+        self.bx = bx
+        self.bdim = bdim
+        self.gdim = gdim
+        self.args = args
+
+    @property
+    def global_tid(self) -> int:
+        """Flat global thread index (bx * bdim + tx)."""
+        return self.bx * self.bdim + self.tx
+
+    # Thin aliases so kernels read like CUDA.
+    def alu(self, count: int = 1) -> Alu:
+        return Alu(count)
+
+    def smem_load(self, array: str, index: int) -> SmemLoad:
+        return SmemLoad(array, int(index))
+
+    def smem_store(self, array: str, index: int, value: int) -> SmemStore:
+        return SmemStore(array, int(index), int(value))
+
+    def gmem_load(self, buffer: str, index: int) -> GmemLoad:
+        return GmemLoad(buffer, int(index))
+
+    def gmem_store(self, buffer: str, index: int, value: int) -> GmemStore:
+        return GmemStore(buffer, int(index), int(value))
+
+    def tex_load(self, buffer: str, index: int) -> TexLoad:
+        return TexLoad(buffer, int(index))
+
+    def atomic_min(self, array: str, index: int, value: int) -> AtomicMin:
+        return AtomicMin(array, int(index), int(value))
+
+    def barrier(self) -> Barrier:
+        return Barrier()
+
+
+@dataclass
+class LaunchResult:
+    """Everything the interpreter observed during one kernel launch."""
+
+    instructions: int = 0
+    smem_requests: int = 0
+    smem_service_rounds: int = 0
+    gmem_requests: int = 0
+    gmem_transactions: int = 0
+    gmem_bytes: int = 0
+    tex_requests: int = 0
+    tex_misses: int = 0
+    atomics: int = 0
+    barriers: int = 0
+    steps: int = 0
+
+    @property
+    def smem_conflict_factor(self) -> float:
+        """Mean service rounds per half-warp shared access group."""
+        if self.smem_requests == 0:
+            return 1.0
+        groups = self._smem_groups or 1
+        return self.smem_service_rounds / groups
+
+    @property
+    def gmem_transactions_per_group(self) -> float:
+        if self._gmem_groups == 0:
+            return 0.0
+        return self.gmem_transactions / self._gmem_groups
+
+    _smem_groups: int = 0
+    _gmem_groups: int = 0
+
+
+class SimtDevice:
+    """Executes kernels on a simulated device, block by block.
+
+    Blocks are scheduled round-robin over SMs (block ``b`` runs on SM
+    ``b % num_sms``) which fixes each block's TPC for texture-cache
+    purposes.  Blocks execute sequentially — the interpreter measures
+    per-access behaviour, not timing overlap.
+    """
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        self.spec = spec
+
+    def launch(
+        self,
+        kernel: KernelFn,
+        *,
+        grid: int,
+        block: int,
+        args: dict[str, Any],
+        shared: dict[str, tuple[int, str]] | None = None,
+    ) -> LaunchResult:
+        """Run ``kernel`` over ``grid`` blocks of ``block`` threads.
+
+        Args:
+            kernel: generator function taking a :class:`ThreadContext`.
+            grid: number of thread blocks.
+            block: threads per block.
+            args: named scalars plus named numpy buffers (global memory).
+                Buffers are mutated in place by GmemStore events.
+            shared: per-block shared arrays: name -> (length, dtype str).
+
+        Returns:
+            Aggregate :class:`LaunchResult` over all blocks.
+        """
+        if grid < 1:
+            raise LaunchError("grid must contain at least one block")
+        if block < 1 or block > self.spec.max_threads_per_block:
+            raise LaunchError(
+                f"block size {block} outside [1, {self.spec.max_threads_per_block}]"
+            )
+        if shared:
+            smem_bytes = sum(
+                length * np.dtype(dtype).itemsize
+                for length, dtype in shared.values()
+            )
+            if smem_bytes > self.spec.shared_mem_per_sm:
+                raise LaunchError(
+                    f"shared arrays need {smem_bytes} B; SM has "
+                    f"{self.spec.shared_mem_per_sm} B"
+                )
+
+        result = LaunchResult()
+        buffers = {
+            name: value for name, value in args.items() if isinstance(value, np.ndarray)
+        }
+        buffer_bases = _assign_buffer_bases(buffers)
+        texture_caches = [
+            TextureCacheModel(self.spec) for _ in range(self.spec.num_tpcs)
+        ]
+        for block_index in range(grid):
+            sm = block_index % self.spec.num_sms
+            tpc = sm // self.spec.sms_per_tpc
+            self._run_block(
+                kernel,
+                block_index,
+                grid,
+                block,
+                args,
+                shared or {},
+                buffers,
+                buffer_bases,
+                texture_caches[tpc % len(texture_caches)],
+                result,
+            )
+        return result
+
+    # -- internals ---------------------------------------------------------
+
+    def _run_block(
+        self,
+        kernel: KernelFn,
+        block_index: int,
+        grid: int,
+        block_threads: int,
+        args: dict[str, Any],
+        shared_spec: dict[str, tuple[int, str]],
+        buffers: dict[str, np.ndarray],
+        buffer_bases: dict[str, int],
+        texture_cache: TextureCacheModel,
+        result: LaunchResult,
+    ) -> None:
+        shared_arrays = {
+            name: np.zeros(length, dtype=np.dtype(dtype))
+            for name, (length, dtype) in shared_spec.items()
+        }
+        smem_bases = _assign_buffer_bases(shared_arrays)
+        shared_model = SharedMemoryModel(self.spec)
+        coalescing = CoalescingModel(self.spec)
+
+        threads: dict[int, Generator[Event, Any, None]] = {}
+        for tx in range(block_threads):
+            ctx = ThreadContext(tx, block_index, block_threads, grid, args)
+            threads[tx] = kernel(ctx)
+        send_values: dict[int, Any] = {}
+        at_barrier: set[int] = set()
+        exited_early = 0
+
+        while threads:
+            step_smem: dict[int, list[int]] = {}
+            step_gmem: dict[tuple[int, str], list[int]] = {}
+            step_tex: dict[int, list[int]] = {}
+            progressed = False
+
+            for tx in sorted(threads):
+                if tx in at_barrier:
+                    continue
+                generator = threads[tx]
+                try:
+                    event = generator.send(send_values.pop(tx, None))
+                except StopIteration:
+                    del threads[tx]
+                    exited_early += 1
+                    continue
+                progressed = True
+                half_warp = tx // self.spec.half_warp
+                if isinstance(event, Barrier):
+                    at_barrier.add(tx)
+                elif isinstance(event, Alu):
+                    result.instructions += event.count
+                elif isinstance(event, SmemLoad):
+                    array = self._shared(shared_arrays, event.array)
+                    send_values[tx] = array[event.index].item()
+                    step_smem.setdefault(half_warp, []).append(
+                        smem_bases[event.array] + event.index * array.itemsize
+                    )
+                elif isinstance(event, SmemStore):
+                    array = self._shared(shared_arrays, event.array)
+                    array[event.index] = event.value
+                    step_smem.setdefault(half_warp, []).append(
+                        smem_bases[event.array] + event.index * array.itemsize
+                    )
+                elif isinstance(event, GmemLoad):
+                    buffer = self._buffer(buffers, event.buffer)
+                    send_values[tx] = buffer[event.index].item()
+                    step_gmem.setdefault((half_warp, event.buffer), []).append(
+                        event.index
+                    )
+                elif isinstance(event, GmemStore):
+                    buffer = self._buffer(buffers, event.buffer)
+                    buffer[event.index] = event.value
+                    step_gmem.setdefault((half_warp, event.buffer), []).append(
+                        event.index
+                    )
+                elif isinstance(event, TexLoad):
+                    buffer = self._buffer(buffers, event.buffer)
+                    send_values[tx] = buffer[event.index].item()
+                    step_tex.setdefault(half_warp, []).append(
+                        buffer_bases[event.buffer] + event.index * buffer.itemsize
+                    )
+                elif isinstance(event, AtomicMin):
+                    array = self._shared(shared_arrays, event.array)
+                    if not self.spec.has_shared_atomics:
+                        raise LaunchError(
+                            f"{self.spec.name} has no shared-memory atomics"
+                        )
+                    previous = array[event.index].item()
+                    array[event.index] = min(previous, event.value)
+                    send_values[tx] = previous
+                    result.atomics += 1
+                    step_smem.setdefault(half_warp, []).append(
+                        smem_bases[event.array] + event.index * array.itemsize
+                    )
+                else:  # pragma: no cover - event union is closed
+                    raise LaunchError(f"unknown event {event!r}")
+
+            # Score the step's grouped memory behaviour.
+            for addresses in step_smem.values():
+                rounds = shared_model.score_half_warp(addresses)
+                result.smem_requests += len(addresses)
+                result.smem_service_rounds += rounds
+                result._smem_groups += 1
+            for (_, buffer_name), indices in step_gmem.items():
+                buffer = buffers[buffer_name]
+                base = buffer_bases[buffer_name]
+                addresses = [base + index * buffer.itemsize for index in indices]
+                transactions = coalescing.score_half_warp(
+                    addresses, buffer.itemsize
+                )
+                result.gmem_requests += len(indices)
+                result.gmem_transactions += transactions
+                result.gmem_bytes += len(indices) * buffer.itemsize
+                result._gmem_groups += 1
+            for addresses in step_tex.values():
+                misses = texture_cache.access_half_warp(addresses)
+                result.tex_requests += len(addresses)
+                result.tex_misses += misses
+            result.steps += 1
+
+            if at_barrier:
+                # CUDA leaves a __syncthreads that not every thread of the
+                # block reaches undefined; we make it a hard error.
+                if exited_early:
+                    raise LaunchError(
+                        f"barrier divergence: {exited_early} thread(s) exited "
+                        "while others wait at __syncthreads"
+                    )
+                if at_barrier == set(threads):
+                    at_barrier.clear()
+                    result.barriers += 1
+                elif not progressed:
+                    missing = sorted(set(threads) - at_barrier)
+                    raise LaunchError(
+                        "barrier divergence: threads "
+                        f"{missing} exited without reaching __syncthreads"
+                    )
+
+    @staticmethod
+    def _shared(arrays: dict[str, np.ndarray], name: str) -> np.ndarray:
+        try:
+            return arrays[name]
+        except KeyError:
+            raise LaunchError(f"kernel touched undeclared shared array {name!r}") from None
+
+    @staticmethod
+    def _buffer(buffers: dict[str, np.ndarray], name: str) -> np.ndarray:
+        try:
+            return buffers[name]
+        except KeyError:
+            raise LaunchError(f"kernel touched unknown global buffer {name!r}") from None
+
+
+def _assign_buffer_bases(buffers: dict[str, np.ndarray]) -> dict[str, int]:
+    """Give each buffer a disjoint, 256-byte-aligned base address."""
+    bases: dict[str, int] = {}
+    cursor = 0
+    for name in sorted(buffers):
+        bases[name] = cursor
+        size = buffers[name].size * buffers[name].itemsize
+        cursor += (size + 255) // 256 * 256 + 256
+    return bases

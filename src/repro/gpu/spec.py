@@ -1,0 +1,172 @@
+"""Device specifications for the simulated CUDA GPUs.
+
+The paper evaluates two Tesla-architecture parts: the NVIDIA GeForce
+GTX 280 (GT200, compute capability 1.3) and the GeForce 8800 GT (G92,
+compute capability 1.1).  :class:`DeviceSpec` captures every architectural
+parameter the paper's analysis leans on — core counts, shader clock,
+memory bandwidth, the 16-bank shared memory, warp geometry, texture-cache
+sharing across a TPC, and the 1.3-only features (shared-memory atomics,
+relaxed coalescing) — so the timing model and the SIMT interpreter both
+read from one source of truth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural description of one CUDA-era GPU.
+
+    Attributes:
+        name: marketing name, used in benchmark labels.
+        num_sms: streaming multiprocessors (30 on the GTX 280).
+        sps_per_sm: scalar processors per SM (8 on all Tesla parts).
+        shader_clock_hz: SP clock (1.458 GHz GTX 280, 1.5 GHz 8800 GT).
+        mem_bandwidth_bytes: peak device-memory bandwidth in bytes/s.
+        memory_bytes: device memory size (holds the segment store).
+        shared_mem_per_sm: on-chip shared memory per SM (16 KB).
+        shared_banks: number of shared-memory banks (16).
+        shared_bank_width: bytes served per bank per service cycle (4).
+        shared_service_cycles: cycles per bank service round (2 — "one
+            access per bank in every two cycles", Sec. 5.1.3).
+        warp_size: threads per warp (32); half-warps of 16 issue memory.
+        max_threads_per_block: CUDA limit (512 on Tesla).
+        max_threads_per_sm: resident-thread limit (1024 cc1.3 / 768 cc1.1).
+        max_blocks_per_sm: resident-block limit (8).
+        registers_per_sm: 32-bit registers per SM (16384 cc1.3 / 8192 cc1.1).
+        sms_per_tpc: SMs sharing one texture cache (3 on GT200, 2 on G92).
+        texture_cache_bytes: per-TPC texture cache size.
+        has_shared_atomics: atomicMin on shared memory (cc1.3 only,
+            exploited by the paper's pivot search, Sec. 5.4.2).
+        relaxed_coalescing: cc1.3 coalesces any same-segment half-warp
+            access; cc1.1 requires in-order aligned words.
+        int64_alus: 64-bit integer units (the paper's Sec. 5.1.3
+            projection: "the next generations of CUDA GPUs will likely
+            increase their integer arithmetic units to 64 bits, which
+            potentially can double the performance of loop-based
+            GF-multiplication").
+        kernel_launch_overhead_s: host-side cost per kernel launch.
+        pcie_bandwidth_bytes: host <-> device transfer bandwidth.
+    """
+
+    name: str
+    num_sms: int
+    sps_per_sm: int
+    shader_clock_hz: float
+    mem_bandwidth_bytes: float
+    memory_bytes: int
+    shared_mem_per_sm: int = 16 * 1024
+    shared_banks: int = 16
+    shared_bank_width: int = 4
+    shared_service_cycles: int = 2
+    warp_size: int = 32
+    max_threads_per_block: int = 512
+    max_threads_per_sm: int = 1024
+    max_blocks_per_sm: int = 8
+    registers_per_sm: int = 16384
+    sms_per_tpc: int = 3
+    texture_cache_bytes: int = 8 * 1024
+    has_shared_atomics: bool = True
+    relaxed_coalescing: bool = True
+    int64_alus: bool = False
+    kernel_launch_overhead_s: float = 10e-6
+    pcie_bandwidth_bytes: float = 3.0e9
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1 or self.sps_per_sm < 1:
+            raise ConfigurationError("device needs at least one SM and one SP")
+        if self.shared_banks < 1 or self.warp_size % self.shared_banks:
+            raise ConfigurationError(
+                "warp size must be a multiple of the shared bank count"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        """Total scalar processors (240 on the GTX 280)."""
+        return self.num_sms * self.sps_per_sm
+
+    @property
+    def peak_gips(self) -> float:
+        """Peak scalar instruction rate, instructions per second."""
+        return self.total_cores * self.shader_clock_hz
+
+    @property
+    def half_warp(self) -> int:
+        """Threads per memory-issue group (16 on Tesla)."""
+        return self.warp_size // 2
+
+    @property
+    def num_tpcs(self) -> int:
+        """Texture processing clusters (texture-cache domains)."""
+        return max(1, self.num_sms // self.sms_per_tpc)
+
+
+#: The paper's primary evaluation device (Sec. 4): 240 cores, 155 GB/s.
+GTX280 = DeviceSpec(
+    name="GeForce GTX 280",
+    num_sms=30,
+    sps_per_sm=8,
+    shader_clock_hz=1.458e9,
+    mem_bandwidth_bytes=155e9,
+    memory_bytes=1024 * 1024 * 1024,
+    max_threads_per_sm=1024,
+    registers_per_sm=16384,
+    sms_per_tpc=3,
+    has_shared_atomics=True,
+    relaxed_coalescing=True,
+)
+
+#: The authors' earlier GPU (Nuclei, INFOCOM'09): 112 cores, 57.6 GB/s.
+GEFORCE_8800GT = DeviceSpec(
+    name="GeForce 8800 GT",
+    num_sms=14,
+    sps_per_sm=8,
+    shader_clock_hz=1.5e9,
+    mem_bandwidth_bytes=57.6e9,
+    memory_bytes=512 * 1024 * 1024,
+    max_threads_per_sm=768,
+    registers_per_sm=8192,
+    sms_per_tpc=2,
+    has_shared_atomics=False,
+    relaxed_coalescing=False,
+)
+
+#: The paper's Sec. 5.1.3 projection of a GTX 280 with 32 KB shared
+#: memory per SM: sixteen word-wide private exp tables fit, eliminating
+#: bank conflicts entirely ("the encoding performance would be around
+#: 330 to 340 MB/s for a fully conflict-free deployment").
+GTX280_32K_PROJECTION = dataclasses.replace(
+    GTX280,
+    name="GTX 280 (32 KB shared-memory projection)",
+    shared_mem_per_sm=32 * 1024,
+)
+
+#: The paper's Sec. 5.1.3 projection of a next-generation part with
+#: 64-bit integer units, doubling loop-based GF-multiplication.
+GTX280_64BIT_PROJECTION = dataclasses.replace(
+    GTX280,
+    name="GTX 280 (64-bit ALU projection)",
+    int64_alus=True,
+)
+
+#: Registry used by benchmark harnesses and examples.
+DEVICE_PRESETS: dict[str, DeviceSpec] = {
+    "gtx280": GTX280,
+    "8800gt": GEFORCE_8800GT,
+    "gtx280-32k": GTX280_32K_PROJECTION,
+    "gtx280-64bit": GTX280_64BIT_PROJECTION,
+}
+
+
+def device_by_name(key: str) -> DeviceSpec:
+    """Look up a preset device; raises ConfigurationError on unknown keys."""
+    try:
+        return DEVICE_PRESETS[key.lower()]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_PRESETS))
+        raise ConfigurationError(f"unknown device {key!r}; known: {known}") from None

@@ -1,0 +1,84 @@
+"""GPU network-coding kernels and their calibrated cost models.
+
+The paper's contribution layer: the loop-based encoding baseline, the
+table-based encoding ladder (variants 0–5 of Fig. 7), single-segment
+progressive decoding and multi-segment two-stage decoding, all with
+functional execution plus analytic timing on a chosen device.
+"""
+
+from repro.kernels.autotune import TuneResult, best_encode_scheme
+from repro.kernels.base import DecodeResult, EncodeResult
+from repro.kernels.breakdown import (
+    SchemeBreakdown,
+    WorkloadRoofline,
+    render_breakdown_table,
+    scheme_breakdown,
+    workload_roofline,
+)
+from repro.kernels.cost_model import (
+    DECODE_ROW_SYNC_CYCLES,
+    ENCODE_COSTS,
+    ENCODE_THREADS_PER_BLOCK,
+    DecodeOptions,
+    EncodeCost,
+    EncodeScheme,
+    decode_multi_segment_bandwidth,
+    decode_multi_segment_stats,
+    decode_single_segment_bandwidth,
+    decode_single_segment_stats,
+    encode_bandwidth,
+    encode_stats,
+    preprocess_stats,
+)
+from repro.kernels.cost_model import (
+    effective_mult_cycles,
+    scheme_cost_for,
+)
+from repro.kernels.decode import GpuMultiSegmentDecoder, GpuSingleSegmentDecoder
+from repro.kernels.encode import GpuEncoder
+from repro.kernels.hybrid import HybridEncodeResult, HybridEncoder
+from repro.kernels.recode import GpuRecoder, recode_stats
+from repro.kernels.multi_gpu import (
+    MultiGpuEncoder,
+    MultiGpuPlan,
+    WorkShare,
+    multi_gpu_decode_bandwidth,
+)
+
+__all__ = [
+    "DECODE_ROW_SYNC_CYCLES",
+    "DecodeOptions",
+    "DecodeResult",
+    "ENCODE_COSTS",
+    "ENCODE_THREADS_PER_BLOCK",
+    "EncodeCost",
+    "EncodeResult",
+    "EncodeScheme",
+    "GpuEncoder",
+    "GpuMultiSegmentDecoder",
+    "GpuRecoder",
+    "GpuSingleSegmentDecoder",
+    "HybridEncodeResult",
+    "HybridEncoder",
+    "MultiGpuEncoder",
+    "MultiGpuPlan",
+    "SchemeBreakdown",
+    "TuneResult",
+    "WorkShare",
+    "WorkloadRoofline",
+    "best_encode_scheme",
+    "decode_multi_segment_bandwidth",
+    "decode_multi_segment_stats",
+    "decode_single_segment_bandwidth",
+    "decode_single_segment_stats",
+    "effective_mult_cycles",
+    "encode_bandwidth",
+    "encode_stats",
+    "multi_gpu_decode_bandwidth",
+    "preprocess_stats",
+    "recode_stats",
+    "render_breakdown_table",
+    "scheme_breakdown",
+    "scheme_cost_for",
+    "workload_roofline",
+]

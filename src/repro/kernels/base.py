@@ -1,0 +1,80 @@
+"""Common result types for the GPU network-coding kernels.
+
+Every kernel couples a *functional* execution (real GF(2^8) arithmetic on
+numpy arrays, so outputs are verifiable against the reference codec) with
+an *analytic* :class:`~repro.gpu.timing.KernelStats` from
+:mod:`repro.kernels.cost_model`.  Results carry both, plus the derived
+coding bandwidth the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.spec import DeviceSpec
+from repro.gpu.timing import KernelStats
+from repro.rlnc.block import Segment
+
+
+@dataclass
+class EncodeResult:
+    """Output of one encoding run on the simulated GPU.
+
+    Attributes:
+        coefficients: the (m, n) coefficient matrix used.
+        payloads: the (m, k) coded-block matrix produced.
+        stats: modelled execution statistics.
+        spec: device the stats were modelled for.
+    """
+
+    coefficients: np.ndarray
+    payloads: np.ndarray
+    stats: KernelStats
+    spec: DeviceSpec
+
+    @property
+    def coded_bytes(self) -> int:
+        return int(self.payloads.size)
+
+    @property
+    def time_seconds(self) -> float:
+        return self.stats.time_seconds(self.spec)
+
+    @property
+    def bandwidth(self) -> float:
+        """Coded bytes produced per modelled second (the paper's y-axis)."""
+        return self.coded_bytes / self.time_seconds
+
+
+@dataclass
+class DecodeResult:
+    """Output of one decoding run on the simulated GPU.
+
+    Attributes:
+        segments: the decoded segments.
+        stats: modelled execution statistics for the whole job.
+        spec: device the stats were modelled for.
+        first_stage_share: fraction of decode time spent inverting
+            coefficient matrices (multi-segment decode only; None for
+            the single-segment progressive kernel).
+    """
+
+    segments: list[Segment]
+    stats: KernelStats
+    spec: DeviceSpec
+    first_stage_share: float | None = None
+
+    @property
+    def decoded_bytes(self) -> int:
+        return int(sum(segment.blocks.size for segment in self.segments))
+
+    @property
+    def time_seconds(self) -> float:
+        return self.stats.time_seconds(self.spec)
+
+    @property
+    def bandwidth(self) -> float:
+        """Decoded source bytes per modelled second."""
+        return self.decoded_bytes / self.time_seconds

@@ -1,0 +1,117 @@
+"""Cost-breakdown reporting for the GPU kernels.
+
+Turns the cost model's cycle components into the kind of per-kernel
+report a profiler would print: where each scheme spends its word-mult
+budget (ALU vs shared memory vs texture), what fraction of the decode
+path is unhideable serialization, and the roofline position of a
+workload.  Powers the ``repro kernels`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.spec import DeviceSpec
+from repro.kernels.cost_model import (
+    EncodeScheme,
+    SMEM_ROUND_CYCLES,
+    TEX_FETCH_CYCLES,
+    GMEM_TABLE_FETCH_CYCLES,
+    encode_stats,
+    scheme_cost_for,
+)
+
+
+@dataclass(frozen=True)
+class SchemeBreakdown:
+    """Cycle composition of one scheme's word-mult on one device."""
+
+    scheme: EncodeScheme
+    alu_cycles: float
+    smem_cycles: float
+    tex_cycles: float
+    gmem_table_cycles: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.alu_cycles
+            + self.smem_cycles
+            + self.tex_cycles
+            + self.gmem_table_cycles
+        )
+
+    def fraction(self, component: str) -> float:
+        value = getattr(self, f"{component}_cycles")
+        return value / self.total if self.total else 0.0
+
+
+def scheme_breakdown(spec: DeviceSpec, scheme: EncodeScheme) -> SchemeBreakdown:
+    """Decompose a scheme's per-word-mult cycles into components."""
+    cost = scheme_cost_for(spec, scheme)
+    return SchemeBreakdown(
+        scheme=scheme,
+        alu_cycles=cost.alu,
+        smem_cycles=cost.smem_lookups
+        * SMEM_ROUND_CYCLES
+        * cost.smem_conflict_factor,
+        tex_cycles=cost.tex_lookups * TEX_FETCH_CYCLES,
+        gmem_table_cycles=cost.gmem_lookups * GMEM_TABLE_FETCH_CYCLES,
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadRoofline:
+    """Roofline placement of one encode workload."""
+
+    compute_seconds: float
+    memory_seconds: float
+    bound: str
+
+    @property
+    def balance(self) -> float:
+        """memory/compute time ratio (1.0 = perfectly balanced)."""
+        if self.compute_seconds == 0:
+            return float("inf")
+        return self.memory_seconds / self.compute_seconds
+
+
+def workload_roofline(
+    spec: DeviceSpec,
+    scheme: EncodeScheme,
+    *,
+    num_blocks: int,
+    block_size: int,
+    coded_rows: int,
+) -> WorkloadRoofline:
+    """Compute vs memory time for one workload on one device."""
+    stats = encode_stats(
+        spec,
+        scheme,
+        num_blocks=num_blocks,
+        block_size=block_size,
+        coded_rows=coded_rows,
+    )
+    compute = stats.compute_time(spec)
+    memory = stats.memory_time(spec)
+    return WorkloadRoofline(
+        compute_seconds=compute,
+        memory_seconds=memory,
+        bound="memory" if memory > compute else "compute",
+    )
+
+
+def render_breakdown_table(spec: DeviceSpec) -> str:
+    """Aligned text table of every scheme's cycle composition."""
+    lines = [
+        f"per-word-mult cycle breakdown on {spec.name}:",
+        f"{'scheme':>15} {'ALU':>7} {'smem':>7} {'tex':>7} {'gmem':>7} "
+        f"{'total':>7}",
+    ]
+    for scheme in EncodeScheme:
+        b = scheme_breakdown(spec, scheme)
+        lines.append(
+            f"{scheme.value:>15} {b.alu_cycles:>7.1f} {b.smem_cycles:>7.1f} "
+            f"{b.tex_cycles:>7.1f} {b.gmem_table_cycles:>7.1f} {b.total:>7.1f}"
+        )
+    return "\n".join(lines)

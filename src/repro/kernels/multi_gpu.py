@@ -1,0 +1,155 @@
+"""Multi-GPU coding (Sec. 2: "for the exceptionally demanding
+applications, multiple GPUs can be employed in parallel").
+
+Encoding is embarrassingly parallel across coded blocks and decoding
+across segments, so a multi-GPU rig scales nearly linearly: work is
+split proportionally to each device's modelled throughput, and the job
+finishes when the slowest device finishes its share.  A small efficiency
+factor covers host-side scheduling and PCIe contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpu.spec import DeviceSpec
+from repro.kernels.cost_model import (
+    EncodeScheme,
+    decode_multi_segment_stats,
+    encode_stats,
+)
+
+#: Fraction of ideal aggregate throughput retained after host-side
+#: scheduling and PCIe contention (matches the Sec. 5.4.1 observation
+#: that GPU+CPU parallel encoding lands "in proximity to the sum").
+MULTI_GPU_EFFICIENCY = 0.97
+
+
+@dataclass(frozen=True)
+class WorkShare:
+    """One device's slice of a multi-GPU job."""
+
+    spec: DeviceSpec
+    rows: int
+    time_seconds: float
+
+
+@dataclass
+class MultiGpuPlan:
+    """Partitioning decision plus aggregate timing for one job."""
+
+    shares: list[WorkShare]
+
+    @property
+    def time_seconds(self) -> float:
+        """Wall time: the slowest device's share, after the efficiency
+        haircut."""
+        return max(share.time_seconds for share in self.shares) / MULTI_GPU_EFFICIENCY
+
+    @property
+    def total_rows(self) -> int:
+        return sum(share.rows for share in self.shares)
+
+
+class MultiGpuEncoder:
+    """Splits encode jobs across several (possibly different) GPUs."""
+
+    def __init__(
+        self, specs: list[DeviceSpec], scheme: EncodeScheme = EncodeScheme.TABLE_5
+    ) -> None:
+        if not specs:
+            raise ConfigurationError("need at least one device")
+        self.specs = list(specs)
+        self.scheme = scheme
+
+    def _device_rate(self, spec: DeviceSpec, num_blocks: int, block_size: int) -> float:
+        stats = encode_stats(
+            spec,
+            self.scheme,
+            num_blocks=num_blocks,
+            block_size=block_size,
+            coded_rows=8 * num_blocks,
+        )
+        return 8 * num_blocks * block_size / stats.time_seconds(spec)
+
+    def plan(
+        self, *, num_blocks: int, block_size: int, coded_rows: int
+    ) -> MultiGpuPlan:
+        """Split ``coded_rows`` across devices proportionally to speed."""
+        if coded_rows < len(self.specs):
+            raise ConfigurationError(
+                f"{coded_rows} rows cannot occupy {len(self.specs)} devices"
+            )
+        rates = np.array(
+            [
+                self._device_rate(spec, num_blocks, block_size)
+                for spec in self.specs
+            ]
+        )
+        fractions = rates / rates.sum()
+        rows = np.maximum(1, np.floor(fractions * coded_rows).astype(int))
+        # Give the remainder to the fastest device.
+        rows[int(np.argmax(rates))] += coded_rows - int(rows.sum())
+        shares = []
+        for spec, device_rows in zip(self.specs, rows.tolist()):
+            stats = encode_stats(
+                spec,
+                self.scheme,
+                num_blocks=num_blocks,
+                block_size=block_size,
+                coded_rows=device_rows,
+            )
+            shares.append(
+                WorkShare(
+                    spec=spec,
+                    rows=device_rows,
+                    time_seconds=stats.time_seconds(spec),
+                )
+            )
+        return MultiGpuPlan(shares=shares)
+
+    def aggregate_bandwidth(
+        self, *, num_blocks: int, block_size: int, coded_rows: int | None = None
+    ) -> float:
+        """Coded bytes per second across the whole rig."""
+        rows = coded_rows if coded_rows is not None else 16 * num_blocks
+        plan = self.plan(
+            num_blocks=num_blocks, block_size=block_size, coded_rows=rows
+        )
+        return plan.total_rows * block_size / plan.time_seconds
+
+
+def multi_gpu_decode_bandwidth(
+    specs: list[DeviceSpec],
+    *,
+    num_blocks: int,
+    block_size: int,
+    segments_per_gpu: int | None = None,
+    scheme: EncodeScheme = EncodeScheme.TABLE_5,
+) -> float:
+    """Aggregate multi-segment decode bandwidth for a multi-GPU rig.
+
+    Each device decodes its own batch of segments (two per SM, the
+    paper's best configuration, unless overridden).
+    """
+    if not specs:
+        raise ConfigurationError("need at least one device")
+    total_bytes = 0.0
+    slowest = 0.0
+    for spec in specs:
+        segments = (
+            segments_per_gpu if segments_per_gpu is not None else 2 * spec.num_sms
+        )
+        stats, _ = decode_multi_segment_stats(
+            spec,
+            num_blocks=num_blocks,
+            block_size=block_size,
+            num_segments=segments,
+            stage2_scheme=scheme,
+        )
+        total_bytes += segments * num_blocks * block_size
+        slowest = max(slowest, stats.time_seconds(spec))
+    return MULTI_GPU_EFFICIENCY * total_bytes / slowest

@@ -1,0 +1,51 @@
+"""P2P content distribution on the network-coding codec.
+
+Topology builders (butterfly, overlays), node strategies (coding vs
+store-and-forward), and a round-based distribution simulator measuring
+time-to-decode against the min-cut multicast bound.
+"""
+
+from repro.p2p.metrics import (
+    CodingAdvantage,
+    ExperimentSummary,
+    coding_advantage,
+    run_experiment,
+)
+from repro.p2p.node import CodingNode, ForwardingNode
+from repro.p2p.simulator import (
+    P2PSimulator,
+    SimulationResult,
+    Strategy,
+    compare_strategies,
+)
+from repro.p2p.topology import (
+    BUTTERFLY_SINKS,
+    BUTTERFLY_SOURCE,
+    butterfly,
+    line,
+    min_cut_to,
+    multicast_capacity,
+    random_overlay,
+    star,
+)
+
+__all__ = [
+    "BUTTERFLY_SINKS",
+    "BUTTERFLY_SOURCE",
+    "CodingAdvantage",
+    "CodingNode",
+    "ExperimentSummary",
+    "ForwardingNode",
+    "P2PSimulator",
+    "SimulationResult",
+    "Strategy",
+    "butterfly",
+    "coding_advantage",
+    "compare_strategies",
+    "line",
+    "min_cut_to",
+    "multicast_capacity",
+    "random_overlay",
+    "run_experiment",
+    "star",
+]

@@ -1,0 +1,121 @@
+"""Multi-run P2P experiment statistics.
+
+One simulation run is an anecdote; the coding-vs-routing comparison the
+literature makes is statistical.  :func:`run_experiment` repeats a
+distribution scenario across seeds and aggregates completion times,
+traffic and innovation ratios into :class:`ExperimentSummary`, and
+:func:`coding_advantage` boils two summaries down to the headline
+speedup with its spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.p2p.simulator import P2PSimulator, SimulationResult, Strategy
+from repro.rlnc.block import CodingParams, Segment
+
+
+@dataclass(frozen=True)
+class ExperimentSummary:
+    """Aggregates over repeated runs of one scenario."""
+
+    strategy: Strategy
+    runs: int
+    completed_runs: int
+    mean_completion_round: float
+    p95_completion_round: float
+    mean_innovative_ratio: float
+    mean_blocks_sent: float
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed_runs / self.runs if self.runs else 0.0
+
+
+def run_experiment(
+    graph_builder,
+    params: CodingParams,
+    *,
+    source,
+    sinks,
+    strategy: Strategy,
+    seeds: list[int],
+    max_rounds: int = 2000,
+    edge_loss: float = 0.0,
+) -> ExperimentSummary:
+    """Run one scenario across seeds and summarize.
+
+    Args:
+        graph_builder: zero-argument callable returning a fresh topology
+            (rebuilt per run so random overlays vary with the seed when
+            the builder closes over its own rng).
+    """
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    finishes, ratios, sent = [], [], []
+    completed = 0
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        segment = Segment.random(params, np.random.default_rng(seed + 1))
+        simulator = P2PSimulator(
+            graph_builder(),
+            params,
+            source=source,
+            sinks=sinks,
+            strategy=strategy,
+            rng=rng,
+            segment=segment,
+            edge_loss=edge_loss,
+        )
+        result: SimulationResult = simulator.run(max_rounds=max_rounds)
+        ratios.append(result.innovative_ratio)
+        sent.append(result.blocks_sent)
+        if result.all_sinks_complete:
+            completed += 1
+            finishes.append(max(result.completion_round.values()))
+    if finishes:
+        mean_finish = float(np.mean(finishes))
+        p95_finish = float(np.percentile(finishes, 95))
+    else:
+        mean_finish = p95_finish = float("inf")
+    return ExperimentSummary(
+        strategy=strategy,
+        runs=len(seeds),
+        completed_runs=completed,
+        mean_completion_round=mean_finish,
+        p95_completion_round=p95_finish,
+        mean_innovative_ratio=float(np.mean(ratios)),
+        mean_blocks_sent=float(np.mean(sent)),
+    )
+
+
+@dataclass(frozen=True)
+class CodingAdvantage:
+    """Headline comparison between coding and a baseline strategy."""
+
+    speedup_mean: float
+    speedup_p95: float
+    traffic_ratio: float
+
+    @property
+    def coding_wins(self) -> bool:
+        return self.speedup_mean > 1.0
+
+
+def coding_advantage(
+    coding: ExperimentSummary, baseline: ExperimentSummary
+) -> CodingAdvantage:
+    """Summarize how much faster coding finished than the baseline."""
+    if coding.strategy is not Strategy.CODING:
+        raise ConfigurationError("first summary must be the coding run")
+    return CodingAdvantage(
+        speedup_mean=baseline.mean_completion_round
+        / coding.mean_completion_round,
+        speedup_p95=baseline.p95_completion_round
+        / coding.p95_completion_round,
+        traffic_ratio=baseline.mean_blocks_sent / coding.mean_blocks_sent,
+    )

@@ -1,0 +1,114 @@
+"""Network topologies for the P2P content-distribution simulator.
+
+Provides the canonical networks of the network-coding literature:
+
+* the **butterfly** network of Ahlswede et al. [1], where coding at the
+  bottleneck achieves multicast rate 2 while routing cannot;
+* random peer-to-peer overlays (each peer with a bounded out-degree),
+  the Avalanche-style setting of Gkantsidis & Rodriguez [3];
+* simple lines and stars for tests.
+
+Graphs are ``networkx.DiGraph`` objects whose edges carry a ``capacity``
+attribute: coded blocks transferable per simulation round.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Node names used by the classic butterfly construction.
+BUTTERFLY_SOURCE = "s"
+BUTTERFLY_SINKS = ("t1", "t2")
+
+
+def butterfly(capacity: int = 1) -> nx.DiGraph:
+    """The classic two-sink butterfly network.
+
+    Every edge has the same capacity; the s->a->c and s->b->c paths feed
+    the shared bottleneck c->d, whose output fans out to both sinks.
+    With network coding both sinks receive at rate ``2 * capacity``; with
+    routing the bottleneck forces one sink down to ``capacity``.
+    """
+    graph = nx.DiGraph()
+    edges = [
+        ("s", "a"), ("s", "b"),
+        ("a", "t1"), ("b", "t2"),
+        ("a", "c"), ("b", "c"),
+        ("c", "d"),
+        ("d", "t1"), ("d", "t2"),
+    ]
+    graph.add_edges_from(edges, capacity=capacity)
+    return graph
+
+
+def line(length: int, capacity: int = 1) -> nx.DiGraph:
+    """A relay chain: node 0 -> 1 -> ... -> length."""
+    if length < 1:
+        raise ConfigurationError("line needs at least one edge")
+    graph = nx.DiGraph()
+    for i in range(length):
+        graph.add_edge(i, i + 1, capacity=capacity)
+    return graph
+
+
+def star(leaves: int, capacity: int = 1) -> nx.DiGraph:
+    """One server fanning out to ``leaves`` clients (a streaming server)."""
+    if leaves < 1:
+        raise ConfigurationError("star needs at least one leaf")
+    graph = nx.DiGraph()
+    for leaf in range(leaves):
+        graph.add_edge("server", f"client{leaf}", capacity=capacity)
+    return graph
+
+
+def random_overlay(
+    peers: int,
+    out_degree: int,
+    rng: np.random.Generator,
+    *,
+    capacity: int = 1,
+    source: str = "source",
+) -> nx.DiGraph:
+    """A random P2P overlay: a source plus ``peers`` interconnected nodes.
+
+    The source uploads to ``out_degree`` random peers; every peer picks
+    ``out_degree`` distinct random neighbours (Avalanche-style mesh).
+    The construction guarantees reachability by threading a random
+    Hamiltonian-ish backbone through all peers first.
+    """
+    if peers < 2:
+        raise ConfigurationError("overlay needs at least two peers")
+    if out_degree < 1 or out_degree >= peers:
+        raise ConfigurationError("out_degree must be in [1, peers)")
+    graph = nx.DiGraph()
+    order = rng.permutation(peers)
+    # Backbone guarantees every peer is reachable from the source.
+    graph.add_edge(source, int(order[0]), capacity=capacity)
+    for a, b in zip(order[:-1], order[1:]):
+        graph.add_edge(int(a), int(b), capacity=capacity)
+    # Random mesh edges on top.
+    for peer in range(peers):
+        choices = [p for p in range(peers) if p != peer]
+        neighbours = rng.choice(choices, size=out_degree, replace=False)
+        for neighbour in neighbours:
+            graph.add_edge(peer, int(neighbour), capacity=capacity)
+    for target in rng.choice(peers, size=out_degree, replace=False):
+        graph.add_edge(source, int(target), capacity=capacity)
+    return graph
+
+
+def min_cut_to(graph: nx.DiGraph, source, sink) -> int:
+    """Max-flow min-cut from source to sink in blocks/round.
+
+    This is the multicast bound of [1]: with network coding every sink
+    can simultaneously receive at the minimum of these values.
+    """
+    return nx.maximum_flow_value(graph, source, sink, capacity="capacity")
+
+
+def multicast_capacity(graph: nx.DiGraph, source, sinks) -> int:
+    """The coding-achievable multicast rate: min over sinks of min-cut."""
+    return min(min_cut_to(graph, source, sink) for sink in sinks)

@@ -1,0 +1,153 @@
+"""Data containers for random linear network coding.
+
+The paper's unit of coding is a *segment*: a piece of content divided into
+``n`` source blocks of ``k`` bytes each (Sec. 3).  Coded blocks carry a
+coefficient vector of ``n`` bytes in GF(2^8) alongside their ``k``-byte
+payload, so any node can decode — or recode — without knowing how the
+block was produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CodingParams:
+    """The (n, k) geometry of one coding configuration.
+
+    Attributes:
+        num_blocks: n, the number of source blocks per segment (the paper
+            sweeps 128, 256, 512 and 1024).
+        block_size: k, bytes per block (the paper sweeps 128 B to 32 KB).
+    """
+
+    num_blocks: int
+    block_size: int
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1:
+            raise ConfigurationError(f"num_blocks must be >= 1, got {self.num_blocks}")
+        if self.block_size < 1:
+            raise ConfigurationError(f"block_size must be >= 1, got {self.block_size}")
+
+    @property
+    def segment_bytes(self) -> int:
+        """Total payload bytes in one segment (n * k)."""
+        return self.num_blocks * self.block_size
+
+    @property
+    def coded_block_bytes(self) -> int:
+        """Wire size of one coded block: payload plus coefficient vector."""
+        return self.block_size + self.num_blocks
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Coefficient overhead per coded block (n / k, discussed in Sec. 4.3)."""
+        return self.num_blocks / self.block_size
+
+
+@dataclass(frozen=True)
+class CodedBlock:
+    """One coded block: payload plus its GF(2^8) coefficient vector.
+
+    ``coefficients[i]`` is the multiplier applied to source block ``i``;
+    together they describe the linear combination this payload encodes
+    (paper Eq. 1).
+    """
+
+    coefficients: np.ndarray
+    payload: np.ndarray
+    segment_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.coefficients.dtype != np.uint8 or self.payload.dtype != np.uint8:
+            raise ConfigurationError("coded blocks must hold uint8 arrays")
+        if self.coefficients.ndim != 1 or self.payload.ndim != 1:
+            raise ConfigurationError("coefficients and payload must be 1-D")
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.coefficients.shape[0])
+
+    @property
+    def block_size(self) -> int:
+        return int(self.payload.shape[0])
+
+    def wire_size(self) -> int:
+        """Bytes this block occupies on the wire (payload + coefficients)."""
+        return self.block_size + self.num_blocks
+
+
+@dataclass
+class Segment:
+    """A segment of source content: an (n, k) matrix of source blocks.
+
+    Attributes:
+        blocks: the (n, k) uint8 source-block matrix b of paper Eq. (1).
+        segment_id: identifier used by multi-segment decoding and the
+            streaming server's segment store.
+        original_length: byte length of the pre-padding payload, so
+            :meth:`to_bytes` can strip the zero padding added by
+            :meth:`from_bytes`.
+    """
+
+    blocks: np.ndarray
+    segment_id: int = 0
+    original_length: int | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.blocks.dtype != np.uint8 or self.blocks.ndim != 2:
+            raise ConfigurationError("segment blocks must be a 2-D uint8 matrix")
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, params: CodingParams, segment_id: int = 0
+    ) -> "Segment":
+        """Split ``data`` into n blocks of k bytes, zero-padding the tail.
+
+        Raises:
+            ConfigurationError: if ``data`` is larger than one segment.
+        """
+        if len(data) > params.segment_bytes:
+            raise ConfigurationError(
+                f"{len(data)} bytes exceed segment capacity {params.segment_bytes}"
+            )
+        flat = np.zeros(params.segment_bytes, dtype=np.uint8)
+        flat[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+        blocks = flat.reshape(params.num_blocks, params.block_size)
+        return cls(blocks=blocks, segment_id=segment_id, original_length=len(data))
+
+    @classmethod
+    def random(
+        cls,
+        params: CodingParams,
+        rng: np.random.Generator,
+        segment_id: int = 0,
+    ) -> "Segment":
+        """Return a segment of uniformly random content (benchmark workload)."""
+        blocks = rng.integers(
+            0, 256, size=(params.num_blocks, params.block_size), dtype=np.uint8
+        )
+        return cls(
+            blocks=blocks,
+            segment_id=segment_id,
+            original_length=params.segment_bytes,
+        )
+
+    @property
+    def params(self) -> CodingParams:
+        return CodingParams(
+            num_blocks=self.blocks.shape[0], block_size=self.blocks.shape[1]
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize back to the original byte string (padding stripped)."""
+        flat = self.blocks.reshape(-1).tobytes()
+        if self.original_length is None:
+            return flat
+        return flat[: self.original_length]

@@ -1,0 +1,230 @@
+"""Decoders for random linear network coding.
+
+Two decoders mirror the two decoding dataflows in the paper:
+
+* :class:`ProgressiveDecoder` — Gauss–Jordan elimination applied
+  incrementally as each coded block arrives (Sec. 3).  The working matrix
+  is kept in reduced row-echelon form at all times, so a linearly
+  dependent block reduces to an all-zero row and is discarded without any
+  explicit dependence check, and completion leaves the decoded blocks in
+  place with no back-substitution.
+* :class:`TwoStageDecoder` — the multi-segment scheme of Sec. 5.2: buffer
+  n blocks, invert the coefficient matrix by eliminating ``[C | I]``
+  (stage 1), then recover ``b = C^-1 x`` with a dense parallel multiply
+  (stage 2).  On the GPU this trades a small serial stage for a fully
+  parallel one; functionally the result is identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DecodingError
+from repro.gf256 import matmul, inverse
+from repro.gf256.tables import INV, MUL_TABLE
+from repro.rlnc.block import CodedBlock, CodingParams, Segment
+
+
+class ProgressiveDecoder:
+    """Progressive Gauss–Jordan decoder for one segment.
+
+    The internal state is the aggregate matrix ``[C | x]`` restricted to
+    the innovative rows received so far, maintained in RREF.  ``rank``
+    grows by one per innovative block; once it reaches n the coefficient
+    side is the identity and the payload side holds the source blocks.
+    """
+
+    def __init__(self, params: CodingParams, segment_id: int = 0) -> None:
+        n, k = params.num_blocks, params.block_size
+        self._params = params
+        self._segment_id = segment_id
+        # Row storage: rows[i] is the RREF row whose pivot column is
+        # _pivot_of_row[i]; aggregate width n + k.
+        self._rows = np.zeros((n, n + k), dtype=np.uint8)
+        self._pivot_to_row: dict[int, int] = {}
+        self._received = 0
+        self._discarded = 0
+
+    @property
+    def params(self) -> CodingParams:
+        return self._params
+
+    @property
+    def rank(self) -> int:
+        """Number of innovative blocks absorbed so far."""
+        return len(self._pivot_to_row)
+
+    @property
+    def received(self) -> int:
+        """Total blocks offered to the decoder."""
+        return self._received
+
+    @property
+    def discarded(self) -> int:
+        """Blocks that reduced to zero (linearly dependent) and were dropped."""
+        return self._discarded
+
+    @property
+    def is_complete(self) -> bool:
+        return self.rank == self._params.num_blocks
+
+    def consume(self, block: CodedBlock) -> bool:
+        """Absorb one coded block; return True if it was innovative.
+
+        Raises:
+            DecodingError: if the block's geometry does not match, or the
+                decoder is already complete.
+        """
+        n, k = self._params.num_blocks, self._params.block_size
+        if block.num_blocks != n or block.block_size != k:
+            raise DecodingError(
+                f"block geometry ({block.num_blocks}, {block.block_size}) does not "
+                f"match decoder ({n}, {k})"
+            )
+        if self.is_complete:
+            raise DecodingError("decoder already holds a full-rank system")
+        self._received += 1
+
+        incoming = np.empty(n + k, dtype=np.uint8)
+        incoming[:n] = block.coefficients
+        incoming[n:] = block.payload
+
+        # Forward-reduce against every existing pivot the block touches.
+        for pivot_col, row_index in self._pivot_to_row.items():
+            factor = incoming[pivot_col]
+            if factor:
+                incoming ^= MUL_TABLE[factor][self._rows[row_index]]
+
+        support = np.nonzero(incoming[:n])[0]
+        if support.size == 0:
+            # Reduced to a zero coefficient row: linearly dependent
+            # (exactly the paper's implicit dependence check).
+            self._discarded += 1
+            return False
+        pivot_col = int(support[0])
+
+        lead = int(incoming[pivot_col])
+        if lead != 1:
+            incoming = MUL_TABLE[INV[lead]][incoming]
+
+        # Back-eliminate the new pivot column from all stored rows so the
+        # matrix stays fully reduced.
+        for row_index in self._pivot_to_row.values():
+            factor = self._rows[row_index][pivot_col]
+            if factor:
+                self._rows[row_index] ^= MUL_TABLE[factor][incoming]
+
+        row_index = self.rank
+        self._rows[row_index] = incoming
+        self._pivot_to_row[pivot_col] = row_index
+        return True
+
+    def missing_pivots(self) -> list[int]:
+        """Source-block indices not yet resolvable (no pivot held)."""
+        n = self._params.num_blocks
+        return [col for col in range(n) if col not in self._pivot_to_row]
+
+    def recover_segment(self, original_length: int | None = None) -> Segment:
+        """Return the decoded segment.
+
+        Args:
+            original_length: pre-padding content length, when known from
+                out-of-band metadata, so ``to_bytes`` strips the padding.
+
+        Raises:
+            DecodingError: if the decoder is not yet complete.
+        """
+        if not self.is_complete:
+            raise DecodingError(
+                f"cannot recover segment at rank {self.rank} < "
+                f"{self._params.num_blocks}"
+            )
+        n, k = self._params.num_blocks, self._params.block_size
+        blocks = np.empty((n, k), dtype=np.uint8)
+        for pivot_col, row_index in self._pivot_to_row.items():
+            blocks[pivot_col] = self._rows[row_index][n:]
+        return Segment(
+            blocks=blocks,
+            segment_id=self._segment_id,
+            original_length=original_length,
+        )
+
+
+class TwoStageDecoder:
+    """Buffer-then-invert decoder (the multi-segment scheme of Sec. 5.2).
+
+    Blocks are buffered until n have been collected; :meth:`decode` then
+    inverts the coefficient matrix (stage 1) and multiplies ``C^-1 x``
+    (stage 2).  A singular buffered matrix raises, after which the caller
+    may drop blocks with :meth:`reset` or keep adding (the decoder retains
+    at most n + ``slack`` blocks and retries with the freshest set).
+    """
+
+    def __init__(
+        self, params: CodingParams, segment_id: int = 0, *, slack: int = 8
+    ) -> None:
+        self._params = params
+        self._segment_id = segment_id
+        self._slack = slack
+        n, k = params.num_blocks, params.block_size
+        self._coefficients = np.zeros((n + slack, n), dtype=np.uint8)
+        self._payloads = np.zeros((n + slack, k), dtype=np.uint8)
+        self._count = 0
+
+    @property
+    def buffered(self) -> int:
+        return self._count
+
+    @property
+    def has_enough(self) -> bool:
+        return self._count >= self._params.num_blocks
+
+    def add(self, block: CodedBlock) -> None:
+        """Buffer one coded block (no elimination work happens here)."""
+        n, k = self._params.num_blocks, self._params.block_size
+        if block.num_blocks != n or block.block_size != k:
+            raise DecodingError("block geometry does not match decoder")
+        if self._count == self._coefficients.shape[0]:
+            raise DecodingError(
+                f"buffer full ({self._count} blocks); decode or reset first"
+            )
+        self._coefficients[self._count] = block.coefficients
+        self._payloads[self._count] = block.payload
+        self._count += 1
+
+    def add_batch(self, coefficients: np.ndarray, payloads: np.ndarray) -> None:
+        """Buffer a batch given as matrices (the GPU-side data layout)."""
+        rows = coefficients.shape[0]
+        if rows != payloads.shape[0]:
+            raise DecodingError("coefficient/payload row counts differ")
+        if self._count + rows > self._coefficients.shape[0]:
+            raise DecodingError("batch exceeds decoder buffer")
+        self._coefficients[self._count : self._count + rows] = coefficients
+        self._payloads[self._count : self._count + rows] = payloads
+        self._count += rows
+
+    def reset(self) -> None:
+        """Discard all buffered blocks."""
+        self._count = 0
+
+    def decode(self, original_length: int | None = None) -> Segment:
+        """Run both stages and return the decoded segment.
+
+        Raises:
+            DecodingError: if fewer than n blocks are buffered.
+            SingularMatrixError: if the first n buffered rows are not full
+                rank (propagated from the inversion; callers typically add
+                one more block and retry).
+        """
+        n = self._params.num_blocks
+        if self._count < n:
+            raise DecodingError(
+                f"need {n} blocks to decode, have {self._count}"
+            )
+        c_inverse = inverse(self._coefficients[:n])  # stage 1
+        blocks = matmul(c_inverse, self._payloads[:n])  # stage 2
+        return Segment(
+            blocks=blocks,
+            segment_id=self._segment_id,
+            original_length=original_length,
+        )

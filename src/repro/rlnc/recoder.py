@@ -1,0 +1,66 @@
+"""Recoding at intermediate nodes.
+
+The defining capability of network coding (Sec. 1): an intermediate node
+that has received some coded blocks — possibly fewer than n, possibly not
+yet decodable — can emit *new* coded blocks that are random linear
+combinations of what it holds.  The emitted block's coefficient vector is
+the same combination applied to the held blocks' coefficient vectors, so
+downstream decoders treat recoded blocks exactly like source-encoded ones.
+This is the property that lets random linear codes "be recoded without
+affecting the guarantee to decode", which fountain/chunked codes lack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DecodingError
+from repro.gf256 import matmul
+from repro.rlnc.block import CodedBlock, CodingParams
+
+
+class Recoder:
+    """Buffers received coded blocks and emits recoded combinations."""
+
+    def __init__(self, params: CodingParams, segment_id: int = 0) -> None:
+        self._params = params
+        self._segment_id = segment_id
+        self._coefficients: list[np.ndarray] = []
+        self._payloads: list[np.ndarray] = []
+
+    @property
+    def buffered(self) -> int:
+        """Number of coded blocks held."""
+        return len(self._payloads)
+
+    def add(self, block: CodedBlock) -> None:
+        """Buffer a received coded block for future recombination."""
+        n, k = self._params.num_blocks, self._params.block_size
+        if block.num_blocks != n or block.block_size != k:
+            raise DecodingError("block geometry does not match recoder")
+        self._coefficients.append(block.coefficients.copy())
+        self._payloads.append(block.payload.copy())
+
+    def recode(self, rng: np.random.Generator) -> CodedBlock:
+        """Emit one recoded block combining everything buffered.
+
+        Raises:
+            DecodingError: if no blocks are buffered yet.
+        """
+        if not self._payloads:
+            raise DecodingError("cannot recode with an empty buffer")
+        held = len(self._payloads)
+        mix = rng.integers(1, 256, size=(1, held), dtype=np.uint8)
+        coefficient_matrix = np.stack(self._coefficients)
+        payload_matrix = np.stack(self._payloads)
+        new_coefficients = matmul(mix, coefficient_matrix)[0]
+        new_payload = matmul(mix, payload_matrix)[0]
+        return CodedBlock(
+            coefficients=new_coefficients,
+            payload=new_payload,
+            segment_id=self._segment_id,
+        )
+
+    def recode_batch(self, count: int, rng: np.random.Generator) -> list[CodedBlock]:
+        """Emit ``count`` independently-mixed recoded blocks."""
+        return [self.recode(rng) for _ in range(count)]

@@ -1,0 +1,99 @@
+"""Capacity planning for a network-coded streaming server.
+
+Reproduces the paper's server arithmetic (Secs. 5.1.2, 5.1.3 and 6):
+
+* how many peers a given coding bandwidth sustains at a media bitrate
+  (133 MB/s -> 1385 peers at 768 Kbps; 294 MB/s -> more than 3000);
+* how many coded blocks a live session must generate per segment
+  ("at least 177,333 coded blocks" for the 1385-peer case);
+* how many segments fit in device memory (the GTX 280's 1 GB "easily
+  accommodates hundreds");
+* whether the NIC or the codec is the bottleneck.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CapacityError
+from repro.gpu.spec import DeviceSpec
+from repro.streaming.nic import NicModel
+from repro.streaming.session import MediaProfile
+
+#: Device memory reserved for tables, staging buffers and the runtime
+#: rather than the segment store.
+DEVICE_MEMORY_RESERVE_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """The planner's verdict for one server configuration."""
+
+    coding_peers: int
+    nic_peers: int
+    blocks_per_segment_live: int
+    segments_in_memory: int
+    bottleneck: str
+
+    @property
+    def peers(self) -> int:
+        """Peers actually serveable: the tighter of codec and NIC."""
+        return min(self.coding_peers, self.nic_peers)
+
+
+def peers_supported_by_coding(
+    coding_bytes_per_second: float, profile: MediaProfile
+) -> int:
+    """Peers a coding pipeline sustains, ignoring the network."""
+    return int(coding_bytes_per_second / profile.stream_bytes_per_second)
+
+
+def peers_supported_by_nic(nic: NicModel, profile: MediaProfile) -> int:
+    """Peers the network interfaces sustain, ignoring the codec.
+
+    Each delivered block carries its coefficient vector, so the wire rate
+    per peer exceeds the media rate by n/k.
+    """
+    per_peer = profile.stream_bytes_per_second * (
+        1 + profile.params.overhead_ratio
+    )
+    return int(nic.payload_bytes_per_second / per_peer)
+
+
+def live_blocks_per_segment(peers: int, profile: MediaProfile) -> int:
+    """Coded blocks a live stream generates per segment for ``peers``.
+
+    Every peer needs n blocks of every segment (Sec. 5.1.2's
+    "at least 177,333 coded blocks from every video segment").
+    """
+    return peers * profile.params.num_blocks
+
+
+def segments_in_device_memory(spec: DeviceSpec, profile: MediaProfile) -> int:
+    """Segments storable on the GPU after the runtime reserve."""
+    usable = spec.memory_bytes - DEVICE_MEMORY_RESERVE_BYTES
+    if usable <= 0:
+        raise CapacityError(
+            f"{spec.name} has no memory left after the runtime reserve"
+        )
+    return usable // profile.params.segment_bytes
+
+
+def plan_capacity(
+    spec: DeviceSpec,
+    coding_bytes_per_second: float,
+    profile: MediaProfile,
+    nic: NicModel,
+) -> CapacityPlan:
+    """Produce the full capacity plan for one server configuration."""
+    coding_peers = peers_supported_by_coding(coding_bytes_per_second, profile)
+    nic_peers = peers_supported_by_nic(nic, profile)
+    peers = min(coding_peers, nic_peers)
+    return CapacityPlan(
+        coding_peers=coding_peers,
+        nic_peers=nic_peers,
+        blocks_per_segment_live=live_blocks_per_segment(peers, profile),
+        segments_in_memory=segments_in_device_memory(spec, profile),
+        bottleneck="nic" if nic_peers < coding_peers else "coding",
+    )

@@ -1,0 +1,118 @@
+"""Streaming-client playback model: startup delay and rebuffering.
+
+Closes the paper's loop from coding bandwidth to user experience: a
+client downloads coded blocks at the network rate, decodes segments at
+its device's modelled decode bandwidth, and plays them back at the media
+rate.  A segment becomes playable only after (a) n blocks have arrived
+and (b) the decode has finished — so a device whose decoder is too slow
+(e.g. single-segment GPU decoding at small block sizes, the Sec. 4.3
+pathology) rebuffers even on a fast network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.streaming.session import MediaProfile
+
+
+@dataclass
+class PlaybackReport:
+    """Timeline of one playback session."""
+
+    startup_delay_s: float
+    rebuffer_events: int
+    rebuffer_seconds: float
+    segment_ready_times: list[float] = field(default_factory=list)
+
+    @property
+    def smooth(self) -> bool:
+        return self.rebuffer_events == 0
+
+
+class StreamingClient:
+    """Models download -> decode -> play for a sequence of segments.
+
+    Args:
+        profile: media/coding configuration.
+        download_bytes_per_second: network goodput for coded payloads
+            (coefficient overhead is charged on top).
+        decode_bytes_per_second: the device's decode bandwidth, from the
+            GPU/CPU decode models.
+        startup_segments: segments buffered before playback starts.
+    """
+
+    def __init__(
+        self,
+        profile: MediaProfile,
+        *,
+        download_bytes_per_second: float,
+        decode_bytes_per_second: float,
+        startup_segments: int = 1,
+    ) -> None:
+        if download_bytes_per_second <= 0 or decode_bytes_per_second <= 0:
+            raise ConfigurationError("rates must be positive")
+        if startup_segments < 1:
+            raise ConfigurationError("must buffer at least one segment")
+        self.profile = profile
+        self.download_rate = download_bytes_per_second
+        self.decode_rate = decode_bytes_per_second
+        self.startup_segments = startup_segments
+
+    def segment_download_seconds(self) -> float:
+        """Time to receive n coded blocks of one segment (wire bytes)."""
+        params = self.profile.params
+        wire_bytes = params.num_blocks * params.coded_block_bytes
+        return wire_bytes / self.download_rate
+
+    def segment_decode_seconds(self) -> float:
+        """Time to decode one downloaded segment."""
+        return self.profile.params.segment_bytes / self.decode_rate
+
+    def play(self, num_segments: int) -> PlaybackReport:
+        """Simulate playing ``num_segments`` consecutive segments.
+
+        Download and decode pipeline: segment i+1 downloads while
+        segment i decodes; playback consumes one segment per
+        ``segment_duration_seconds``.
+        """
+        if num_segments < 1:
+            raise ConfigurationError("need at least one segment")
+        download = self.segment_download_seconds()
+        decode = self.segment_decode_seconds()
+        duration = self.profile.segment_duration_seconds
+
+        ready: list[float] = []
+        download_done = 0.0
+        decode_free = 0.0
+        for _ in range(num_segments):
+            download_done += download
+            decode_start = max(download_done, decode_free)
+            decode_free = decode_start + decode
+            ready.append(decode_free)
+
+        startup = ready[self.startup_segments - 1]
+        rebuffer_events = 0
+        rebuffer_seconds = 0.0
+        play_clock = startup
+        for index in range(num_segments):
+            if ready[index] > play_clock:
+                rebuffer_events += 1
+                rebuffer_seconds += ready[index] - play_clock
+                play_clock = ready[index]
+            play_clock += duration
+        return PlaybackReport(
+            startup_delay_s=startup,
+            rebuffer_events=rebuffer_events,
+            rebuffer_seconds=rebuffer_seconds,
+            segment_ready_times=ready,
+        )
+
+    def sustainable(self) -> bool:
+        """True when the pipeline keeps up with real-time playback."""
+        duration = self.profile.segment_duration_seconds
+        return (
+            self.segment_download_seconds() <= duration
+            and self.segment_decode_seconds() <= duration
+        )

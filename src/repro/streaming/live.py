@@ -1,0 +1,138 @@
+"""Live-streaming window management.
+
+A live session (the paper's "high-performance live ... streaming
+servers", Sec. 5.1.2) differs from VoD: segments are produced on a
+clock, only a sliding window around the live edge stays on the device
+(older content is evicted from the 1 GB segment store), and late-joining
+peers start at the window's trailing edge rather than segment zero.
+:class:`LiveWindow` implements exactly that policy over a
+:class:`~repro.streaming.server.StreamingServer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.rlnc.block import Segment
+from repro.streaming.server import StreamingServer
+
+
+@dataclass(frozen=True)
+class LiveJoinPoint:
+    """Where a late joiner starts watching."""
+
+    segment_id: int
+    behind_live_s: float
+
+
+class LiveWindow:
+    """Sliding segment window over a streaming server.
+
+    Args:
+        server: the GPU-backed streaming server holding the segments.
+        window_segments: how many recent segments stay device-resident
+            (also the maximum DVR depth a joiner can reach back).
+        rng: randomness for the synthetic live feed in :meth:`produce`.
+    """
+
+    def __init__(
+        self,
+        server: StreamingServer,
+        *,
+        window_segments: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if window_segments < 1:
+            raise ConfigurationError("window must hold at least one segment")
+        if window_segments > server.segment_capacity:
+            raise CapacityError(
+                f"window of {window_segments} exceeds the device store "
+                f"({server.segment_capacity} segments)"
+            )
+        self.server = server
+        self.window_segments = window_segments
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._next_segment_id = 0
+
+    @property
+    def live_edge(self) -> int | None:
+        """Most recent published segment id (None before first produce)."""
+        if self._next_segment_id == 0:
+            return None
+        return self._next_segment_id - 1
+
+    @property
+    def trailing_edge(self) -> int:
+        """Oldest segment still resident."""
+        return max(0, self._next_segment_id - self.window_segments)
+
+    @property
+    def resident_segments(self) -> int:
+        if self._next_segment_id == 0:
+            return 0
+        return self._next_segment_id - self.trailing_edge
+
+    def publish(self, segment: Segment) -> int:
+        """Publish the next live segment, evicting past the window.
+
+        The segment's id is assigned by the window (live feeds are
+        strictly sequential); the passed segment's id is overwritten.
+
+        Returns:
+            The assigned segment id.
+        """
+        segment_id = self._next_segment_id
+        segment.segment_id = segment_id
+        self.server.publish_segment(segment)
+        self._next_segment_id += 1
+        stale = segment_id - self.window_segments
+        if stale >= 0:
+            self.server.evict_segment(stale)
+        return segment_id
+
+    def produce(self) -> int:
+        """Publish one synthetic live segment (test/demo feed)."""
+        segment = Segment.random(self.server.profile.params, self._rng)
+        return self.publish(segment)
+
+    def join(self, peer_id: int, *, dvr_segments: int = 0) -> LiveJoinPoint:
+        """Admit a (possibly late) peer.
+
+        Args:
+            peer_id: the joining peer.
+            dvr_segments: how far behind live the peer wants to start
+                (clamped to the resident window).
+
+        Raises:
+            ConfigurationError: before any segment exists.
+        """
+        live = self.live_edge
+        if live is None:
+            raise ConfigurationError("cannot join before the first segment")
+        start = max(self.trailing_edge, live - dvr_segments)
+        session = self.server.connect(peer_id)
+        session.next_segment = start
+        duration = self.server.profile.segment_duration_seconds
+        return LiveJoinPoint(
+            segment_id=start,
+            behind_live_s=(live - start) * duration,
+        )
+
+    def serve_window_position(self, peer_id: int, num_blocks: int):
+        """Serve a peer the next segment of its session position.
+
+        Raises:
+            CapacityError: if the peer has fallen out of the window (its
+                next segment was evicted) — the caller should re-join.
+        """
+        session = self.server.connect(peer_id)
+        target = session.next_segment
+        if target < self.trailing_edge:
+            raise CapacityError(
+                f"peer {peer_id} fell behind the window (needs segment "
+                f"{target}, oldest resident is {self.trailing_edge})"
+            )
+        return self.server.serve(peer_id, target, num_blocks)

@@ -1,0 +1,55 @@
+"""Network interface model for the streaming server.
+
+The paper argues coding bandwidth, not the network, becomes the limiting
+resource: 133 MB/s of coded output already saturates one Gigabit
+Ethernet interface, and the final 294 MB/s "can easily saturate two"
+(Sec. 6).  This model captures exactly that arithmetic: link rate, a
+payload efficiency factor for framing overhead, and bonding of several
+interfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NicModel:
+    """One or more bonded network interfaces.
+
+    Attributes:
+        link_bps: line rate of a single interface in bits/second.
+        count: number of bonded interfaces.
+        payload_efficiency: fraction of the line rate available to
+            payload after Ethernet/IP/TCP framing (~94% for 1500-byte
+            frames).
+    """
+
+    link_bps: float = 1e9
+    count: int = 1
+    payload_efficiency: float = 0.94
+
+    def __post_init__(self) -> None:
+        if self.link_bps <= 0 or self.count < 1:
+            raise ConfigurationError("NIC needs a positive rate and count")
+        if not 0 < self.payload_efficiency <= 1:
+            raise ConfigurationError("payload efficiency must be in (0, 1]")
+
+    @property
+    def payload_bytes_per_second(self) -> float:
+        """Aggregate payload bandwidth in bytes/second."""
+        return self.link_bps * self.count * self.payload_efficiency / 8
+
+    def interfaces_saturated_by(self, coding_bytes_per_second: float) -> float:
+        """How many such interfaces the given coding rate could fill."""
+        per_interface = self.link_bps * self.payload_efficiency / 8
+        return coding_bytes_per_second / per_interface
+
+
+#: Single Gigabit Ethernet port (the paper's reference interface).
+GIGABIT_ETHERNET = NicModel(link_bps=1e9, count=1)
+
+#: The dual-GigE configuration of the concluding remarks.
+DUAL_GIGABIT_ETHERNET = NicModel(link_bps=1e9, count=2)

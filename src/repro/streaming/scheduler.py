@@ -1,0 +1,122 @@
+"""Segment request scheduling for streaming clients.
+
+A VoD client must decide which segment to fetch next so that every
+segment's coded blocks arrive (and decode) before its playback deadline.
+This module implements the standard earliest-deadline-first policy with
+a bounded lookahead window — enough machinery for the examples and the
+pipeline tests, and the natural place where the paper's "peer might
+receive multiple video segments at the same time" multi-segment regime
+(Sec. 5.2) arises: the scheduler keeps several segments in flight
+whenever bandwidth allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.streaming.session import MediaProfile
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One segment-fetch decision."""
+
+    segment_index: int
+    deadline_s: float
+    slack_s: float
+
+    @property
+    def at_risk(self) -> bool:
+        """True when the fetch is not expected to finish in time."""
+        return self.slack_s < 0
+
+
+class SegmentScheduler:
+    """Earliest-deadline-first segment scheduling with a lookahead window.
+
+    Args:
+        profile: media/coding configuration (sets segment duration).
+        total_segments: length of the content.
+        lookahead: how many segments beyond the playhead may be in
+            flight simultaneously (>= 2 enables the multi-segment decode
+            regime).
+    """
+
+    def __init__(
+        self,
+        profile: MediaProfile,
+        total_segments: int,
+        *,
+        lookahead: int = 4,
+    ) -> None:
+        if total_segments < 1:
+            raise ConfigurationError("content needs at least one segment")
+        if lookahead < 1:
+            raise ConfigurationError("lookahead must be >= 1")
+        self.profile = profile
+        self.total_segments = total_segments
+        self.lookahead = lookahead
+
+    def playhead_segment(self, media_position_s: float) -> int:
+        """Segment index currently playing at a media position."""
+        duration = self.profile.segment_duration_seconds
+        return min(self.total_segments - 1, int(media_position_s / duration))
+
+    def deadline(self, segment_index: int, playback_start_s: float) -> float:
+        """Wall-clock time by which a segment must be decoded."""
+        if not 0 <= segment_index < self.total_segments:
+            raise ConfigurationError(
+                f"segment {segment_index} outside [0, {self.total_segments})"
+            )
+        duration = self.profile.segment_duration_seconds
+        return playback_start_s + segment_index * duration
+
+    def next_request(
+        self,
+        *,
+        now_s: float,
+        playback_start_s: float,
+        media_position_s: float,
+        completed: set[int],
+        in_flight: set[int],
+        expected_fetch_s: float,
+    ) -> ScheduledRequest | None:
+        """Pick the next segment to request, or None if nothing to do.
+
+        EDF over the window [playhead, playhead + lookahead), skipping
+        segments already decoded or in flight.  ``expected_fetch_s`` is
+        the client's estimate of download + decode time, used to compute
+        the request's slack.
+        """
+        playhead = self.playhead_segment(media_position_s)
+        window_end = min(self.total_segments, playhead + self.lookahead)
+        for index in range(playhead, window_end):
+            if index in completed or index in in_flight:
+                continue
+            deadline = self.deadline(index, playback_start_s)
+            return ScheduledRequest(
+                segment_index=index,
+                deadline_s=deadline,
+                slack_s=deadline - now_s - expected_fetch_s,
+            )
+        return None
+
+    def concurrent_fetch_budget(
+        self, download_bytes_per_second: float
+    ) -> int:
+        """How many segments can stream concurrently at a download rate.
+
+        Each in-flight segment must sustain the media rate; the surplus
+        over one stream is the budget for prefetching further segments —
+        the quantity that decides whether the receiver operates in the
+        paper's multi-segment decoding regime.
+        """
+        per_segment = self.profile.stream_bytes_per_second * (
+            1 + self.profile.params.overhead_ratio
+        )
+        if download_bytes_per_second < per_segment:
+            return 0
+        return min(
+            self.lookahead, int(download_bytes_per_second / per_segment)
+        )

@@ -1,0 +1,144 @@
+"""A functional network-coded streaming server on the simulated GPU.
+
+Implements the Sec. 5.1.2 deployment: media segments are uploaded to
+device memory (and preprocessed into the log domain once), then coded
+blocks are generated on demand for downstream peers.  The server enforces
+the device's segment-store capacity, tracks per-peer sessions, and
+accounts the modelled GPU time spent encoding so tests and examples can
+observe when the codec saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.gpu.spec import DeviceSpec
+from repro.kernels.cost_model import EncodeScheme
+from repro.kernels.encode import GpuEncoder
+from repro.rlnc.block import CodedBlock, Segment
+from repro.streaming.capacity import segments_in_device_memory
+from repro.streaming.session import MediaProfile, PeerSession
+
+
+@dataclass
+class ServerStats:
+    """Aggregate accounting for one server lifetime."""
+
+    segments_stored: int = 0
+    blocks_served: int = 0
+    bytes_served: int = 0
+    gpu_seconds: float = 0.0
+    upload_seconds: float = 0.0
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Served coded bytes per modelled GPU second."""
+        if self.gpu_seconds == 0:
+            return 0.0
+        return self.bytes_served / self.gpu_seconds
+
+
+class StreamingServer:
+    """Serves network-coded media segments to downstream peers.
+
+    Args:
+        spec: GPU the server runs on.
+        profile: media/coding configuration.
+        scheme: encoding kernel (TABLE_5 by default — the paper's best).
+        rng: randomness source for coding coefficients.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        profile: MediaProfile,
+        *,
+        scheme: EncodeScheme = EncodeScheme.TABLE_5,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.spec = spec
+        self.profile = profile
+        self._encoder = GpuEncoder(spec, scheme)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._segments: dict[int, Segment] = {}
+        self._sessions: dict[int, PeerSession] = {}
+        self._capacity = segments_in_device_memory(spec, profile)
+        self.stats = ServerStats()
+
+    @property
+    def stored_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def segment_capacity(self) -> int:
+        return self._capacity
+
+    def publish_segment(self, segment: Segment) -> None:
+        """Upload one media segment to the device-resident store.
+
+        Runs the one-time log-domain preprocessing so later requests only
+        pay the Fig. 5 fast path.
+
+        Raises:
+            ConfigurationError: on geometry mismatch.
+            CapacityError: if the device segment store is full.
+        """
+        if segment.params != self.profile.params:
+            raise ConfigurationError(
+                f"segment geometry {segment.params} does not match profile "
+                f"{self.profile.params}"
+            )
+        if segment.segment_id not in self._segments and (
+            len(self._segments) >= self._capacity
+        ):
+            raise CapacityError(
+                f"device segment store full ({self._capacity} segments)"
+            )
+        self._segments[segment.segment_id] = segment
+        self.stats.upload_seconds += self._encoder.upload_segment(segment)
+        self.stats.segments_stored = len(self._segments)
+
+    def evict_segment(self, segment_id: int) -> None:
+        """Drop a segment from the device store (e.g. past the live edge)."""
+        self._segments.pop(segment_id, None)
+        self.stats.segments_stored = len(self._segments)
+
+    def connect(self, peer_id: int) -> PeerSession:
+        """Register a peer session (idempotent)."""
+        if peer_id not in self._sessions:
+            self._sessions[peer_id] = PeerSession(peer_id, self.profile)
+        return self._sessions[peer_id]
+
+    def serve(
+        self, peer_id: int, segment_id: int, num_blocks: int
+    ) -> list[CodedBlock]:
+        """Generate ``num_blocks`` fresh coded blocks of one segment.
+
+        Raises:
+            CapacityError: if the segment is not resident on the device.
+            ConfigurationError: for unknown peers or non-positive counts.
+        """
+        if peer_id not in self._sessions:
+            raise ConfigurationError(f"peer {peer_id} is not connected")
+        if num_blocks < 1:
+            raise ConfigurationError("must request at least one block")
+        segment = self._segments.get(segment_id)
+        if segment is None:
+            raise CapacityError(f"segment {segment_id} is not on the device")
+
+        result = self._encoder.encode(segment, num_blocks, self._rng)
+        self.stats.blocks_served += num_blocks
+        self.stats.bytes_served += result.coded_bytes
+        self.stats.gpu_seconds += result.time_seconds
+        self._sessions[peer_id].record_blocks(num_blocks)
+        return [
+            CodedBlock(
+                coefficients=result.coefficients[i],
+                payload=result.payloads[i],
+                segment_id=segment_id,
+            )
+            for i in range(num_blocks)
+        ]

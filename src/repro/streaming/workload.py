@@ -1,0 +1,148 @@
+"""Trace-driven VoD workload simulation for the streaming server.
+
+The paper sizes its server statically (X MB/s of coding => Y peers at
+768 Kbps).  This module stress-tests that sizing dynamically: a Poisson
+arrival process of viewing sessions drives a time-stepped simulation in
+which every active peer draws coded blocks at the media rate, and the
+server serves them subject to its two capacity limits — the coding
+pipeline and the NIC.  The report shows whether (and when) the static
+plan's peer count is actually the knee of the stall curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.streaming.nic import NicModel
+from repro.streaming.session import MediaProfile
+
+
+@dataclass(frozen=True)
+class SessionArrival:
+    """One viewing session: arrival time and duration, in seconds."""
+
+    arrival_s: float
+    duration_s: float
+
+
+def generate_poisson_trace(
+    *,
+    arrival_rate_per_s: float,
+    mean_duration_s: float,
+    horizon_s: float,
+    rng: np.random.Generator,
+) -> list[SessionArrival]:
+    """Poisson session arrivals with exponential viewing durations.
+
+    Offered load (expected concurrent sessions) is
+    ``arrival_rate_per_s * mean_duration_s`` by Little's law.
+    """
+    if arrival_rate_per_s <= 0 or mean_duration_s <= 0 or horizon_s <= 0:
+        raise ConfigurationError("trace parameters must be positive")
+    arrivals: list[SessionArrival] = []
+    time = 0.0
+    while True:
+        time += rng.exponential(1.0 / arrival_rate_per_s)
+        if time >= horizon_s:
+            break
+        arrivals.append(
+            SessionArrival(
+                arrival_s=time,
+                duration_s=float(rng.exponential(mean_duration_s)),
+            )
+        )
+    return arrivals
+
+
+@dataclass
+class WorkloadReport:
+    """Outcome of one workload run."""
+
+    horizon_s: int
+    max_concurrent: int = 0
+    stalled_peer_seconds: float = 0.0
+    active_peer_seconds: float = 0.0
+    served_bytes: float = 0.0
+    offered_bytes: float = 0.0
+    peak_coding_utilization: float = 0.0
+    peak_nic_utilization: float = 0.0
+    concurrency: list[int] = field(default_factory=list)
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of peer-seconds that could not be served at rate."""
+        if self.active_peer_seconds == 0:
+            return 0.0
+        return self.stalled_peer_seconds / self.active_peer_seconds
+
+    @property
+    def goodput_fraction(self) -> float:
+        if self.offered_bytes == 0:
+            return 1.0
+        return self.served_bytes / self.offered_bytes
+
+
+class VodWorkloadSimulator:
+    """Time-stepped (1 s) simulation of sessions against server capacity."""
+
+    def __init__(
+        self,
+        profile: MediaProfile,
+        *,
+        coding_bytes_per_second: float,
+        nic: NicModel,
+    ) -> None:
+        if coding_bytes_per_second <= 0:
+            raise ConfigurationError("coding rate must be positive")
+        self.profile = profile
+        self.coding_rate = coding_bytes_per_second
+        self.nic = nic
+
+    def run(self, trace: list[SessionArrival], horizon_s: int) -> WorkloadReport:
+        """Simulate the trace for ``horizon_s`` seconds."""
+        if horizon_s < 1:
+            raise ConfigurationError("horizon must be at least one second")
+        report = WorkloadReport(horizon_s=horizon_s)
+        per_peer = self.profile.stream_bytes_per_second
+        wire_multiplier = 1 + self.profile.params.overhead_ratio
+        nic_rate = self.nic.payload_bytes_per_second
+
+        for second in range(horizon_s):
+            active = sum(
+                1
+                for session in trace
+                if session.arrival_s <= second < session.arrival_s + session.duration_s
+            )
+            report.concurrency.append(active)
+            report.max_concurrent = max(report.max_concurrent, active)
+            if active == 0:
+                continue
+            demand = active * per_peer
+            coding_served = min(demand, self.coding_rate)
+            nic_served = min(demand * wire_multiplier, nic_rate) / wire_multiplier
+            served = min(coding_served, nic_served)
+
+            report.offered_bytes += demand
+            report.served_bytes += served
+            report.active_peer_seconds += active
+            if served < demand * (1 - 1e-9):
+                report.stalled_peer_seconds += active * (1 - served / demand)
+            report.peak_coding_utilization = max(
+                report.peak_coding_utilization, coding_served / self.coding_rate
+            )
+            report.peak_nic_utilization = max(
+                report.peak_nic_utilization,
+                min(demand * wire_multiplier, nic_rate) / nic_rate,
+            )
+        return report
+
+    def knee_concurrency(self) -> int:
+        """Concurrent peers at which stalls begin (the static plan's Y)."""
+        per_peer = self.profile.stream_bytes_per_second
+        wire_multiplier = 1 + self.profile.params.overhead_ratio
+        by_coding = self.coding_rate / per_peer
+        by_nic = self.nic.payload_bytes_per_second / (per_peer * wire_multiplier)
+        return int(min(by_coding, by_nic))

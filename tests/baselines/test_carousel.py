@@ -1,0 +1,90 @@
+"""Tests for the data-carousel baseline and its comparison to coding."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.carousel import (
+    CarouselReceiver,
+    CarouselSender,
+    carousel_completion_time,
+    coded_completion_time,
+)
+from repro.errors import ConfigurationError, DecodingError
+from repro.rlnc import CodingParams, Segment
+
+
+def make_segment(n=8, k=16, seed=0):
+    return Segment.random(CodingParams(n, k), np.random.default_rng(seed))
+
+
+class TestCarouselMechanics:
+    def test_sender_cycles_in_order(self):
+        segment = make_segment(n=3)
+        sender = CarouselSender(segment)
+        indices = [sender.next_block()[0] for _ in range(7)]
+        assert indices == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_lossless_completion_in_exactly_n(self):
+        segment = make_segment()
+        sender = CarouselSender(segment)
+        receiver = CarouselReceiver(segment.params)
+        while not receiver.is_complete:
+            receiver.receive(*sender.next_block())
+        assert receiver.received == segment.params.num_blocks
+        assert np.array_equal(
+            receiver.recover_segment().blocks, segment.blocks
+        )
+
+    def test_duplicates_are_not_new(self):
+        segment = make_segment(n=2)
+        receiver = CarouselReceiver(segment.params)
+        assert receiver.receive(0, segment.blocks[0]) is True
+        assert receiver.receive(0, segment.blocks[0]) is False
+        assert receiver.distinct == 1
+
+    def test_out_of_range_index(self):
+        receiver = CarouselReceiver(CodingParams(2, 4))
+        with pytest.raises(DecodingError):
+            receiver.receive(5, np.zeros(4, dtype=np.uint8))
+
+    def test_recover_incomplete_raises(self):
+        receiver = CarouselReceiver(CodingParams(4, 4))
+        with pytest.raises(DecodingError):
+            receiver.recover_segment()
+
+
+class TestCouponCollectorComparison:
+    def test_lossless_both_cost_n(self):
+        rng = np.random.default_rng(0)
+        carousel = carousel_completion_time(32, 0.0, rng, trials=3)
+        coded = coded_completion_time(32, 0.0, rng, trials=3)
+        assert carousel == pytest.approx(1.0)
+        assert coded == pytest.approx(1.0, abs=0.05)
+
+    def test_coding_beats_carousel_under_loss(self):
+        """The structural advantage: with 30% loss the carousel pays the
+        coupon-collector tail, coding pays only 1/(1-p)."""
+        rng = np.random.default_rng(1)
+        carousel = carousel_completion_time(64, 0.3, rng, trials=8)
+        coded = coded_completion_time(64, 0.3, rng, trials=8)
+        assert coded == pytest.approx(1 / 0.7, rel=0.1)
+        assert carousel > 1.5 * coded
+
+    def test_carousel_gap_widens_with_n(self):
+        """The coupon-collector tail grows like log(n); coding's cost is
+        n-independent."""
+        rng = np.random.default_rng(2)
+        small_gap = carousel_completion_time(
+            16, 0.3, rng, trials=8
+        ) / coded_completion_time(16, 0.3, rng, trials=8)
+        large_gap = carousel_completion_time(
+            256, 0.3, rng, trials=8
+        ) / coded_completion_time(256, 0.3, rng, trials=8)
+        assert large_gap > small_gap
+
+    def test_invalid_loss_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            carousel_completion_time(8, 1.0, rng)
+        with pytest.raises(ConfigurationError):
+            coded_completion_time(8, -0.1, rng)

@@ -1,0 +1,90 @@
+"""Tests for the chunked-codes baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ChunkedDecoder,
+    ChunkedEncoder,
+    chunked_reception_overhead,
+    decode_row_operations,
+)
+from repro.errors import ConfigurationError, DecodingError
+from repro.rlnc import CodingParams, Segment
+
+
+def make_segment(n, k, seed=0):
+    return Segment.random(CodingParams(n, k), np.random.default_rng(seed))
+
+
+class TestRoundTrip:
+    def test_decodes_all_chunks(self):
+        n, q, k = 16, 4, 8
+        segment = make_segment(n, k, seed=1)
+        rng = np.random.default_rng(2)
+        encoder = ChunkedEncoder(segment, q, rng)
+        decoder = ChunkedDecoder(CodingParams(n, k), q)
+        while not decoder.is_complete:
+            chunk_index, block = encoder.encode_block()
+            decoder.consume(chunk_index, block)
+        assert np.array_equal(decoder.recover_segment().blocks, segment.blocks)
+
+    def test_targeted_chunk_encoding(self):
+        segment = make_segment(8, 8, seed=3)
+        encoder = ChunkedEncoder(segment, 4, np.random.default_rng(4))
+        chunk_index, block = encoder.encode_block(chunk_index=1)
+        assert chunk_index == 1
+        assert block.coefficients.shape == (4,)
+
+    def test_chunk_progress_tracking(self):
+        segment = make_segment(8, 8, seed=5)
+        encoder = ChunkedEncoder(segment, 4, np.random.default_rng(6))
+        decoder = ChunkedDecoder(CodingParams(8, 8), 4)
+        while decoder.chunks_complete == 0:
+            decoder.consume(*encoder.encode_block(chunk_index=0))
+            if decoder.blocks_received > 20:
+                break
+        assert decoder.chunks_complete >= 1
+        assert not decoder.is_complete
+
+
+class TestValidation:
+    def test_chunk_size_must_divide(self):
+        segment = make_segment(10, 4)
+        with pytest.raises(ConfigurationError):
+            ChunkedEncoder(segment, 3, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            ChunkedDecoder(CodingParams(10, 4), 3)
+
+    def test_chunk_index_range(self):
+        segment = make_segment(8, 4)
+        encoder = ChunkedEncoder(segment, 4, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            encoder.encode_block(chunk_index=5)
+        decoder = ChunkedDecoder(CodingParams(8, 4), 4)
+        block = encoder.encode_block(chunk_index=0)[1]
+        with pytest.raises(DecodingError):
+            decoder.consume(7, block)
+
+    def test_recover_incomplete_raises(self):
+        decoder = ChunkedDecoder(CodingParams(8, 4), 4)
+        with pytest.raises(DecodingError):
+            decoder.recover_segment()
+
+
+class TestTradeoffs:
+    def test_reception_overhead_grows_as_chunks_shrink(self):
+        """Coupon-collector effect: more chunks -> more overhead."""
+        rng = np.random.default_rng(7)
+        coarse = chunked_reception_overhead(32, 16, 4, rng, trials=4)
+        fine = chunked_reception_overhead(32, 4, 4, rng, trials=4)
+        assert fine > coarse
+        assert coarse >= 1.0
+
+    def test_decode_work_shrinks_with_chunks(self):
+        """The complexity advantage: n*q row ops instead of n^2."""
+        full = decode_row_operations(128)
+        chunked = decode_row_operations(128, chunk_size=16)
+        assert full == 128 * 128
+        assert chunked == 128 * 16
+        assert chunked < full

@@ -1,0 +1,89 @@
+"""Tests for the LT fountain-code baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LtDecoder, LtEncoder, reception_overhead, robust_soliton
+from repro.errors import DecodingError
+from repro.rlnc import CodingParams, Segment
+
+
+def make_segment(n, k, seed=0):
+    return Segment.random(CodingParams(n, k), np.random.default_rng(seed))
+
+
+class TestRobustSoliton:
+    def test_is_a_distribution(self):
+        for n in (1, 2, 10, 100):
+            dist = robust_soliton(n)
+            assert dist.shape == (n,)
+            assert dist.sum() == pytest.approx(1.0)
+            assert (dist >= 0).all()
+
+    def test_degree_one_mass_positive(self):
+        """Peeling can only start from degree-1 symbols."""
+        assert robust_soliton(50)[0] > 0.01
+
+    def test_degree_two_dominates(self):
+        """The soliton distribution peaks at degree 2."""
+        dist = robust_soliton(100)
+        assert dist[1] == max(dist)
+
+
+class TestLtRoundTrip:
+    def test_decodes_with_bounded_overhead(self):
+        n, k = 32, 16
+        segment = make_segment(n, k, seed=1)
+        rng = np.random.default_rng(2)
+        encoder = LtEncoder(segment, rng)
+        decoder = LtDecoder(n, k)
+        while not decoder.is_complete:
+            decoder.consume(encoder.next_symbol())
+            assert decoder.symbols_received < 6 * n, "LT decode diverged"
+        assert np.array_equal(decoder.recover_segment().blocks, segment.blocks)
+
+    def test_single_block_segment(self):
+        segment = make_segment(1, 8)
+        encoder = LtEncoder(segment, np.random.default_rng(0))
+        decoder = LtDecoder(1, 8)
+        decoder.consume(encoder.next_symbol())
+        assert decoder.is_complete
+
+    def test_recover_before_complete_raises(self):
+        decoder = LtDecoder(4, 8)
+        with pytest.raises(DecodingError):
+            decoder.recover_segment()
+
+    def test_payload_length_checked(self):
+        from repro.baselines import LtSymbol
+
+        decoder = LtDecoder(4, 8)
+        with pytest.raises(DecodingError):
+            decoder.consume(
+                LtSymbol(neighbours=frozenset({0}), payload=np.zeros(5, np.uint8))
+            )
+
+    def test_duplicate_symbols_are_harmless(self):
+        segment = make_segment(4, 8, seed=3)
+        encoder = LtEncoder(segment, np.random.default_rng(4))
+        decoder = LtDecoder(4, 8)
+        symbol = encoder.next_symbol()
+        decoder.consume(symbol)
+        decoder.consume(symbol)  # should not corrupt state
+        while not decoder.is_complete:
+            decoder.consume(encoder.next_symbol())
+        assert np.array_equal(decoder.recover_segment().blocks, segment.blocks)
+
+
+class TestOverheadComparison:
+    def test_lt_needs_more_than_n_symbols_on_average(self):
+        """The reception overhead RLNC avoids: dense random linear blocks
+        are innovative with probability ~1, LT symbols are not."""
+        overhead = reception_overhead(
+            48, 8, np.random.default_rng(5), trials=4
+        )
+        assert overhead > 1.05
+
+    def test_overhead_is_bounded(self):
+        overhead = reception_overhead(48, 8, np.random.default_rng(6), trials=4)
+        assert overhead < 4.0

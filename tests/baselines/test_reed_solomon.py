@@ -1,0 +1,73 @@
+"""Tests for the Reed–Solomon baseline."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines import ReedSolomonCode
+from repro.errors import ConfigurationError, DecodingError
+from repro.rlnc import CodingParams, Segment
+
+
+def make_segment(n, k, seed=0):
+    return Segment.random(CodingParams(n, k), np.random.default_rng(seed))
+
+
+class TestRoundTrip:
+    def test_decode_from_any_n_of_n_plus_m(self):
+        """The MDS property: every n-subset of coded blocks recovers."""
+        n, m, k = 4, 3, 16
+        code = ReedSolomonCode(n, m)
+        segment = make_segment(n, k)
+        coded = code.encode(segment)
+        for subset in itertools.combinations(range(n + m), n):
+            recovered = code.decode(list(subset), coded[list(subset)])
+            assert np.array_equal(recovered, segment.blocks), subset
+
+    def test_systematic_prefix(self):
+        code = ReedSolomonCode(5, 2)
+        segment = make_segment(5, 8)
+        coded = code.encode(segment)
+        assert np.array_equal(coded[:5], segment.blocks)
+
+    def test_zero_parity_is_identity(self):
+        code = ReedSolomonCode(4, 0)
+        segment = make_segment(4, 8)
+        assert np.array_equal(code.encode(segment), segment.blocks)
+
+    def test_larger_code(self):
+        n, m, k = 32, 8, 64
+        code = ReedSolomonCode(n, m)
+        segment = make_segment(n, k, seed=3)
+        coded = code.encode(segment)
+        rng = np.random.default_rng(4)
+        survivors = sorted(rng.choice(n + m, size=n, replace=False).tolist())
+        recovered = code.decode(survivors, coded[survivors])
+        assert np.array_equal(recovered, segment.blocks)
+
+
+class TestValidation:
+    def test_too_many_blocks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReedSolomonCode(200, 100)
+
+    def test_wrong_receive_count(self):
+        code = ReedSolomonCode(4, 2)
+        with pytest.raises(DecodingError):
+            code.decode([0, 1, 2], np.zeros((3, 4), dtype=np.uint8))
+
+    def test_duplicate_indices(self):
+        code = ReedSolomonCode(3, 2)
+        with pytest.raises(DecodingError):
+            code.decode([0, 0, 1], np.zeros((3, 4), dtype=np.uint8))
+
+    def test_out_of_range_index(self):
+        code = ReedSolomonCode(3, 1)
+        with pytest.raises(DecodingError):
+            code.decode([0, 1, 9], np.zeros((3, 4), dtype=np.uint8))
+
+    def test_wrong_segment_geometry(self):
+        code = ReedSolomonCode(4, 1)
+        with pytest.raises(ConfigurationError):
+            code.encode(make_segment(5, 8))

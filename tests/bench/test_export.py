@@ -1,0 +1,53 @@
+"""Tests for CSV export of figure data."""
+
+import csv
+import io
+
+from repro.bench.export import export_figures, figure_to_csv
+from repro.bench.figures import figure_7_scheme_ladder, figure_8_best_encoding
+from repro.bench.runner import FigureData, Series
+
+
+class TestFigureToCsv:
+    def test_sweep_figure_layout(self):
+        figure = figure_8_best_encoding()
+        rows = list(csv.reader(io.StringIO(figure_to_csv(figure))))
+        header, *data = rows
+        assert header[0] == "block size (bytes)"
+        assert "n = 128" in header
+        assert len(data) == len(figure.series[0].x)
+        assert data[0][0] == "128"
+
+    def test_annotated_figure_gets_annotation_column(self):
+        figure = figure_7_scheme_ladder()
+        rows = list(csv.reader(io.StringIO(figure_to_csv(figure))))
+        assert rows[0][1] == "annotation"
+        assert rows[1][1] == "table-based-0"
+
+    def test_values_round_trip(self):
+        series = Series(label="a", x=[1, 2], y=[1.5, 2.5])
+        figure = FigureData(
+            figure_id="f", title="t", x_label="x", y_label="y", series=[series]
+        )
+        rows = list(csv.reader(io.StringIO(figure_to_csv(figure))))
+        assert float(rows[1][1]) == 1.5
+        assert float(rows[2][1]) == 2.5
+
+
+class TestExportFigures:
+    def test_writes_one_csv_per_figure(self, tmp_path):
+        paths = export_figures(
+            {
+                "fig7": figure_7_scheme_ladder,
+                "fig8": figure_8_best_encoding,
+            },
+            tmp_path,
+        )
+        assert sorted(path.name for path in paths) == ["fig7.csv", "fig8.csv"]
+        for path in paths:
+            assert path.read_text().startswith(("scheme", "block size"))
+
+    def test_accepts_prebuilt_figures(self, tmp_path):
+        figure = figure_7_scheme_ladder()
+        (path,) = export_figures({"fig7": figure}, tmp_path)
+        assert path.exists()

@@ -1,0 +1,159 @@
+"""Tests for the figure generators: structure and paper-shape checks."""
+
+import pytest
+
+from repro.bench import (
+    ALL_FIGURES,
+    BLOCK_SIZE_SWEEP,
+    paper_targets,
+    render_series_table,
+    summarize_figure,
+)
+from repro.bench.figures import (
+    figure_4a_encoding,
+    figure_4b_decoding,
+    figure_7_scheme_ladder,
+    figure_9_multiseg_decoding,
+    figure_10_cpu_encoding,
+    streaming_capacity_table,
+    utilization_report,
+)
+from repro.bench.runner import FigureData, Series
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_all_experiments_present(self):
+        assert set(ALL_FIGURES) == {
+            "fig4a", "fig4b", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "streaming", "utilization", "ablations", "density",
+            "projections",
+        }
+
+    @pytest.mark.parametrize("name", sorted(ALL_FIGURES))
+    def test_every_figure_builds_and_renders(self, name):
+        figure = ALL_FIGURES[name]()
+        assert figure.series, name
+        text = render_series_table(figure)
+        assert figure.figure_id in text
+        assert summarize_figure(figure)
+
+
+class TestSeriesValidation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Series(label="bad", x=[1, 2], y=[1.0])
+
+    def test_annotation_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Series(label="bad", x=[1], y=[1.0], annotations=["a", "b"])
+
+    def test_series_lookup(self):
+        figure = FigureData(
+            figure_id="f", title="t", x_label="x", y_label="y",
+            series=[Series(label="a", x=[1], y=[2.0])],
+        )
+        assert figure.series_by_label("a").at(1) == 2.0
+        with pytest.raises(ConfigurationError):
+            figure.series_by_label("missing")
+
+
+class TestFig4Shapes:
+    def test_gtx280_doubles_8800gt_everywhere(self):
+        figure = figure_4a_encoding()
+        for n in (128, 256, 512):
+            fast = figure.series_by_label(f"GTX280 (n={n})")
+            slow = figure.series_by_label(f"8800GT (n={n})")
+            for a, b in zip(fast.y, slow.y):
+                assert 1.8 < a / b < 2.4
+
+    def test_decode_crossover_at_8kb(self):
+        """Fig. 4(b): GTX 280 defeats the Mac Pro for blocks >= 8 KB."""
+        figure = figure_4b_decoding()
+        gpu = figure.series_by_label("GTX280 (n=128)")
+        cpu = figure.series_by_label("Mac Pro (n=128)")
+        for k in BLOCK_SIZE_SWEEP:
+            if k < paper_targets.SINGLE_SEGMENT_CROSSOVER_K:
+                assert cpu.at(k) > gpu.at(k), k
+            else:
+                assert gpu.at(k) > cpu.at(k), k
+
+
+class TestFig7Ladder:
+    def test_monotone_ladder_after_tb0(self):
+        figure = figure_7_scheme_ladder()
+        series = figure.series[0]
+        # TB-0 < LB < TB-1 < ... < TB-5 in the paper's ordering.
+        assert series.y == sorted(series.y)
+
+    def test_targets_within_five_percent(self):
+        figure = figure_7_scheme_ladder()
+        series = figure.series[0]
+        for annotation, value in zip(series.annotations, series.y):
+            target = paper_targets.ENCODE_LADDER_GTX280_N128[annotation]
+            assert value == pytest.approx(target, rel=0.05), annotation
+
+
+class TestFig9Shapes:
+    def test_gpu_beats_macpro_in_band(self):
+        """GPU multi-segment leads the Mac Pro by 1.3x-4.2x for block
+        sizes above 256 bytes (the paper's claim)."""
+        figure = figure_9_multiseg_decoding()
+        gpu = figure.series_by_label("GTX280 (n=128)")
+        cpu = figure.series_by_label("Mac Pro (n=128)")
+        for k in BLOCK_SIZE_SWEEP:
+            if k <= 256:
+                continue
+            ratio = gpu.at(k) / cpu.at(k)
+            if k < paper_targets.CPU_MULTISEG_DROP_AT[128]:
+                assert 1.0 < ratio < 4.6, (k, ratio)
+            else:
+                # Past the Mac Pro's cache cliff the gap opens further.
+                assert ratio > 4.0, (k, ratio)
+
+    def test_sixty_segment_series_leads_thirty(self):
+        figure = figure_9_multiseg_decoding()
+        six = figure.series_by_label("GTX280-6Seg (n=128)")
+        three = figure.series_by_label("GTX280 (n=128)")
+        for a, b in zip(six.y, three.y):
+            assert a >= b
+
+    def test_macpro_drop_thresholds(self):
+        figure = figure_9_multiseg_decoding()
+        for n, drop_at in paper_targets.CPU_MULTISEG_DROP_AT.items():
+            series = figure.series_by_label(f"Mac Pro (n={n})")
+            assert series.at(drop_at) < series.at(drop_at // 2), n
+
+    def test_stage1_annotations_present_and_falling(self):
+        figure = figure_9_multiseg_decoding()
+        series = figure.series_by_label("GTX280 (n=128)")
+        shares = [float(a.split()[1].rstrip("%")) for a in series.annotations]
+        assert shares == sorted(shares, reverse=True)
+
+
+class TestFig10Shapes:
+    def test_full_block_flat_partitioned_rising(self):
+        figure = figure_10_cpu_encoding()
+        full = figure.series_by_label("FB Mac Pro (n=128)")
+        part = figure.series_by_label("Mac Pro (n=128)")
+        assert max(full.y) / min(full.y) < 1.05
+        assert part.y == sorted(part.y)
+        assert part.at(32768) / full.at(32768) > 0.9
+
+
+class TestReports:
+    def test_streaming_peer_counts(self):
+        figure = streaming_capacity_table()
+        series = figure.series[0]
+        assert series.y[0] == pytest.approx(
+            paper_targets.PEERS_AT_LOOP_RATE, rel=0.01
+        )
+        assert series.y[-1] > paper_targets.PEERS_AT_BEST_RATE_MIN * 0.97
+
+    def test_utilization_near_91_percent(self):
+        figure = utilization_report()
+        series = figure.series[0]
+        index = series.annotations.index("GF-mult utilization (%)")
+        assert series.y[index] == pytest.approx(
+            100 * paper_targets.UTILIZATION_FRACTION, abs=3.0
+        )

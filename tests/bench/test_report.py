@@ -1,0 +1,70 @@
+"""Tests for report rendering helpers."""
+
+import pytest
+
+from repro.bench import comparison_row, relative_error, render_series_table
+from repro.bench.runner import FigureData, Series
+
+
+class TestRelativeError:
+    def test_exact_match(self):
+        assert relative_error(100.0, 100.0) == 0.0
+
+    def test_symmetric_magnitude(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_error(90.0, 100.0) == pytest.approx(0.1)
+
+
+class TestComparisonRow:
+    def test_format(self):
+        row = comparison_row("Fig7 TB-5", 294.0, 288.0)
+        assert row.startswith("| Fig7 TB-5 | 294 MB/s | 288.0 MB/s |")
+        assert "2.0%" in row
+
+    def test_custom_unit(self):
+        row = comparison_row("peers", 1385, 1387, unit="peers")
+        assert "1385 peers" in row
+
+
+class TestRenderSeriesTable:
+    def test_sweep_table_has_header_and_rows(self):
+        figure = FigureData(
+            figure_id="t",
+            title="test",
+            x_label="block size (bytes)",
+            y_label="MB/s",
+            series=[
+                Series(label="a", x=[128, 256], y=[1.0, 2.0]),
+                Series(label="b", x=[128, 256], y=[3.0, 4.0]),
+            ],
+        )
+        text = render_series_table(figure)
+        lines = text.splitlines()
+        assert "== t: test ==" in lines[0]
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 4  # header row + 2 data rows + title
+
+    def test_notes_rendered(self):
+        figure = FigureData(
+            figure_id="t",
+            title="test",
+            x_label="x",
+            y_label="y",
+            series=[Series(label="a", x=[1], y=[2.0])],
+            notes=["hello"],
+        )
+        assert "note: hello" in render_series_table(figure)
+
+    def test_annotated_table_layout(self):
+        figure = FigureData(
+            figure_id="t",
+            title="test",
+            x_label="index",
+            y_label="v",
+            series=[
+                Series(label="a", x=[0, 1], y=[5.0, 6.0], annotations=["p", "q"])
+            ],
+        )
+        text = render_series_table(figure)
+        assert "p" in text and "q" in text
+        assert "5.0" in text

@@ -1,0 +1,36 @@
+"""Calibration-drift guard: headline metrics vs the stored snapshot."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.snapshot import calibration_snapshot
+
+REFERENCE = pathlib.Path(__file__).parent / "calibration_snapshot.json"
+
+
+class TestCalibrationSnapshot:
+    def test_matches_stored_reference(self):
+        """Any cost-constant change that moves a headline number must be
+        accompanied by a deliberate snapshot update."""
+        expected = json.loads(REFERENCE.read_text())
+        actual = calibration_snapshot()
+        assert set(actual) == set(expected), "metric set changed"
+        drifted = {
+            key: (expected[key], actual[key])
+            for key in expected
+            if actual[key] != pytest.approx(expected[key], rel=1e-6)
+        }
+        assert not drifted, f"calibration drift: {drifted}"
+
+    def test_snapshot_is_deterministic(self):
+        assert calibration_snapshot() == calibration_snapshot()
+
+    def test_snapshot_covers_all_encode_schemes(self):
+        keys = calibration_snapshot().keys()
+        for scheme in (
+            "loop-based", "table-based-0", "table-based-1", "table-based-2",
+            "table-based-3", "table-based-4", "table-based-5",
+        ):
+            assert f"encode/{scheme}/n128" in keys

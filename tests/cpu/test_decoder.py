@@ -1,0 +1,145 @@
+"""Tests for multicore CPU decoding and its cache behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import MAC_PRO, CpuDecoder
+from repro.errors import DecodingError
+from repro.gpu import GTX280
+from repro.kernels import decode_single_segment_bandwidth
+from repro.rlnc import CodingParams, Encoder, Segment
+
+MB = 1e6
+
+
+def segment_blocks(n, k, seed, extra=3, num_segments=1):
+    rng = np.random.default_rng(seed)
+    params = CodingParams(n, k)
+    segments, per_segment = [], {}
+    for sid in range(num_segments):
+        segment = Segment.random(params, rng, segment_id=sid)
+        segments.append(segment)
+        per_segment[sid] = Encoder(segment, rng).encode_blocks(n + extra)
+    return params, segments, per_segment
+
+
+class TestFunctionalDecoding:
+    def test_single_recovers_segment(self):
+        params, segments, blocks = segment_blocks(8, 16, seed=0)
+        result = CpuDecoder(MAC_PRO).decode_single(params, blocks[0])
+        assert np.array_equal(result.segments[0].blocks, segments[0].blocks)
+
+    def test_single_insufficient_raises(self):
+        params, _, blocks = segment_blocks(8, 16, seed=1)
+        with pytest.raises(DecodingError):
+            CpuDecoder(MAC_PRO).decode_single(params, blocks[0][:3])
+
+    def test_multi_recovers_all(self):
+        params, segments, blocks = segment_blocks(6, 8, seed=2, num_segments=3)
+        result = CpuDecoder(MAC_PRO).decode_multi(params, blocks)
+        for original, decoded in zip(segments, result.segments):
+            assert np.array_equal(decoded.blocks, original.blocks)
+
+    def test_multi_empty_raises(self):
+        with pytest.raises(DecodingError):
+            CpuDecoder(MAC_PRO).decode_multi(CodingParams(4, 8), {})
+
+
+class TestSingleSegmentModel:
+    def test_plateau_anchor(self):
+        """Paper Fig. 4(b): Mac Pro ~57 MB/s at n=128, large blocks."""
+        decoder = CpuDecoder(MAC_PRO)
+        rate = (
+            decoder.estimate_single_segment_bandwidth(
+                num_blocks=128, block_size=32768
+            )
+            / MB
+        )
+        assert rate == pytest.approx(57, rel=0.12)
+
+    def test_cpu_beats_gpu_below_8kb(self):
+        """'the CPU still performs better than the GTX 280 at smaller
+        block sizes' with the crossover at ~8 KB."""
+        decoder = CpuDecoder(MAC_PRO)
+        for k in (128, 1024, 4096):
+            cpu = decoder.estimate_single_segment_bandwidth(
+                num_blocks=128, block_size=k
+            )
+            gpu = decode_single_segment_bandwidth(
+                GTX280, num_blocks=128, block_size=k
+            )
+            assert cpu > gpu, f"CPU should lead at k={k}"
+        for k in (8192, 16384, 32768):
+            cpu = decoder.estimate_single_segment_bandwidth(
+                num_blocks=128, block_size=k
+            )
+            gpu = decode_single_segment_bandwidth(
+                GTX280, num_blocks=128, block_size=k
+            )
+            assert gpu > cpu, f"GPU should lead at k={k}"
+
+    def test_rate_grows_with_k(self):
+        decoder = CpuDecoder(MAC_PRO)
+        rates = [
+            decoder.estimate_single_segment_bandwidth(
+                num_blocks=128, block_size=k
+            )
+            for k in (128, 1024, 8192, 32768)
+        ]
+        assert rates == sorted(rates)
+
+
+class TestMultiSegmentModel:
+    def test_gain_over_single_at_16kb(self):
+        """Paper: 'the Mac Pro only gains by a factor of 1.3' at
+        (n=128, k=16384)."""
+        decoder = CpuDecoder(MAC_PRO)
+        single = decoder.estimate_single_segment_bandwidth(
+            num_blocks=128, block_size=16384
+        )
+        multi = decoder.estimate_multi_segment_bandwidth(
+            num_blocks=128, block_size=16384
+        )
+        assert multi / single == pytest.approx(1.3, abs=0.2)
+
+    @pytest.mark.parametrize(
+        "n,drop_at",
+        [(128, 32768), (256, 16384), (512, 8192)],
+    )
+    def test_cache_bound_drop_thresholds(self, n, drop_at):
+        """Fig. 9: bandwidth starts dropping once 8 concurrent working
+        sets overflow the 24 MB aggregate L2."""
+        decoder = CpuDecoder(MAC_PRO)
+        below = decoder.estimate_multi_segment_bandwidth(
+            num_blocks=n, block_size=drop_at // 2
+        )
+        at = decoder.estimate_multi_segment_bandwidth(
+            num_blocks=n, block_size=drop_at
+        )
+        assert at < below
+
+    def test_spill_factor_is_one_in_cache(self):
+        decoder = CpuDecoder(MAC_PRO)
+        assert decoder.spill_factor(
+            num_blocks=128, block_size=1024, num_segments=8
+        ) == pytest.approx(1.0)
+
+    def test_spill_factor_grows_with_working_set(self):
+        decoder = CpuDecoder(MAC_PRO)
+        smaller = decoder.spill_factor(
+            num_blocks=512, block_size=8192, num_segments=8
+        )
+        larger = decoder.spill_factor(
+            num_blocks=512, block_size=32768, num_segments=8
+        )
+        assert 1.0 < smaller < larger
+
+    def test_waves_for_more_segments_than_cores(self):
+        decoder = CpuDecoder(MAC_PRO)
+        eight = decoder.estimate_multi_segment_time(
+            num_blocks=16, block_size=64, num_segments=8
+        )
+        sixteen = decoder.estimate_multi_segment_time(
+            num_blocks=16, block_size=64, num_segments=16
+        )
+        assert sixteen == pytest.approx(2 * eight)

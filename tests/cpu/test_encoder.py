@@ -1,0 +1,103 @@
+"""Tests for multicore CPU encoding (Sec. 5.3, Fig. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import (
+    MAC_PRO,
+    CpuEncoder,
+    CpuMultiplyScheme,
+    CpuPartitioning,
+    combined_gpu_cpu_bandwidth,
+    prefetch_efficiency,
+)
+from repro.errors import ConfigurationError
+from repro.gf256 import matmul
+from repro.rlnc import CodingParams, Segment
+
+MB = 1e6
+
+
+class TestFunctionalEncoding:
+    def test_encode_matches_reference(self):
+        segment = Segment.random(CodingParams(8, 32), np.random.default_rng(0))
+        encoder = CpuEncoder(MAC_PRO)
+        result = encoder.encode(segment, 12, np.random.default_rng(1))
+        assert np.array_equal(
+            result.payloads, matmul(result.coefficients, segment.blocks)
+        )
+        assert result.time_seconds > 0
+
+    def test_partitionings_are_functionally_identical(self):
+        segment = Segment.random(CodingParams(6, 16), np.random.default_rng(2))
+        coefficients = np.random.default_rng(3).integers(
+            0, 256, size=(5, 6), dtype=np.uint8
+        )
+        full = CpuEncoder(MAC_PRO, partitioning=CpuPartitioning.FULL_BLOCK)
+        part = CpuEncoder(MAC_PRO, partitioning=CpuPartitioning.PARTITIONED_BLOCK)
+        rng = np.random.default_rng(0)
+        a = full.encode(segment, 5, rng, coefficients=coefficients.copy())
+        b = part.encode(segment, 5, rng, coefficients=coefficients.copy())
+        assert np.array_equal(a.payloads, b.payloads)
+
+
+class TestBandwidthModel:
+    def test_full_block_anchors(self):
+        """Paper: Mac Pro full-block encode ~67/33.6/16.8 MB/s."""
+        encoder = CpuEncoder(MAC_PRO)
+        for n, target in [(128, 67), (256, 33.6), (512, 16.8)]:
+            rate = encoder.estimate_bandwidth(num_blocks=n, block_size=4096) / MB
+            assert rate == pytest.approx(target, rel=0.05)
+
+    def test_full_block_flat_across_k(self):
+        encoder = CpuEncoder(MAC_PRO)
+        rates = [
+            encoder.estimate_bandwidth(num_blocks=128, block_size=k)
+            for k in (128, 1024, 8192, 32768)
+        ]
+        assert max(rates) / min(rates) < 1.05
+
+    def test_partitioned_suffers_at_small_k(self):
+        """Fig. 10: the original scheme is much slower at small blocks."""
+        full = CpuEncoder(MAC_PRO, partitioning=CpuPartitioning.FULL_BLOCK)
+        part = CpuEncoder(MAC_PRO, partitioning=CpuPartitioning.PARTITIONED_BLOCK)
+        small_ratio = part.estimate_bandwidth(
+            num_blocks=128, block_size=128
+        ) / full.estimate_bandwidth(num_blocks=128, block_size=128)
+        large_ratio = part.estimate_bandwidth(
+            num_blocks=128, block_size=32768
+        ) / full.estimate_bandwidth(num_blocks=128, block_size=32768)
+        assert small_ratio < 0.6
+        assert large_ratio > 0.9  # "essentially the same rate as k grows"
+
+    def test_table_scheme_drops_up_to_43_percent(self):
+        """Sec. 5.1.3: CPU table-based encoding loses to loop-based SIMD."""
+        loop = CpuEncoder(MAC_PRO, scheme=CpuMultiplyScheme.LOOP_SIMD)
+        table = CpuEncoder(MAC_PRO, scheme=CpuMultiplyScheme.TABLE)
+        drop = 1 - table.estimate_bandwidth(
+            num_blocks=128, block_size=4096
+        ) / loop.estimate_bandwidth(num_blocks=128, block_size=4096)
+        assert drop == pytest.approx(0.43, abs=0.03)
+
+    def test_invalid_rows_raises(self):
+        with pytest.raises(ConfigurationError):
+            CpuEncoder(MAC_PRO).estimate_time(
+                num_blocks=4, block_size=16, coded_rows=0
+            )
+
+
+class TestPrefetchModel:
+    def test_monotone_in_stream_length(self):
+        values = [prefetch_efficiency(s) for s in (16, 128, 1024, 65536)]
+        assert values == sorted(values)
+        assert values[-1] > 0.95
+
+    def test_floor(self):
+        assert prefetch_efficiency(0) == pytest.approx(0.5)
+
+
+class TestCombinedEncoding:
+    def test_near_sum_of_parts(self):
+        combined = combined_gpu_cpu_bandwidth(294 * MB, 67 * MB)
+        assert combined == pytest.approx(0.98 * 361 * MB)
+        assert combined > max(294 * MB, 67 * MB)

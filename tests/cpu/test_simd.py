@@ -1,0 +1,48 @@
+"""Tests for the simulated SIMD row operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cpu import chunks_for_bytes, simd_mul_add_row, simd_mul_row
+from repro.errors import FieldError
+from repro.gf256 import mul_scalar_table
+
+rows = hnp.arrays(np.uint8, st.integers(min_value=1, max_value=100))
+coefficients = st.integers(min_value=0, max_value=255)
+
+
+class TestSimdRowOps:
+    @given(rows, coefficients)
+    def test_matches_scalar_reference(self, row, c):
+        assert np.array_equal(simd_mul_row(row, c), mul_scalar_table(row, c))
+
+    @given(rows, coefficients)
+    def test_mul_add_matches_reference(self, row, c):
+        dest = np.zeros_like(row)
+        simd_mul_add_row(dest, row, c)
+        assert np.array_equal(dest, mul_scalar_table(row, c))
+
+    def test_non_multiple_of_width_boundary(self):
+        row = np.arange(37, dtype=np.uint8)  # 2 full lanes + 5-byte tail
+        assert np.array_equal(simd_mul_row(row, 29), mul_scalar_table(row, 29))
+
+    def test_zero_coefficient_mul_add_is_noop(self):
+        dest = np.arange(20, dtype=np.uint8)
+        before = dest.copy()
+        simd_mul_add_row(dest, np.ones(20, dtype=np.uint8), 0)
+        assert np.array_equal(dest, before)
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(FieldError):
+            simd_mul_row(np.zeros(4, dtype=np.int32), 2)
+
+
+class TestChunks:
+    @pytest.mark.parametrize(
+        "nbytes,expected", [(1, 1), (16, 1), (17, 2), (4096, 256), (0, 0)]
+    )
+    def test_chunk_counts(self, nbytes, expected):
+        assert chunks_for_bytes(nbytes) == expected

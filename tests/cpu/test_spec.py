@@ -1,0 +1,34 @@
+"""Tests for CPU specifications."""
+
+import pytest
+
+from repro.cpu import ARM_V6, MAC_PRO, CpuSpec
+from repro.errors import ConfigurationError
+
+
+class TestPresets:
+    def test_mac_pro_matches_paper(self):
+        assert MAC_PRO.cores == 8
+        assert MAC_PRO.clock_hz == pytest.approx(2.8e9)
+        assert MAC_PRO.simd_width_bytes == 16  # SSE2
+        assert MAC_PRO.l2_cache_bytes == 24 * 1024 * 1024
+
+    def test_arm_v6_is_scalar_single_core(self):
+        assert ARM_V6.cores == 1
+        assert ARM_V6.simd_width_bytes == 4  # 32-bit words, no SIMD
+        assert ARM_V6.clock_hz < 1e9
+
+    def test_peak_simd_rate(self):
+        assert MAC_PRO.peak_simd_chunks_per_second == pytest.approx(
+            8 * 2.8e9
+        )
+
+
+class TestValidation:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            CpuSpec(name="bad", cores=0, clock_hz=1e9)
+
+    def test_rejects_zero_simd_width(self):
+        with pytest.raises(ConfigurationError):
+            CpuSpec(name="bad", cores=1, clock_hz=1e9, simd_width_bytes=0)

@@ -1,0 +1,95 @@
+"""Tests and property tests for scalar GF(2^8) arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.gf256 import arithmetic as gf
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestBasics:
+    def test_add_is_xor(self):
+        assert gf.gf_add(0x53, 0xCA) == 0x53 ^ 0xCA
+
+    def test_sub_equals_add(self):
+        assert gf.gf_sub(0x53, 0xCA) == gf.gf_add(0x53, 0xCA)
+
+    def test_mul_by_zero(self):
+        assert gf.gf_mul(0, 77) == 0
+        assert gf.gf_mul(77, 0) == 0
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(FieldError):
+            gf.gf_div(1, 0)
+
+    def test_inv_of_zero_raises(self):
+        with pytest.raises(FieldError):
+            gf.gf_inv(0)
+
+    def test_exp_range_check(self):
+        with pytest.raises(FieldError):
+            gf.gf_exp(512)
+
+    def test_pow_negative_raises(self):
+        with pytest.raises(FieldError):
+            gf.gf_pow(3, -1)
+
+    def test_pow_of_zero(self):
+        assert gf.gf_pow(0, 0) == 1
+        assert gf.gf_pow(0, 5) == 0
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_mul_commutative(self, x, y):
+        assert gf.gf_mul(x, y) == gf.gf_mul(y, x)
+
+    @given(elements, elements, elements)
+    def test_mul_associative(self, x, y, z):
+        assert gf.gf_mul(gf.gf_mul(x, y), z) == gf.gf_mul(x, gf.gf_mul(y, z))
+
+    @given(elements, elements, elements)
+    def test_distributive(self, x, y, z):
+        left = gf.gf_mul(x, gf.gf_add(y, z))
+        right = gf.gf_add(gf.gf_mul(x, y), gf.gf_mul(x, z))
+        assert left == right
+
+    @given(elements)
+    def test_one_is_multiplicative_identity(self, x):
+        assert gf.gf_mul(x, 1) == x
+
+    @given(nonzero)
+    def test_inverse_property(self, x):
+        assert gf.gf_mul(x, gf.gf_inv(x)) == 1
+
+    @given(elements, nonzero)
+    def test_div_inverts_mul(self, x, y):
+        assert gf.gf_div(gf.gf_mul(x, y), y) == x
+
+    @given(elements)
+    def test_additive_self_inverse(self, x):
+        assert gf.gf_add(x, x) == 0
+
+
+class TestImplementationAgreement:
+    """Loop-based, table-based and log-domain multipliers must agree."""
+
+    @given(elements, elements)
+    def test_loop_matches_table(self, x, y):
+        assert gf.gf_mul_loop(x, y) == gf.gf_mul(x, y)
+
+    @given(elements, elements)
+    def test_preprocessed_matches_table(self, x, y):
+        product = gf.gf_mul_preprocessed(gf.gf_log(x), gf.gf_log(y))
+        assert product == gf.gf_mul(x, y)
+
+    @given(nonzero, st.integers(min_value=0, max_value=30))
+    def test_pow_matches_repeated_mul(self, x, e):
+        expected = 1
+        for _ in range(e):
+            expected = gf.gf_mul(expected, x)
+        assert gf.gf_pow(x, e) == expected

@@ -1,0 +1,133 @@
+"""Tests for GF(2^8) matrix algebra (RREF, inversion, solve)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError, SingularMatrixError
+from repro.gf256 import matrix as gfm
+from repro.gf256 import vector
+
+sizes = st.integers(min_value=1, max_value=12)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+class TestRref:
+    def test_rref_of_identity_is_identity(self):
+        eye = gfm.identity(4)
+        reduced, r = gfm.rref(eye)
+        assert r == 4
+        assert np.array_equal(reduced, eye)
+
+    def test_rref_of_zero_matrix(self):
+        reduced, r = gfm.rref(np.zeros((3, 5), dtype=np.uint8))
+        assert r == 0
+        assert not reduced.any()
+
+    @settings(max_examples=30, deadline=None)
+    @given(sizes, seeds)
+    def test_rref_of_invertible_is_identity(self, n, seed):
+        rng = np.random.default_rng(seed)
+        m = gfm.random_invertible(n, rng)
+        reduced, r = gfm.rref(m)
+        assert r == n
+        assert np.array_equal(reduced, gfm.identity(n))
+
+    def test_dependent_rows_produce_zero_row(self):
+        rng = np.random.default_rng(3)
+        base = gfm.random_matrix(2, 4, rng)
+        # Third row = combination of the first two.
+        third = vector.mul_scalar_table(base[0], 7) ^ vector.mul_scalar_table(
+            base[1], 9
+        )
+        stacked = np.vstack([base, third[None, :]])
+        reduced, r = gfm.rref(stacked)
+        assert r == 2
+        assert not reduced[2].any()
+
+    def test_rref_requires_2d(self):
+        with pytest.raises(FieldError):
+            gfm.rref(np.zeros(4, dtype=np.uint8))
+
+    def test_input_not_modified(self):
+        rng = np.random.default_rng(0)
+        m = gfm.random_matrix(4, 4, rng)
+        copy = m.copy()
+        gfm.rref(m)
+        assert np.array_equal(m, copy)
+
+
+class TestInverse:
+    @settings(max_examples=30, deadline=None)
+    @given(sizes, seeds)
+    def test_inverse_round_trip(self, n, seed):
+        rng = np.random.default_rng(seed)
+        m = gfm.random_invertible(n, rng)
+        assert gfm.check_inverse(m, gfm.inverse(m))
+
+    def test_singular_raises(self):
+        singular = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(SingularMatrixError):
+            gfm.inverse(singular)
+
+    def test_non_square_raises(self):
+        with pytest.raises(FieldError):
+            gfm.inverse(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_inverse_of_identity(self):
+        assert np.array_equal(gfm.inverse(gfm.identity(6)), gfm.identity(6))
+
+
+class TestSolve:
+    @settings(max_examples=30, deadline=None)
+    @given(sizes, st.integers(min_value=1, max_value=16), seeds)
+    def test_solve_recovers_source_blocks(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        source = rng.integers(0, 256, size=(n, k), dtype=np.uint8)
+        coeffs = gfm.random_invertible(n, rng)
+        coded = vector.matmul(coeffs, source)
+        assert np.array_equal(gfm.solve(coeffs, coded), source)
+
+    def test_solve_matches_inverse_path(self):
+        rng = np.random.default_rng(11)
+        n, k = 8, 32
+        source = rng.integers(0, 256, size=(n, k), dtype=np.uint8)
+        coeffs = gfm.random_invertible(n, rng)
+        coded = vector.matmul(coeffs, source)
+        via_inverse = vector.matmul(gfm.inverse(coeffs), coded)
+        assert np.array_equal(gfm.solve(coeffs, coded), via_inverse)
+
+    def test_singular_system_raises(self):
+        singular = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        with pytest.raises(SingularMatrixError):
+            gfm.solve(singular, np.zeros((2, 4), dtype=np.uint8))
+
+    def test_shape_checks(self):
+        with pytest.raises(FieldError):
+            gfm.solve(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 4), dtype=np.uint8))
+        with pytest.raises(FieldError):
+            gfm.solve(np.zeros((2, 2), dtype=np.uint8), np.zeros((3, 4), dtype=np.uint8))
+
+
+class TestRandomMatrices:
+    def test_dense_matrix_has_no_zeros(self):
+        rng = np.random.default_rng(1)
+        m = gfm.random_matrix(16, 16, rng)
+        assert (m != 0).all()
+
+    def test_sparse_density_roughly_respected(self):
+        rng = np.random.default_rng(1)
+        m = gfm.random_matrix(64, 64, rng, density=0.25)
+        fraction = (m != 0).mean()
+        assert 0.15 < fraction < 0.35
+
+    def test_invalid_density_raises(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(FieldError):
+            gfm.random_matrix(4, 4, rng, density=0.0)
+
+    def test_random_invertible_is_invertible(self):
+        rng = np.random.default_rng(5)
+        m = gfm.random_invertible(10, rng)
+        assert gfm.rank(m) == 10

@@ -1,0 +1,92 @@
+"""Tests for GF(2^8) table construction."""
+
+import numpy as np
+import pytest
+
+from repro.gf256 import tables
+
+
+class TestLogExpTables:
+    def test_exp_is_periodic_with_period_255(self):
+        assert np.array_equal(tables.EXP[:255], tables.EXP[255:510])
+
+    def test_exp_starts_at_one(self):
+        assert tables.EXP[0] == 1
+
+    def test_log_of_zero_is_sentinel(self):
+        assert tables.LOG[0] == tables.LOG_ZERO_SENTINEL
+
+    def test_log_exp_are_inverse_bijections(self):
+        for x in range(1, 256):
+            assert tables.EXP[tables.LOG[x]] == x
+        for power in range(255):
+            assert tables.LOG[tables.EXP[power]] == power
+
+    def test_log_values_cover_0_to_254_exactly_once(self):
+        logs = sorted(int(tables.LOG[x]) for x in range(1, 256))
+        assert logs == list(range(255))
+
+    def test_generator_has_full_order(self):
+        seen = set()
+        value = 1
+        for _ in range(255):
+            seen.add(value)
+            value = tables.reference_multiply(value, tables.GENERATOR)
+        assert len(seen) == 255
+        assert value == 1  # order divides 255 and we saw 255 elements
+
+
+class TestRemappedTables:
+    """The Table-based-3 tables (Sec. 5.1.3) must agree with the originals."""
+
+    def test_zero_maps_to_zero_sentinel(self):
+        assert tables.LOG_REMAPPED[0] == tables.LOG_ZERO_SENTINEL_REMAPPED
+
+    def test_nonzero_logs_are_shifted_by_one(self):
+        for x in range(1, 256):
+            assert tables.LOG_REMAPPED[x] == (int(tables.LOG[x]) + 1) % 256
+
+    def test_no_nonzero_element_maps_to_sentinel(self):
+        assert all(tables.LOG_REMAPPED[x] != 0 for x in range(1, 256))
+
+    def test_remapped_product_matches_classic_product(self):
+        rng = np.random.default_rng(7)
+        xs = rng.integers(1, 256, size=200)
+        ys = rng.integers(1, 256, size=200)
+        for x, y in zip(xs, ys):
+            summed = int(tables.LOG_REMAPPED[x]) + int(tables.LOG_REMAPPED[y])
+            assert tables.EXP_REMAPPED[summed] == tables.MUL_TABLE[x, y]
+
+
+class TestMulTable:
+    def test_matches_reference_multiply_exhaustively_on_grid(self):
+        for a in range(0, 256, 17):
+            for b in range(256):
+                assert tables.MUL_TABLE[a, b] == tables.reference_multiply(a, b)
+
+    def test_zero_rows_and_columns(self):
+        assert not tables.MUL_TABLE[0].any()
+        assert not tables.MUL_TABLE[:, 0].any()
+
+    def test_one_is_identity(self):
+        assert np.array_equal(tables.MUL_TABLE[1], np.arange(256, dtype=np.uint8))
+
+    def test_symmetric(self):
+        assert np.array_equal(tables.MUL_TABLE, tables.MUL_TABLE.T)
+
+    def test_inverse_table(self):
+        for x in range(1, 256):
+            assert tables.MUL_TABLE[x, tables.INV[x]] == 1
+
+
+class TestReferenceMultiply:
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            tables.reference_multiply(256, 1)
+        with pytest.raises(ValueError):
+            tables.reference_multiply(1, -1)
+
+    def test_known_aes_values(self):
+        # Classic AES MixColumns examples.
+        assert tables.reference_multiply(0x57, 0x83) == 0xC1
+        assert tables.reference_multiply(0x57, 0x13) == 0xFE

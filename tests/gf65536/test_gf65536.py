@@ -1,0 +1,143 @@
+"""Tests for the GF(2^16) substrate and the field-width argument."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.gf65536 import (
+    EXP16,
+    GROUP_ORDER,
+    LOG16,
+    LOG16_ZERO_SENTINEL,
+    TABLE_BYTES,
+    gf16_add,
+    gf16_div,
+    gf16_inv,
+    gf16_mul,
+    matmul16,
+    mul16_add_row,
+    mul16_scalar,
+    reference_multiply16,
+)
+from repro.gpu import GTX280
+
+elements16 = st.integers(min_value=0, max_value=0xFFFF)
+nonzero16 = st.integers(min_value=1, max_value=0xFFFF)
+
+
+class TestTables:
+    def test_exp_covers_group(self):
+        assert len(set(EXP16[:GROUP_ORDER].tolist())) == GROUP_ORDER
+
+    def test_log_exp_round_trip_sampled(self):
+        for x in range(1, 65536, 509):
+            assert EXP16[LOG16[x]] == x
+
+    def test_log_of_zero_is_sentinel(self):
+        assert LOG16[0] == LOG16_ZERO_SENTINEL
+
+    def test_reference_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            reference_multiply16(0x10000, 1)
+
+
+class TestFieldAxioms:
+    @settings(max_examples=60, deadline=None)
+    @given(elements16, elements16)
+    def test_table_mul_matches_reference(self, x, y):
+        assert gf16_mul(x, y) == reference_multiply16(x, y)
+
+    @settings(max_examples=40, deadline=None)
+    @given(elements16, elements16, elements16)
+    def test_distributive(self, x, y, z):
+        left = gf16_mul(x, gf16_add(y, z))
+        right = gf16_add(gf16_mul(x, y), gf16_mul(x, z))
+        assert left == right
+
+    @settings(max_examples=40, deadline=None)
+    @given(nonzero16)
+    def test_inverse(self, x):
+        assert gf16_mul(x, gf16_inv(x)) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(elements16, nonzero16)
+    def test_div_inverts_mul(self, x, y):
+        assert gf16_div(gf16_mul(x, y), y) == x
+
+    def test_inv_of_zero_raises(self):
+        with pytest.raises(FieldError):
+            gf16_inv(0)
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(FieldError):
+            gf16_div(3, 0)
+
+
+class TestVectorOps:
+    def test_mul_scalar_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        row = rng.integers(0, 65536, size=64, dtype=np.uint16)
+        out = mul16_scalar(row, 0x1234)
+        for x, y in zip(row.tolist(), out.tolist()):
+            assert y == gf16_mul(x, 0x1234)
+
+    def test_mul_by_zero(self):
+        row = np.arange(8, dtype=np.uint16)
+        assert not mul16_scalar(row, 0).any()
+
+    def test_mul_add_row(self):
+        rng = np.random.default_rng(1)
+        row = rng.integers(0, 65536, size=32, dtype=np.uint16)
+        dest = np.zeros_like(row)
+        mul16_add_row(dest, row, 7)
+        assert np.array_equal(dest, mul16_scalar(row, 7))
+
+    def test_dtype_enforced(self):
+        with pytest.raises(FieldError):
+            mul16_scalar(np.zeros(4, dtype=np.uint8), 3)
+
+    def test_matmul_identity(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 65536, size=(5, 5), dtype=np.uint16)
+        eye = np.eye(5, dtype=np.uint16)
+        assert np.array_equal(matmul16(eye, a), a)
+        assert np.array_equal(matmul16(a, eye), a)
+
+    def test_matmul_matches_naive(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 65536, size=(3, 4), dtype=np.uint16)
+        b = rng.integers(0, 65536, size=(4, 5), dtype=np.uint16)
+        out = matmul16(a, b)
+        for i in range(3):
+            for j in range(5):
+                acc = 0
+                for t in range(4):
+                    acc ^= gf16_mul(int(a[i, t]), int(b[t, j]))
+                assert out[i, j] == acc
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(FieldError):
+            matmul16(
+                np.zeros((2, 3), dtype=np.uint16),
+                np.zeros((4, 2), dtype=np.uint16),
+            )
+
+
+class TestFieldWidthArgument:
+    def test_gf16_tables_exceed_shared_memory(self):
+        """The paper's Sec. 4.1 granularity argument, quantified: the
+        GF(2^16) log/exp pair cannot fit an SM's shared memory by over
+        an order of magnitude, so the GPU table schemes stop at bytes."""
+        assert TABLE_BYTES > 16 * GTX280.shared_mem_per_sm
+
+    def test_gf256_tables_fit_easily(self):
+        from repro.gf256 import EXP, LOG
+
+        assert LOG.nbytes + EXP.nbytes < GTX280.shared_mem_per_sm // 8
+
+    def test_dependence_probability_drops_with_field_width(self):
+        """The upside of GF(2^16): a random vector is dependent on a
+        full-rank-minus-one system with probability ~ 1/|F|."""
+        assert (1 / 65536) < (1 / 256)

@@ -1,0 +1,150 @@
+"""Tests for the shared-bank, coalescing and texture-cache models."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu import (
+    CoalescingModel,
+    GEFORCE_8800GT,
+    GTX280,
+    SharedMemoryModel,
+    TextureCacheModel,
+)
+
+
+class TestSharedMemoryBanks:
+    def test_word_strided_access_is_conflict_free(self):
+        model = SharedMemoryModel(GTX280)
+        addresses = [4 * i for i in range(16)]  # one word per bank
+        assert model.score_half_warp(addresses) == 1
+
+    def test_same_word_broadcasts(self):
+        model = SharedMemoryModel(GTX280)
+        assert model.score_half_warp([64] * 16) == 1
+        assert model.stats.broadcasts == 15
+
+    def test_same_bank_distinct_words_serialize(self):
+        model = SharedMemoryModel(GTX280)
+        addresses = [64 * i for i in range(16)]  # stride 64 B = bank 0 always
+        assert model.score_half_warp(addresses) == 16
+
+    def test_two_way_conflict(self):
+        model = SharedMemoryModel(GTX280)
+        addresses = [4 * (i % 8) + 64 * (i // 8) for i in range(16)]
+        # Eight banks each see two distinct words.
+        assert model.score_half_warp(addresses) == 2
+
+    def test_byte_accesses_within_one_word_broadcast(self):
+        model = SharedMemoryModel(GTX280)
+        # Four byte-lanes of one word: a single word -> broadcast round.
+        assert model.score_half_warp([0, 1, 2, 3]) == 1
+
+    def test_random_byte_accesses_average_conflict_factor(self):
+        """The paper reports ~3 conflicts per 16 requests for random byte
+        lookups into a 512-entry table held in shared memory."""
+        model = SharedMemoryModel(GTX280)
+        rng = np.random.default_rng(42)
+        for _ in range(500):
+            addresses = rng.integers(0, 512, size=16).tolist()
+            model.score_half_warp(addresses)
+        factor = model.stats.conflict_factor
+        assert 2.4 < factor < 3.6  # expected max-load of 16 balls in 16 bins
+
+    def test_cycles_for_rounds(self):
+        model = SharedMemoryModel(GTX280)
+        assert model.cycles_for_rounds(3) == 6  # 2 cycles per service round
+
+    def test_empty_group_costs_nothing(self):
+        model = SharedMemoryModel(GTX280)
+        assert model.score_half_warp([]) == 0
+
+
+class TestCoalescingRelaxed:
+    """cc1.3 (GTX 280) segment rules."""
+
+    def test_sequential_words_coalesce_to_one(self):
+        model = CoalescingModel(GTX280)
+        addresses = [4 * i for i in range(16)]  # 64 B inside one 128 B segment
+        assert model.score_half_warp(addresses, 4) == 1
+
+    def test_permuted_words_still_coalesce(self):
+        model = CoalescingModel(GTX280)
+        addresses = [4 * i for i in reversed(range(16))]
+        assert model.score_half_warp(addresses, 4) == 1
+
+    def test_straddling_two_segments(self):
+        model = CoalescingModel(GTX280)
+        addresses = [120 + 4 * i for i in range(16)]  # crosses a 128 B line
+        assert model.score_half_warp(addresses, 4) == 2
+
+    def test_scattered_words_one_transaction_each(self):
+        model = CoalescingModel(GTX280)
+        addresses = [512 * i for i in range(16)]
+        assert model.score_half_warp(addresses, 4) == 16
+
+    def test_byte_accesses_use_32_byte_segments(self):
+        model = CoalescingModel(GTX280)
+        addresses = list(range(16))  # 16 bytes inside one 32 B segment
+        assert model.score_half_warp(addresses, 1) == 1
+
+
+class TestCoalescingStrict:
+    """cc1.1 (8800 GT) in-order rules."""
+
+    def test_in_order_aligned_words_coalesce(self):
+        model = CoalescingModel(GEFORCE_8800GT)
+        addresses = [4 * i for i in range(16)]
+        assert model.score_half_warp(addresses, 4) == 1
+
+    def test_permuted_words_break_coalescing(self):
+        model = CoalescingModel(GEFORCE_8800GT)
+        addresses = [4 * i for i in reversed(range(16))]
+        assert model.score_half_warp(addresses, 4) == 16
+
+    def test_misaligned_base_breaks_coalescing(self):
+        model = CoalescingModel(GEFORCE_8800GT)
+        addresses = [8 + 4 * i for i in range(16)]
+        assert model.score_half_warp(addresses, 4) == 16
+
+    def test_byte_accesses_never_coalesce(self):
+        model = CoalescingModel(GEFORCE_8800GT)
+        assert model.score_half_warp(list(range(16)), 1) == 16
+
+
+class TestTextureCache:
+    def test_second_access_hits(self):
+        cache = TextureCacheModel(GTX280)
+        assert cache.access(100) is False
+        assert cache.access(100) is True
+
+    def test_line_granularity(self):
+        cache = TextureCacheModel(GTX280)
+        cache.access(0)
+        assert cache.access(31) is True  # same 32 B line
+        assert cache.access(32) is False  # next line
+
+    def test_half_warp_requests_to_one_line_combine(self):
+        cache = TextureCacheModel(GTX280)
+        misses = cache.access_half_warp(list(range(16)))
+        assert misses == 1
+        assert cache.stats.hit_rate > 0.9
+
+    def test_exp_table_fits_entirely(self):
+        """A 512-entry word-sized exp table occupies 2 KB = 64 lines, far
+        below the 8 KB per-TPC cache; steady state should be ~100% hits."""
+        cache = TextureCacheModel(GTX280)
+        rng = np.random.default_rng(0)
+        for _ in range(64):  # warm every line
+            cache.access_half_warp((rng.integers(0, 512, size=16) * 4).tolist())
+        before = cache.stats.line_fills
+        for _ in range(200):
+            cache.access_half_warp((rng.integers(0, 512, size=16) * 4).tolist())
+        assert cache.stats.line_fills == before  # no further fills
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=16))
+    def test_misses_bounded_by_distinct_lines(self, addresses):
+        cache = TextureCacheModel(GTX280)
+        misses = cache.access_half_warp(addresses)
+        distinct = len({a // 32 for a in addresses})
+        assert 0 <= misses <= distinct

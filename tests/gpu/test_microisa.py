@@ -1,0 +1,188 @@
+"""Instruction-level validation of the GF multiply kernels.
+
+Runs the micro-ISA programs against the lookup tables for functional
+equality and checks the retired-instruction counts against the cost
+model's per-scheme ALU constants — the paper's own style of argument,
+made executable.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gf256 import MUL_TABLE
+from repro.gpu.microisa import ExecutionResult, MicroInterpreter, ins
+from repro.gpu.microprograms import (
+    loop_multiply_early_exit_program,
+    loop_multiply_program,
+    pack_log_word,
+    remapped_exp_memory,
+    table3_multiply_program,
+)
+from repro.kernels.cost_model import ENCODE_COSTS, EncodeScheme
+
+bytes_ = st.integers(min_value=0, max_value=255)
+words = st.lists(bytes_, min_size=4, max_size=4)
+
+
+def pack_word(byte_values):
+    word = 0
+    for lane, value in enumerate(byte_values):
+        word |= value << (8 * lane)
+    return word
+
+
+def expected_product_word(coefficient, byte_values):
+    return pack_word([int(MUL_TABLE[coefficient, b]) for b in byte_values])
+
+
+class TestInterpreter:
+    def test_unknown_opcode(self):
+        with pytest.raises(ConfigurationError):
+            MicroInterpreter().run([ins("FROB", "R0"), ins("RET")])
+
+    def test_missing_ret(self):
+        with pytest.raises(ConfigurationError):
+            MicroInterpreter().run([ins("MOV", "R0", 1)])
+
+    def test_runaway_loop_detected(self):
+        program = [ins("BRA", "spin", label="spin"), ins("RET")]
+        with pytest.raises(ConfigurationError, match="exceeded"):
+            MicroInterpreter(max_steps=100).run(program)
+
+    def test_unknown_label(self):
+        with pytest.raises(ConfigurationError):
+            MicroInterpreter().run([ins("BRA", "nowhere"), ins("RET")])
+
+    def test_unknown_memory_space(self):
+        with pytest.raises(ConfigurationError):
+            MicroInterpreter().run([ins("LD", "R0", "void", 0), ins("RET")])
+
+    def test_predication_suppresses_effect_but_retires(self):
+        program = [
+            ins("SETP", "p", "eq", 1, 2),  # false
+            ins("MOV", "R0", 99, pred="p"),
+            ins("RET"),
+        ]
+        result = MicroInterpreter().run(program)
+        assert result.value == 0
+        assert result.retired == 3  # guarded-off MOV still issued
+
+    def test_npred_guard(self):
+        program = [
+            ins("SETP", "p", "eq", 1, 1),  # true
+            ins("MOV", "R0", 7, npred="p"),  # suppressed
+            ins("MOV", "R1", 9, pred="p"),
+            ins("RET"),
+        ]
+        assert MicroInterpreter().run(program).value == 0
+
+    def test_store_and_load(self):
+        memory = [0] * 4
+        program = [
+            ins("ST", "scratch", 2, 42),
+            ins("LD", "R0", "scratch", 2),
+            ins("RET"),
+        ]
+        result = MicroInterpreter().run(program, memories={"scratch": memory})
+        assert result.value == 42
+        assert memory[2] == 42
+        assert result.memory_loads == 1
+        assert result.memory_stores == 1
+
+
+class TestLoopMultiply:
+    @settings(max_examples=60, deadline=None)
+    @given(bytes_, words)
+    def test_functional_equality(self, coefficient, byte_values):
+        result = MicroInterpreter().run(
+            loop_multiply_program(),
+            registers={"C": coefficient, "W": pack_word(byte_values)},
+        )
+        assert result.value == expected_product_word(coefficient, byte_values)
+
+    def test_instruction_count_matches_cost_model(self):
+        """8 iterations x 10 instructions + prologue/RET: the count the
+        loop-based ALU constant (82, including loop control) asserts."""
+        result = MicroInterpreter().run(
+            loop_multiply_program(), registers={"C": 0xA5, "W": 0x01020304}
+        )
+        model = ENCODE_COSTS[EncodeScheme.LOOP_BASED].alu
+        assert result.retired == pytest.approx(model, abs=4)
+
+    def test_no_branches_in_fixed_variant(self):
+        result = MicroInterpreter().run(
+            loop_multiply_program(), registers={"C": 0xFF, "W": 0xDEADBEEF}
+        )
+        assert result.branches_taken == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=255), words)
+    def test_early_exit_variant_matches(self, coefficient, byte_values):
+        result = MicroInterpreter().run(
+            loop_multiply_early_exit_program(),
+            registers={"C": coefficient, "W": pack_word(byte_values)},
+        )
+        assert result.value == expected_product_word(coefficient, byte_values)
+
+    def test_early_exit_averages_about_seven_iterations(self):
+        """The paper's 'average 7 iterations per GF-multiplication in a
+        random test': measured on the actual ISA program."""
+        rng = np.random.default_rng(0)
+        interpreter = MicroInterpreter()
+        branch_counts = []
+        for _ in range(300):
+            coefficient = int(rng.integers(1, 256))
+            result = interpreter.run(
+                loop_multiply_early_exit_program(),
+                registers={"C": coefficient, "W": 0x11223344},
+            )
+            # One backward branch per extra iteration.
+            branch_counts.append(result.branches_taken + 1)
+        assert np.mean(branch_counts) == pytest.approx(7.0, abs=0.5)
+
+
+class TestTable3Multiply:
+    def run(self, coefficient, byte_values):
+        from repro.gf256 import LOG_REMAPPED
+
+        return MicroInterpreter().run(
+            table3_multiply_program(),
+            registers={
+                "LC": int(LOG_REMAPPED[coefficient]),
+                "LW": pack_log_word(byte_values),
+            },
+            memories={"exp": remapped_exp_memory()},
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(bytes_, words)
+    def test_functional_equality(self, coefficient, byte_values):
+        result = self.run(coefficient, byte_values)
+        assert result.value == expected_product_word(coefficient, byte_values)
+
+    def test_completely_branch_free(self):
+        """TB-3's whole point: zero handling by predication, zero
+        divergent branches even for zero-heavy operands."""
+        for coefficient, byte_values in [(0, [0, 0, 0, 0]), (7, [0, 1, 0, 9]),
+                                         (0, [1, 2, 3, 4]), (255, [255] * 4)]:
+            result = self.run(coefficient, byte_values)
+            assert result.branches_taken == 0
+
+    def test_alu_count_matches_cost_model(self):
+        """Retired minus memory lookups ~= the TB-3 ALU constant (28);
+        the four LDs are charged separately as shared-memory cycles."""
+        result = self.run(0x37, [1, 2, 3, 4])
+        alu_retired = result.retired - result.memory_loads
+        model = ENCODE_COSTS[EncodeScheme.TABLE_3].alu
+        assert alu_retired == pytest.approx(model, abs=8)
+        assert result.memory_loads == 4
+
+    def test_fewer_instructions_than_loop_based(self):
+        loop = MicroInterpreter().run(
+            loop_multiply_program(), registers={"C": 0x37, "W": 0x01020304}
+        )
+        table = self.run(0x37, [4, 3, 2, 1])
+        assert table.retired < 0.6 * loop.retired

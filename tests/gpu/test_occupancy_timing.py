@@ -1,0 +1,129 @@
+"""Tests for the occupancy/latency-hiding model and cycle accounting."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpu import (
+    GTX280,
+    KernelStats,
+    blocks_resident_per_sm,
+    latency_hiding_efficiency,
+    occupancy,
+    warps_per_block,
+)
+
+
+class TestResidency:
+    def test_encode_configuration(self):
+        """The paper's encode kernel uses 256-thread blocks; four fit the
+        1024-thread SM limit."""
+        assert blocks_resident_per_sm(GTX280, 256) == 4
+
+    def test_shared_memory_limits_residency(self):
+        # A block using 9 KB of the 16 KB shared memory -> one resident.
+        assert blocks_resident_per_sm(GTX280, 64, shared_mem_per_block=9000) == 1
+
+    def test_register_pressure_limits_residency(self):
+        resident = blocks_resident_per_sm(GTX280, 256, registers_per_thread=32)
+        assert resident == 2  # 256*32=8192 regs/block of 16384
+
+    def test_max_blocks_cap(self):
+        assert blocks_resident_per_sm(GTX280, 32) == 8  # cc limit, not 1024/32
+
+    def test_oversized_block_raises(self):
+        with pytest.raises(LaunchError):
+            blocks_resident_per_sm(GTX280, 1024)
+
+    def test_oversized_shared_raises(self):
+        with pytest.raises(LaunchError):
+            blocks_resident_per_sm(GTX280, 64, shared_mem_per_block=20_000)
+
+    def test_zero_threads_raises(self):
+        with pytest.raises(LaunchError):
+            blocks_resident_per_sm(GTX280, 0)
+
+
+class TestOccupancy:
+    def test_full_encode_occupancy(self):
+        warps = occupancy(GTX280, 256)
+        assert warps == pytest.approx(32.0)  # 4 blocks x 8 warps
+
+    def test_grid_limited_occupancy(self):
+        warps = occupancy(GTX280, 256, grid_blocks_per_sm=1.0)
+        assert warps == pytest.approx(8.0)
+
+    def test_decode_at_tiny_k_is_warp_starved(self):
+        # Single-segment decode at (n=128, k=512): 66 threads on one block.
+        warps = occupancy(GTX280, 66, grid_blocks_per_sm=1.0)
+        assert warps < 2.5
+
+    def test_warps_per_block_fractional(self):
+        assert warps_per_block(GTX280, 48) == pytest.approx(1.5)
+
+
+class TestLatencyHiding:
+    def test_monotone_increasing(self):
+        values = [latency_hiding_efficiency(w) for w in (0.5, 1, 2, 4, 8, 16, 32)]
+        assert values == sorted(values)
+
+    def test_saturates_near_one(self):
+        assert latency_hiding_efficiency(32) > 0.99
+
+    def test_encode_regime_exceeds_90_percent(self):
+        """At full occupancy the paper measures 91% of peak (Sec. 4.3)."""
+        assert latency_hiding_efficiency(occupancy(GTX280, 256)) > 0.9
+
+    def test_single_warp_is_poor(self):
+        assert latency_hiding_efficiency(1) < 0.3
+
+    def test_zero_warps(self):
+        assert latency_hiding_efficiency(0) == 0.0
+
+
+class TestKernelStats:
+    def test_compute_bound_time(self):
+        stats = KernelStats(alu_cycles=GTX280.peak_gips, efficiency=1.0)
+        # One second of perfectly parallel work plus launch overhead.
+        assert stats.time_seconds(GTX280) == pytest.approx(
+            1.0 + GTX280.kernel_launch_overhead_s
+        )
+
+    def test_memory_bound_time(self):
+        stats = KernelStats(gmem_bytes=GTX280.mem_bandwidth_bytes)
+        assert stats.memory_time(GTX280) == pytest.approx(1.0)
+        assert stats.time_seconds(GTX280) > 1.0
+
+    def test_roofline_takes_max(self):
+        compute_heavy = KernelStats(
+            alu_cycles=GTX280.peak_gips, gmem_bytes=GTX280.mem_bandwidth_bytes / 100
+        )
+        assert compute_heavy.time_seconds(GTX280) == pytest.approx(
+            compute_heavy.compute_time(GTX280) + GTX280.kernel_launch_overhead_s
+        )
+
+    def test_serial_cycles_charged_at_single_sp_rate(self):
+        stats = KernelStats(serial_cycles=GTX280.shader_clock_hz)
+        assert stats.compute_time(GTX280) == pytest.approx(1.0)
+
+    def test_efficiency_inflates_time(self):
+        fast = KernelStats(alu_cycles=1e9, efficiency=1.0)
+        slow = KernelStats(alu_cycles=1e9, efficiency=0.5)
+        assert slow.compute_time(GTX280) == pytest.approx(
+            2 * fast.compute_time(GTX280)
+        )
+
+    def test_utilization(self):
+        stats = KernelStats(alu_cycles=GTX280.peak_gips, efficiency=1.0)
+        assert 0.9 < stats.utilization(GTX280) <= 1.0
+
+    def test_merge_adds_work_and_preserves_time(self):
+        a = KernelStats(alu_cycles=1e9, efficiency=1.0)
+        b = KernelStats(alu_cycles=1e9, efficiency=0.5)
+        merged = a.merge(b)
+        assert merged.alu_cycles == pytest.approx(2e9)
+        assert merged.launches == 2
+        expected_time = (
+            a.compute_time(GTX280)
+            + b.compute_time(GTX280)
+        )
+        assert merged.compute_time(GTX280) == pytest.approx(expected_time, rel=1e-6)

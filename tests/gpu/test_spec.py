@@ -1,0 +1,69 @@
+"""Tests for device specifications."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import DEVICE_PRESETS, GEFORCE_8800GT, GTX280, DeviceSpec, device_by_name
+
+
+class TestPresets:
+    def test_gtx280_matches_paper(self):
+        assert GTX280.total_cores == 240
+        assert GTX280.num_sms == 30
+        assert GTX280.shader_clock_hz == pytest.approx(1.458e9)
+        assert GTX280.mem_bandwidth_bytes == pytest.approx(155e9)
+        assert GTX280.has_shared_atomics
+
+    def test_8800gt_matches_paper(self):
+        assert GEFORCE_8800GT.total_cores == 112
+        assert GEFORCE_8800GT.shader_clock_hz == pytest.approx(1.5e9)
+        assert GEFORCE_8800GT.mem_bandwidth_bytes == pytest.approx(57.6e9)
+        assert not GEFORCE_8800GT.has_shared_atomics
+        assert not GEFORCE_8800GT.relaxed_coalescing
+
+    def test_gtx280_has_roughly_twice_the_compute(self):
+        ratio = GTX280.peak_gips / GEFORCE_8800GT.peak_gips
+        assert 1.9 < ratio < 2.2  # "almost twice the computing power"
+
+    def test_gtx280_memory_bandwidth_more_than_double(self):
+        ratio = GTX280.mem_bandwidth_bytes / GEFORCE_8800GT.mem_bandwidth_bytes
+        assert ratio > 2.0  # "155 GB/s vs 57.6 GB/s"
+
+    def test_derived_quantities(self):
+        assert GTX280.half_warp == 16
+        assert GTX280.num_tpcs == 10  # 30 SMs, 3 per TPC
+        assert GEFORCE_8800GT.num_tpcs == 7
+
+    def test_lookup(self):
+        assert device_by_name("GTX280") is GTX280
+        assert device_by_name("8800gt") is GEFORCE_8800GT
+        with pytest.raises(ConfigurationError):
+            device_by_name("voodoo2")
+        assert set(DEVICE_PRESETS) == {
+            "gtx280", "8800gt", "gtx280-32k", "gtx280-64bit",
+        }
+
+
+class TestValidation:
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(
+                name="bad",
+                num_sms=0,
+                sps_per_sm=8,
+                shader_clock_hz=1e9,
+                mem_bandwidth_bytes=1e9,
+                memory_bytes=1,
+            )
+
+    def test_rejects_warp_not_multiple_of_banks(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(
+                name="bad",
+                num_sms=1,
+                sps_per_sm=8,
+                shader_clock_hz=1e9,
+                mem_bandwidth_bytes=1e9,
+                memory_bytes=1,
+                warp_size=24,
+            )

@@ -1,0 +1,39 @@
+"""Tests for the PCIe transfer model."""
+
+import pytest
+
+from repro.gpu import GTX280, TransferStats
+
+
+class TestTransferStats:
+    def test_bandwidth_limited_time(self):
+        stats = TransferStats(bytes_to_device=GTX280.pcie_bandwidth_bytes)
+        assert stats.time_seconds(GTX280) == pytest.approx(1.0, rel=0.01)
+
+    def test_per_transfer_latency(self):
+        many = TransferStats(bytes_to_device=1024, transfers=100)
+        one = TransferStats(bytes_to_device=1024, transfers=1)
+        assert many.time_seconds(GTX280) > one.time_seconds(GTX280)
+
+    def test_both_directions_accumulate(self):
+        stats = TransferStats(
+            bytes_to_device=1e9, bytes_to_host=1e9, transfers=2
+        )
+        only_up = TransferStats(bytes_to_device=1e9, transfers=2)
+        assert stats.time_seconds(GTX280) > only_up.time_seconds(GTX280)
+
+    def test_segment_upload_is_negligible_vs_serving(self):
+        """Sec. 5.1.2's deployment premise: uploading a 512 KB segment
+        once is trivial next to generating thousands of coded blocks
+        from it."""
+        from repro.kernels import EncodeScheme, encode_stats
+
+        upload = TransferStats(bytes_to_device=512 * 1024, transfers=1)
+        serve = encode_stats(
+            GTX280,
+            EncodeScheme.TABLE_5,
+            num_blocks=128,
+            block_size=4096,
+            coded_rows=177_333,  # the paper's live-session block budget
+        )
+        assert upload.time_seconds(GTX280) < 0.01 * serve.time_seconds(GTX280)

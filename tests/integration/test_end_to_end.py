@@ -1,0 +1,143 @@
+"""Cross-module integration tests: the full pipelines a deployment runs."""
+
+import numpy as np
+import pytest
+
+from repro import CodingParams, MultiSegmentDecoder, Recoder, Segment
+from repro.gpu import GTX280, GEFORCE_8800GT
+from repro.kernels import (
+    EncodeScheme,
+    GpuEncoder,
+    GpuMultiSegmentDecoder,
+    GpuSingleSegmentDecoder,
+)
+from repro.cpu import MAC_PRO, CpuDecoder, CpuEncoder
+from repro.rlnc import CodedBlock, interleave_round_robin, split_into_segments
+from repro.streaming import MediaProfile, StreamingServer
+
+
+class TestGpuEncodeGpuDecode:
+    def test_table5_encode_multiseg_decode_round_trip(self):
+        """The paper's flagship pipeline: TB-5 encoding on the server,
+        two-stage multi-segment decoding on the receiver."""
+        params = CodingParams(8, 32)
+        rng = np.random.default_rng(0)
+        encoder = GpuEncoder(GTX280, EncodeScheme.TABLE_5)
+        segments = [Segment.random(params, rng, segment_id=i) for i in range(3)]
+        per_segment = {}
+        for segment in segments:
+            encoder.upload_segment(segment)
+            result = encoder.encode(segment, params.num_blocks + 2, rng)
+            per_segment[segment.segment_id] = [
+                CodedBlock(
+                    coefficients=result.coefficients[i],
+                    payload=result.payloads[i],
+                    segment_id=segment.segment_id,
+                )
+                for i in range(params.num_blocks + 2)
+            ]
+        decoder = GpuMultiSegmentDecoder(GTX280)
+        decoded = decoder.decode(params, per_segment)
+        for original, recovered in zip(segments, decoded.segments):
+            assert np.array_equal(recovered.blocks, original.blocks)
+
+    def test_8800gt_encode_decodes_on_gtx280_decoder(self):
+        """Blocks are device-agnostic: coded on one GPU, decoded on another."""
+        params = CodingParams(6, 16)
+        rng = np.random.default_rng(1)
+        segment = Segment.random(params, rng)
+        encoder = GpuEncoder(GEFORCE_8800GT, EncodeScheme.LOOP_BASED)
+        result = encoder.encode(segment, 8, rng)
+        blocks = [
+            CodedBlock(coefficients=result.coefficients[i], payload=result.payloads[i])
+            for i in range(8)
+        ]
+        decoded = GpuSingleSegmentDecoder(GTX280).decode(params, blocks)
+        assert np.array_equal(decoded.segments[0].blocks, segment.blocks)
+
+
+class TestCrossSubstrate:
+    def test_cpu_encode_gpu_decode(self):
+        params = CodingParams(8, 16)
+        rng = np.random.default_rng(2)
+        segment = Segment.random(params, rng)
+        result = CpuEncoder(MAC_PRO).encode(segment, 10, rng)
+        blocks = [
+            CodedBlock(coefficients=result.coefficients[i], payload=result.payloads[i])
+            for i in range(10)
+        ]
+        decoded = GpuSingleSegmentDecoder(GTX280).decode(params, blocks)
+        assert np.array_equal(decoded.segments[0].blocks, segment.blocks)
+
+    def test_gpu_encode_cpu_decode(self):
+        params = CodingParams(8, 16)
+        rng = np.random.default_rng(3)
+        segment = Segment.random(params, rng)
+        result = GpuEncoder(GTX280, EncodeScheme.TABLE_3).encode(segment, 10, rng)
+        blocks = [
+            CodedBlock(coefficients=result.coefficients[i], payload=result.payloads[i])
+            for i in range(10)
+        ]
+        decoded = CpuDecoder(MAC_PRO).decode_single(params, blocks)
+        assert np.array_equal(decoded.segments[0].blocks, segment.blocks)
+
+
+class TestServerToPeersWithRelay:
+    def test_streaming_through_a_recoding_relay(self):
+        """Server -> relay (recodes) -> peer, across multiple segments."""
+        profile = MediaProfile(params=CodingParams(6, 24))
+        rng = np.random.default_rng(4)
+        server = StreamingServer(GTX280, profile, rng=rng)
+        content = bytes(range(256)) * 2  # 512 bytes
+        segments = split_into_segments(content, profile.params)
+        for segment in segments:
+            server.publish_segment(segment)
+        server.connect(1)
+
+        relay_rng = np.random.default_rng(5)
+        receiver = MultiSegmentDecoder(profile.params)
+        for segment in segments:
+            relay = Recoder(profile.params, segment_id=segment.segment_id)
+            for block in server.serve(1, segment.segment_id, 6):
+                relay.add(block)
+            guard = 0
+            while not receiver.decoder_for(segment.segment_id).is_complete:
+                receiver.consume(relay.recode(relay_rng))
+                guard += 1
+                assert guard < 100
+        recovered = receiver.recover_bytes(len(segments), len(content))
+        assert recovered == content
+
+    def test_interleaved_multisegment_delivery(self):
+        profile = MediaProfile(params=CodingParams(4, 16))
+        rng = np.random.default_rng(6)
+        server = StreamingServer(GTX280, profile, rng=rng)
+        content = bytes(200)
+        segments = split_into_segments(content, profile.params)
+        for segment in segments:
+            server.publish_segment(segment)
+        server.connect(9)
+        block_lists = [
+            server.serve(9, segment.segment_id, 6) for segment in segments
+        ]
+        receiver = MultiSegmentDecoder(profile.params)
+        for block in interleave_round_robin(block_lists, rng):
+            receiver.consume(block)
+        assert receiver.recover_bytes(len(segments), len(content)) == content
+
+
+class TestTimingConsistency:
+    def test_faster_scheme_serves_more_peers(self):
+        """Timing feeds capacity: TB-5 sustains more peers than LB."""
+        from repro.streaming import peers_supported_by_coding, REFERENCE_PROFILE
+        from repro.kernels import encode_bandwidth
+
+        slow = encode_bandwidth(
+            GTX280, EncodeScheme.LOOP_BASED, num_blocks=128, block_size=4096
+        )
+        fast = encode_bandwidth(
+            GTX280, EncodeScheme.TABLE_5, num_blocks=128, block_size=4096
+        )
+        assert peers_supported_by_coding(fast, REFERENCE_PROFILE) > 2 * (
+            peers_supported_by_coding(slow, REFERENCE_PROFILE)
+        )

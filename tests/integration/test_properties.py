@@ -1,0 +1,152 @@
+"""Property-based end-to-end invariants across the whole stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf256 import matmul
+from repro.rlnc import (
+    CodingParams,
+    Encoder,
+    LossyChannel,
+    ProgressiveDecoder,
+    Recoder,
+    Segment,
+    blocks_needed_over_lossy_channel,
+    decode_stream,
+    encode_stream,
+)
+
+geometries = st.tuples(
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=1, max_value=24),
+)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+class TestEndToEndProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(geometries, seeds, st.floats(min_value=0.0, max_value=0.4))
+    def test_decode_through_loss(self, geometry, seed, loss):
+        """For any geometry and loss < 40%, a sufficiently provisioned
+        sender gets the segment across."""
+        n, k = geometry
+        rng = np.random.default_rng(seed)
+        segment = Segment.random(CodingParams(n, k), rng)
+        budget = blocks_needed_over_lossy_channel(n, loss, safety=2.5) + 8
+        blocks = Encoder(segment, rng).encode_blocks(budget)
+        survivors = LossyChannel(loss, rng).transmit(blocks)
+        decoder = ProgressiveDecoder(segment.params)
+        for block in survivors:
+            if decoder.is_complete:
+                break
+            decoder.consume(block)
+        if decoder.is_complete:  # overwhelming probability
+            assert np.array_equal(
+                decoder.recover_segment().blocks, segment.blocks
+            )
+        else:  # only possible when loss ate the safety margin
+            assert len(survivors) < n or decoder.discarded > 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(geometries, seeds, st.integers(min_value=1, max_value=4))
+    def test_recoding_chain_preserves_combination_law(self, geometry, seed, depth):
+        """After any chain of recoders, every block's payload equals its
+        coefficient vector applied to the original source blocks."""
+        n, k = geometry
+        rng = np.random.default_rng(seed)
+        segment = Segment.random(CodingParams(n, k), rng)
+        blocks = Encoder(segment, rng).encode_blocks(n)
+        for _ in range(depth):
+            relay = Recoder(segment.params)
+            for block in blocks:
+                relay.add(block)
+            blocks = relay.recode_batch(n, rng)
+        for block in blocks:
+            expected = matmul(block.coefficients[None, :], segment.blocks)[0]
+            assert np.array_equal(block.payload, expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(geometries, seeds)
+    def test_wire_round_trip_preserves_decodability(self, geometry, seed):
+        n, k = geometry
+        rng = np.random.default_rng(seed)
+        segment = Segment.random(CodingParams(n, k), rng)
+        blocks = Encoder(segment, rng).encode_blocks(n + 2)
+        parsed = decode_stream(encode_stream(blocks))
+        decoder = ProgressiveDecoder(segment.params)
+        for block in parsed:
+            if decoder.is_complete:
+                break
+            decoder.consume(block)
+        assert decoder.is_complete
+        assert np.array_equal(decoder.recover_segment().blocks, segment.blocks)
+
+    @settings(max_examples=15, deadline=None)
+    @given(geometries, seeds)
+    def test_arrival_order_is_irrelevant(self, geometry, seed):
+        """Any permutation of a decodable block set decodes to the same
+        segment."""
+        n, k = geometry
+        rng = np.random.default_rng(seed)
+        segment = Segment.random(CodingParams(n, k), rng)
+        blocks = Encoder(segment, rng).encode_blocks(n + 2)
+        order = rng.permutation(len(blocks))
+        decoder = ProgressiveDecoder(segment.params)
+        for index in order:
+            if decoder.is_complete:
+                break
+            decoder.consume(blocks[int(index)])
+        assert decoder.is_complete
+        assert np.array_equal(decoder.recover_segment().blocks, segment.blocks)
+
+
+class TestStatisticalProperties:
+    def test_expected_extra_blocks_is_tiny_for_gf256(self):
+        """Sec. 2's 'little overhead': ~0.004 extra blocks regardless of n."""
+        from repro.rlnc.stats import expected_extra_blocks
+
+        assert expected_extra_blocks(128) < 0.005
+        assert expected_extra_blocks(1024) < 0.005
+
+    def test_innovative_probability_boundaries(self):
+        from repro.rlnc.stats import innovative_probability
+
+        assert innovative_probability(0, 8) == pytest.approx(1.0, abs=1e-9)
+        assert innovative_probability(8, 8) == 0.0
+        assert innovative_probability(7, 8) == pytest.approx(1 - 1 / 256)
+
+    def test_full_rank_probability_matches_empirical(self):
+        from repro.gf256 import random_matrix, rank
+        from repro.rlnc.stats import full_rank_probability
+
+        theory = full_rank_probability(16)
+        rng = np.random.default_rng(0)
+        hits = sum(
+            rank(random_matrix(16, 16, rng)) == 16 for _ in range(300)
+        )
+        assert hits / 300 == pytest.approx(theory, abs=0.03)
+
+    def test_measured_overhead_close_to_theory(self):
+        from repro.rlnc.stats import measure_reception_overhead
+
+        measured = measure_reception_overhead(
+            16, 4, np.random.default_rng(1), trials=20
+        )
+        assert 1.0 <= measured < 1.1
+
+    def test_rank_tracker(self):
+        from repro.rlnc.stats import RankTracker
+
+        rng = np.random.default_rng(2)
+        segment = Segment.random(CodingParams(6, 4), rng)
+        encoder = Encoder(segment, rng)
+        decoder = ProgressiveDecoder(segment.params)
+        tracker = RankTracker()
+        for _ in range(6):
+            decoder.consume(encoder.encode_block())
+            tracker.observe(decoder)
+        assert tracker.deliveries == 6
+        assert tracker.completion_fraction(6) == pytest.approx(decoder.rank / 6)
+        assert tracker.stalled_deliveries == 6 - decoder.rank

@@ -1,0 +1,66 @@
+"""Tests for encode-scheme autotuning."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import GTX280, GTX280_32K_PROJECTION
+from repro.kernels import EncodeScheme
+from repro.kernels.autotune import best_encode_scheme
+
+
+class TestBestScheme:
+    def test_streaming_regime_picks_tb5(self):
+        """Large batches amortize preprocessing: TB-5 wins (the paper's
+        server conclusion)."""
+        result = best_encode_scheme(
+            GTX280, num_blocks=128, block_size=4096, coded_rows=1024
+        )
+        assert result.scheme is EncodeScheme.TABLE_5
+        assert result.margin_over(EncodeScheme.LOOP_BASED) == pytest.approx(
+            2.16, rel=0.05
+        )
+
+    def test_tiny_batch_shrinks_the_table_margin(self):
+        """One coded block per segment barely amortizes the log-domain
+        preprocessing and its extra kernel launches: TB-5 still wins,
+        but its 2.2x streaming-regime margin collapses."""
+        tiny = best_encode_scheme(
+            GTX280, num_blocks=128, block_size=512, coded_rows=1
+        )
+        streaming = best_encode_scheme(
+            GTX280, num_blocks=128, block_size=4096, coded_rows=1024
+        )
+        tiny_margin = tiny.margin_over(EncodeScheme.LOOP_BASED)
+        streaming_margin = streaming.margin_over(EncodeScheme.LOOP_BASED)
+        assert tiny_margin < 0.7 * streaming_margin
+
+    def test_ranking_is_complete_and_sorted(self):
+        result = best_encode_scheme(
+            GTX280, num_blocks=128, block_size=4096, coded_rows=512
+        )
+        schemes = [scheme for scheme, _ in result.ranking]
+        assert set(schemes) == set(EncodeScheme)
+        rates = [rate for _, rate in result.ranking]
+        assert rates == sorted(rates, reverse=True)
+        assert result.bandwidth == rates[0]
+
+    def test_projection_device_still_prefers_tb5(self):
+        result = best_encode_scheme(
+            GTX280_32K_PROJECTION,
+            num_blocks=128,
+            block_size=4096,
+            coded_rows=1024,
+        )
+        assert result.scheme is EncodeScheme.TABLE_5
+        assert result.bandwidth > 320e6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            best_encode_scheme(
+                GTX280, num_blocks=8, block_size=64, coded_rows=0
+            )
+        result = best_encode_scheme(
+            GTX280, num_blocks=8, block_size=64, coded_rows=8
+        )
+        with pytest.raises(ConfigurationError):
+            result.margin_over("not-a-scheme")

@@ -1,0 +1,87 @@
+"""Tests for the kernel cost-breakdown reporting."""
+
+import pytest
+
+from repro.gpu import GTX280, GTX280_32K_PROJECTION
+from repro.kernels import (
+    EncodeScheme,
+    SchemeBreakdown,
+    render_breakdown_table,
+    scheme_breakdown,
+    scheme_cost_for,
+    workload_roofline,
+)
+
+
+class TestSchemeBreakdown:
+    def test_totals_match_cost_model(self):
+        for scheme in EncodeScheme:
+            breakdown = scheme_breakdown(GTX280, scheme)
+            expected = scheme_cost_for(GTX280, scheme).cycles_per_word_mult()
+            assert breakdown.total == pytest.approx(expected), scheme
+
+    def test_loop_based_is_pure_alu(self):
+        breakdown = scheme_breakdown(GTX280, EncodeScheme.LOOP_BASED)
+        assert breakdown.fraction("alu") == 1.0
+        assert breakdown.smem_cycles == 0.0
+
+    def test_table4_is_the_only_texture_user(self):
+        for scheme in EncodeScheme:
+            breakdown = scheme_breakdown(GTX280, scheme)
+            if scheme is EncodeScheme.TABLE_4:
+                assert breakdown.tex_cycles > 0
+            else:
+                assert breakdown.tex_cycles == 0.0
+
+    def test_tb5_conflict_reduction_visible(self):
+        tb1 = scheme_breakdown(GTX280, EncodeScheme.TABLE_1)
+        tb5 = scheme_breakdown(GTX280, EncodeScheme.TABLE_5)
+        assert tb5.smem_cycles < 0.5 * tb1.smem_cycles
+
+    def test_projection_changes_breakdown(self):
+        stock = scheme_breakdown(GTX280, EncodeScheme.TABLE_5)
+        projected = scheme_breakdown(GTX280_32K_PROJECTION, EncodeScheme.TABLE_5)
+        assert projected.smem_cycles < stock.smem_cycles
+
+    def test_fraction_of_empty_breakdown(self):
+        empty = SchemeBreakdown(
+            scheme=EncodeScheme.LOOP_BASED,
+            alu_cycles=0.0,
+            smem_cycles=0.0,
+            tex_cycles=0.0,
+            gmem_table_cycles=0.0,
+        )
+        assert empty.fraction("alu") == 0.0
+
+
+class TestRoofline:
+    def test_encode_is_compute_bound(self):
+        roofline = workload_roofline(
+            GTX280,
+            EncodeScheme.TABLE_5,
+            num_blocks=128,
+            block_size=4096,
+            coded_rows=1024,
+        )
+        assert roofline.bound == "compute"
+        assert roofline.balance < 1.0
+
+    def test_balance_definition(self):
+        roofline = workload_roofline(
+            GTX280,
+            EncodeScheme.LOOP_BASED,
+            num_blocks=128,
+            block_size=4096,
+            coded_rows=256,
+        )
+        assert roofline.balance == pytest.approx(
+            roofline.memory_seconds / roofline.compute_seconds
+        )
+
+
+class TestRendering:
+    def test_table_lists_every_scheme(self):
+        table = render_breakdown_table(GTX280)
+        for scheme in EncodeScheme:
+            assert scheme.value in table
+        assert "GTX 280" in table

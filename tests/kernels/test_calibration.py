@@ -1,0 +1,170 @@
+"""Calibration tests: the cost model must reproduce the paper's numbers.
+
+Each anchor below is a number printed in the paper (Secs. 4.3, 5.1, 5.2,
+Figs. 4 and 6-9).  Tolerances are tight (5%) for the encoding ladder the
+model was calibrated against and looser (35%) for decoding, where the
+paper reports ranges rather than exact points.
+"""
+
+import pytest
+
+from repro.gpu import GEFORCE_8800GT, GTX280
+from repro.kernels import (
+    EncodeScheme,
+    decode_multi_segment_bandwidth,
+    decode_multi_segment_stats,
+    decode_single_segment_bandwidth,
+    encode_bandwidth,
+    encode_stats,
+)
+
+MB = 1e6
+
+
+def enc(spec, scheme, n, k=4096):
+    return encode_bandwidth(spec, scheme, num_blocks=n, block_size=k) / MB
+
+
+class TestEncodeAnchors:
+    """Fig. 4(a), Fig. 7 and Fig. 8 anchors on the GTX 280."""
+
+    @pytest.mark.parametrize(
+        "scheme,target",
+        [
+            (EncodeScheme.LOOP_BASED, 133),
+            (EncodeScheme.TABLE_0, 98),
+            (EncodeScheme.TABLE_1, 172),
+            (EncodeScheme.TABLE_2, 193),
+            (EncodeScheme.TABLE_3, 208),
+            (EncodeScheme.TABLE_4, 239),
+            (EncodeScheme.TABLE_5, 294),
+        ],
+    )
+    def test_fig7_ladder_at_n128(self, scheme, target):
+        assert enc(GTX280, scheme, 128) == pytest.approx(target, rel=0.05)
+
+    @pytest.mark.parametrize("n,target", [(128, 133), (256, 66), (512, 33.6)])
+    def test_fig4a_loop_based_scales_inversely_with_n(self, n, target):
+        assert enc(GTX280, EncodeScheme.LOOP_BASED, n) == pytest.approx(
+            target, rel=0.13
+        )
+
+    @pytest.mark.parametrize(
+        "n,target", [(128, 294), (256, 147), (512, 73.5), (1024, 36.6)]
+    )
+    def test_fig8_best_encoding(self, n, target):
+        assert enc(GTX280, EncodeScheme.TABLE_5, n) == pytest.approx(
+            target, rel=0.07
+        )
+
+    def test_headline_2_2x_table_over_loop(self):
+        ratio = enc(GTX280, EncodeScheme.TABLE_5, 128) / enc(
+            GTX280, EncodeScheme.LOOP_BASED, 128
+        )
+        assert ratio == pytest.approx(2.2, rel=0.07)
+
+    def test_gtx280_doubles_8800gt(self):
+        """Fig. 4(a): 'encoding in GTX 280 achieves a rate almost twice
+        of 8800 GT, a linear speedup, across all coding settings'."""
+        for n in (128, 256, 512):
+            ratio = enc(GTX280, EncodeScheme.LOOP_BASED, n) / enc(
+                GEFORCE_8800GT, EncodeScheme.LOOP_BASED, n
+            )
+            assert 1.8 < ratio < 2.4
+
+    def test_encoding_nearly_k_independent(self):
+        """Fig. 6: table-based rates are flat across block sizes."""
+        rates = [
+            enc(GTX280, EncodeScheme.TABLE_5, 128, k)
+            for k in (512, 4096, 32768)
+        ]
+        assert max(rates) / min(rates) < 1.25
+
+
+class TestUtilizationAnchors:
+    """Sec. 4.3: encoding sustains ~91% of peak; traffic is tiny."""
+
+    def test_gf_mult_utilization(self):
+        stats = encode_stats(
+            GTX280,
+            EncodeScheme.LOOP_BASED,
+            num_blocks=128,
+            block_size=4096,
+            coded_rows=1024,
+        )
+        utilization = stats.utilization(GTX280)
+        assert 0.85 < utilization <= 1.0
+
+    def test_gf_mults_per_second(self):
+        """4463 million word-mults/second at the n=128 setting."""
+        rate = encode_bandwidth(
+            GTX280, EncodeScheme.LOOP_BASED, num_blocks=128, block_size=4096
+        )
+        word_mults_per_second = rate / 4 * 128
+        assert word_mults_per_second == pytest.approx(4.46e9, rel=0.1)
+
+    def test_encoding_is_compute_bound(self):
+        stats = encode_stats(
+            GTX280,
+            EncodeScheme.LOOP_BASED,
+            num_blocks=128,
+            block_size=4096,
+            coded_rows=1024,
+        )
+        assert stats.memory_time(GTX280) < 0.25 * stats.compute_time(GTX280)
+
+
+class TestDecodeAnchors:
+    def test_peak_multi_segment_rate(self):
+        """Abstract: 'decoding rates up to 254 MB/s' (n=128, 60 seg)."""
+        rate = (
+            decode_multi_segment_bandwidth(
+                GTX280, num_blocks=128, block_size=16384, num_segments=60
+            )
+            / MB
+        )
+        assert rate == pytest.approx(254, rel=0.15)
+
+    def test_multi_over_single_gain_band(self):
+        """Abstract: multi-segment decoding gains 2.7x to 27.6x."""
+        gains = []
+        for k in (128, 1024, 4096, 32768):
+            single = decode_single_segment_bandwidth(
+                GTX280, num_blocks=128, block_size=k
+            )
+            multi = decode_multi_segment_bandwidth(
+                GTX280, num_blocks=128, block_size=k, num_segments=60
+            )
+            gains.append(multi / single)
+        assert min(gains) == pytest.approx(2.7, rel=0.35)
+        assert 12 < max(gains) < 35
+        assert gains == sorted(gains, reverse=True)  # gain shrinks with k
+
+    def test_first_stage_share_anchors(self):
+        """Fig. 9 annotations: ~64% (30 seg) vs ~48% (60 seg) at k=1024,
+        falling to a few percent at k=32768."""
+        _, share30 = decode_multi_segment_stats(
+            GTX280, num_blocks=128, block_size=1024, num_segments=30
+        )
+        _, share60 = decode_multi_segment_stats(
+            GTX280, num_blocks=128, block_size=1024, num_segments=60
+        )
+        assert share30 == pytest.approx(0.64, abs=0.12)
+        assert share60 == pytest.approx(0.48, abs=0.12)
+        assert share60 < share30
+        _, share_large = decode_multi_segment_stats(
+            GTX280, num_blocks=128, block_size=32768, num_segments=60
+        )
+        assert share_large < 0.08
+
+    def test_decode_approaches_encode_at_large_k(self):
+        """Sec. 5.2: 'the overall decoding rate gets closer to its
+        encoding counterpart' as the block size increases."""
+        encode_rate = enc(GTX280, EncodeScheme.TABLE_5, 128, 32768)
+        decode_rate = (
+            decode_multi_segment_bandwidth(
+                GTX280, num_blocks=128, block_size=32768, num_segments=60
+            )
+            / MB
+        )
+        assert decode_rate / encode_rate > 0.85

@@ -1,0 +1,165 @@
+"""Functional tests for the GPU decoding kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DecodingError
+from repro.gpu import GTX280
+from repro.kernels import (
+    DecodeOptions,
+    EncodeScheme,
+    GpuMultiSegmentDecoder,
+    GpuSingleSegmentDecoder,
+)
+from repro.rlnc import CodingParams, Encoder, Segment
+
+
+def segments_with_blocks(num_segments, n, k, seed, extra=3):
+    rng = np.random.default_rng(seed)
+    params = CodingParams(n, k)
+    segments, per_segment = [], {}
+    for segment_id in range(num_segments):
+        segment = Segment.random(params, rng, segment_id=segment_id)
+        segments.append(segment)
+        per_segment[segment_id] = Encoder(segment, rng).encode_blocks(n + extra)
+    return params, segments, per_segment
+
+
+class TestSingleSegment:
+    def test_recovers_segment(self):
+        params, segments, blocks = segments_with_blocks(1, 8, 32, seed=0)
+        decoder = GpuSingleSegmentDecoder(GTX280)
+        result = decoder.decode(params, blocks[0])
+        assert np.array_equal(result.segments[0].blocks, segments[0].blocks)
+        assert result.first_stage_share is None
+
+    def test_insufficient_rank_raises(self):
+        params, _, blocks = segments_with_blocks(1, 8, 32, seed=1)
+        decoder = GpuSingleSegmentDecoder(GTX280)
+        with pytest.raises(DecodingError):
+            decoder.decode(params, blocks[0][:5])
+
+    def test_bandwidth_grows_with_block_size(self):
+        """The Sec. 4.3 observation: decode rate rises with k."""
+        decoder = GpuSingleSegmentDecoder(GTX280)
+        rates = []
+        for k in (128, 1024, 8192, 32768):
+            stats = decoder.estimate(num_blocks=128, block_size=k)
+            rates.append(128 * k / stats.time_seconds(GTX280))
+        assert rates == sorted(rates)
+
+    def test_options_ablations_improve_time(self):
+        base = GpuSingleSegmentDecoder(GTX280).estimate(
+            num_blocks=128, block_size=1024
+        )
+        tuned = GpuSingleSegmentDecoder(
+            GTX280,
+            DecodeOptions(use_atomic_min=True, cache_coefficients=True),
+        ).estimate(num_blocks=128, block_size=1024)
+        assert tuned.time_seconds(GTX280) < base.time_seconds(GTX280)
+
+
+class TestMultiSegment:
+    def test_recovers_all_segments(self):
+        params, segments, blocks = segments_with_blocks(4, 8, 16, seed=2)
+        decoder = GpuMultiSegmentDecoder(GTX280)
+        result = decoder.decode(params, blocks)
+        assert len(result.segments) == 4
+        for original, decoded in zip(segments, result.segments):
+            assert decoded.segment_id == original.segment_id
+            assert np.array_equal(decoded.blocks, original.blocks)
+        assert 0.0 < result.first_stage_share < 1.0
+
+    def test_requires_full_segments(self):
+        params, _, blocks = segments_with_blocks(2, 8, 16, seed=3)
+        blocks[1] = blocks[1][:4]
+        decoder = GpuMultiSegmentDecoder(GTX280)
+        with pytest.raises(ConfigurationError):
+            decoder.decode(params, blocks)
+
+    def test_empty_input_raises(self):
+        decoder = GpuMultiSegmentDecoder(GTX280)
+        with pytest.raises(ConfigurationError):
+            decoder.decode(CodingParams(4, 8), {})
+
+    def test_singular_prefix_recovered_from_spares(self):
+        """A dependent block inside the first n is skipped in favour of a
+        spare, instead of failing the whole segment."""
+        params, segments, blocks = segments_with_blocks(1, 6, 8, seed=9)
+        from repro.gf256 import mul_scalar_table
+        from repro.rlnc import CodedBlock
+
+        original = blocks[0]
+        dup = CodedBlock(
+            coefficients=mul_scalar_table(original[0].coefficients, 3),
+            payload=mul_scalar_table(original[0].payload, 3),
+            segment_id=0,
+        )
+        # Place the duplicate inside the first n blocks.
+        rigged = {0: [original[0], dup] + original[1:6]}
+        decoder = GpuMultiSegmentDecoder(GTX280)
+        result = decoder.decode(params, rigged)
+        assert np.array_equal(result.segments[0].blocks, segments[0].blocks)
+
+    def test_rank_deficient_candidates_raise(self):
+        from repro.errors import SingularMatrixError
+        from repro.rlnc import CodedBlock
+
+        params = CodingParams(3, 4)
+        base = CodedBlock(
+            coefficients=np.array([1, 2, 3], dtype=np.uint8),
+            payload=np.arange(4, dtype=np.uint8),
+            segment_id=0,
+        )
+        from repro.gf256 import mul_scalar_table
+
+        clones = [
+            CodedBlock(
+                coefficients=mul_scalar_table(base.coefficients, c),
+                payload=mul_scalar_table(base.payload, c),
+                segment_id=0,
+            )
+            for c in (1, 2, 3, 4)
+        ]
+        decoder = GpuMultiSegmentDecoder(GTX280)
+        with pytest.raises(SingularMatrixError, match="independent"):
+            decoder.decode(params, {0: clones})
+
+    def test_multi_beats_single_per_segment_throughput(self):
+        """The headline Sec. 5.2 result at a practical configuration."""
+        single = GpuSingleSegmentDecoder(GTX280).estimate(
+            num_blocks=128, block_size=4096
+        )
+        single_rate = 128 * 4096 / single.time_seconds(GTX280)
+        multi_stats, _ = GpuMultiSegmentDecoder(GTX280).estimate(
+            num_blocks=128, block_size=4096, num_segments=60
+        )
+        multi_rate = 60 * 128 * 4096 / multi_stats.time_seconds(GTX280)
+        assert multi_rate > 2.5 * single_rate
+
+    def test_first_stage_share_falls_with_block_size(self):
+        decoder = GpuMultiSegmentDecoder(GTX280)
+        shares = []
+        for k in (128, 1024, 8192, 32768):
+            _, share = decoder.estimate(
+                num_blocks=128, block_size=k, num_segments=30
+            )
+            shares.append(share)
+        assert shares == sorted(shares, reverse=True)
+
+    def test_sixty_segments_beat_thirty(self):
+        decoder = GpuMultiSegmentDecoder(GTX280)
+        s30, _ = decoder.estimate(num_blocks=128, block_size=1024, num_segments=30)
+        s60, _ = decoder.estimate(num_blocks=128, block_size=1024, num_segments=60)
+        rate30 = 30 * 128 * 1024 / s30.time_seconds(GTX280)
+        rate60 = 60 * 128 * 1024 / s60.time_seconds(GTX280)
+        assert 1.05 < rate60 / rate30 < 1.45  # "up to a factor of 1.4"
+
+    def test_stage2_scheme_matters(self):
+        loop = GpuMultiSegmentDecoder(
+            GTX280, stage2_scheme=EncodeScheme.LOOP_BASED
+        ).estimate(num_blocks=128, block_size=16384, num_segments=30)[0]
+        table = GpuMultiSegmentDecoder(
+            GTX280, stage2_scheme=EncodeScheme.TABLE_5
+        ).estimate(num_blocks=128, block_size=16384, num_segments=30)[0]
+        assert table.time_seconds(GTX280) < loop.time_seconds(GTX280)

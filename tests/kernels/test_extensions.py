@@ -1,0 +1,158 @@
+"""Tests for the paper's forward-looking extensions: device projections,
+sparse coding matrices, and multi-GPU scaling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import GEFORCE_8800GT, GTX280
+from repro.gpu.spec import GTX280_32K_PROJECTION, GTX280_64BIT_PROJECTION
+from repro.kernels import EncodeScheme, encode_bandwidth
+from repro.kernels.cost_model import (
+    ZERO_COEFFICIENT_SKIP_CYCLES,
+    effective_mult_cycles,
+    scheme_cost_for,
+)
+from repro.kernels.multi_gpu import (
+    MultiGpuEncoder,
+    multi_gpu_decode_bandwidth,
+)
+
+MB = 1e6
+
+
+class TestDeviceProjections:
+    def test_32k_shared_memory_projection(self):
+        """Sec. 5.1.3: conflict-free TB-5 'would be around 330 to 340
+        MB/s if the shared memory size was at least 32 KB'."""
+        rate = encode_bandwidth(
+            GTX280_32K_PROJECTION,
+            EncodeScheme.TABLE_5,
+            num_blocks=128,
+            block_size=4096,
+        ) / MB
+        assert 320 < rate < 345
+
+    def test_32k_projection_is_conflict_free(self):
+        cost = scheme_cost_for(GTX280_32K_PROJECTION, EncodeScheme.TABLE_5)
+        assert cost.smem_conflict_factor == 1.0
+
+    def test_64bit_alu_projection_doubles_loop_based(self):
+        """Sec. 5.1.3: 64-bit integer units 'potentially can double the
+        performance of loop-based GF-multiplication'."""
+        base = encode_bandwidth(
+            GTX280, EncodeScheme.LOOP_BASED, num_blocks=128, block_size=4096
+        )
+        projected = encode_bandwidth(
+            GTX280_64BIT_PROJECTION,
+            EncodeScheme.LOOP_BASED,
+            num_blocks=128,
+            block_size=4096,
+        )
+        assert projected / base == pytest.approx(2.0, rel=0.02)
+
+    def test_64bit_alus_leave_table_schemes_unchanged(self):
+        for scheme in (EncodeScheme.TABLE_1, EncodeScheme.TABLE_5):
+            assert scheme_cost_for(
+                GTX280_64BIT_PROJECTION, scheme
+            ) == scheme_cost_for(GTX280, scheme)
+
+
+class TestSparseCoding:
+    def test_sparser_matrices_encode_faster(self):
+        """Sec. 4.3: 'the performance will be even higher with sparser
+        matrices'."""
+        rates = [
+            encode_bandwidth(
+                GTX280,
+                EncodeScheme.TABLE_5,
+                num_blocks=128,
+                block_size=4096,
+                density=density,
+            )
+            for density in (1.0, 0.5, 0.25)
+        ]
+        assert rates == sorted(rates)
+
+    def test_effective_cycles_interpolate(self):
+        cost = scheme_cost_for(GTX280, EncodeScheme.LOOP_BASED)
+        full = effective_mult_cycles(cost, 1.0)
+        assert full == cost.cycles_per_word_mult()
+        half = effective_mult_cycles(cost, 0.5)
+        expected = 0.5 * full + 0.5 * ZERO_COEFFICIENT_SKIP_CYCLES
+        assert half == pytest.approx(expected)
+
+    def test_invalid_density_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encode_bandwidth(
+                GTX280,
+                EncodeScheme.TABLE_5,
+                num_blocks=128,
+                block_size=4096,
+                density=0.0,
+            )
+        cost = scheme_cost_for(GTX280, EncodeScheme.TABLE_5)
+        with pytest.raises(ConfigurationError):
+            effective_mult_cycles(cost, 1.5)
+
+    def test_sparse_decoding_needs_extra_blocks(self):
+        """The flip side of sparse coding: sparse coefficient vectors are
+        dependent more often, so receivers need more blocks."""
+        from repro.rlnc import CodingParams, Encoder, ProgressiveDecoder, Segment
+
+        n, k = 32, 4
+        rng = np.random.default_rng(0)
+        extras = []
+        for density in (1.0, 0.08):
+            needed = []
+            for trial in range(5):
+                segment = Segment.random(CodingParams(n, k), rng)
+                encoder = Encoder(segment, rng, density=density)
+                decoder = ProgressiveDecoder(segment.params)
+                while not decoder.is_complete and decoder.received < 40 * n:
+                    decoder.consume(encoder.encode_block())
+                needed.append(decoder.received)
+            extras.append(np.mean(needed))
+        dense_overhead, sparse_overhead = extras
+        assert sparse_overhead > dense_overhead
+
+
+class TestMultiGpu:
+    def test_two_gtx280_nearly_double(self):
+        single = encode_bandwidth(
+            GTX280, EncodeScheme.TABLE_5, num_blocks=128, block_size=4096
+        )
+        rig = MultiGpuEncoder([GTX280, GTX280])
+        combined = rig.aggregate_bandwidth(num_blocks=128, block_size=4096)
+        assert 1.85 < combined / single < 2.0
+
+    def test_heterogeneous_rig_splits_by_speed(self):
+        rig = MultiGpuEncoder([GTX280, GEFORCE_8800GT])
+        plan = rig.plan(num_blocks=128, block_size=4096, coded_rows=1000)
+        fast, slow = plan.shares
+        assert fast.rows > slow.rows  # GTX 280 takes the larger share
+        assert plan.total_rows == 1000
+        # Shares finish at roughly the same time (balanced partition).
+        assert fast.time_seconds == pytest.approx(slow.time_seconds, rel=0.15)
+
+    def test_empty_rig_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiGpuEncoder([])
+
+    def test_too_few_rows_rejected(self):
+        rig = MultiGpuEncoder([GTX280, GTX280])
+        with pytest.raises(ConfigurationError):
+            rig.plan(num_blocks=8, block_size=64, coded_rows=1)
+
+    def test_multi_gpu_decode_scales(self):
+        one = multi_gpu_decode_bandwidth(
+            [GTX280], num_blocks=128, block_size=4096
+        )
+        two = multi_gpu_decode_bandwidth(
+            [GTX280, GTX280], num_blocks=128, block_size=4096
+        )
+        assert two / one == pytest.approx(2.0, rel=0.05)
+
+    def test_multi_gpu_decode_requires_devices(self):
+        with pytest.raises(ConfigurationError):
+            multi_gpu_decode_bandwidth([], num_blocks=8, block_size=64)

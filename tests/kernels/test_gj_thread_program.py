@@ -1,0 +1,126 @@
+"""SIMT validation of the progressive Gauss–Jordan decode kernel."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GTX280, SimtDevice
+from repro.kernels.thread_programs import gauss_jordan_decode_program
+from repro.rlnc import CodingParams, Encoder, ProgressiveDecoder, Segment
+from repro.gf256 import mul_scalar_table
+
+
+def run_decode(n, k, blocks, block_threads=32):
+    """Launch the decode kernel over the given coded blocks."""
+    width = n + k
+    incoming = np.zeros(len(blocks) * width, dtype=np.uint8)
+    for i, block in enumerate(blocks):
+        incoming[i * width : i * width + n] = block.coefficients
+        incoming[i * width + n : (i + 1) * width] = block.payload
+    rows = np.zeros(n * width, dtype=np.uint8)
+    pivot_cols = np.zeros(n, dtype=np.int64)
+    rank_out = np.zeros(1, dtype=np.int64)
+    device = SimtDevice(GTX280)
+    result = device.launch(
+        gauss_jordan_decode_program,
+        grid=1,
+        block=block_threads,
+        args={
+            "incoming": incoming,
+            "rows": rows,
+            "pivot_cols": pivot_cols,
+            "rank_out": rank_out,
+            "n": n,
+            "width": width,
+            "m": len(blocks),
+        },
+        shared={"best": (1, "i8"), "state": (2, "i8")},
+    )
+    return rows.reshape(n, width), pivot_cols, int(rank_out[0]), result
+
+
+def recover(rows, pivot_cols, n, rank):
+    decoded = np.zeros((n, rows.shape[1] - n), dtype=np.uint8)
+    for i in range(rank):
+        decoded[pivot_cols[i]] = rows[i, n:]
+    return decoded
+
+
+class TestGaussJordanKernel:
+    def test_full_decode_matches_reference(self):
+        n, k = 6, 18
+        rng = np.random.default_rng(0)
+        segment = Segment.random(CodingParams(n, k), rng)
+        blocks = Encoder(segment, rng).encode_blocks(n)
+        rows, pivots, rank, _ = run_decode(n, k, blocks)
+        if rank == n:  # dense random draw is full rank w.h.p.
+            assert np.array_equal(recover(rows, pivots, n, rank), segment.blocks)
+        reference = ProgressiveDecoder(segment.params)
+        for block in blocks:
+            reference.consume(block)
+        assert rank == reference.rank
+
+    def test_dependent_blocks_discarded(self):
+        n, k = 4, 8
+        rng = np.random.default_rng(1)
+        segment = Segment.random(CodingParams(n, k), rng)
+        blocks = Encoder(segment, rng).encode_blocks(2)
+        # A scaled duplicate of block 0 must not raise the rank.
+        from repro.rlnc import CodedBlock
+
+        dup = CodedBlock(
+            coefficients=mul_scalar_table(blocks[0].coefficients, 9),
+            payload=mul_scalar_table(blocks[0].payload, 9),
+        )
+        _, _, rank, _ = run_decode(n, k, blocks + [dup])
+        assert rank == 2
+
+    def test_out_of_order_pivots(self):
+        """Blocks whose leading coefficients arrive out of column order
+        still produce a correct decode (pivot columns are tracked)."""
+        n, k = 4, 4
+        rng = np.random.default_rng(2)
+        segment = Segment.random(CodingParams(n, k), rng)
+        blocks = []
+        from repro.rlnc import CodedBlock
+
+        for index in reversed(range(n)):  # unit vectors in reverse order
+            coefficients = np.zeros(n, dtype=np.uint8)
+            coefficients[index] = 7
+            blocks.append(
+                CodedBlock(
+                    coefficients=coefficients,
+                    payload=mul_scalar_table(segment.blocks[index], 7),
+                )
+            )
+        rows, pivots, rank, _ = run_decode(n, k, blocks)
+        assert rank == n
+        assert np.array_equal(recover(rows, pivots, n, rank), segment.blocks)
+
+    def test_rank_deficient_input(self):
+        n, k = 5, 5
+        rng = np.random.default_rng(3)
+        segment = Segment.random(CodingParams(n, k), rng)
+        blocks = Encoder(segment, rng).encode_blocks(3)
+        _, _, rank, _ = run_decode(n, k, blocks)
+        assert rank == 3
+
+    def test_atomic_pivot_search_used(self):
+        n, k = 4, 12
+        rng = np.random.default_rng(4)
+        segment = Segment.random(CodingParams(n, k), rng)
+        blocks = Encoder(segment, rng).encode_blocks(n)
+        _, _, _, result = run_decode(n, k, blocks)
+        assert result.atomics >= n  # one winning report per incoming row
+        assert result.barriers > 4 * n  # the serialization the model charges
+
+    def test_thread_count_independence(self):
+        """The kernel's result must not depend on the block size chosen."""
+        n, k = 6, 10
+        rng = np.random.default_rng(5)
+        segment = Segment.random(CodingParams(n, k), rng)
+        blocks = Encoder(segment, rng).encode_blocks(n + 1)
+        rows_a, pivots_a, rank_a, _ = run_decode(n, k, blocks, block_threads=8)
+        rows_b, pivots_b, rank_b, _ = run_decode(n, k, blocks, block_threads=64)
+        assert rank_a == rank_b
+        assert np.array_equal(rows_a, rows_b)
+        assert np.array_equal(pivots_a, pivots_b)

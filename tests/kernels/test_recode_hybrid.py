@@ -1,0 +1,148 @@
+"""Tests for the GPU recoder and hybrid GPU+CPU encoder."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import MAC_PRO, CpuEncoder
+from repro.errors import ConfigurationError
+from repro.gf256 import matmul
+from repro.gpu import GTX280
+from repro.kernels import EncodeScheme, GpuEncoder
+from repro.kernels.hybrid import HybridEncoder
+from repro.kernels.recode import GpuRecoder, recode_stats
+from repro.rlnc import CodingParams, Encoder, ProgressiveDecoder, Segment
+
+
+def make_segment(n=8, k=32, seed=0):
+    return Segment.random(CodingParams(n, k), np.random.default_rng(seed))
+
+
+class TestGpuRecoder:
+    def _filled_recoder(self, segment, count, seed=1):
+        rng = np.random.default_rng(seed)
+        recoder = GpuRecoder(GTX280, segment.params)
+        for block in Encoder(segment, rng).encode_blocks(count):
+            recoder.add(block)
+        return recoder
+
+    def test_recoded_blocks_are_consistent_combinations(self):
+        segment = make_segment()
+        recoder = self._filled_recoder(segment, 6)
+        blocks, stats = recoder.recode(4, np.random.default_rng(2))
+        assert len(blocks) == 4
+        assert stats.time_seconds(GTX280) > 0
+        for block in blocks:
+            expected = matmul(block.coefficients[None, :], segment.blocks)[0]
+            assert np.array_equal(block.payload, expected)
+
+    def test_recoded_blocks_decode_downstream(self):
+        segment = make_segment()
+        recoder = self._filled_recoder(segment, 8)
+        decoder = ProgressiveDecoder(segment.params)
+        rng = np.random.default_rng(3)
+        guard = 0
+        while not decoder.is_complete:
+            blocks, _ = recoder.recode(2, rng)
+            for block in blocks:
+                if not decoder.is_complete:
+                    decoder.consume(block)
+            guard += 1
+            assert guard < 50
+        assert np.array_equal(decoder.recover_segment().blocks, segment.blocks)
+
+    def test_empty_buffer_rejected(self):
+        recoder = GpuRecoder(GTX280, CodingParams(4, 8))
+        with pytest.raises(ConfigurationError):
+            recoder.recode(1, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            recoder.relay_bandwidth()
+
+    def test_geometry_mismatch_rejected(self):
+        recoder = GpuRecoder(GTX280, CodingParams(4, 8))
+        from repro.rlnc import CodedBlock
+
+        with pytest.raises(ConfigurationError):
+            recoder.add(
+                CodedBlock(
+                    coefficients=np.ones(3, dtype=np.uint8),
+                    payload=np.ones(8, dtype=np.uint8),
+                )
+            )
+
+    def test_relay_bandwidth_scales_with_buffer_depth(self):
+        """Recode cost is linear in the buffer depth m, so shallow
+        buffers relay faster — the practical reason relays recode from a
+        window rather than everything ever received."""
+        segment = make_segment(n=16, k=64)
+        shallow = self._filled_recoder(segment, 4)
+        deep = self._filled_recoder(segment, 16)
+        assert shallow.relay_bandwidth() > deep.relay_bandwidth()
+
+    def test_recode_stats_validation(self):
+        with pytest.raises(ConfigurationError):
+            recode_stats(
+                GTX280,
+                EncodeScheme.TABLE_5,
+                num_blocks=8,
+                block_size=16,
+                buffered=0,
+                outputs=1,
+            )
+
+
+class TestHybridEncoder:
+    def _hybrid(self):
+        return HybridEncoder(
+            GpuEncoder(GTX280, EncodeScheme.TABLE_5), CpuEncoder(MAC_PRO)
+        )
+
+    def test_split_favours_gpu(self):
+        gpu_rows, cpu_rows = self._hybrid().split(
+            num_blocks=128, block_size=4096, coded_rows=100
+        )
+        assert gpu_rows + cpu_rows == 100
+        # GPU is ~4.3x the CPU -> ~81% of the rows.
+        assert 75 <= gpu_rows <= 88
+
+    def test_functional_output_decodes(self):
+        segment = make_segment(8, 16, seed=5)
+        result = self._hybrid().encode(segment, 12, np.random.default_rng(6))
+        assert result.payloads.shape == (12, 16)
+        assert result.gpu_rows + result.cpu_rows == 12
+        expected = matmul(result.coefficients, segment.blocks)
+        assert np.array_equal(result.payloads, expected)
+
+    def test_hybrid_beats_either_engine_alone(self):
+        # Large enough that compute dwarfs the kernel-launch overhead
+        # (for tiny jobs a lone engine wins, as in real deployments).
+        hybrid = self._hybrid()
+        segment = make_segment(64, 1024, seed=7)
+        rng = np.random.default_rng(8)
+        result = hybrid.encode(segment, 512, rng)
+        gpu_alone = hybrid.gpu.encode(segment, 512, np.random.default_rng(8))
+        cpu_alone = hybrid.cpu.encode(segment, 512, np.random.default_rng(8))
+        assert result.time_seconds < gpu_alone.time_seconds
+        assert result.time_seconds < cpu_alone.time_seconds
+
+    def test_near_sum_of_parts_bandwidth(self):
+        """Sec. 5.4.1's claim at the paper's reference configuration."""
+        hybrid = self._hybrid()
+        gpu_rows, cpu_rows = hybrid.split(
+            num_blocks=128, block_size=4096, coded_rows=1000
+        )
+        from repro.kernels import encode_bandwidth
+
+        gpu_rate = encode_bandwidth(
+            GTX280, EncodeScheme.TABLE_5, num_blocks=128, block_size=4096
+        )
+        cpu_rate = hybrid.cpu.estimate_bandwidth(
+            num_blocks=128, block_size=4096
+        )
+        # Proportional split => both shares finish together => ~sum rate.
+        assert gpu_rows / cpu_rows == pytest.approx(
+            gpu_rate / cpu_rate, rel=0.1
+        )
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._hybrid().split(num_blocks=8, block_size=16, coded_rows=1)

@@ -1,0 +1,86 @@
+"""Tests for multi-run P2P experiment statistics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.p2p import Strategy, butterfly
+from repro.p2p.metrics import coding_advantage, run_experiment
+from repro.rlnc import CodingParams
+
+PARAMS = CodingParams(8, 8)
+SEEDS = [1, 2, 3, 4, 5]
+
+
+def run(strategy, **kwargs):
+    return run_experiment(
+        butterfly,
+        PARAMS,
+        source="s",
+        sinks=["t1", "t2"],
+        strategy=strategy,
+        seeds=SEEDS,
+        **kwargs,
+    )
+
+
+class TestRunExperiment:
+    def test_coding_completes_every_seed(self):
+        summary = run(Strategy.CODING)
+        assert summary.runs == 5
+        assert summary.completion_rate == 1.0
+        assert summary.mean_completion_round < 20
+        assert summary.mean_innovative_ratio > 0.85
+
+    def test_forwarding_statistics(self):
+        summary = run(Strategy.FORWARDING)
+        assert summary.completion_rate == 1.0
+        assert summary.mean_innovative_ratio < 0.5
+        assert summary.p95_completion_round >= summary.mean_completion_round
+
+    def test_incomplete_runs_reported(self):
+        summary = run_experiment(
+            butterfly,
+            CodingParams(64, 4),
+            source="s",
+            sinks=["t1", "t2"],
+            strategy=Strategy.CODING,
+            seeds=[1, 2],
+            max_rounds=5,  # far too few rounds for 64 blocks
+        )
+        assert summary.completed_runs == 0
+        assert summary.mean_completion_round == float("inf")
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment(
+                butterfly,
+                PARAMS,
+                source="s",
+                sinks=["t1"],
+                strategy=Strategy.CODING,
+                seeds=[],
+            )
+
+    def test_loss_reduces_completion_rate_or_slows(self):
+        clean = run(Strategy.CODING)
+        lossy = run(Strategy.CODING, edge_loss=0.4)
+        assert (
+            lossy.mean_completion_round > clean.mean_completion_round
+            or lossy.completion_rate < clean.completion_rate
+        )
+
+
+class TestCodingAdvantage:
+    def test_butterfly_headline(self):
+        coding = run(Strategy.CODING)
+        forwarding = run(Strategy.FORWARDING)
+        advantage = coding_advantage(coding, forwarding)
+        assert advantage.coding_wins
+        assert advantage.speedup_mean > 2.0
+        assert advantage.speedup_p95 > 2.0
+
+    def test_argument_order_enforced(self):
+        coding = run(Strategy.CODING)
+        forwarding = run(Strategy.FORWARDING)
+        with pytest.raises(ConfigurationError):
+            coding_advantage(forwarding, coding)

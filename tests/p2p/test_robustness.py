@@ -1,0 +1,114 @@
+"""Robustness tests: P2P distribution under loss and churn (Sec. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.p2p import P2PSimulator, Strategy, butterfly, random_overlay
+from repro.rlnc import CodingParams
+
+
+def run(graph, source, sinks, *, seed=0, strategy=Strategy.CODING, **kwargs):
+    params = CodingParams(8, 8)
+    simulator = P2PSimulator(
+        graph,
+        params,
+        source=source,
+        sinks=sinks,
+        strategy=strategy,
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )
+    return simulator.run(max_rounds=1000)
+
+
+class TestEdgeLoss:
+    def test_coding_completes_despite_loss(self):
+        result = run(butterfly(), "s", ["t1", "t2"], edge_loss=0.3)
+        assert result.all_sinks_complete
+        assert result.blocks_lost > 0
+
+    def test_loss_delays_completion(self):
+        clean = run(butterfly(), "s", ["t1", "t2"], seed=1)
+        lossy = run(butterfly(), "s", ["t1", "t2"], seed=1, edge_loss=0.4)
+        assert max(lossy.completion_round.values()) > max(
+            clean.completion_round.values()
+        )
+
+    def test_loss_statistics_roughly_match_rate(self):
+        result = run(butterfly(), "s", ["t1", "t2"], seed=2, edge_loss=0.5)
+        observed = result.blocks_lost / result.blocks_sent
+        assert 0.35 < observed < 0.65
+
+    def test_per_edge_loss_attribute_overrides_uniform(self):
+        graph = butterfly()
+        graph.edges["c", "d"]["loss"] = 0.9  # lossy bottleneck only
+        result = run(graph, "s", ["t1", "t2"], seed=3)
+        assert result.all_sinks_complete
+        assert result.blocks_lost > 0
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run(butterfly(), "s", ["t1"], edge_loss=1.0)
+
+
+class TestChurn:
+    def test_relay_departure_survivable_with_redundant_paths(self):
+        """Losing one relay in a well-connected overlay only slows the
+        distribution down — coded blocks from any surviving path are
+        equally useful."""
+        rng = np.random.default_rng(4)
+        graph = random_overlay(10, 4, rng)
+        result = run(
+            graph,
+            "source",
+            list(range(10)),
+            seed=5,
+            departures={3: 4},  # peer 3 leaves after round 4
+        )
+        # Everyone except possibly the departed node itself finishes.
+        finished = set(result.completion_round)
+        assert finished >= set(range(10)) - {3}
+
+    def test_critical_node_departure_strands_downstream(self):
+        """Cutting the only path mid-transfer stalls the sink at partial
+        rank — the simulator models the failure honestly."""
+        from repro.p2p import line
+
+        result = run(
+            line(3), 0, [3], seed=6, departures={1: 3}
+        )
+        assert not result.all_sinks_complete
+
+    def test_source_cannot_depart(self):
+        with pytest.raises(ConfigurationError):
+            run(butterfly(), "s", ["t1"], departures={"s": 2})
+
+    def test_departed_node_stops_counting_traffic(self):
+        baseline = run(butterfly(), "s", ["t1", "t2"], seed=7)
+        churned = run(
+            butterfly(), "s", ["t1", "t2"], seed=7, departures={"b": 2}
+        )
+        # With node b gone, rounds go up and per-round traffic down.
+        assert (
+            churned.blocks_sent / churned.rounds
+            < baseline.blocks_sent / baseline.rounds
+        )
+
+    def test_forwarding_suffers_more_from_loss_than_coding(self):
+        """Under the same loss, routing needs proportionally longer: a
+        lost coded block is replaced by any other, a lost specific
+        original must be retransmitted."""
+        coding = run(
+            butterfly(), "s", ["t1", "t2"], seed=8, edge_loss=0.3,
+            strategy=Strategy.CODING,
+        )
+        forwarding = run(
+            butterfly(), "s", ["t1", "t2"], seed=8, edge_loss=0.3,
+            strategy=Strategy.FORWARDING,
+        )
+        assert coding.all_sinks_complete
+        if forwarding.all_sinks_complete:
+            assert max(forwarding.completion_round.values()) > max(
+                coding.completion_round.values()
+            )

@@ -1,0 +1,73 @@
+"""Tests for topology builders and flow bounds."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.p2p import (
+    butterfly,
+    line,
+    min_cut_to,
+    multicast_capacity,
+    random_overlay,
+    star,
+)
+
+
+class TestButterfly:
+    def test_min_cut_is_two_per_sink(self):
+        graph = butterfly()
+        assert min_cut_to(graph, "s", "t1") == 2
+        assert min_cut_to(graph, "s", "t2") == 2
+        assert multicast_capacity(graph, "s", ["t1", "t2"]) == 2
+
+    def test_capacity_scales(self):
+        graph = butterfly(capacity=3)
+        assert multicast_capacity(graph, "s", ["t1", "t2"]) == 6
+
+    def test_edge_count(self):
+        assert butterfly().number_of_edges() == 9
+
+
+class TestLineAndStar:
+    def test_line_min_cut_is_capacity(self):
+        graph = line(5, capacity=2)
+        assert min_cut_to(graph, 0, 5) == 2
+
+    def test_line_rejects_zero_length(self):
+        with pytest.raises(ConfigurationError):
+            line(0)
+
+    def test_star_reaches_all_leaves(self):
+        graph = star(4)
+        for leaf in range(4):
+            assert min_cut_to(graph, "server", f"client{leaf}") == 1
+
+    def test_star_rejects_no_leaves(self):
+        with pytest.raises(ConfigurationError):
+            star(0)
+
+
+class TestRandomOverlay:
+    def test_all_peers_reachable(self):
+        import networkx as nx
+
+        graph = random_overlay(12, 3, np.random.default_rng(0))
+        reachable = nx.descendants(graph, "source")
+        assert reachable == set(range(12))
+
+    def test_min_cut_positive_for_every_peer(self):
+        graph = random_overlay(8, 2, np.random.default_rng(1))
+        assert multicast_capacity(graph, "source", list(range(8))) >= 1
+
+    def test_parameter_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            random_overlay(1, 1, rng)
+        with pytest.raises(ConfigurationError):
+            random_overlay(5, 5, rng)
+
+    def test_deterministic_for_seed(self):
+        a = random_overlay(10, 2, np.random.default_rng(7))
+        b = random_overlay(10, 2, np.random.default_rng(7))
+        assert set(a.edges) == set(b.edges)

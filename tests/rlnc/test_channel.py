@@ -1,0 +1,163 @@
+"""Failure-injection tests: decoding through impaired channels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rlnc import (
+    ChannelPipeline,
+    CodingParams,
+    CorruptingChannel,
+    DuplicatingChannel,
+    Encoder,
+    LossyChannel,
+    ProgressiveDecoder,
+    ReorderingChannel,
+    Segment,
+    blocks_needed_over_lossy_channel,
+)
+
+
+def encode_blocks(n, k, count, seed):
+    rng = np.random.default_rng(seed)
+    segment = Segment.random(CodingParams(n, k), rng)
+    return segment, Encoder(segment, rng).encode_blocks(count)
+
+
+def decode(params, blocks):
+    decoder = ProgressiveDecoder(params)
+    for block in blocks:
+        if decoder.is_complete:
+            break
+        decoder.consume(block)
+    return decoder
+
+
+class TestLossyChannel:
+    def test_decodes_despite_30_percent_loss(self):
+        n, k = 16, 32
+        budget = blocks_needed_over_lossy_channel(n, 0.3, safety=1.4)
+        segment, blocks = encode_blocks(n, k, budget, seed=0)
+        channel = LossyChannel(0.3, np.random.default_rng(1))
+        survivors = channel.transmit(blocks)
+        decoder = decode(segment.params, survivors)
+        assert decoder.is_complete
+        assert np.array_equal(decoder.recover_segment().blocks, segment.blocks)
+
+    def test_loss_rate_statistics(self):
+        _, blocks = encode_blocks(4, 4, 400, seed=2)
+        channel = LossyChannel(0.5, np.random.default_rng(3))
+        survivors = channel.transmit(blocks)
+        assert 140 < len(survivors) < 260
+
+    def test_zero_loss_is_identity(self):
+        _, blocks = encode_blocks(4, 4, 10, seed=4)
+        channel = LossyChannel(0.0, np.random.default_rng(5))
+        assert channel.transmit(blocks) == blocks
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LossyChannel(1.0, np.random.default_rng(0))
+
+    def test_budget_helper(self):
+        assert blocks_needed_over_lossy_channel(100, 0.0, safety=1.0) == 100
+        assert blocks_needed_over_lossy_channel(100, 0.5, safety=1.0) == 200
+        with pytest.raises(ConfigurationError):
+            blocks_needed_over_lossy_channel(100, 1.0)
+
+
+class TestReorderingChannel:
+    def test_any_arrival_order_decodes(self):
+        """RLNC is order-oblivious: full reversal still decodes."""
+        n, k = 12, 16
+        segment, blocks = encode_blocks(n, k, n + 2, seed=6)
+        decoder = decode(segment.params, list(reversed(blocks)))
+        assert decoder.is_complete
+
+    def test_displacement_bounded(self):
+        _, blocks = encode_blocks(2, 2, 50, seed=7)
+        channel = ReorderingChannel(3, np.random.default_rng(8))
+        shuffled = channel.transmit(blocks)
+        original_index = {id(block): i for i, block in enumerate(blocks)}
+        for new_pos, block in enumerate(shuffled):
+            assert abs(original_index[id(block)] - new_pos) <= 3 + 1
+
+    def test_preserves_multiset(self):
+        _, blocks = encode_blocks(2, 2, 20, seed=9)
+        channel = ReorderingChannel(5, np.random.default_rng(10))
+        shuffled = channel.transmit(blocks)
+        assert sorted(map(id, shuffled)) == sorted(map(id, blocks))
+
+    def test_zero_displacement_is_identity(self):
+        _, blocks = encode_blocks(2, 2, 5, seed=11)
+        channel = ReorderingChannel(0, np.random.default_rng(12))
+        assert channel.transmit(blocks) == blocks
+
+
+class TestDuplicatingChannel:
+    def test_duplicates_are_discarded_by_decoder(self):
+        n, k = 8, 8
+        segment, blocks = encode_blocks(n, k, n, seed=13)
+        channel = DuplicatingChannel(1.0, np.random.default_rng(14))
+        doubled = channel.transmit(blocks)
+        assert len(doubled) == 2 * n
+        decoder = decode(segment.params, doubled)
+        assert decoder.is_complete
+        assert decoder.discarded >= 1  # duplicates reduce to zero rows
+
+
+class TestCorruptingChannel:
+    def test_corruption_changes_exactly_one_bit(self):
+        _, blocks = encode_blocks(4, 8, 1, seed=15)
+        channel = CorruptingChannel(1.0, np.random.default_rng(16))
+        (corrupted,) = channel.transmit(blocks)
+        original = blocks[0]
+        diff_bits = sum(
+            bin(a ^ b).count("1")
+            for a, b in zip(
+                original.coefficients.tolist() + original.payload.tolist(),
+                corrupted.coefficients.tolist() + corrupted.payload.tolist(),
+            )
+        )
+        assert diff_bits == 1
+
+    def test_originals_never_mutated(self):
+        _, blocks = encode_blocks(4, 8, 5, seed=17)
+        snapshots = [
+            (b.coefficients.copy(), b.payload.copy()) for b in blocks
+        ]
+        CorruptingChannel(1.0, np.random.default_rng(18)).transmit(blocks)
+        for block, (coeffs, payload) in zip(blocks, snapshots):
+            assert np.array_equal(block.coefficients, coeffs)
+            assert np.array_equal(block.payload, payload)
+
+    def test_corruption_poisons_decoding_silently(self):
+        """The integrity gap: a corrupted block decodes to wrong bytes
+        without any error — motivating the wire-format checksum."""
+        n, k = 8, 8
+        segment, blocks = encode_blocks(n, k, n, seed=19)
+        channel = CorruptingChannel(1.0, np.random.default_rng(20))
+        corrupted = channel.transmit(blocks[:1]) + blocks[1:]
+        decoder = decode(segment.params, corrupted)
+        assert decoder.is_complete  # no error raised...
+        assert not np.array_equal(
+            decoder.recover_segment().blocks, segment.blocks
+        )  # ...but the output is wrong
+
+
+class TestPipeline:
+    def test_composed_impairments_still_decode(self):
+        n, k = 12, 12
+        budget = blocks_needed_over_lossy_channel(n, 0.2, safety=1.6)
+        segment, blocks = encode_blocks(n, k, budget, seed=21)
+        rng = np.random.default_rng(22)
+        pipeline = ChannelPipeline(
+            stages=[
+                LossyChannel(0.2, rng),
+                DuplicatingChannel(0.3, rng),
+                ReorderingChannel(4, rng),
+            ]
+        )
+        decoder = decode(segment.params, pipeline.transmit(blocks))
+        assert decoder.is_complete
+        assert np.array_equal(decoder.recover_segment().blocks, segment.blocks)

@@ -1,0 +1,222 @@
+"""End-to-end encoder/decoder tests, including property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, DecodingError
+from repro.gf256 import rank
+from repro.rlnc import (
+    CodedBlock,
+    CodingParams,
+    Encoder,
+    ProgressiveDecoder,
+    Segment,
+    TwoStageDecoder,
+)
+
+small_geometry = st.tuples(
+    st.integers(min_value=1, max_value=16),  # n
+    st.integers(min_value=1, max_value=32),  # k
+)
+
+
+def make_segment(n, k, seed):
+    return Segment.random(CodingParams(n, k), np.random.default_rng(seed))
+
+
+class TestEncoder:
+    def test_batch_matches_sequential_in_distribution_shape(self):
+        segment = make_segment(4, 8, 0)
+        encoder = Encoder(segment, np.random.default_rng(1))
+        coefficients, payloads = encoder.encode_batch(10)
+        assert coefficients.shape == (10, 4)
+        assert payloads.shape == (10, 8)
+        assert encoder.blocks_emitted == 10
+
+    def test_dense_coefficients_are_nonzero(self):
+        segment = make_segment(8, 8, 0)
+        encoder = Encoder(segment, np.random.default_rng(1))
+        coefficients, _ = encoder.encode_batch(50)
+        assert (coefficients != 0).all()
+
+    def test_payload_is_correct_combination(self):
+        segment = make_segment(3, 5, 2)
+        encoder = Encoder(segment, np.random.default_rng(3))
+        block = encoder.encode_block()
+        expected = np.zeros(5, dtype=np.uint8)
+        from repro.gf256 import gf_mul
+
+        for i in range(3):
+            for j in range(5):
+                expected[j] ^= gf_mul(
+                    int(block.coefficients[i]), int(segment.blocks[i, j])
+                )
+        assert np.array_equal(block.payload, expected)
+
+    def test_systematic_prefix_is_source_blocks(self):
+        segment = make_segment(4, 8, 5)
+        encoder = Encoder(segment, np.random.default_rng(6), systematic=True)
+        for i in range(4):
+            block = encoder.encode_block()
+            assert np.array_equal(block.payload, segment.blocks[i])
+            expected = np.zeros(4, dtype=np.uint8)
+            expected[i] = 1
+            assert np.array_equal(block.coefficients, expected)
+        later = encoder.encode_block()
+        assert (later.coefficients != 0).all()
+
+    def test_systematic_batch_straddles_boundary(self):
+        segment = make_segment(4, 8, 5)
+        encoder = Encoder(segment, np.random.default_rng(6), systematic=True)
+        coefficients, payloads = encoder.encode_batch(6)
+        assert np.array_equal(coefficients[:4], np.eye(4, dtype=np.uint8))
+        assert np.array_equal(payloads[:4], segment.blocks)
+        assert (coefficients[4:] != 0).all()
+
+    def test_sparse_density(self):
+        segment = make_segment(64, 4, 5)
+        encoder = Encoder(segment, np.random.default_rng(6), density=0.2)
+        coefficients, _ = encoder.encode_batch(64)
+        fraction = (coefficients != 0).mean()
+        assert 0.1 < fraction < 0.3
+
+    def test_invalid_density_raises(self):
+        segment = make_segment(2, 2, 0)
+        with pytest.raises(ConfigurationError):
+            Encoder(segment, np.random.default_rng(0), density=1.5)
+
+    def test_batch_count_must_be_positive(self):
+        segment = make_segment(2, 2, 0)
+        encoder = Encoder(segment, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            encoder.encode_batch(0)
+
+
+class TestProgressiveDecoder:
+    @settings(max_examples=20, deadline=None)
+    @given(small_geometry, st.integers(min_value=0, max_value=2**31))
+    def test_decodes_exactly_the_source(self, geometry, seed):
+        n, k = geometry
+        segment = make_segment(n, k, seed)
+        encoder = Encoder(segment, np.random.default_rng(seed + 1))
+        decoder = ProgressiveDecoder(segment.params)
+        while not decoder.is_complete:
+            decoder.consume(encoder.encode_block())
+        assert np.array_equal(decoder.recover_segment().blocks, segment.blocks)
+
+    def test_rank_grows_only_on_innovative_blocks(self):
+        segment = make_segment(4, 8, 7)
+        encoder = Encoder(segment, np.random.default_rng(8))
+        decoder = ProgressiveDecoder(segment.params)
+        block = encoder.encode_block()
+        assert decoder.consume(block) is True
+        assert decoder.rank == 1
+        # A scaled copy of the same block is dependent.
+        from repro.gf256 import mul_scalar_table
+
+        dup = CodedBlock(
+            coefficients=mul_scalar_table(block.coefficients, 5),
+            payload=mul_scalar_table(block.payload, 5),
+        )
+        assert decoder.consume(dup) is False
+        assert decoder.rank == 1
+        assert decoder.discarded == 1
+        assert decoder.received == 2
+
+    def test_geometry_mismatch_raises(self):
+        decoder = ProgressiveDecoder(CodingParams(4, 8))
+        bad = CodedBlock(
+            coefficients=np.ones(3, dtype=np.uint8),
+            payload=np.ones(8, dtype=np.uint8),
+        )
+        with pytest.raises(DecodingError):
+            decoder.consume(bad)
+
+    def test_consume_after_complete_raises(self):
+        segment = make_segment(2, 4, 1)
+        encoder = Encoder(segment, np.random.default_rng(2))
+        decoder = ProgressiveDecoder(segment.params)
+        while not decoder.is_complete:
+            decoder.consume(encoder.encode_block())
+        with pytest.raises(DecodingError):
+            decoder.consume(encoder.encode_block())
+
+    def test_recover_before_complete_raises(self):
+        decoder = ProgressiveDecoder(CodingParams(2, 4))
+        with pytest.raises(DecodingError):
+            decoder.recover_segment()
+
+    def test_missing_pivots_shrinks(self):
+        segment = make_segment(4, 4, 3)
+        encoder = Encoder(segment, np.random.default_rng(4))
+        decoder = ProgressiveDecoder(segment.params)
+        assert len(decoder.missing_pivots()) == 4
+        decoder.consume(encoder.encode_block())
+        assert len(decoder.missing_pivots()) == 3
+
+    def test_decodes_from_recoded_systematic_mixture(self):
+        # Blocks with zero coefficients (partial combinations) still decode.
+        segment = make_segment(4, 4, 9)
+        decoder = ProgressiveDecoder(segment.params)
+        for i in range(4):
+            coeffs = np.zeros(4, dtype=np.uint8)
+            coeffs[i] = 1
+            decoder.consume(
+                CodedBlock(coefficients=coeffs, payload=segment.blocks[i].copy())
+            )
+        assert np.array_equal(decoder.recover_segment().blocks, segment.blocks)
+
+
+class TestTwoStageDecoder:
+    @settings(max_examples=20, deadline=None)
+    @given(small_geometry, st.integers(min_value=0, max_value=2**31))
+    def test_matches_progressive_decoder(self, geometry, seed):
+        n, k = geometry
+        segment = make_segment(n, k, seed)
+        encoder = Encoder(segment, np.random.default_rng(seed + 1))
+        blocks = encoder.encode_blocks(n + 4)
+
+        two_stage = TwoStageDecoder(segment.params)
+        index = 0
+        while True:
+            two_stage.reset()
+            for block in blocks[index : index + n]:
+                two_stage.add(block)
+            if two_stage.has_enough and rank(
+                np.stack([b.coefficients for b in blocks[index : index + n]])
+            ) == n:
+                break
+            index += 1
+        assert np.array_equal(two_stage.decode().blocks, segment.blocks)
+
+    def test_decode_without_enough_blocks_raises(self):
+        decoder = TwoStageDecoder(CodingParams(4, 4))
+        with pytest.raises(DecodingError):
+            decoder.decode()
+
+    def test_add_batch(self):
+        segment = make_segment(4, 8, 2)
+        encoder = Encoder(segment, np.random.default_rng(3))
+        coefficients, payloads = encoder.encode_batch(4)
+        decoder = TwoStageDecoder(segment.params)
+        decoder.add_batch(coefficients, payloads)
+        assert decoder.buffered == 4
+        assert np.array_equal(decoder.decode().blocks, segment.blocks)
+
+    def test_buffer_overflow_raises(self):
+        decoder = TwoStageDecoder(CodingParams(2, 2), slack=0)
+        block = CodedBlock(
+            coefficients=np.array([1, 0], dtype=np.uint8),
+            payload=np.zeros(2, dtype=np.uint8),
+        )
+        decoder.add(block)
+        decoder.add(
+            CodedBlock(
+                coefficients=np.array([0, 1], dtype=np.uint8),
+                payload=np.zeros(2, dtype=np.uint8),
+            )
+        )
+        with pytest.raises(DecodingError):
+            decoder.add(block)

@@ -1,0 +1,122 @@
+"""Tests for multi-segment generation management."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecodingError
+from repro.rlnc import (
+    CodingParams,
+    Encoder,
+    MultiSegmentDecoder,
+    interleave_round_robin,
+    join_segments,
+    split_into_segments,
+)
+
+
+class TestSplitJoin:
+    def test_round_trip_multiple_segments(self):
+        params = CodingParams(num_blocks=4, block_size=8)
+        data = bytes(range(100)) * 2  # 200 bytes; segment holds 32
+        segments = split_into_segments(data, params)
+        assert len(segments) == 7  # ceil(200/32)
+        assert join_segments(segments) == data
+
+    def test_single_partial_segment(self):
+        params = CodingParams(num_blocks=4, block_size=8)
+        segments = split_into_segments(b"abc", params)
+        assert len(segments) == 1
+        assert join_segments(segments) == b"abc"
+
+    def test_empty_data(self):
+        params = CodingParams(num_blocks=2, block_size=2)
+        segments = split_into_segments(b"", params)
+        assert join_segments(segments) == b""
+
+    def test_segment_ids_are_sequential(self):
+        params = CodingParams(num_blocks=2, block_size=2)
+        segments = split_into_segments(bytes(20), params)
+        assert [segment.segment_id for segment in segments] == list(range(5))
+
+
+class TestMultiSegmentDecoder:
+    def _encode_all(self, data, params, seed, extra=2):
+        segments = split_into_segments(data, params)
+        rng = np.random.default_rng(seed)
+        block_lists = [
+            Encoder(segment, rng).encode_blocks(params.num_blocks + extra)
+            for segment in segments
+        ]
+        return segments, block_lists
+
+    def test_decodes_interleaved_arrivals(self):
+        params = CodingParams(num_blocks=4, block_size=8)
+        data = bytes(range(120))
+        segments, block_lists = self._encode_all(data, params, seed=0)
+        arrivals = interleave_round_robin(block_lists, np.random.default_rng(1))
+
+        decoder = MultiSegmentDecoder(params)
+        for block in arrivals:
+            decoder.consume(block)
+        assert decoder.is_complete(len(segments))
+        assert decoder.recover_bytes(len(segments), len(data)) == data
+
+    def test_blocks_after_completion_are_dropped(self):
+        params = CodingParams(num_blocks=2, block_size=4)
+        segments, block_lists = self._encode_all(bytes(8), params, seed=2, extra=4)
+        decoder = MultiSegmentDecoder(params)
+        redundant = 0
+        for block in block_lists[0]:
+            if not decoder.consume(block):
+                redundant += 1
+        assert decoder.segments_completed == 1
+        assert redundant >= 4  # the extras past full rank
+
+    def test_recover_before_complete_raises(self):
+        params = CodingParams(num_blocks=2, block_size=4)
+        decoder = MultiSegmentDecoder(params)
+        with pytest.raises(DecodingError):
+            decoder.recover_bytes(1, 8)
+
+    def test_segment_count_tracking(self):
+        params = CodingParams(num_blocks=2, block_size=4)
+        _, block_lists = self._encode_all(bytes(16), params, seed=3)
+        decoder = MultiSegmentDecoder(params)
+        decoder.consume(block_lists[0][0])
+        decoder.consume(block_lists[1][0])
+        assert decoder.segments_started == 2
+        assert decoder.segments_completed == 0
+
+
+class TestInterleave:
+    def test_round_robin_order_without_rng(self):
+        params = CodingParams(num_blocks=2, block_size=2)
+        _, block_lists = (
+            bytes(8),
+            None,
+        )
+        from repro.rlnc import Segment
+
+        rng = np.random.default_rng(0)
+        segments = [
+            Segment.random(params, rng, segment_id=i) for i in range(2)
+        ]
+        lists = [Encoder(s, rng).encode_blocks(2) for s in segments]
+        arrivals = interleave_round_robin(lists)
+        assert [b.segment_id for b in arrivals] == [0, 1, 0, 1]
+
+    def test_uneven_lists(self):
+        params = CodingParams(num_blocks=2, block_size=2)
+        rng = np.random.default_rng(0)
+        from repro.rlnc import Segment
+
+        segments = [Segment.random(params, rng, segment_id=i) for i in range(2)]
+        lists = [
+            Encoder(segments[0], rng).encode_blocks(3),
+            Encoder(segments[1], rng).encode_blocks(1),
+        ]
+        arrivals = interleave_round_robin(lists)
+        assert [b.segment_id for b in arrivals] == [0, 1, 0, 0]
+
+    def test_empty(self):
+        assert interleave_round_robin([]) == []

@@ -1,0 +1,136 @@
+"""Tests for streaming capacity planning against the paper's numbers."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.gpu import GTX280, DeviceSpec
+from repro.kernels import EncodeScheme, encode_bandwidth
+from repro.streaming import (
+    GIGABIT_ETHERNET,
+    DUAL_GIGABIT_ETHERNET,
+    NicModel,
+    REFERENCE_PROFILE,
+    MediaProfile,
+    live_blocks_per_segment,
+    peers_supported_by_coding,
+    peers_supported_by_nic,
+    plan_capacity,
+    segments_in_device_memory,
+)
+from repro.rlnc import CodingParams
+
+MB = 1e6
+
+
+class TestMediaProfile:
+    def test_reference_segment_duration(self):
+        """512 KB at 768 Kbps: ~5.3-5.5 s of content (paper: 5.33 s with
+        its binary-kilobit convention)."""
+        assert 5.2 < REFERENCE_PROFILE.segment_duration_seconds < 5.6
+
+    def test_reference_geometry(self):
+        assert REFERENCE_PROFILE.params.segment_bytes == 512 * 1024
+        assert REFERENCE_PROFILE.params.num_blocks == 128
+
+    def test_blocks_per_second_per_peer(self):
+        # 96 KB/s media at 4 KB blocks = 23.4 blocks/s.
+        assert REFERENCE_PROFILE.blocks_per_second_per_peer == pytest.approx(
+            96_000 / 4096
+        )
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MediaProfile(params=CodingParams(4, 4), stream_bps=0)
+
+
+class TestPeerCounts:
+    def test_1385_peers_at_loop_based_rate(self):
+        """Sec. 5.1.2: 133 MB/s serves up to 1385 peers at 768 Kbps."""
+        peers = peers_supported_by_coding(133 * MB, REFERENCE_PROFILE)
+        assert peers == 1385
+
+    def test_1844_peers_at_table_based_1_rate(self):
+        """Sec. 5.1.3: 'more than 1844 downstream peers' after TB-1.
+
+        1844 peers at 96 KB/s is 177 MB/s of coding bandwidth."""
+        peers = peers_supported_by_coding(177.1 * MB, REFERENCE_PROFILE)
+        assert peers >= 1844
+
+    def test_3000_peers_at_best_rate(self):
+        """Sec. 5.1.3 / 6: 294 MB/s serves more than 3000 peers."""
+        peers = peers_supported_by_coding(294 * MB, REFERENCE_PROFILE)
+        assert peers > 3000
+
+    def test_model_rates_hit_paper_peer_counts(self):
+        """End-to-end: our modelled kernel rates imply the peer counts."""
+        loop = encode_bandwidth(
+            GTX280, EncodeScheme.LOOP_BASED, num_blocks=128, block_size=4096
+        )
+        best = encode_bandwidth(
+            GTX280, EncodeScheme.TABLE_5, num_blocks=128, block_size=4096
+        )
+        assert peers_supported_by_coding(loop, REFERENCE_PROFILE) == pytest.approx(
+            1385, rel=0.05
+        )
+        assert peers_supported_by_coding(best, REFERENCE_PROFILE) > 2900
+
+    def test_live_blocks_per_segment(self):
+        """Sec. 5.1.2: ~177,333 coded blocks per segment for 1385 peers."""
+        blocks = live_blocks_per_segment(1385, REFERENCE_PROFILE)
+        assert blocks == pytest.approx(177_333, rel=0.005)
+
+
+class TestNic:
+    def test_single_gige_is_the_bottleneck_at_133mbs(self):
+        """133 MB/s of coded output saturates one GigE interface."""
+        assert GIGABIT_ETHERNET.interfaces_saturated_by(133 * MB) > 1.0
+
+    def test_294mbs_saturates_two_interfaces(self):
+        assert DUAL_GIGABIT_ETHERNET.interfaces_saturated_by(294 * MB) > 2.0
+
+    def test_nic_peer_count_includes_coefficient_overhead(self):
+        with_overhead = peers_supported_by_nic(GIGABIT_ETHERNET, REFERENCE_PROFILE)
+        # 117.5 MB/s payload over 96 KB/s * (1 + 128/4096) per peer.
+        assert with_overhead == pytest.approx(1186, abs=3)
+
+    def test_invalid_nic_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NicModel(link_bps=0)
+
+
+class TestDeviceSegmentStore:
+    def test_gtx280_holds_hundreds_of_segments(self):
+        """Sec. 5.1.2: 1 GB 'easily accommodates hundreds' of 512 KB
+        segments."""
+        segments = segments_in_device_memory(GTX280, REFERENCE_PROFILE)
+        assert segments > 1500
+
+    def test_tiny_device_raises(self):
+        tiny = DeviceSpec(
+            name="tiny",
+            num_sms=1,
+            sps_per_sm=8,
+            shader_clock_hz=1e9,
+            mem_bandwidth_bytes=1e9,
+            memory_bytes=1024,
+        )
+        with pytest.raises(CapacityError):
+            segments_in_device_memory(tiny, REFERENCE_PROFILE)
+
+
+class TestPlan:
+    def test_nic_is_bottleneck_with_fast_codec(self):
+        plan = plan_capacity(GTX280, 294 * MB, REFERENCE_PROFILE, GIGABIT_ETHERNET)
+        assert plan.bottleneck == "nic"
+        assert plan.peers == plan.nic_peers < plan.coding_peers
+
+    def test_codec_is_bottleneck_with_dual_nic_and_slow_codec(self):
+        plan = plan_capacity(
+            GTX280, 100 * MB, REFERENCE_PROFILE, DUAL_GIGABIT_ETHERNET
+        )
+        assert plan.bottleneck == "coding"
+        assert plan.peers == plan.coding_peers
+
+    def test_plan_reports_live_block_budget(self):
+        plan = plan_capacity(GTX280, 133 * MB, REFERENCE_PROFILE, DUAL_GIGABIT_ETHERNET)
+        assert plan.blocks_per_segment_live == plan.peers * 128

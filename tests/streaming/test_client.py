@@ -1,0 +1,119 @@
+"""Tests for the streaming-client playback model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import GTX280
+from repro.kernels import (
+    decode_multi_segment_bandwidth,
+    decode_single_segment_bandwidth,
+)
+from repro.rlnc import CodingParams
+from repro.streaming import MediaProfile, REFERENCE_PROFILE
+from repro.streaming.client import StreamingClient
+
+MB = 1e6
+
+
+class TestPipelineArithmetic:
+    def test_download_time_includes_coefficient_overhead(self):
+        client = StreamingClient(
+            REFERENCE_PROFILE,
+            download_bytes_per_second=1 * MB,
+            decode_bytes_per_second=100 * MB,
+        )
+        wire = 128 * (4096 + 128)
+        assert client.segment_download_seconds() == pytest.approx(wire / MB)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamingClient(
+                REFERENCE_PROFILE,
+                download_bytes_per_second=0,
+                decode_bytes_per_second=1,
+            )
+        client = StreamingClient(
+            REFERENCE_PROFILE,
+            download_bytes_per_second=1 * MB,
+            decode_bytes_per_second=1 * MB,
+        )
+        with pytest.raises(ConfigurationError):
+            client.play(0)
+
+
+class TestSmoothPlayback:
+    def test_fast_decoder_plays_smoothly(self):
+        """A GPU multi-segment decoder (hundreds of MB/s) never stalls a
+        768 Kbps stream."""
+        decode_rate = decode_multi_segment_bandwidth(
+            GTX280, num_blocks=128, block_size=4096, num_segments=60
+        )
+        client = StreamingClient(
+            REFERENCE_PROFILE,
+            download_bytes_per_second=2 * 96_000,  # 2x the media rate
+            decode_bytes_per_second=decode_rate,
+        )
+        report = client.play(20)
+        assert report.smooth
+        assert client.sustainable()
+        # Startup is about one segment's download.
+        assert report.startup_delay_s < 2 * client.segment_download_seconds()
+
+    def test_slow_decoder_rebuffers(self):
+        """A decoder slower than the media rate must rebuffer no matter
+        how fast the network is — the Sec. 4.3 pathology surfaced at the
+        user level."""
+        profile = MediaProfile(params=CodingParams(128, 256))
+        slow_decode = decode_single_segment_bandwidth(
+            GTX280, num_blocks=128, block_size=256
+        )
+        # Media rate set above the decode rate.
+        fast_profile = MediaProfile(
+            params=profile.params, stream_bps=8 * slow_decode * 1.5
+        )
+        client = StreamingClient(
+            fast_profile,
+            download_bytes_per_second=1000 * MB,
+            decode_bytes_per_second=slow_decode,
+        )
+        report = client.play(10)
+        assert not client.sustainable()
+        assert report.rebuffer_events > 0
+        assert report.rebuffer_seconds > 0
+
+    def test_slow_network_rebuffers(self):
+        client = StreamingClient(
+            REFERENCE_PROFILE,
+            download_bytes_per_second=96_000 / 2,  # half the media rate
+            decode_bytes_per_second=1000 * MB,
+        )
+        report = client.play(10)
+        assert not client.sustainable()
+        assert report.rebuffer_events > 0
+
+    def test_deeper_startup_buffer_reduces_rebuffering(self):
+        marginal = StreamingClient(
+            REFERENCE_PROFILE,
+            download_bytes_per_second=96_000,  # exactly the media rate
+            decode_bytes_per_second=5 * MB,
+            startup_segments=1,
+        )
+        buffered = StreamingClient(
+            REFERENCE_PROFILE,
+            download_bytes_per_second=96_000,
+            decode_bytes_per_second=5 * MB,
+            startup_segments=4,
+        )
+        a = marginal.play(12)
+        b = buffered.play(12)
+        assert b.rebuffer_seconds <= a.rebuffer_seconds
+        assert b.startup_delay_s > a.startup_delay_s
+
+    def test_ready_times_monotone(self):
+        client = StreamingClient(
+            REFERENCE_PROFILE,
+            download_bytes_per_second=1 * MB,
+            decode_bytes_per_second=10 * MB,
+        )
+        report = client.play(8)
+        assert report.segment_ready_times == sorted(report.segment_ready_times)

@@ -1,0 +1,113 @@
+"""Tests for the live-streaming window."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.gpu import GTX280
+from repro.rlnc import CodingParams, ProgressiveDecoder
+from repro.streaming import MediaProfile, StreamingServer
+from repro.streaming.live import LiveWindow
+
+PROFILE = MediaProfile(params=CodingParams(8, 64))
+
+
+def make_window(window_segments=3, seed=0):
+    server = StreamingServer(GTX280, PROFILE, rng=np.random.default_rng(seed))
+    return LiveWindow(
+        server,
+        window_segments=window_segments,
+        rng=np.random.default_rng(seed + 1),
+    )
+
+
+class TestWindowMechanics:
+    def test_initial_state(self):
+        window = make_window()
+        assert window.live_edge is None
+        assert window.resident_segments == 0
+
+    def test_publish_assigns_sequential_ids(self):
+        window = make_window()
+        assert window.produce() == 0
+        assert window.produce() == 1
+        assert window.live_edge == 1
+
+    def test_eviction_keeps_window_size(self):
+        window = make_window(window_segments=3)
+        for _ in range(5):
+            window.produce()
+        assert window.resident_segments == 3
+        assert window.trailing_edge == 2
+        assert window.server.stored_segments == 3
+
+    def test_window_cannot_exceed_device_store(self):
+        server = StreamingServer(
+            GTX280, PROFILE, rng=np.random.default_rng(0)
+        )
+        with pytest.raises(CapacityError):
+            LiveWindow(server, window_segments=server.segment_capacity + 1)
+
+    def test_window_must_be_positive(self):
+        server = StreamingServer(
+            GTX280, PROFILE, rng=np.random.default_rng(0)
+        )
+        with pytest.raises(ConfigurationError):
+            LiveWindow(server, window_segments=0)
+
+
+class TestJoining:
+    def test_join_before_first_segment_rejected(self):
+        window = make_window()
+        with pytest.raises(ConfigurationError):
+            window.join(1)
+
+    def test_join_at_live_edge(self):
+        window = make_window()
+        for _ in range(4):
+            window.produce()
+        point = window.join(1)
+        assert point.segment_id == 3  # the live edge
+        assert point.behind_live_s == 0.0
+
+    def test_dvr_join_clamped_to_window(self):
+        window = make_window(window_segments=3)
+        for _ in range(6):
+            window.produce()  # resident: 3, 4, 5
+        point = window.join(1, dvr_segments=10)
+        assert point.segment_id == window.trailing_edge == 3
+        assert point.behind_live_s == pytest.approx(
+            2 * PROFILE.segment_duration_seconds
+        )
+
+    def test_served_blocks_decode(self):
+        window = make_window()
+        window.produce()
+        window.join(7)
+        decoder = ProgressiveDecoder(PROFILE.params)
+        while not decoder.is_complete:
+            for block in window.serve_window_position(7, 4):
+                if not decoder.is_complete:
+                    decoder.consume(block)
+        assert decoder.is_complete
+
+    def test_peer_falling_out_of_window(self):
+        window = make_window(window_segments=2)
+        window.produce()
+        window.join(1)  # starts at segment 0
+        for _ in range(4):
+            window.produce()  # window now [3, 4]; peer still wants 0
+        with pytest.raises(CapacityError, match="fell behind"):
+            window.serve_window_position(1, 2)
+
+    def test_session_advances_through_live_content(self):
+        window = make_window(window_segments=4)
+        window.produce()
+        window.produce()
+        session = window.server.connect(9)
+        window.join(9, dvr_segments=1)  # start at segment 0
+        n = PROFILE.params.num_blocks
+        window.serve_window_position(9, n)  # completes segment 0
+        assert session.next_segment == 1
+        window.serve_window_position(9, n)  # completes segment 1
+        assert session.next_segment == 2

@@ -1,0 +1,149 @@
+"""Tests for the EDF segment scheduler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rlnc import CodingParams
+from repro.streaming import MediaProfile
+from repro.streaming.scheduler import SegmentScheduler
+
+PROFILE = MediaProfile(params=CodingParams(8, 1024), stream_bps=8 * 1024 * 8)
+# segment duration = 8 KB / 8 KB/s = 1 s per segment
+
+
+def make_scheduler(total=10, lookahead=4):
+    return SegmentScheduler(PROFILE, total, lookahead=lookahead)
+
+
+class TestGeometry:
+    def test_segment_duration_assumption(self):
+        assert PROFILE.segment_duration_seconds == pytest.approx(1.0)
+
+    def test_playhead_segment(self):
+        scheduler = make_scheduler()
+        assert scheduler.playhead_segment(0.0) == 0
+        assert scheduler.playhead_segment(2.5) == 2
+        assert scheduler.playhead_segment(99.0) == 9  # clamped to last
+
+    def test_deadlines_are_spaced_by_duration(self):
+        scheduler = make_scheduler()
+        assert scheduler.deadline(0, playback_start_s=10.0) == 10.0
+        assert scheduler.deadline(3, playback_start_s=10.0) == 13.0
+
+    def test_deadline_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler().deadline(10, playback_start_s=0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SegmentScheduler(PROFILE, 0)
+        with pytest.raises(ConfigurationError):
+            SegmentScheduler(PROFILE, 5, lookahead=0)
+
+
+class TestNextRequest:
+    def test_requests_playhead_first(self):
+        scheduler = make_scheduler()
+        request = scheduler.next_request(
+            now_s=0.0,
+            playback_start_s=1.0,
+            media_position_s=0.0,
+            completed=set(),
+            in_flight=set(),
+            expected_fetch_s=0.5,
+        )
+        assert request.segment_index == 0
+        assert request.slack_s == pytest.approx(0.5)
+        assert not request.at_risk
+
+    def test_skips_completed_and_in_flight(self):
+        scheduler = make_scheduler()
+        request = scheduler.next_request(
+            now_s=0.0,
+            playback_start_s=1.0,
+            media_position_s=0.0,
+            completed={0},
+            in_flight={1},
+            expected_fetch_s=0.1,
+        )
+        assert request.segment_index == 2
+
+    def test_window_bounds_requests(self):
+        scheduler = make_scheduler(lookahead=2)
+        request = scheduler.next_request(
+            now_s=0.0,
+            playback_start_s=1.0,
+            media_position_s=0.0,
+            completed={0, 1},
+            in_flight=set(),
+            expected_fetch_s=0.1,
+        )
+        assert request is None  # window [0, 2) exhausted
+
+    def test_window_advances_with_playhead(self):
+        scheduler = make_scheduler(lookahead=2)
+        request = scheduler.next_request(
+            now_s=5.0,
+            playback_start_s=1.0,
+            media_position_s=4.2,  # playing segment 4
+            completed={4},
+            in_flight=set(),
+            expected_fetch_s=0.1,
+        )
+        assert request.segment_index == 5
+
+    def test_at_risk_flagged_when_fetch_exceeds_slack(self):
+        scheduler = make_scheduler()
+        request = scheduler.next_request(
+            now_s=0.9,
+            playback_start_s=1.0,
+            media_position_s=0.0,
+            completed=set(),
+            in_flight=set(),
+            expected_fetch_s=0.5,  # deadline 1.0, only 0.1 s left
+        )
+        assert request.at_risk
+        assert request.slack_s == pytest.approx(-0.4)
+
+    def test_all_buffered_returns_none(self):
+        scheduler = make_scheduler(total=3, lookahead=5)
+        request = scheduler.next_request(
+            now_s=0.0,
+            playback_start_s=0.0,
+            media_position_s=0.0,
+            completed={0, 1, 2},
+            in_flight=set(),
+            expected_fetch_s=0.1,
+        )
+        assert request is None
+
+
+class TestConcurrencyBudget:
+    def test_below_media_rate_has_no_budget(self):
+        scheduler = make_scheduler()
+        per_segment = PROFILE.stream_bytes_per_second * (
+            1 + PROFILE.params.overhead_ratio
+        )
+        assert scheduler.concurrent_fetch_budget(per_segment * 0.9) == 0
+
+    def test_budget_grows_with_bandwidth(self):
+        scheduler = make_scheduler(lookahead=8)
+        per_segment = PROFILE.stream_bytes_per_second * (
+            1 + PROFILE.params.overhead_ratio
+        )
+        assert scheduler.concurrent_fetch_budget(per_segment * 1.0) == 1
+        assert scheduler.concurrent_fetch_budget(per_segment * 3.5) == 3
+
+    def test_budget_capped_by_lookahead(self):
+        scheduler = make_scheduler(lookahead=2)
+        per_segment = PROFILE.stream_bytes_per_second * (
+            1 + PROFILE.params.overhead_ratio
+        )
+        assert scheduler.concurrent_fetch_budget(per_segment * 100) == 2
+
+    def test_multi_segment_regime_reachable(self):
+        """Fast downlinks put the receiver in the paper's multi-segment
+        decoding regime (several segments in flight at once)."""
+        scheduler = make_scheduler(lookahead=6)
+        fast_link = 10e6 / 8  # 10 Mbps
+        assert scheduler.concurrent_fetch_budget(fast_link) >= 2

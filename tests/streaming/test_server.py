@@ -1,0 +1,113 @@
+"""Tests for the functional streaming server."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.gpu import GTX280
+from repro.rlnc import CodingParams, ProgressiveDecoder, Segment
+from repro.streaming import MediaProfile, StreamingServer
+
+SMALL_PROFILE = MediaProfile(params=CodingParams(8, 64))
+
+
+def make_server(seed=0):
+    return StreamingServer(
+        GTX280, SMALL_PROFILE, rng=np.random.default_rng(seed)
+    )
+
+
+def make_segment(segment_id=0, seed=1):
+    return Segment.random(
+        SMALL_PROFILE.params, np.random.default_rng(seed), segment_id=segment_id
+    )
+
+
+class TestSegmentStore:
+    def test_publish_and_count(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        server.publish_segment(make_segment(1, seed=2))
+        assert server.stored_segments == 2
+        assert server.stats.segments_stored == 2
+
+    def test_geometry_mismatch_rejected(self):
+        server = make_server()
+        wrong = Segment.random(CodingParams(4, 64), np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            server.publish_segment(wrong)
+
+    def test_eviction(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        server.evict_segment(0)
+        assert server.stored_segments == 0
+        server.connect(1)
+        with pytest.raises(CapacityError):
+            server.serve(1, 0, 4)
+
+    def test_republish_same_segment_is_not_double_counted(self):
+        server = make_server()
+        segment = make_segment(0)
+        server.publish_segment(segment)
+        server.publish_segment(segment)
+        assert server.stored_segments == 1
+
+
+class TestServing:
+    def test_served_blocks_decode(self):
+        server = make_server()
+        segment = make_segment(0)
+        server.publish_segment(segment)
+        server.connect(7)
+        decoder = ProgressiveDecoder(SMALL_PROFILE.params)
+        while not decoder.is_complete:
+            for block in server.serve(7, 0, 4):
+                if decoder.is_complete:
+                    break
+                decoder.consume(block)
+        assert np.array_equal(decoder.recover_segment().blocks, segment.blocks)
+
+    def test_unknown_peer_rejected(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        with pytest.raises(ConfigurationError):
+            server.serve(99, 0, 1)
+
+    def test_zero_blocks_rejected(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        server.connect(1)
+        with pytest.raises(ConfigurationError):
+            server.serve(1, 0, 0)
+
+    def test_stats_accumulate(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        server.connect(1)
+        server.serve(1, 0, 4)
+        server.serve(1, 0, 4)
+        assert server.stats.blocks_served == 8
+        assert server.stats.bytes_served == 8 * 64
+        assert server.stats.gpu_seconds > 0
+        assert server.stats.effective_bandwidth > 0
+
+    def test_session_progress(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        session = server.connect(1)
+        server.serve(1, 0, 8)  # exactly n blocks
+        assert session.segments_completed == 1
+        assert session.next_segment == 1
+
+    def test_upload_time_accounted(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        assert server.stats.upload_seconds > 0
+
+    def test_blocks_carry_segment_id(self):
+        server = make_server()
+        server.publish_segment(make_segment(3))
+        server.connect(1)
+        blocks = server.serve(1, 3, 2)
+        assert all(block.segment_id == 3 for block in blocks)

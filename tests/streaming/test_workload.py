@@ -1,0 +1,145 @@
+"""Tests for the trace-driven VoD workload simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import GTX280
+from repro.kernels import EncodeScheme, encode_bandwidth
+from repro.streaming import GIGABIT_ETHERNET, REFERENCE_PROFILE
+from repro.streaming.capacity import plan_capacity
+from repro.streaming.nic import DUAL_GIGABIT_ETHERNET, NicModel
+from repro.streaming.workload import (
+    SessionArrival,
+    VodWorkloadSimulator,
+    generate_poisson_trace,
+)
+
+MB = 1e6
+
+
+def flat_trace(peers: int, horizon: float) -> list[SessionArrival]:
+    """``peers`` sessions that all span the whole horizon."""
+    return [SessionArrival(arrival_s=0.0, duration_s=horizon) for _ in range(peers)]
+
+
+def simulator(coding_mbs=133.0, nic=DUAL_GIGABIT_ETHERNET):
+    return VodWorkloadSimulator(
+        REFERENCE_PROFILE, coding_bytes_per_second=coding_mbs * MB, nic=nic
+    )
+
+
+class TestTraceGeneration:
+    def test_littles_law_load(self):
+        rng = np.random.default_rng(0)
+        trace = generate_poisson_trace(
+            arrival_rate_per_s=2.0,
+            mean_duration_s=50.0,
+            horizon_s=2000.0,
+            rng=rng,
+        )
+        assert len(trace) == pytest.approx(2.0 * 2000, rel=0.1)
+        mean_duration = np.mean([s.duration_s for s in trace])
+        assert mean_duration == pytest.approx(50.0, rel=0.15)
+
+    def test_arrivals_sorted_and_bounded(self):
+        rng = np.random.default_rng(1)
+        trace = generate_poisson_trace(
+            arrival_rate_per_s=1.0, mean_duration_s=10.0, horizon_s=100.0, rng=rng
+        )
+        times = [s.arrival_s for s in trace]
+        assert times == sorted(times)
+        assert all(0 < t < 100 for t in times)
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            generate_poisson_trace(
+                arrival_rate_per_s=0, mean_duration_s=1, horizon_s=1, rng=rng
+            )
+
+
+class TestCapacityKnee:
+    def test_knee_matches_static_plan(self):
+        """The simulator's stall knee must equal the Sec. 5.1.2 plan."""
+        rate = encode_bandwidth(
+            GTX280, EncodeScheme.LOOP_BASED, num_blocks=128, block_size=4096
+        )
+        sim = VodWorkloadSimulator(
+            REFERENCE_PROFILE,
+            coding_bytes_per_second=rate,
+            nic=DUAL_GIGABIT_ETHERNET,
+        )
+        plan = plan_capacity(
+            GTX280, rate, REFERENCE_PROFILE, DUAL_GIGABIT_ETHERNET
+        )
+        assert sim.knee_concurrency() == plan.peers
+
+    def test_below_knee_no_stalls(self):
+        sim = simulator()
+        knee = sim.knee_concurrency()
+        report = sim.run(flat_trace(knee - 5, 60.0), horizon_s=60)
+        assert report.stall_fraction == 0.0
+        assert report.goodput_fraction == pytest.approx(1.0)
+        assert report.max_concurrent == knee - 5
+
+    def test_above_knee_stalls(self):
+        sim = simulator()
+        knee = sim.knee_concurrency()
+        report = sim.run(flat_trace(int(knee * 1.5), 60.0), horizon_s=60)
+        assert report.stall_fraction > 0.2
+        assert report.goodput_fraction < 0.75
+
+    def test_nic_can_be_the_binding_constraint(self):
+        fast_codec = simulator(coding_mbs=294.0, nic=GIGABIT_ETHERNET)
+        report = fast_codec.run(
+            flat_trace(2000, 30.0), horizon_s=30
+        )
+        assert report.peak_nic_utilization == pytest.approx(1.0)
+        assert report.peak_coding_utilization < 1.0
+        assert report.stall_fraction > 0.0
+
+
+class TestReportAccounting:
+    def test_empty_trace(self):
+        report = simulator().run([], horizon_s=10)
+        assert report.max_concurrent == 0
+        assert report.stall_fraction == 0.0
+        assert report.goodput_fraction == 1.0
+        assert report.concurrency == [0] * 10
+
+    def test_concurrency_timeline(self):
+        trace = [
+            SessionArrival(arrival_s=0.0, duration_s=5.0),
+            SessionArrival(arrival_s=2.0, duration_s=5.0),
+        ]
+        report = simulator().run(trace, horizon_s=10)
+        assert report.concurrency[:8] == [1, 1, 2, 2, 2, 1, 1, 0]
+        assert report.max_concurrent == 2
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ConfigurationError):
+            simulator().run([], horizon_s=0)
+
+    def test_invalid_coding_rate(self):
+        with pytest.raises(ConfigurationError):
+            VodWorkloadSimulator(
+                REFERENCE_PROFILE,
+                coding_bytes_per_second=0,
+                nic=GIGABIT_ETHERNET,
+            )
+
+    def test_poisson_run_end_to_end(self):
+        rng = np.random.default_rng(7)
+        sim = simulator()
+        knee = sim.knee_concurrency()
+        # Offered load ~60% of the knee: stall-free with high probability.
+        trace = generate_poisson_trace(
+            arrival_rate_per_s=knee * 0.6 / 50.0,
+            mean_duration_s=50.0,
+            horizon_s=300.0,
+            rng=rng,
+        )
+        report = sim.run(trace, horizon_s=300)
+        assert report.active_peer_seconds > 0
+        assert report.stall_fraction < 0.05

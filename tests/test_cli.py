@@ -1,0 +1,87 @@
+"""Tests for the repro command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestFiguresCommand:
+    def test_single_figure(self, capsys):
+        assert main(["figures", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "table-based-5" in out
+
+    def test_all_figures_by_default(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig4a", "fig9", "streaming", "ablations"):
+            assert name in out
+
+    def test_unknown_figure_fails(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+
+class TestEncodeDecodeCommands:
+    def test_file_round_trip(self, tmp_path, capsys):
+        content = bytes(np.random.default_rng(0).integers(0, 256, 5000, dtype=np.uint8))
+        source = tmp_path / "content.bin"
+        source.write_bytes(content)
+        coded = tmp_path / "coded.rlnc"
+        restored = tmp_path / "restored.bin"
+
+        assert main([
+            "encode", str(source), "-o", str(coded),
+            "-n", "8", "-k", "256", "--redundancy", "1.25", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "encoded 5000 bytes" in out
+
+        assert main([
+            "decode", str(coded), "-o", str(restored), "--length", "5000",
+        ]) == 0
+        assert restored.read_bytes() == content
+
+    def test_decode_empty_stream_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.rlnc"
+        empty.write_bytes(b"")
+        out = tmp_path / "out.bin"
+        assert main(["decode", str(empty), "-o", str(out), "--length", "0"]) == 1
+
+    def test_decode_corrupt_stream_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rlnc"
+        bad.write_bytes(b"RLNCgarbagegarbagegarbage")
+        out = tmp_path / "out.bin"
+        assert main(["decode", str(bad), "-o", str(out), "--length", "10"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_input_file(self, tmp_path, capsys):
+        assert main([
+            "encode", str(tmp_path / "nope.bin"), "-o", str(tmp_path / "x"),
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCapacityCommand:
+    def test_default_plan(self, capsys):
+        assert main(["capacity"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX 280" in out
+        assert "serveable peers" in out
+
+    def test_loop_based_peer_count(self, capsys):
+        assert main(["capacity", "--scheme", "loop-based", "--nics", "4"]) == 0
+        out = capsys.readouterr().out
+        # 133 MB/s at 768 kbps -> ~1385 peers, codec-limited with 4 NICs.
+        assert "bottleneck: coding" in out
+        peers = int(
+            next(line for line in out.splitlines() if "coding-limited" in line)
+            .split()[1]
+        )
+        assert peers == pytest.approx(1385, rel=0.01)
+
+    def test_projection_device(self, capsys):
+        assert main(["capacity", "--device", "gtx280-32k"]) == 0
+        assert "projection" in capsys.readouterr().out
