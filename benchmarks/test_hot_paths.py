@@ -1,0 +1,203 @@
+"""Before/after microbenchmarks for the engine-layer hot paths.
+
+Unlike the figure benchmarks (model-derived, deterministic), this file
+measures the *real* wall clock of the three hot paths the GF(2^8) engine
+rewrote — batch encode, progressive decode, and the raw matmul — against
+the pinned seed-era formulations, asserts the PR's speedup floors, and
+proves byte-exactness in the same run.  The measured trajectory is
+written to ``BENCH_hot_paths.json`` at the repo root so successive PRs
+accumulate a performance history.
+
+Set ``REPRO_HOT_PATH_SMOKE=1`` (the CI smoke job) to run tiny shapes and
+skip the speedup-floor assertions: small shapes sit below the engine's
+amortization break-even, so only exactness is meaningful there.
+
+The file intentionally uses explicit ``perf_counter`` best-of-N timing
+rather than the ``benchmark`` fixture: the speedup ratios must exist
+even under ``--benchmark-disable`` (which runs fixtures once, untimed).
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.gf256 import matmul
+from repro.gf256.engine import ENGINE, Gf256Engine
+from repro.rlnc import CodingParams, Encoder, ProgressiveDecoder, Segment
+from repro.rlnc._reference import ReferenceProgressiveDecoder
+
+ARTIFACT = pathlib.Path(__file__).parent.parent / "BENCH_hot_paths.json"
+
+SMOKE = os.environ.get("REPRO_HOT_PATH_SMOKE") == "1"
+
+#: Acceptance shapes (full mode) vs CI smoke shapes.
+DECODE_N, DECODE_K = (32, 512) if SMOKE else (128, 4096)
+ENCODE_M, ENCODE_N, ENCODE_K = (48, 32, 512) if SMOKE else (256, 128, 4096)
+REPEATS = 1 if SMOKE else 3
+
+#: Speedup floors from the PR acceptance criteria (full mode only).
+DECODE_SPEEDUP_FLOOR = 3.0
+ENCODE_SPEEDUP_FLOOR = 2.0
+
+_results: dict[str, object] = {
+    "smoke": SMOKE,
+    "shapes": {
+        "decode": {"n": DECODE_N, "k": DECODE_K},
+        "encode": {"m": ENCODE_M, "n": ENCODE_N, "k": ENCODE_K},
+    },
+}
+
+
+def best_of(fn, repeats=REPEATS):
+    """Best-of-N wall time in seconds (minimum over repeats)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def record(section: str, payload: dict) -> None:
+    _results[section] = payload
+    ARTIFACT.write_text(json.dumps(_results, indent=2, sort_keys=True) + "\n")
+
+
+def test_progressive_decode_before_after():
+    params = CodingParams(DECODE_N, DECODE_K)
+    rng = np.random.default_rng(0)
+    segment = Segment.random(params, rng)
+    blocks = Encoder(segment, rng).encode_blocks(DECODE_N + 4)
+
+    def run(cls):
+        decoder = cls(params)
+        for block in blocks:
+            if decoder.is_complete:
+                break
+            decoder.consume(block)
+        return decoder
+
+    # Byte-exactness first, on the same stream the timing uses.
+    reference = run(ReferenceProgressiveDecoder)
+    current = run(ProgressiveDecoder)
+    ref_rows, ref_pivots = reference.dense_state()
+    new_rows, new_pivots = current.dense_state()
+    exact = bool(
+        np.array_equal(ref_rows, new_rows)
+        and ref_pivots == new_pivots
+        and np.array_equal(
+            reference.recover_segment().blocks,
+            current.recover_segment().blocks,
+        )
+    )
+    assert exact
+
+    ref_seconds = best_of(lambda: run(ReferenceProgressiveDecoder))
+    new_seconds = best_of(lambda: run(ProgressiveDecoder))
+    speedup = ref_seconds / new_seconds
+    segment_mb = params.segment_bytes / 1e6
+    record(
+        "progressive_decode",
+        {
+            "ref_seconds": ref_seconds,
+            "new_seconds": new_seconds,
+            "speedup": speedup,
+            "mb_per_s_before": segment_mb / ref_seconds,
+            "mb_per_s_after": segment_mb / new_seconds,
+            "byte_exact": exact,
+        },
+    )
+    if not SMOKE:
+        assert speedup >= DECODE_SPEEDUP_FLOOR, (
+            f"decode speedup {speedup:.2f}x below the "
+            f"{DECODE_SPEEDUP_FLOOR}x floor"
+        )
+
+
+def test_batch_encode_before_after():
+    rng = np.random.default_rng(1)
+    blocks = rng.integers(
+        0, 256, size=(ENCODE_N, ENCODE_K), dtype=np.uint8
+    )
+    coefficients = rng.integers(
+        1, 256, size=(ENCODE_M, ENCODE_N), dtype=np.uint8
+    )
+    seed_engine = Gf256Engine("table")  # the seed formulation, pinned
+
+    expected = seed_engine.matmul(coefficients, blocks)
+    got = ENGINE.matmul(coefficients, blocks)
+    exact = bool(np.array_equal(expected, got))
+    assert exact
+
+    ref_seconds = best_of(lambda: seed_engine.matmul(coefficients, blocks))
+    new_seconds = best_of(lambda: ENGINE.matmul(coefficients, blocks))
+    speedup = ref_seconds / new_seconds
+    coded_mb = ENCODE_M * ENCODE_K / 1e6
+    record(
+        "batch_encode",
+        {
+            "ref_seconds": ref_seconds,
+            "new_seconds": new_seconds,
+            "speedup": speedup,
+            "mb_per_s_before": coded_mb / ref_seconds,
+            "mb_per_s_after": coded_mb / new_seconds,
+            "byte_exact": exact,
+        },
+    )
+    if not SMOKE:
+        assert speedup >= ENCODE_SPEEDUP_FLOOR, (
+            f"encode speedup {speedup:.2f}x below the "
+            f"{ENCODE_SPEEDUP_FLOOR}x floor"
+        )
+
+
+def test_matmul_backend_throughput():
+    rng = np.random.default_rng(2)
+    a = rng.integers(0, 256, size=(ENCODE_M, ENCODE_N), dtype=np.uint8)
+    b = rng.integers(0, 256, size=(ENCODE_N, ENCODE_K), dtype=np.uint8)
+    out_bytes = ENCODE_M * ENCODE_K
+    per_backend = {}
+    baseline = None
+    for backend in ("table", "log", "bitslice"):
+        engine = Gf256Engine(backend)
+        result = engine.matmul(a, b)
+        if baseline is None:
+            baseline = result
+        assert np.array_equal(result, baseline)
+        seconds = best_of(lambda: engine.matmul(a, b))
+        per_backend[backend] = {
+            "seconds": seconds,
+            "gb_per_s": out_bytes / seconds / 1e9,
+        }
+    auto_seconds = best_of(lambda: matmul(a, b))
+    record(
+        "matmul_backends",
+        {
+            "backends": per_backend,
+            "auto_seconds": auto_seconds,
+            "auto_gb_per_s": out_bytes / auto_seconds / 1e9,
+        },
+    )
+    if not SMOKE:
+        # auto must track the best backend for this shape within noise.
+        best = min(entry["seconds"] for entry in per_backend.values())
+        assert auto_seconds <= best * 1.5
+
+
+def test_cached_log_segment_encode_block():
+    # The TB-1 cache: single-block encodes with a warm log-domain segment.
+    params = CodingParams(ENCODE_N, ENCODE_K)
+    segment = Segment.random(params, np.random.default_rng(3))
+    encoder = Encoder(segment, np.random.default_rng(4))
+    encoder.encode_block()  # warm the memoized log transform
+    seconds = best_of(encoder.encode_block)
+    record(
+        "encode_block_cached_log",
+        {
+            "seconds": seconds,
+            "mb_per_s": params.block_size / seconds / 1e6,
+        },
+    )

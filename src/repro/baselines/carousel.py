@@ -11,8 +11,6 @@ paper's premise that coding is worth its computational price.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.errors import ConfigurationError, DecodingError

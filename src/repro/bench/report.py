@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.bench.runner import FigureData, Series
+from repro.bench.runner import FigureData
 
 
 def render_series_table(figure: FigureData) -> str:

@@ -20,8 +20,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.cpu.simd import SIMD_CYCLES_PER_CHUNK, chunks_for_bytes
 from repro.cpu.spec import CpuSpec
 from repro.errors import DecodingError

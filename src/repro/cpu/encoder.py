@@ -24,7 +24,6 @@ The cost model:
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -146,7 +145,9 @@ class CpuEncoder:
         n, k = segment.blocks.shape
         if coefficients is None:
             coefficients = random_matrix(coded_rows, n, rng)
-        payloads = matmul(coefficients, segment.blocks)
+        payloads = matmul(
+            coefficients, segment.blocks, log_b=segment.log_blocks()
+        )
         time = self.estimate_time(
             num_blocks=n, block_size=k, coded_rows=coefficients.shape[0]
         )

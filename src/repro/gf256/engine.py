@@ -1,0 +1,317 @@
+"""Pluggable GF(2^8) bulk-multiply engine.
+
+Every bulk field operation in the library (batch encode, progressive
+decode row reduction, recoding, matrix solves) funnels through one
+:class:`Gf256Engine`, which owns three independent multiply backends and
+picks one per operation shape:
+
+* ``table`` — the classic per-inner-index gather from the dense 256x256
+  product table (the seed formulation).  One fancy-indexing pass per
+  inner index; cheapest when the output has only a few rows, because
+  nothing is amortized across rows.
+* ``log`` — the paper's Sec. 5.1.2 logarithmic-domain dataflow, tiled:
+  both operands are moved to the log domain once (or arrive pre-logged
+  via :meth:`Gf256Engine.log_encode`, the TB-1 preprocessing cache),
+  then each tile of inner indices is resolved with a single ``EXP``
+  gather and an XOR reduction — ``n`` Python-loop trips become
+  ``n / tile``.
+* ``bitslice`` — a shift-and-add formulation: for each source row the
+  engine builds the table of all 256 multiples with seven vectorized
+  XOR doubling passes (``c*row`` for ``c`` in ``2^j..2^(j+1)-1`` is
+  ``(c-2^j)*row ^ x^j*row``), then resolves a whole output column of
+  coefficients with one contiguous row gather.  The build cost is
+  amortized over the output rows, so this backend wins by an order of
+  magnitude once the product has tens of rows.
+
+Zero handling in the log domain is maskless: the engine uses *padded*
+tables, ``LOG_PAD`` (uint16, ``LOG_PAD[0] = 512``) and ``EXP_PAD``
+(1025 entries, zero beyond index 509), so any sum involving a zero
+operand lands in the zeroed tail of ``EXP_PAD`` and no sentinel
+comparison is ever needed — the same trick as the paper's Table-based-3
+remapping (Sec. 5.1.3), generalized to batched numpy gathers.
+
+Backend selection: ``auto`` (the default) applies the shape heuristic in
+:meth:`Gf256Engine.select_matmul_backend`; a concrete backend can be
+forced globally with :func:`set_backend` or the ``REPRO_GF_BACKEND``
+environment variable, which is read at import time.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import FieldError
+from repro.gf256.tables import EXP, LOG, MUL_TABLE
+
+#: Environment variable consulted for the process-wide default backend.
+BACKEND_ENV_VAR = "REPRO_GF_BACKEND"
+
+#: Valid backend names (``auto`` defers to the per-shape heuristic).
+BACKENDS = ("auto", "table", "log", "bitslice")
+
+#: Sentinel stored at ``LOG_PAD[0]``: large enough that any padded-log
+#: sum involving a zero operand indexes the zeroed tail of ``EXP_PAD``.
+LOG_PAD_SENTINEL = 512
+
+#: Output rows at which ``auto`` switches from ``table`` to ``bitslice``
+#: (where the per-inner-index multiples-table build starts to amortize).
+BITSLICE_MIN_ROWS = 32
+
+#: Row width below which the bitslice multiples table is not worth
+#: building (the 7 doubling passes cost ~30 numpy calls per inner index).
+BITSLICE_MIN_WIDTH = 32
+
+#: Element budget for one log-backend tile (m * tile * k uint16 sums).
+LOG_TILE_ELEMENTS = 1 << 21
+
+
+def _build_padded_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Construct the maskless padded log/exp tables (see module docs)."""
+    log_pad = LOG.astype(np.uint16)
+    log_pad[0] = LOG_PAD_SENTINEL
+    # Index range: nonzero+nonzero sums reach 508; any sum with one or
+    # two sentinels spans 512..1024 and must decode to zero.
+    exp_pad = np.zeros(2 * LOG_PAD_SENTINEL + 1, dtype=np.uint8)
+    exp_pad[:510] = EXP[:510]
+    return log_pad, exp_pad
+
+
+LOG_PAD, EXP_PAD = _build_padded_tables()
+
+
+def _as_u8(array: np.ndarray) -> np.ndarray:
+    if array.dtype != np.uint8:
+        raise FieldError(f"GF(2^8) arrays must be uint8, got {array.dtype}")
+    return array
+
+
+def multiples_table(row: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Return the (256, len(row)) table of every scalar multiple of ``row``.
+
+    Built with seven doubling XOR passes instead of a 64 KB-table gather:
+    ``out[c]`` for ``c`` in ``2^j .. 2^(j+1)-1`` is ``out[c - 2^j] ^ d_j``
+    where ``d_j = x^j * row`` comes from the Rijndael doubling step.  All
+    work is sequential SIMD XOR, which is what makes the bitslice matmul
+    backend fast.
+    """
+    _as_u8(row)
+    if out is None:
+        out = np.empty((256, row.shape[0]), dtype=np.uint8)
+    out[0] = 0
+    out[1] = row
+    doubled = row
+    for j in range(1, 8):
+        doubled = (doubled << 1) ^ (((doubled >> 7) & 1) * np.uint8(0x1B))
+        size = 1 << j
+        out[size] = doubled
+        np.bitwise_xor(out[1:size], doubled, out=out[size + 1 : 2 * size])
+    return out
+
+
+class Gf256Engine:
+    """Shape-aware dispatcher over the three multiply backends.
+
+    Args:
+        backend: one of :data:`BACKENDS`, or ``None`` to read the
+            ``REPRO_GF_BACKEND`` environment variable (falling back to
+            ``auto``).
+    """
+
+    def __init__(self, backend: str | None = None) -> None:
+        if backend is None:
+            backend = os.environ.get(BACKEND_ENV_VAR, "auto")
+        self.set_backend(backend)
+
+    @property
+    def backend(self) -> str:
+        """The configured backend name (``auto`` means per-shape choice)."""
+        return self._backend
+
+    def set_backend(self, backend: str | None) -> None:
+        """Force one backend for every operation, or restore ``auto``.
+
+        Raises:
+            FieldError: for unknown backend names.
+        """
+        if backend is None:
+            backend = "auto"
+        if backend not in BACKENDS:
+            raise FieldError(
+                f"unknown GF backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self._backend = backend
+
+    # -- preprocessing (the TB-1 cache format) -----------------------------
+
+    def log_encode(self, data: np.ndarray) -> np.ndarray:
+        """Transform an array into the engine's padded log domain.
+
+        This is the one-time preprocessing of Sec. 5.1.2: the result can
+        be passed as ``log_b`` to :meth:`matmul` any number of times, so
+        a streaming server pays the transform once per segment rather
+        than once per coded block.  The returned array is marked
+        read-only because callers cache it.
+        """
+        _as_u8(data)
+        encoded = LOG_PAD[data]
+        encoded.flags.writeable = False
+        return encoded
+
+    # -- backend selection -------------------------------------------------
+
+    def select_matmul_backend(
+        self, m: int, n: int, k: int, *, pre_logged: bool = False
+    ) -> str:
+        """Resolve the concrete backend for an (m, n) x (n, k) product.
+
+        The heuristic (measured on the tier-1 shapes): the bitslice
+        multiples-table build costs ~256*k per inner index regardless of
+        ``m``, so it needs enough output rows (and wide enough rows) to
+        amortize; below that, pre-logged operands make the tiled log
+        gather cheapest, and the plain table gather wins for the
+        remaining small products.
+        """
+        if self._backend != "auto":
+            return self._backend
+        if m >= BITSLICE_MIN_ROWS and k >= BITSLICE_MIN_WIDTH:
+            return "bitslice"
+        if pre_logged:
+            return "log"
+        return "table"
+
+    # -- matrix product ----------------------------------------------------
+
+    def matmul(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        log_b: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Matrix product over GF(2^8) (paper Eq. 1).
+
+        Args:
+            a: (m, n) uint8 coefficient matrix.
+            b: (n, k) uint8 source matrix.
+            log_b: optional cached :meth:`log_encode` of ``b``; lets the
+                log backend skip the per-call preprocessing.
+
+        Returns:
+            The (m, k) uint8 product; byte-identical across backends.
+        """
+        _as_u8(a)
+        _as_u8(b)
+        if a.ndim != 2 or b.ndim != 2:
+            raise FieldError("matmul requires 2-D operands")
+        if a.shape[1] != b.shape[0]:
+            raise FieldError(f"inner dimensions differ: {a.shape} x {b.shape}")
+        m, n = a.shape
+        k = b.shape[1]
+        backend = self.select_matmul_backend(
+            m, n, k, pre_logged=log_b is not None
+        )
+        if backend == "bitslice":
+            return self._matmul_bitslice(a, b)
+        if backend == "log":
+            return self._matmul_log(a, b, log_b)
+        return self._matmul_table(a, b)
+
+    def _matmul_table(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Per-inner-index dense-table gather (the seed formulation)."""
+        m, n = a.shape
+        out = np.zeros((m, b.shape[1]), dtype=np.uint8)
+        for i in range(n):
+            column = a[:, i]
+            nonzero = np.nonzero(column)[0]
+            if nonzero.size == 0:
+                continue
+            out[nonzero] ^= MUL_TABLE[column[nonzero]][:, b[i]]
+        return out
+
+    def _matmul_log(
+        self, a: np.ndarray, b: np.ndarray, log_b: np.ndarray | None
+    ) -> np.ndarray:
+        """Tiled log-domain gather: ``n`` loop trips become ``n / tile``."""
+        m, n = a.shape
+        k = b.shape[1]
+        log_a = LOG_PAD[a]
+        if log_b is None:
+            log_b = LOG_PAD[b]
+        tile = max(1, LOG_TILE_ELEMENTS // max(1, m * k))
+        out = np.zeros((m, k), dtype=np.uint8)
+        for start in range(0, n, tile):
+            stop = min(start + tile, n)
+            sums = log_a[:, start:stop, None] + log_b[None, start:stop, :]
+            out ^= np.bitwise_xor.reduce(EXP_PAD[sums], axis=1)
+        return out
+
+    def _matmul_bitslice(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Shift-and-add multiples tables plus contiguous row gathers."""
+        m, n = a.shape
+        k = b.shape[1]
+        out = np.zeros((m, k), dtype=np.uint8)
+        scratch = np.empty((256, k), dtype=np.uint8)
+        for i in range(n):
+            table = multiples_table(b[i], scratch)
+            out ^= table[a[:, i]]
+        return out
+
+    # -- row-reduction primitives (the decoder's kernels) ------------------
+
+    def scaled_rows_xor(
+        self, rows: np.ndarray, factors: np.ndarray
+    ) -> np.ndarray:
+        """Return ``XOR_i factors[i] * rows[i]`` in one batched pass.
+
+        This is the progressive decoder's forward-reduction kernel: one
+        padded-log gather plus an XOR reduction over all live pivots at
+        once, instead of one Python-loop trip per pivot.  Zero factors
+        (and zero row bytes) contribute nothing, maskless.
+        """
+        _as_u8(rows)
+        _as_u8(factors)
+        sums = LOG_PAD[factors][:, None] + LOG_PAD[rows]
+        return np.bitwise_xor.reduce(EXP_PAD[sums], axis=0)
+
+    def scaled_rows(self, factors: np.ndarray, row: np.ndarray) -> np.ndarray:
+        """Return the matrix ``factors[i] * row`` (one row per factor).
+
+        The back-elimination kernel: callers XOR the result into their
+        stored rows.  Uses the bitslice multiples table when there are
+        enough factors to amortize it, otherwise a padded-log gather.
+        """
+        _as_u8(factors)
+        _as_u8(row)
+        if (
+            factors.shape[0] >= BITSLICE_MIN_ROWS
+            and row.shape[0] >= BITSLICE_MIN_WIDTH
+        ):
+            return multiples_table(row)[factors]
+        sums = LOG_PAD[factors][:, None] + LOG_PAD[row][None, :]
+        return EXP_PAD[sums]
+
+    def mul_scalar(self, row: np.ndarray, coefficient: int) -> np.ndarray:
+        """Return ``coefficient * row`` (dense-table gather)."""
+        _as_u8(row)
+        return MUL_TABLE[coefficient][row]
+
+
+#: The process-wide engine instance every library hot path routes through.
+ENGINE = Gf256Engine()
+
+
+def get_engine() -> Gf256Engine:
+    """Return the process-wide engine."""
+    return ENGINE
+
+
+def set_backend(backend: str | None) -> None:
+    """Force the process-wide engine onto one backend (``None`` = auto)."""
+    ENGINE.set_backend(backend)
+
+
+def get_backend() -> str:
+    """Return the process-wide engine's configured backend name."""
+    return ENGINE.backend

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import FieldError, SingularMatrixError
+from repro.gf256.engine import ENGINE
 from repro.gf256.tables import INV, MUL_TABLE
 from repro.gf256.vector import matmul
 
@@ -151,6 +152,63 @@ def solve(coefficients: np.ndarray, coded: np.ndarray) -> np.ndarray:
     if found != n:
         raise SingularMatrixError(f"coefficient matrix has rank {found} < {n}")
     return np.ascontiguousarray(augmented[:, n:])
+
+
+def independent_row_indices(
+    matrix: np.ndarray, count: int | None = None
+) -> np.ndarray:
+    """Return indices of the earliest rows forming a full-rank subset.
+
+    Greedy earliest-first selection: each candidate row is forward-reduced
+    against the basis built so far (batched over all live pivots via the
+    engine) and accepted iff it is innovative, stopping once ``count``
+    independent rows are found.  This is the row-selection kernel behind
+    the two-stage decoder's retry path: after a singular draw, callers add
+    one more block and re-select over the *whole* buffer, so a late
+    innovative block can rescue an early dependent prefix.
+
+    Args:
+        matrix: (rows, cols) uint8 candidate matrix.
+        count: stop after this many independent rows (default: full rank).
+
+    Returns:
+        Ascending int64 indices of the selected rows; fewer than ``count``
+        entries if the candidates never reach that rank.
+    """
+    if matrix.ndim != 2:
+        raise FieldError("independent_row_indices requires a 2-D matrix")
+    rows, cols = matrix.shape
+    target = min(rows, cols) if count is None else min(count, rows, cols)
+    basis = np.zeros((target, cols), dtype=np.uint8)
+    pivot_cols = np.empty(target, dtype=np.int64)
+    chosen: list[int] = []
+    for index in range(rows):
+        held = len(chosen)
+        if held == target:
+            break
+        vector = matrix[index].copy()
+        if held:
+            factors = vector[pivot_cols[:held]]
+            live = np.nonzero(factors)[0]
+            if live.size:
+                vector ^= ENGINE.scaled_rows_xor(basis[live], factors[live])
+        support = np.nonzero(vector)[0]
+        if support.size == 0:
+            continue
+        pivot = int(support[0])
+        lead = int(vector[pivot])
+        if lead != 1:
+            vector = MUL_TABLE[INV[lead]][vector]
+        # Keep the basis fully reduced so the batched forward reduction
+        # above stays a single pass (pivot columns are disjoint in RREF).
+        column = basis[:held, pivot].copy()
+        targets = np.nonzero(column)[0]
+        if targets.size:
+            basis[targets] ^= ENGINE.scaled_rows(column[targets], vector)
+        basis[held] = vector
+        pivot_cols[held] = pivot
+        chosen.append(index)
+    return np.array(chosen, dtype=np.int64)
 
 
 def is_identity(matrix: np.ndarray) -> bool:

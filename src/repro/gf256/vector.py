@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import FieldError
+from repro.gf256.engine import ENGINE
 from repro.gf256.tables import EXP, LOG, LOG_ZERO_SENTINEL, MUL_TABLE, RIJNDAEL_POLY
 
 
@@ -85,32 +86,20 @@ def mul_elementwise(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return MUL_TABLE[a, b]
 
 
-def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def matmul(
+    a: np.ndarray, b: np.ndarray, *, log_b: np.ndarray | None = None
+) -> np.ndarray:
     """Matrix product over GF(2^8).
 
     ``a`` is (m, n) and ``b`` is (n, k); the result is (m, k).  This is
     Eq. (1) of the paper when ``a`` is the coefficient matrix and ``b`` the
-    source-block matrix.  Implemented as a log-domain gather plus an XOR
-    reduction, processing one inner index at a time to bound memory.
+    source-block matrix.  Dispatches to the shape-selected backend of the
+    process-wide :class:`repro.gf256.engine.Gf256Engine`; pass ``log_b``
+    (a cached :meth:`~repro.gf256.engine.Gf256Engine.log_encode` of ``b``,
+    e.g. :meth:`repro.rlnc.block.Segment.log_blocks`) to let the log
+    backend skip its per-call preprocessing.
     """
-    _as_u8(a)
-    _as_u8(b)
-    if a.ndim != 2 or b.ndim != 2:
-        raise FieldError("matmul requires 2-D operands")
-    if a.shape[1] != b.shape[0]:
-        raise FieldError(f"inner dimensions differ: {a.shape} x {b.shape}")
-    m, n = a.shape
-    k = b.shape[1]
-    out = np.zeros((m, k), dtype=np.uint8)
-    for i in range(n):
-        # out ^= outer(a[:, i], b[i, :]) in GF(2^8).
-        column = a[:, i]
-        row = b[i]
-        nonzero = np.nonzero(column)[0]
-        if nonzero.size == 0:
-            continue
-        out[nonzero] ^= MUL_TABLE[column[nonzero]][:, row]
-    return out
+    return ENGINE.matmul(a, b, log_b=log_b)
 
 
 def matmul_log_domain(log_a: np.ndarray, log_b: np.ndarray) -> np.ndarray:

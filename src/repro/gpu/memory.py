@@ -22,7 +22,7 @@ analytic cost model uses its aggregate statistics.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.gpu.spec import DeviceSpec
 

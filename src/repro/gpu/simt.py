@@ -29,8 +29,8 @@ it (they synchronize instead), and tests assert as much.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterable
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
 
 import numpy as np
 

@@ -13,7 +13,7 @@ it shows encoding is compute-bound at 2.9 GB/s of traffic against a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.gpu.spec import DeviceSpec
 

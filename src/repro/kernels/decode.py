@@ -14,8 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError, DecodingError, SingularMatrixError
-from repro.gf256 import inverse, matmul
-from repro.gf256.tables import INV, MUL_TABLE
+from repro.gf256 import independent_row_indices, inverse, matmul
 from repro.gpu.spec import DeviceSpec
 from repro.kernels.base import DecodeResult
 from repro.kernels.cost_model import (
@@ -159,32 +158,15 @@ class GpuMultiSegmentDecoder:
 def _select_independent(blocks, n: int, segment_id: int) -> list[CodedBlock]:
     """Pick the first n linearly independent blocks from a candidate list.
 
-    Runs a light Gauss-Jordan over coefficient vectors only (no payload
+    Runs the engine-backed coefficient-only row selection (no payload
     work), so spares cost almost nothing to consider.  Raises
     SingularMatrixError if the candidates never reach rank n.
     """
-    rows = np.zeros((n, n), dtype=np.uint8)
-    pivot_of_row: dict[int, int] = {}
-    chosen: list[CodedBlock] = []
-    for block in blocks:
-        vector = block.coefficients.copy()
-        for pivot_col, row_index in pivot_of_row.items():
-            factor = vector[pivot_col]
-            if factor:
-                vector ^= MUL_TABLE[factor][rows[row_index]]
-        support = np.nonzero(vector)[0]
-        if support.size == 0:
-            continue
-        pivot_col = int(support[0])
-        lead = int(vector[pivot_col])
-        if lead != 1:
-            vector = MUL_TABLE[INV[lead]][vector]
-        rows[len(chosen)] = vector
-        pivot_of_row[pivot_col] = len(chosen)
-        chosen.append(block)
-        if len(chosen) == n:
-            return chosen
-    raise SingularMatrixError(
-        f"segment {segment_id}: only {len(chosen)} independent blocks among "
-        f"{len(blocks)} candidates"
-    )
+    candidates = np.stack([block.coefficients for block in blocks])
+    selected = independent_row_indices(candidates, n)
+    if selected.size < n:
+        raise SingularMatrixError(
+            f"segment {segment_id}: only {selected.size} independent blocks "
+            f"among {len(blocks)} candidates"
+        )
+    return [blocks[int(index)] for index in selected]

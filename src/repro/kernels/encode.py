@@ -26,10 +26,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gf256 import (
-    matmul_log_domain,
+    matmul,
     mul_scalar_loop,
     mul_scalar_table,
-    to_log_domain,
 )
 from repro.gf256.matrix import random_matrix
 from repro.gpu.spec import DeviceSpec
@@ -58,18 +57,24 @@ class GpuEncoder:
         """Move a segment into simulated device memory (Sec. 5.1.2).
 
         For log-domain schemes this also runs the one-time preprocessing
-        of the segment's source blocks; subsequent encodes reuse it, the
-        way a streaming server amortizes the transform over the thousands
-        of coded blocks generated per segment.
+        of the segment's source blocks (memoized on the segment itself,
+        see :meth:`repro.rlnc.block.Segment.log_blocks`); subsequent
+        encodes reuse it, the way a streaming server amortizes the
+        transform over the thousands of coded blocks generated per
+        segment.
 
         Returns:
             The modelled PCIe transfer time in seconds.
         """
-        self._log_segments[segment.segment_id] = to_log_domain(segment.blocks)
+        self._log_segments[segment.segment_id] = segment.log_blocks()
         before = self.transfers.time_seconds(self.spec)
         self.transfers.bytes_to_device += segment.blocks.size
         self.transfers.transfers += 1
         return self.transfers.time_seconds(self.spec) - before
+
+    def drop_segment(self, segment_id: int) -> None:
+        """Release the device-resident preprocessing of one segment."""
+        self._log_segments.pop(segment_id, None)
 
     def encode(
         self,
@@ -130,12 +135,13 @@ class GpuEncoder:
             return _loop_based_matmul(coefficients, segment.blocks)
         if self.scheme is EncodeScheme.TABLE_0:
             return _table_matmul(coefficients, segment.blocks)
-        # TABLE_1..5: log-domain dataflow with the preprocessed segment.
+        # TABLE_1..5: log-domain dataflow with the preprocessed segment,
+        # routed through the engine so the streaming server's bulk path
+        # shares one implementation with the reference codec.
         log_blocks = self._log_segments.get(segment.segment_id)
         if log_blocks is None:
-            log_blocks = to_log_domain(segment.blocks)
-        log_coefficients = to_log_domain(coefficients)
-        return matmul_log_domain(log_coefficients, log_blocks)
+            log_blocks = segment.log_blocks()
+        return matmul(coefficients, segment.blocks, log_b=log_blocks)
 
 
 def _loop_based_matmul(coefficients: np.ndarray, blocks: np.ndarray) -> np.ndarray:

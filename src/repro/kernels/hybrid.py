@@ -17,8 +17,7 @@ import numpy as np
 
 from repro.cpu.encoder import CpuEncoder
 from repro.errors import ConfigurationError
-from repro.gpu.spec import DeviceSpec
-from repro.kernels.cost_model import EncodeScheme, encode_stats
+from repro.kernels.cost_model import encode_stats
 from repro.kernels.encode import GpuEncoder
 from repro.rlnc.block import Segment
 

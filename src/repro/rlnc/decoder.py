@@ -13,35 +13,58 @@ Two decoders mirror the two decoding dataflows in the paper:
   (stage 1), then recover ``b = C^-1 x`` with a dense parallel multiply
   (stage 2).  On the GPU this trades a small serial stage for a fully
   parallel one; functionally the result is identical.
+
+The progressive decoder's elimination is vectorized through the GF(2^8)
+engine and splits the work the way the paper's TB-1 preprocessing splits
+encoding: the *control plane* — the coefficient matrix ``C`` and the row
+transform ``M`` with ``rows = M @ raw_payloads`` — is kept in exact RREF
+after every block, using one batched gather + XOR-reduce over all live
+pivots instead of one Python-loop trip per pivot; the *data plane* (the
+k-byte payload side) is stored raw and materialized on demand with a
+single dense engine matmul.  Because the RREF of a row space (with this
+decoder's arrival-order row placement) is unique, the materialized state
+is byte-identical to the eager seed implementation after every consume —
+``tests/rlnc/test_decoder_golden.py`` replays identical streams through
+both and compares full internal state.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import DecodingError
-from repro.gf256 import matmul, inverse
-from repro.gf256.tables import INV, MUL_TABLE
+from repro.errors import DecodingError, SingularMatrixError
+from repro.gf256 import independent_row_indices, inverse, matmul
+from repro.gf256.engine import ENGINE
+from repro.gf256.tables import INV
 from repro.rlnc.block import CodedBlock, CodingParams, Segment
 
 
 class ProgressiveDecoder:
     """Progressive Gauss–Jordan decoder for one segment.
 
-    The internal state is the aggregate matrix ``[C | x]`` restricted to
+    The observable state is the aggregate matrix ``[C | x]`` restricted to
     the innovative rows received so far, maintained in RREF.  ``rank``
     grows by one per innovative block; once it reaches n the coefficient
     side is the identity and the payload side holds the source blocks.
+    Internally the payload side is lazy (see module docstring); use
+    :meth:`dense_state` to materialize and inspect it.
     """
 
     def __init__(self, params: CodingParams, segment_id: int = 0) -> None:
         n, k = params.num_blocks, params.block_size
         self._params = params
         self._segment_id = segment_id
-        # Row storage: rows[i] is the RREF row whose pivot column is
-        # _pivot_of_row[i]; aggregate width n + k.
+        # Control plane, eagerly in RREF: row i is [C_row | M_row] where
+        # transform column n + j tracks the contribution of the j-th
+        # accepted raw payload.
+        self._work = np.zeros((n, 2 * n), dtype=np.uint8)
+        # Data plane: accepted payloads exactly as they arrived.
+        self._raw_payloads = np.zeros((n, k), dtype=np.uint8)
+        # Materialized aggregate [C | x]; payload side refreshed on demand.
         self._rows = np.zeros((n, n + k), dtype=np.uint8)
+        self._materialized_rank = 0
         self._pivot_to_row: dict[int, int] = {}
+        self._pivot_cols = np.empty(n, dtype=np.int64)
         self._received = 0
         self._discarded = 0
 
@@ -78,22 +101,31 @@ class ProgressiveDecoder:
         n, k = self._params.num_blocks, self._params.block_size
         if block.num_blocks != n or block.block_size != k:
             raise DecodingError(
-                f"block geometry ({block.num_blocks}, {block.block_size}) does not "
-                f"match decoder ({n}, {k})"
+                f"block geometry ({block.num_blocks}, {block.block_size}) does "
+                f"not match decoder ({n}, {k})"
             )
         if self.is_complete:
             raise DecodingError("decoder already holds a full-rank system")
         self._received += 1
 
-        incoming = np.empty(n + k, dtype=np.uint8)
+        held = self.rank
+        incoming = np.zeros(2 * n, dtype=np.uint8)
         incoming[:n] = block.coefficients
-        incoming[n:] = block.payload
+        # Transform column for the candidate raw payload; existing rows
+        # are all zero there, so forward reduction leaves it attributable.
+        incoming[n + held] = 1
 
-        # Forward-reduce against every existing pivot the block touches.
-        for pivot_col, row_index in self._pivot_to_row.items():
-            factor = incoming[pivot_col]
-            if factor:
-                incoming ^= MUL_TABLE[factor][self._rows[row_index]]
+        # Forward-reduce against every live pivot in one batched pass: the
+        # stored rows are in RREF, so the factors read at the pivot
+        # columns are mutually independent.
+        if held:
+            pivots = self._pivot_cols[:held]
+            factors = incoming[pivots]
+            live = np.nonzero(factors)[0]
+            if live.size:
+                incoming ^= ENGINE.scaled_rows_xor(
+                    self._work[live], factors[live]
+                )
 
         support = np.nonzero(incoming[:n])[0]
         if support.size == 0:
@@ -105,19 +137,43 @@ class ProgressiveDecoder:
 
         lead = int(incoming[pivot_col])
         if lead != 1:
-            incoming = MUL_TABLE[INV[lead]][incoming]
+            incoming = ENGINE.mul_scalar(incoming, int(INV[lead]))
 
         # Back-eliminate the new pivot column from all stored rows so the
-        # matrix stays fully reduced.
-        for row_index in self._pivot_to_row.values():
-            factor = self._rows[row_index][pivot_col]
-            if factor:
-                self._rows[row_index] ^= MUL_TABLE[factor][incoming]
+        # matrix stays fully reduced, batched over every touched row.
+        if held:
+            column = self._work[:held, pivot_col].copy()
+            targets = np.nonzero(column)[0]
+            if targets.size:
+                self._work[targets] ^= ENGINE.scaled_rows(
+                    column[targets], incoming
+                )
 
-        row_index = self.rank
-        self._rows[row_index] = incoming
-        self._pivot_to_row[pivot_col] = row_index
+        self._work[held] = incoming
+        self._raw_payloads[held] = block.payload
+        self._pivot_cols[held] = pivot_col
+        self._pivot_to_row[pivot_col] = held
         return True
+
+    def _materialize(self) -> None:
+        """Refresh the payload side of ``_rows`` from the control plane."""
+        n = self._params.num_blocks
+        held = self.rank
+        self._rows[:held, :n] = self._work[:held, :n]
+        if held and self._materialized_rank != held:
+            self._rows[:held, n:] = matmul(
+                self._work[:held, n : n + held], self._raw_payloads[:held]
+            )
+            self._materialized_rank = held
+
+    def dense_state(self) -> tuple[np.ndarray, dict[int, int]]:
+        """Return the materialized RREF aggregate ``[C | x]`` and pivot map.
+
+        The payload side is recomputed only when the rank has grown since
+        the last materialization.
+        """
+        self._materialize()
+        return self._rows, dict(self._pivot_to_row)
 
     def missing_pivots(self) -> list[int]:
         """Source-block indices not yet resolvable (no pivot held)."""
@@ -140,6 +196,7 @@ class ProgressiveDecoder:
                 f"{self._params.num_blocks}"
             )
         n, k = self._params.num_blocks, self._params.block_size
+        self._materialize()
         blocks = np.empty((n, k), dtype=np.uint8)
         for pivot_col, row_index in self._pivot_to_row.items():
             blocks[pivot_col] = self._rows[row_index][n:]
@@ -154,10 +211,14 @@ class TwoStageDecoder:
     """Buffer-then-invert decoder (the multi-segment scheme of Sec. 5.2).
 
     Blocks are buffered until n have been collected; :meth:`decode` then
-    inverts the coefficient matrix (stage 1) and multiplies ``C^-1 x``
-    (stage 2).  A singular buffered matrix raises, after which the caller
-    may drop blocks with :meth:`reset` or keep adding (the decoder retains
-    at most n + ``slack`` blocks and retries with the freshest set).
+    selects a full-rank row subset from the *whole* buffer, inverts its
+    coefficient matrix (stage 1) and multiplies ``C^-1 x`` (stage 2).
+    Because selection scans every buffered block — not just the first n —
+    the documented recovery path for a singular draw actually works: add
+    one more block and retry, and a late innovative block rescues a
+    dependent early prefix.  A buffer whose total rank is below n raises,
+    after which the caller may keep adding (up to n + ``slack`` blocks)
+    or drop everything with :meth:`reset`.
     """
 
     def __init__(
@@ -212,17 +273,30 @@ class TwoStageDecoder:
 
         Raises:
             DecodingError: if fewer than n blocks are buffered.
-            SingularMatrixError: if the first n buffered rows are not full
-                rank (propagated from the inversion; callers typically add
-                one more block and retry).
+            SingularMatrixError: if the whole buffer spans rank < n
+                (callers add one more block and retry — selection then
+                re-scans every buffered row, so the retry can succeed).
         """
         n = self._params.num_blocks
         if self._count < n:
             raise DecodingError(
                 f"need {n} blocks to decode, have {self._count}"
             )
-        c_inverse = inverse(self._coefficients[:n])  # stage 1
-        blocks = matmul(c_inverse, self._payloads[:n])  # stage 2
+        selected = independent_row_indices(self._coefficients[: self._count], n)
+        if selected.size < n:
+            raise SingularMatrixError(
+                f"buffered blocks span rank {selected.size} < {n}"
+            )
+        if selected[-1] == n - 1:
+            # Common case: the first n rows already form a full-rank set;
+            # use the contiguous views and skip the fancy-index copies.
+            coefficients = self._coefficients[:n]
+            payloads = self._payloads[:n]
+        else:
+            coefficients = self._coefficients[selected]
+            payloads = self._payloads[selected]
+        c_inverse = inverse(coefficients)  # stage 1
+        blocks = matmul(c_inverse, payloads)  # stage 2
         return Segment(
             blocks=blocks,
             segment_id=self._segment_id,

@@ -79,7 +79,11 @@ class Encoder:
             payload = self._segment.blocks[self._emitted].copy()
         else:
             coefficients = self._draw_coefficients(1)[0]
-            payload = matmul(coefficients[None, :], self._segment.blocks)[0]
+            payload = matmul(
+                coefficients[None, :],
+                self._segment.blocks,
+                log_b=self._segment.log_blocks(),
+            )[0]
         self._emitted += 1
         return CodedBlock(
             coefficients=coefficients,
@@ -104,15 +108,22 @@ class Encoder:
         take_systematic = min(systematic_left, count)
         if take_systematic:
             eye = np.zeros((take_systematic, n), dtype=np.uint8)
-            for i in range(take_systematic):
-                eye[i, self._emitted + i] = 1
+            eye[np.arange(take_systematic), self._emitted + np.arange(take_systematic)] = 1
             rows.append(eye)
+            # Advance the systematic cursor the moment the identity rows
+            # exist, so no later read (or partial failure) can re-derive a
+            # stale boundary and repeat or skip a source index.
+            self._emitted += take_systematic
         remaining = count - take_systematic
         if remaining:
             rows.append(self._draw_coefficients(remaining))
+            self._emitted += remaining
         coefficients = rows[0] if len(rows) == 1 else np.vstack(rows)
-        payloads = matmul(coefficients, self._segment.blocks)
-        self._emitted += count
+        payloads = matmul(
+            coefficients,
+            self._segment.blocks,
+            log_b=self._segment.log_blocks(),
+        )
         return coefficients, payloads
 
     def encode_blocks(self, count: int) -> list[CodedBlock]:

@@ -47,20 +47,33 @@ class Recoder:
         Raises:
             DecodingError: if no blocks are buffered yet.
         """
+        return self.recode_batch(1, rng)[0]
+
+    def recode_batch(self, count: int, rng: np.random.Generator) -> list[CodedBlock]:
+        """Emit ``count`` independently-mixed recoded blocks.
+
+        The whole batch is produced with one pair of engine matmuls (a
+        (count, held) mix matrix against the buffered coefficient and
+        payload matrices), so a relay serving many downstream peers pays
+        the bulk-multiply fast path instead of ``count`` separate
+        single-row products.
+
+        Raises:
+            DecodingError: if no blocks are buffered yet.
+        """
         if not self._payloads:
             raise DecodingError("cannot recode with an empty buffer")
         held = len(self._payloads)
-        mix = rng.integers(1, 256, size=(1, held), dtype=np.uint8)
+        mix = rng.integers(1, 256, size=(count, held), dtype=np.uint8)
         coefficient_matrix = np.stack(self._coefficients)
         payload_matrix = np.stack(self._payloads)
-        new_coefficients = matmul(mix, coefficient_matrix)[0]
-        new_payload = matmul(mix, payload_matrix)[0]
-        return CodedBlock(
-            coefficients=new_coefficients,
-            payload=new_payload,
-            segment_id=self._segment_id,
-        )
-
-    def recode_batch(self, count: int, rng: np.random.Generator) -> list[CodedBlock]:
-        """Emit ``count`` independently-mixed recoded blocks."""
-        return [self.recode(rng) for _ in range(count)]
+        new_coefficients = matmul(mix, coefficient_matrix)
+        new_payloads = matmul(mix, payload_matrix)
+        return [
+            CodedBlock(
+                coefficients=new_coefficients[i],
+                payload=new_payloads[i],
+                segment_id=self._segment_id,
+            )
+            for i in range(count)
+        ]

@@ -29,7 +29,7 @@ import zlib
 
 import numpy as np
 
-from repro.errors import ConfigurationError, DecodingError
+from repro.errors import DecodingError
 from repro.rlnc.block import CodedBlock
 
 MAGIC = b"RLNC"

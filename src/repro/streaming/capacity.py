@@ -13,7 +13,6 @@ Reproduces the paper's server arithmetic (Secs. 5.1.2, 5.1.3 and 6):
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.errors import CapacityError

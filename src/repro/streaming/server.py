@@ -10,7 +10,7 @@ observe when the codec saturates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -102,8 +102,14 @@ class StreamingServer:
         self.stats.segments_stored = len(self._segments)
 
     def evict_segment(self, segment_id: int) -> None:
-        """Drop a segment from the device store (e.g. past the live edge)."""
+        """Drop a segment from the device store (e.g. past the live edge).
+
+        Also releases the encoder's device-resident log-domain copy, so a
+        long-running live session does not accumulate preprocessing for
+        segments past the live edge.
+        """
         self._segments.pop(segment_id, None)
+        self._encoder.drop_segment(segment_id)
         self.stats.segments_stored = len(self._segments)
 
     def connect(self, peer_id: int) -> PeerSession:

@@ -7,7 +7,7 @@ segment (an acceptable client buffering delay).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.rlnc.block import CodingParams
