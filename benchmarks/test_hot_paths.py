@@ -26,8 +26,11 @@ import numpy as np
 
 from repro.gf256 import matmul
 from repro.gf256.engine import ENGINE, Gf256Engine
+from repro.gpu import GTX280
+from repro.kernels import EncodeScheme, GpuEncoder
 from repro.rlnc import CodingParams, Encoder, ProgressiveDecoder, Segment
 from repro.rlnc._reference import ReferenceProgressiveDecoder
+from repro.streaming import MediaProfile, StreamingServer
 
 ARTIFACT = pathlib.Path(__file__).parent.parent / "BENCH_hot_paths.json"
 
@@ -36,17 +39,25 @@ SMOKE = os.environ.get("REPRO_HOT_PATH_SMOKE") == "1"
 #: Acceptance shapes (full mode) vs CI smoke shapes.
 DECODE_N, DECODE_K = (32, 512) if SMOKE else (128, 4096)
 ENCODE_M, ENCODE_N, ENCODE_K = (48, 32, 512) if SMOKE else (256, 128, 4096)
+SERVER_SESSIONS, SERVER_BLOCKS_PER_PEER = (8, 2) if SMOKE else (64, 4)
 REPEATS = 1 if SMOKE else 3
 
 #: Speedup floors from the PR acceptance criteria (full mode only).
 DECODE_SPEEDUP_FLOOR = 3.0
 ENCODE_SPEEDUP_FLOOR = 2.0
+SERVER_ROUND_SPEEDUP_FLOOR = 5.0
 
 _results: dict[str, object] = {
     "smoke": SMOKE,
     "shapes": {
         "decode": {"n": DECODE_N, "k": DECODE_K},
         "encode": {"m": ENCODE_M, "n": ENCODE_N, "k": ENCODE_K},
+        "server_round": {
+            "n": DECODE_N,
+            "k": DECODE_K,
+            "sessions": SERVER_SESSIONS,
+            "blocks_per_peer": SERVER_BLOCKS_PER_PEER,
+        },
     },
 }
 
@@ -185,6 +196,94 @@ def test_matmul_backend_throughput():
         # auto must track the best backend for this shape within noise.
         best = min(entry["seconds"] for entry in per_backend.values())
         assert auto_seconds <= best * 1.5
+
+
+def test_server_round_throughput():
+    """Batched serving rounds vs the per-request serve() baseline.
+
+    The acceptance shape is the paper's reference geometry with 64
+    concurrent sessions each asking for a few blocks — the regime where
+    per-request encode launches dominate and coalescing pays.  Smoke
+    shapes sit below the batching break-even, so the floor only applies
+    in full mode.
+    """
+    params = CodingParams(DECODE_N, DECODE_K)
+    profile = MediaProfile(params=params)
+    segment = Segment.random(params, np.random.default_rng(11), segment_id=0)
+
+    def make_server():
+        server = StreamingServer(
+            GTX280, profile, rng=np.random.default_rng(12)
+        )
+        server.publish_segment(segment)
+        for peer in range(SERVER_SESSIONS):
+            server.connect(peer)
+        return server
+
+    baseline_server = make_server()
+
+    def baseline_pass():
+        for peer in range(SERVER_SESSIONS):
+            baseline_server.serve(peer, 0, SERVER_BLOCKS_PER_PEER)
+
+    round_server = make_server()
+
+    def round_pass():
+        for peer in range(SERVER_SESSIONS):
+            round_server.request_blocks(peer, 0, SERVER_BLOCKS_PER_PEER)
+        round_server.serve_round_frames()
+
+    # Byte-exactness: re-encode the round's coefficient rows through the
+    # pre-change per-block path and demand identical payloads.
+    exact_server = make_server()
+    for peer in range(SERVER_SESSIONS):
+        exact_server.request_blocks(peer, 0, SERVER_BLOCKS_PER_PEER)
+    fanout = exact_server.serve_round()
+    per_block = GpuEncoder(GTX280, EncodeScheme.TABLE_5)
+    per_block.upload_segment(segment)
+    exact = True
+    for batches in fanout.values():
+        (batch,) = batches
+        for row in range(len(batch)):
+            result = per_block.encode(
+                segment,
+                1,
+                np.random.default_rng(0),
+                coefficients=batch.coefficients[row : row + 1].copy(),
+            )
+            exact = exact and bool(
+                np.array_equal(result.payloads[0], batch.payloads[row])
+            )
+    assert exact
+
+    ref_seconds = best_of(baseline_pass)
+    new_seconds = best_of(round_pass)
+    speedup = ref_seconds / new_seconds
+    round_bytes = SERVER_SESSIONS * SERVER_BLOCKS_PER_PEER * DECODE_K
+    record(
+        "server_round_throughput",
+        {
+            "sessions": SERVER_SESSIONS,
+            "blocks_per_peer": SERVER_BLOCKS_PER_PEER,
+            "ref_seconds": ref_seconds,
+            "new_seconds": new_seconds,
+            "speedup": speedup,
+            "mb_per_s_before": round_bytes / ref_seconds / 1e6,
+            "mb_per_s_after": round_bytes / new_seconds / 1e6,
+            "model_effective_mb_per_s_before": (
+                baseline_server.stats.effective_bandwidth / 1e6
+            ),
+            "model_effective_mb_per_s_after": (
+                round_server.stats.effective_bandwidth / 1e6
+            ),
+            "byte_exact": exact,
+        },
+    )
+    if not SMOKE:
+        assert speedup >= SERVER_ROUND_SPEEDUP_FLOOR, (
+            f"serving-round speedup {speedup:.2f}x below the "
+            f"{SERVER_ROUND_SPEEDUP_FLOOR}x floor"
+        )
 
 
 def test_cached_log_segment_encode_block():

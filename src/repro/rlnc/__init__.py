@@ -4,7 +4,7 @@ Segments, coded blocks, the random encoder, progressive Gauss–Jordan and
 two-stage decoders, recoding, and multi-segment generation management.
 """
 
-from repro.rlnc.block import CodedBlock, CodingParams, Segment
+from repro.rlnc.block import BlockBatch, CodedBlock, CodingParams, Segment
 from repro.rlnc.channel import (
     ChannelPipeline,
     CorruptingChannel,
@@ -35,9 +35,14 @@ from repro.rlnc.wire import (
     encode_frame,
     encode_stream,
     frame_size,
+    pack_blocks,
+    pack_frame_into,
+    stream_size,
+    unpack_blocks,
 )
 
 __all__ = [
+    "BlockBatch",
     "ChannelPipeline",
     "CodedBlock",
     "CodingParams",
@@ -64,5 +69,9 @@ __all__ = [
     "interleave_round_robin",
     "join_segments",
     "measure_reception_overhead",
+    "pack_blocks",
+    "pack_frame_into",
     "split_into_segments",
+    "stream_size",
+    "unpack_blocks",
 ]

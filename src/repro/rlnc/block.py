@@ -84,6 +84,103 @@ class CodedBlock:
         return self.block_size + self.num_blocks
 
 
+@dataclass(frozen=True)
+class BlockBatch:
+    """A batch of coded blocks of one segment, in matrix layout.
+
+    This is the GPU- and wire-side data layout (paper Fig. 2): the
+    coefficient matrix ``C`` of shape (m, n) and the coded-payload
+    matrix ``x = C b`` of shape (m, k), row ``i`` of each forming one
+    coded block.  Keeping batches in matrix form end to end is what lets
+    the serving pipeline stay on the engine's bulk-multiply fast path —
+    :class:`CodedBlock` views are only materialized at the edges, and
+    :meth:`row` / :meth:`rows` return zero-copy row views into the
+    underlying matrices.
+    """
+
+    coefficients: np.ndarray
+    payloads: np.ndarray
+    segment_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.coefficients.dtype != np.uint8 or self.payloads.dtype != np.uint8:
+            raise ConfigurationError("block batches must hold uint8 arrays")
+        if self.coefficients.ndim != 2 or self.payloads.ndim != 2:
+            raise ConfigurationError("coefficients and payloads must be 2-D")
+        if self.coefficients.shape[0] != self.payloads.shape[0]:
+            raise ConfigurationError(
+                f"coefficient rows ({self.coefficients.shape[0]}) != "
+                f"payload rows ({self.payloads.shape[0]})"
+            )
+
+    def __len__(self) -> int:
+        return int(self.coefficients.shape[0])
+
+    @property
+    def num_blocks(self) -> int:
+        """n — the coefficient-vector length shared by every row."""
+        return int(self.coefficients.shape[1])
+
+    @property
+    def block_size(self) -> int:
+        """k — the payload length shared by every row."""
+        return int(self.payloads.shape[1])
+
+    @property
+    def coded_bytes(self) -> int:
+        """Total payload bytes carried by the batch."""
+        return int(self.payloads.size)
+
+    def row(self, index: int) -> CodedBlock:
+        """Return one row as a :class:`CodedBlock` (zero-copy views)."""
+        return CodedBlock(
+            coefficients=self.coefficients[index],
+            payload=self.payloads[index],
+            segment_id=self.segment_id,
+        )
+
+    def rows(self) -> list[CodedBlock]:
+        """Return every row as a :class:`CodedBlock` (zero-copy views)."""
+        return [self.row(i) for i in range(len(self))]
+
+    def __iter__(self):
+        return iter(self.rows())
+
+    def slice_rows(self, rows: slice) -> "BlockBatch":
+        """Return a sub-batch sharing storage with this batch (no copy)."""
+        return BlockBatch(
+            coefficients=self.coefficients[rows],
+            payloads=self.payloads[rows],
+            segment_id=self.segment_id,
+        )
+
+    @classmethod
+    def from_blocks(cls, blocks: "list[CodedBlock]") -> "BlockBatch":
+        """Stack homogeneous :class:`CodedBlock` objects into one batch.
+
+        Raises:
+            ConfigurationError: on an empty list or mixed geometry /
+                segment ids.
+        """
+        if not blocks:
+            raise ConfigurationError("cannot build a batch from zero blocks")
+        first = blocks[0]
+        for block in blocks[1:]:
+            if (
+                block.num_blocks != first.num_blocks
+                or block.block_size != first.block_size
+                or block.segment_id != first.segment_id
+            ):
+                raise ConfigurationError(
+                    "all blocks in a batch must share geometry and segment id"
+                )
+        return cls(
+            coefficients=np.stack([block.coefficients for block in blocks]),
+            payloads=np.stack([block.payload for block in blocks]),
+            segment_id=first.segment_id,
+        )
+
+
 @dataclass
 class Segment:
     """A segment of source content: an (n, k) matrix of source blocks.

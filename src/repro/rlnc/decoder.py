@@ -36,7 +36,7 @@ from repro.errors import DecodingError, SingularMatrixError
 from repro.gf256 import independent_row_indices, inverse, matmul
 from repro.gf256.engine import ENGINE
 from repro.gf256.tables import INV
-from repro.rlnc.block import CodedBlock, CodingParams, Segment
+from repro.rlnc.block import BlockBatch, CodedBlock, CodingParams, Segment
 
 
 class ProgressiveDecoder:
@@ -155,6 +155,114 @@ class ProgressiveDecoder:
         self._pivot_to_row[pivot_col] = held
         return True
 
+    def consume_batch(
+        self,
+        blocks: BlockBatch | np.ndarray,
+        payloads: np.ndarray | None = None,
+    ) -> int:
+        """Absorb a whole batch of blocks; return how many were innovative.
+
+        The batched intake path of the serving pipeline: instead of one
+        :meth:`consume` call per block (each paying a full forward
+        reduction against every live pivot), the entire incoming
+        coefficient matrix is reduced against the existing pivots with a
+        *single* engine matmul — one innovation-check elimination pass —
+        and only the cheap within-batch bookkeeping (pivot selection,
+        normalization, back-elimination) runs per row.  The resulting
+        decoder state is byte-identical to consuming the same rows one
+        at a time, because the stored RREF (with this decoder's
+        arrival-order row placement) is unique.
+
+        Rows arriving after the decoder completes mid-batch necessarily
+        reduce to zero and are counted as discarded — unlike
+        :meth:`consume`, which raises when offered a block *after*
+        completion (so does this method when called on an
+        already-complete decoder).
+
+        Args:
+            blocks: a :class:`BlockBatch`, or the (m, n) coefficient
+                matrix when ``payloads`` is given.
+            payloads: the (m, k) payload matrix matching ``blocks``.
+
+        Raises:
+            DecodingError: on geometry mismatch or when the decoder is
+                already complete.
+        """
+        if isinstance(blocks, BlockBatch):
+            coefficients, payloads = blocks.coefficients, blocks.payloads
+        else:
+            coefficients = blocks
+            if payloads is None:
+                raise DecodingError("payload matrix required with raw coefficients")
+        n, k = self._params.num_blocks, self._params.block_size
+        if coefficients.ndim != 2 or payloads.ndim != 2:
+            raise DecodingError("batch intake requires 2-D matrices")
+        if coefficients.shape[0] != payloads.shape[0]:
+            raise DecodingError("coefficient/payload row counts differ")
+        if coefficients.shape[1] != n or payloads.shape[1] != k:
+            raise DecodingError(
+                f"batch geometry ({coefficients.shape[1]}, {payloads.shape[1]}) "
+                f"does not match decoder ({n}, {k})"
+            )
+        m = coefficients.shape[0]
+        if m == 0:
+            return 0
+        if self.is_complete:
+            raise DecodingError("decoder already holds a full-rank system")
+        self._received += m
+
+        held0 = self.rank
+        incoming = np.zeros((m, 2 * n), dtype=np.uint8)
+        incoming[:, :n] = coefficients
+        if held0:
+            # The one batched elimination pass: factors read at the pivot
+            # columns are final (stored rows are in mutual RREF), so the
+            # whole batch reduces with a single (m, held) x (held, 2n)
+            # engine matmul instead of m separate reductions.
+            factors = coefficients[:, self._pivot_cols[:held0]]
+            if factors.any():
+                incoming ^= matmul(factors, self._work[:held0])
+
+        accepted = 0
+        for idx in range(m):
+            row = incoming[idx]
+            support = np.nonzero(row[:n])[0]
+            if support.size == 0:
+                self._discarded += 1
+                continue
+            held = self.rank
+            pivot_col = int(support[0])
+            # Transform column for this row's raw payload; set before
+            # normalization so the scale factor is attributed (exactly as
+            # in consume()).
+            row[n + held] = 1
+            lead = int(row[pivot_col])
+            if lead != 1:
+                row = ENGINE.mul_scalar(row, int(INV[lead]))
+            # Eliminate the new pivot from the not-yet-processed batch
+            # rows so their factors stay final when their turn comes.
+            if idx + 1 < m:
+                column = incoming[idx + 1 :, pivot_col].copy()
+                targets = np.nonzero(column)[0]
+                if targets.size:
+                    incoming[idx + 1 + targets] ^= ENGINE.scaled_rows(
+                        column[targets], row
+                    )
+            # Back-eliminate from all stored rows, as consume() does.
+            if held:
+                column = self._work[:held, pivot_col].copy()
+                targets = np.nonzero(column)[0]
+                if targets.size:
+                    self._work[targets] ^= ENGINE.scaled_rows(
+                        column[targets], row
+                    )
+            self._work[held] = row
+            self._raw_payloads[held] = payloads[idx]
+            self._pivot_cols[held] = pivot_col
+            self._pivot_to_row[pivot_col] = held
+            accepted += 1
+        return accepted
+
     def _materialize(self) -> None:
         """Refresh the payload side of ``_rows`` from the control plane."""
         n = self._params.num_blocks
@@ -253,11 +361,28 @@ class TwoStageDecoder:
         self._payloads[self._count] = block.payload
         self._count += 1
 
-    def add_batch(self, coefficients: np.ndarray, payloads: np.ndarray) -> None:
-        """Buffer a batch given as matrices (the GPU-side data layout)."""
+    def add_batch(
+        self,
+        coefficients: np.ndarray | BlockBatch,
+        payloads: np.ndarray | None = None,
+    ) -> None:
+        """Buffer a batch given as matrices (the GPU-side data layout).
+
+        Accepts either a :class:`BlockBatch` (e.g. straight from
+        :func:`repro.rlnc.wire.unpack_blocks` — the views are copied into
+        the decoder's own contiguous buffers here) or the raw
+        coefficient/payload matrix pair.
+        """
+        if isinstance(coefficients, BlockBatch):
+            coefficients, payloads = coefficients.coefficients, coefficients.payloads
+        elif payloads is None:
+            raise DecodingError("payload matrix required with raw coefficients")
         rows = coefficients.shape[0]
         if rows != payloads.shape[0]:
             raise DecodingError("coefficient/payload row counts differ")
+        n, k = self._params.num_blocks, self._params.block_size
+        if coefficients.shape[1] != n or payloads.shape[1] != k:
+            raise DecodingError("batch geometry does not match decoder")
         if self._count + rows > self._coefficients.shape[0]:
             raise DecodingError("batch exceeds decoder buffer")
         self._coefficients[self._count : self._count + rows] = coefficients

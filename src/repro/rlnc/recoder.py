@@ -8,6 +8,13 @@ the same combination applied to the held blocks' coefficient vectors, so
 downstream decoders treat recoded blocks exactly like source-encoded ones.
 This is the property that lets random linear codes "be recoded without
 affecting the guarantee to decode", which fountain/chunked codes lack.
+
+The buffer is stored as a pair of preallocated, geometrically grown
+matrices rather than Python lists of rows, so batched intake
+(:meth:`Recoder.add_batch`, fed directly by
+:func:`repro.rlnc.wire.unpack_blocks`) is a single matrix assignment and
+recoding reads contiguous views — no per-emit ``np.stack`` of the whole
+buffer.
 """
 
 from __future__ import annotations
@@ -16,7 +23,10 @@ import numpy as np
 
 from repro.errors import DecodingError
 from repro.gf256 import matmul
-from repro.rlnc.block import CodedBlock, CodingParams
+from repro.rlnc.block import BlockBatch, CodedBlock, CodingParams
+
+#: Initial row capacity of the held-block buffer.
+_INITIAL_CAPACITY = 16
 
 
 class Recoder:
@@ -25,21 +35,73 @@ class Recoder:
     def __init__(self, params: CodingParams, segment_id: int = 0) -> None:
         self._params = params
         self._segment_id = segment_id
-        self._coefficients: list[np.ndarray] = []
-        self._payloads: list[np.ndarray] = []
+        capacity = min(_INITIAL_CAPACITY, max(1, params.num_blocks))
+        self._coefficients = np.empty(
+            (capacity, params.num_blocks), dtype=np.uint8
+        )
+        self._payloads = np.empty((capacity, params.block_size), dtype=np.uint8)
+        self._count = 0
 
     @property
     def buffered(self) -> int:
         """Number of coded blocks held."""
-        return len(self._payloads)
+        return self._count
+
+    def _reserve(self, rows: int) -> None:
+        """Grow the buffer geometrically to hold ``rows`` more blocks."""
+        needed = self._count + rows
+        capacity = self._coefficients.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        for name in ("_coefficients", "_payloads"):
+            old = getattr(self, name)
+            grown = np.empty((capacity, old.shape[1]), dtype=np.uint8)
+            grown[: self._count] = old[: self._count]
+            setattr(self, name, grown)
 
     def add(self, block: CodedBlock) -> None:
         """Buffer a received coded block for future recombination."""
         n, k = self._params.num_blocks, self._params.block_size
         if block.num_blocks != n or block.block_size != k:
             raise DecodingError("block geometry does not match recoder")
-        self._coefficients.append(block.coefficients.copy())
-        self._payloads.append(block.payload.copy())
+        self._reserve(1)
+        self._coefficients[self._count] = block.coefficients
+        self._payloads[self._count] = block.payload
+        self._count += 1
+
+    def add_batch(
+        self,
+        coefficients: np.ndarray | BlockBatch,
+        payloads: np.ndarray | None = None,
+    ) -> None:
+        """Buffer a whole batch of blocks in one matrix assignment.
+
+        Accepts either a :class:`BlockBatch` (e.g. the zero-copy views
+        from :func:`repro.rlnc.wire.unpack_blocks`; rows are copied into
+        the recoder's own storage here) or the raw coefficient/payload
+        matrix pair.
+
+        Raises:
+            DecodingError: on geometry or row-count mismatch.
+        """
+        if isinstance(coefficients, BlockBatch):
+            coefficients, payloads = coefficients.coefficients, coefficients.payloads
+        elif payloads is None:
+            raise DecodingError("payload matrix required with raw coefficients")
+        if coefficients.ndim != 2 or payloads.ndim != 2:
+            raise DecodingError("batch intake requires 2-D matrices")
+        rows = coefficients.shape[0]
+        if rows != payloads.shape[0]:
+            raise DecodingError("coefficient/payload row counts differ")
+        n, k = self._params.num_blocks, self._params.block_size
+        if coefficients.shape[1] != n or payloads.shape[1] != k:
+            raise DecodingError("batch geometry does not match recoder")
+        self._reserve(rows)
+        self._coefficients[self._count : self._count + rows] = coefficients
+        self._payloads[self._count : self._count + rows] = payloads
+        self._count += rows
 
     def recode(self, rng: np.random.Generator) -> CodedBlock:
         """Emit one recoded block combining everything buffered.
@@ -47,33 +109,35 @@ class Recoder:
         Raises:
             DecodingError: if no blocks are buffered yet.
         """
-        return self.recode_batch(1, rng)[0]
+        return self.recode_matrix(1, rng).row(0)
 
-    def recode_batch(self, count: int, rng: np.random.Generator) -> list[CodedBlock]:
-        """Emit ``count`` independently-mixed recoded blocks.
+    def recode_matrix(self, count: int, rng: np.random.Generator) -> BlockBatch:
+        """Emit ``count`` recoded blocks as one :class:`BlockBatch`.
 
         The whole batch is produced with one pair of engine matmuls (a
         (count, held) mix matrix against the buffered coefficient and
         payload matrices), so a relay serving many downstream peers pays
         the bulk-multiply fast path instead of ``count`` separate
-        single-row products.
+        single-row products.  The buffered matrices are read as
+        contiguous views — nothing is restacked per call.
 
         Raises:
             DecodingError: if no blocks are buffered yet.
         """
-        if not self._payloads:
+        if not self._count:
             raise DecodingError("cannot recode with an empty buffer")
-        held = len(self._payloads)
+        held = self._count
         mix = rng.integers(1, 256, size=(count, held), dtype=np.uint8)
-        coefficient_matrix = np.stack(self._coefficients)
-        payload_matrix = np.stack(self._payloads)
-        new_coefficients = matmul(mix, coefficient_matrix)
-        new_payloads = matmul(mix, payload_matrix)
-        return [
-            CodedBlock(
-                coefficients=new_coefficients[i],
-                payload=new_payloads[i],
-                segment_id=self._segment_id,
-            )
-            for i in range(count)
-        ]
+        return BlockBatch(
+            coefficients=matmul(mix, self._coefficients[:held]),
+            payloads=matmul(mix, self._payloads[:held]),
+            segment_id=self._segment_id,
+        )
+
+    def recode_batch(self, count: int, rng: np.random.Generator) -> list[CodedBlock]:
+        """Emit ``count`` independently-mixed recoded blocks.
+
+        Raises:
+            DecodingError: if no blocks are buffered yet.
+        """
+        return self.recode_matrix(count, rng).rows()

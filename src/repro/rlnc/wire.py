@@ -20,6 +20,19 @@ The optional CRC32 addresses the integrity gap
 :class:`~repro.rlnc.channel.CorruptingChannel` demonstrates: GF(2^8)
 coding detects linear *dependence* for free but not *corruption*, so
 real systems frame blocks with a checksum.
+
+Serialization is sized up front and packed in place: :func:`frame_size`
+and :func:`stream_size` tell callers exactly how many bytes a frame or a
+homogeneous batch occupies, :func:`pack_frame_into` writes one frame
+into a caller-supplied buffer through a :class:`memoryview` (no
+intermediate per-field ``bytes()`` copies), and :func:`pack_blocks` /
+:func:`unpack_blocks` move whole :class:`~repro.rlnc.block.BlockBatch`
+matrices through a single contiguous buffer — the batch path writes all
+headers, coefficient rows and payload rows with three strided numpy
+assignments, and the intake path hands back coefficient/payload
+matrices that are zero-copy views into the received buffer.  The batch
+layout is byte-identical to concatenated :func:`encode_frame` output,
+so old readers can parse new writers' individual records.
 """
 
 from __future__ import annotations
@@ -30,12 +43,13 @@ import zlib
 import numpy as np
 
 from repro.errors import DecodingError
-from repro.rlnc.block import CodedBlock
+from repro.rlnc.block import BlockBatch, CodedBlock
 
 MAGIC = b"RLNC"
 VERSION = 1
 FLAG_CHECKSUM = 0x01
 _HEADER = struct.Struct(">4sBBIII")
+_CRC = struct.Struct(">I")
 
 
 def frame_size(num_blocks: int, block_size: int, *, checksum: bool = True) -> int:
@@ -43,21 +57,162 @@ def frame_size(num_blocks: int, block_size: int, *, checksum: bool = True) -> in
     return _HEADER.size + num_blocks + block_size + (4 if checksum else 0)
 
 
+def stream_size(
+    num_frames: int, num_blocks: int, block_size: int, *, checksum: bool = True
+) -> int:
+    """Wire bytes for ``num_frames`` homogeneous frames (for preallocation)."""
+    return num_frames * frame_size(num_blocks, block_size, checksum=checksum)
+
+
+def pack_frame_into(
+    block: CodedBlock, buffer, offset: int = 0, *, checksum: bool = True
+) -> int:
+    """Write one frame into ``buffer`` at ``offset``; return bytes written.
+
+    ``buffer`` is any writable buffer (``bytearray``, ``memoryview``,
+    ``np.ndarray``).  The coefficient and payload arrays are copied into
+    place through memoryview slice assignment — no intermediate
+    ``bytes()`` objects are materialized.
+    """
+    n, k = block.num_blocks, block.block_size
+    size = frame_size(n, k, checksum=checksum)
+    view = memoryview(buffer)
+    if offset + size > len(view):
+        raise DecodingError(
+            f"buffer too small: need {offset + size} bytes, have {len(view)}"
+        )
+    flags = FLAG_CHECKSUM if checksum else 0
+    _HEADER.pack_into(
+        view, offset, MAGIC, VERSION, flags, block.segment_id, n, k
+    )
+    body_end = offset + _HEADER.size + n + k
+    view[offset + _HEADER.size : offset + _HEADER.size + n] = block.coefficients
+    view[offset + _HEADER.size + n : body_end] = block.payload
+    if checksum:
+        crc = zlib.crc32(view[offset:body_end]) & 0xFFFFFFFF
+        _CRC.pack_into(view, body_end, crc)
+    return size
+
+
+def pack_blocks(
+    batch: BlockBatch,
+    *,
+    checksum: bool = True,
+    out=None,
+    offset: int = 0,
+) -> memoryview:
+    """Serialize a whole batch into one contiguous buffer; return its view.
+
+    All headers, coefficient rows and payload rows are written with three
+    strided numpy assignments into the (optionally caller-preallocated)
+    buffer, so the only per-frame Python work left is the CRC32.  When
+    ``out`` is omitted a fresh ``bytearray`` of exactly
+    :func:`stream_size` bytes is allocated; pass a reusable buffer (and
+    an ``offset``) to pack several batches back to back without
+    reallocating — the round-based serving pipeline packs every peer's
+    blocks for one round into a single buffer this way.
+
+    The bytes produced are identical to concatenating
+    ``encode_frame(block)`` over ``batch.rows()``.
+    """
+    m = len(batch)
+    n, k = batch.num_blocks, batch.block_size
+    size_one = frame_size(n, k, checksum=checksum)
+    total = m * size_one
+    if out is None:
+        if offset:
+            raise DecodingError("offset requires a caller-supplied buffer")
+        out = bytearray(total)
+    view = memoryview(out)
+    if offset + total > len(view):
+        raise DecodingError(
+            f"buffer too small: need {offset + total} bytes, have {len(view)}"
+        )
+    region = view[offset : offset + total]
+    if m == 0:
+        return region
+    frames = np.frombuffer(region, dtype=np.uint8).reshape(m, size_one)
+    flags = FLAG_CHECKSUM if checksum else 0
+    header = _HEADER.pack(MAGIC, VERSION, flags, batch.segment_id, n, k)
+    frames[:, : _HEADER.size] = np.frombuffer(header, dtype=np.uint8)
+    frames[:, _HEADER.size : _HEADER.size + n] = batch.coefficients
+    body = _HEADER.size + n + k
+    frames[:, _HEADER.size + n : body] = batch.payloads
+    if checksum:
+        for row in range(m):
+            crc = zlib.crc32(frames[row, :body]) & 0xFFFFFFFF
+            _CRC.pack_into(region, row * size_one + body, crc)
+    return region
+
+
+def unpack_blocks(data, *, copy: bool = False) -> BlockBatch:
+    """Parse a homogeneous frame stream into one :class:`BlockBatch`.
+
+    This is the vectorized intake path: the whole buffer is viewed as an
+    (m, frame_size) byte matrix, headers are validated with one batched
+    comparison, and the returned coefficient/payload matrices are
+    zero-copy strided views into ``data`` (pass ``copy=True`` to detach
+    them, e.g. when the receive buffer will be reused).  The matrices
+    feed :meth:`~repro.rlnc.decoder.ProgressiveDecoder.consume_batch`,
+    :meth:`~repro.rlnc.decoder.TwoStageDecoder.add_batch` and
+    :meth:`~repro.rlnc.recoder.Recoder.add_batch` directly.
+
+    Raises:
+        DecodingError: on empty input, truncation, bad magic/version,
+            mixed geometry or segment ids, or checksum failure.  Use
+            :func:`decode_stream` for heterogeneous streams.
+    """
+    view = memoryview(data)
+    if len(view) < _HEADER.size:
+        raise DecodingError(f"stream truncated at {len(view)} bytes")
+    magic, version, flags, segment_id, n, k = _HEADER.unpack_from(view)
+    if magic != MAGIC:
+        raise DecodingError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise DecodingError(f"unsupported frame version {version}")
+    has_checksum = bool(flags & FLAG_CHECKSUM)
+    size_one = frame_size(n, k, checksum=has_checksum)
+    if len(view) % size_one:
+        raise DecodingError(
+            f"stream length {len(view)} is not a multiple of the frame "
+            f"size {size_one} (torn frame or mixed geometry)"
+        )
+    m = len(view) // size_one
+    frames = np.frombuffer(view, dtype=np.uint8).reshape(m, size_one)
+    header = frames[0, : _HEADER.size]
+    if m > 1 and not np.array_equal(
+        frames[:, : _HEADER.size], np.broadcast_to(header, (m, _HEADER.size))
+    ):
+        raise DecodingError(
+            "heterogeneous stream: frame headers differ (use decode_stream)"
+        )
+    body = _HEADER.size + n + k
+    if has_checksum:
+        for row in range(m):
+            (stored,) = _CRC.unpack_from(view, row * size_one + body)
+            actual = zlib.crc32(frames[row, :body]) & 0xFFFFFFFF
+            if stored != actual:
+                raise DecodingError(
+                    f"checksum mismatch in frame {row}: stored "
+                    f"{stored:#010x}, computed {actual:#010x}"
+                )
+    coefficients = frames[:, _HEADER.size : _HEADER.size + n]
+    payloads = frames[:, _HEADER.size + n : body]
+    if copy:
+        coefficients = coefficients.copy()
+        payloads = payloads.copy()
+    return BlockBatch(
+        coefficients=coefficients, payloads=payloads, segment_id=segment_id
+    )
+
+
 def encode_frame(block: CodedBlock, *, checksum: bool = True) -> bytes:
     """Serialize one coded block to its wire frame."""
-    flags = FLAG_CHECKSUM if checksum else 0
-    header = _HEADER.pack(
-        MAGIC,
-        VERSION,
-        flags,
-        block.segment_id,
-        block.num_blocks,
-        block.block_size,
+    buffer = bytearray(
+        frame_size(block.num_blocks, block.block_size, checksum=checksum)
     )
-    body = header + block.coefficients.tobytes() + block.payload.tobytes()
-    if checksum:
-        body += struct.pack(">I", zlib.crc32(body) & 0xFFFFFFFF)
-    return body
+    pack_frame_into(block, buffer, checksum=checksum)
+    return bytes(buffer)
 
 
 def decode_frame(frame: bytes) -> CodedBlock:
@@ -101,15 +256,32 @@ def decode_frame(frame: bytes) -> CodedBlock:
 
 
 def encode_stream(blocks, *, checksum: bool = True) -> bytes:
-    """Concatenate frames for a homogeneous block stream."""
-    return b"".join(encode_frame(block, checksum=checksum) for block in blocks)
+    """Concatenate frames for a block stream (one up-front allocation).
+
+    Sizes are computed first so the whole stream packs into a single
+    buffer via :func:`pack_frame_into` — no per-block ``bytes()``
+    intermediates.  Heterogeneous geometries are allowed.
+    """
+    blocks = list(blocks)
+    sizes = [
+        frame_size(block.num_blocks, block.block_size, checksum=checksum)
+        for block in blocks
+    ]
+    buffer = bytearray(sum(sizes))
+    offset = 0
+    for block, size in zip(blocks, sizes):
+        pack_frame_into(block, buffer, offset, checksum=checksum)
+        offset += size
+    return bytes(buffer)
 
 
 def decode_stream(data: bytes) -> list[CodedBlock]:
     """Split a concatenated frame stream back into blocks.
 
     Frames are self-describing, so heterogeneous geometries are allowed;
-    a torn final frame raises.
+    a torn final frame raises.  For homogeneous streams,
+    :func:`unpack_blocks` returns the same records as one zero-copy
+    batch instead.
     """
     blocks: list[CodedBlock] = []
     offset = 0

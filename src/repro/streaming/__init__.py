@@ -15,7 +15,13 @@ from repro.streaming.capacity import (
 )
 from repro.streaming.live import LiveJoinPoint, LiveWindow
 from repro.streaming.nic import DUAL_GIGABIT_ETHERNET, GIGABIT_ETHERNET, NicModel
-from repro.streaming.scheduler import ScheduledRequest, SegmentScheduler
+from repro.streaming.scheduler import (
+    BlockRequest,
+    RoundPlan,
+    ScheduledRequest,
+    SegmentScheduler,
+    ServeRoundScheduler,
+)
 from repro.streaming.client import PlaybackReport, StreamingClient
 from repro.streaming.server import ServerStats, StreamingServer
 from repro.streaming.session import REFERENCE_PROFILE, MediaProfile, PeerSession
@@ -27,6 +33,7 @@ from repro.streaming.workload import (
 )
 
 __all__ = [
+    "BlockRequest",
     "CapacityPlan",
     "DEVICE_MEMORY_RESERVE_BYTES",
     "DUAL_GIGABIT_ETHERNET",
@@ -38,8 +45,10 @@ __all__ = [
     "PeerSession",
     "PlaybackReport",
     "REFERENCE_PROFILE",
+    "RoundPlan",
     "ScheduledRequest",
     "SegmentScheduler",
+    "ServeRoundScheduler",
     "ServerStats",
     "SessionArrival",
     "StreamingClient",

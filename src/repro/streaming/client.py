@@ -11,6 +11,7 @@ pathology) rebuffers even on a fast network.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
@@ -59,6 +60,19 @@ class StreamingClient:
         self.download_rate = download_bytes_per_second
         self.decode_rate = decode_bytes_per_second
         self.startup_segments = startup_segments
+
+    def blocks_per_round(self, round_seconds: float) -> int:
+        """Coded blocks to ask the server for per serving round.
+
+        The batched serving pipeline drains requests in rounds; to
+        sustain real-time playback a peer must request at least the
+        blocks its media rate consumes per round interval.  Always at
+        least 1 so a connected peer is represented in every round.
+        """
+        if round_seconds <= 0:
+            raise ConfigurationError("round interval must be positive")
+        per_second = self.profile.blocks_per_second_per_peer
+        return max(1, math.ceil(per_second * round_seconds))
 
     def segment_download_seconds(self) -> float:
         """Time to receive n coded blocks of one segment (wire bytes)."""

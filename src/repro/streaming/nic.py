@@ -42,6 +42,17 @@ class NicModel:
         """Aggregate payload bandwidth in bytes/second."""
         return self.link_bps * self.count * self.payload_efficiency / 8
 
+    def transmit_seconds(self, payload_bytes: float) -> float:
+        """Time to push ``payload_bytes`` through the bonded interfaces.
+
+        Used by the serving pipeline to account one round's wire time:
+        the round drain produces all peers' frames in one contiguous
+        buffer whose total length prices the transmission directly.
+        """
+        if payload_bytes < 0:
+            raise ConfigurationError("cannot transmit a negative byte count")
+        return payload_bytes / self.payload_bytes_per_second
+
     def interfaces_saturated_by(self, coding_bytes_per_second: float) -> float:
         """How many such interfaces the given coding rate could fill."""
         per_interface = self.link_bps * self.payload_efficiency / 8

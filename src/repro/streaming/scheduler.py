@@ -1,21 +1,128 @@
-"""Segment request scheduling for streaming clients.
+"""Request scheduling for the streaming pipeline, on both sides of the wire.
 
-A VoD client must decide which segment to fetch next so that every
-segment's coded blocks arrive (and decode) before its playback deadline.
-This module implements the standard earliest-deadline-first policy with
-a bounded lookahead window — enough machinery for the examples and the
-pipeline tests, and the natural place where the paper's "peer might
-receive multiple video segments at the same time" multi-segment regime
-(Sec. 5.2) arises: the scheduler keeps several segments in flight
-whenever bandwidth allows.
+Client side: a VoD client must decide which segment to fetch next so that
+every segment's coded blocks arrive (and decode) before its playback
+deadline.  :class:`SegmentScheduler` implements the standard
+earliest-deadline-first policy with a bounded lookahead window — enough
+machinery for the examples and the pipeline tests, and the natural place
+where the paper's "peer might receive multiple video segments at the same
+time" multi-segment regime (Sec. 5.2) arises: the scheduler keeps several
+segments in flight whenever bandwidth allows.
+
+Server side: :class:`ServeRoundScheduler` plans one serving round over
+the queue of pending per-peer block requests — it coalesces every
+request against the same segment into a single engine-level batch
+encode, while enforcing the round-robin fairness contract: with a
+per-peer quota ``q``, every peer with pending demand is granted exactly
+``min(pending, q)`` blocks per round, in FIFO order of its queued
+requests, and ungranted remainders carry over to the next round without
+losing their queue position.  No session can starve: a peer's grant
+never depends on how much *other* peers requested.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Iterable
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 from repro.streaming.session import MediaProfile
+
+
+@dataclass(frozen=True)
+class BlockRequest:
+    """One peer's pending ask for coded blocks of one segment."""
+
+    peer_id: int
+    segment_id: int
+    num_blocks: int
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1:
+            raise ConfigurationError(
+                f"must request at least one block, got {self.num_blocks}"
+            )
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """One serving round: per-segment coalesced grants plus carryover.
+
+    Attributes:
+        grants: ``segment_id -> [(peer_id, count), ...]`` in grant
+            order; each segment's list becomes one coalesced encode.
+        carryover: ungranted request remainders, in original queue
+            order, to be re-enqueued for the next round.
+    """
+
+    grants: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
+    carryover: list[BlockRequest] = field(default_factory=list)
+
+    @property
+    def total_blocks(self) -> int:
+        """Coded blocks the round will produce across all segments."""
+        return sum(
+            count for allocations in self.grants.values() for _, count in allocations
+        )
+
+    @property
+    def peers_served(self) -> set[int]:
+        """Peers receiving at least one block this round."""
+        return {
+            peer_id
+            for allocations in self.grants.values()
+            for peer_id, _ in allocations
+        }
+
+
+class ServeRoundScheduler:
+    """Coalesces queued block requests into per-segment serving rounds.
+
+    Args:
+        per_peer_quota: most blocks any one peer may be granted per
+            round (``None`` = unbounded).  A finite quota bounds one
+            round's latency — a peer asking for a whole segment cannot
+            monopolize the encoder while others wait.
+    """
+
+    def __init__(self, *, per_peer_quota: int | None = None) -> None:
+        if per_peer_quota is not None and per_peer_quota < 1:
+            raise ConfigurationError(
+                f"per-peer quota must be >= 1, got {per_peer_quota}"
+            )
+        self.per_peer_quota = per_peer_quota
+
+    def plan_round(self, requests: Iterable[BlockRequest]) -> RoundPlan:
+        """Plan one round over the queued requests (FIFO, quota-bounded).
+
+        Grants to the same (peer, segment) pair merge into one entry, so
+        the fan-out after the coalesced encode is one contiguous row
+        range per peer per segment.
+        """
+        plan = RoundPlan()
+        budgets: dict[int, int] = {}
+        merged: dict[tuple[int, int], int] = {}
+        for request in requests:
+            if self.per_peer_quota is None:
+                granted = request.num_blocks
+            else:
+                budget = budgets.setdefault(request.peer_id, self.per_peer_quota)
+                granted = min(request.num_blocks, budget)
+                budgets[request.peer_id] = budget - granted
+            if granted:
+                key = (request.segment_id, request.peer_id)
+                if key in merged:
+                    merged[key] += granted
+                else:
+                    merged[key] = granted
+            remainder = request.num_blocks - granted
+            if remainder:
+                plan.carryover.append(
+                    BlockRequest(request.peer_id, request.segment_id, remainder)
+                )
+        for (segment_id, peer_id), count in merged.items():
+            plan.grants.setdefault(segment_id, []).append((peer_id, count))
+        return plan
 
 
 @dataclass(frozen=True)

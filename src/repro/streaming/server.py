@@ -6,10 +6,27 @@ blocks are generated on demand for downstream peers.  The server enforces
 the device's segment-store capacity, tracks per-peer sessions, and
 accounts the modelled GPU time spent encoding so tests and examples can
 observe when the codec saturates.
+
+Two serving paths coexist:
+
+* :meth:`StreamingServer.serve` — the per-request path: one encode call
+  per call, blocks returned as :class:`CodedBlock` objects.  Simple, and
+  the baseline the round benchmark measures against.
+* the batched pipeline — peers enqueue asks with
+  :meth:`StreamingServer.request_blocks`; :meth:`StreamingServer.serve_round`
+  drains the queue through a :class:`~repro.streaming.scheduler.ServeRoundScheduler`
+  plan, coalescing every request against the same segment into a single
+  engine-level batch encode (one coefficient draw, one bulk multiply,
+  one cost-model charge), then fans the combined block matrix back out
+  as zero-copy per-peer :class:`BlockBatch` row views.
+  :meth:`StreamingServer.serve_round_frames` additionally serializes the
+  whole round into one reused contiguous wire buffer and hands each peer
+  a ``memoryview`` slice of it.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -18,8 +35,10 @@ from repro.errors import CapacityError, ConfigurationError
 from repro.gpu.spec import DeviceSpec
 from repro.kernels.cost_model import EncodeScheme
 from repro.kernels.encode import GpuEncoder
-from repro.rlnc.block import CodedBlock, Segment
+from repro.rlnc.block import BlockBatch, CodedBlock, Segment
+from repro.rlnc.wire import pack_blocks, stream_size
 from repro.streaming.capacity import segments_in_device_memory
+from repro.streaming.scheduler import BlockRequest, ServeRoundScheduler
 from repro.streaming.session import MediaProfile, PeerSession
 
 
@@ -32,6 +51,8 @@ class ServerStats:
     bytes_served: int = 0
     gpu_seconds: float = 0.0
     upload_seconds: float = 0.0
+    rounds_served: int = 0
+    encode_calls: int = 0
 
     @property
     def effective_bandwidth(self) -> float:
@@ -49,6 +70,9 @@ class StreamingServer:
         profile: media/coding configuration.
         scheme: encoding kernel (TABLE_5 by default — the paper's best).
         rng: randomness source for coding coefficients.
+        per_peer_round_quota: most blocks one peer may receive per
+            serving round (``None`` = unbounded); see
+            :class:`~repro.streaming.scheduler.ServeRoundScheduler`.
     """
 
     def __init__(
@@ -58,6 +82,7 @@ class StreamingServer:
         *,
         scheme: EncodeScheme = EncodeScheme.TABLE_5,
         rng: np.random.Generator | None = None,
+        per_peer_round_quota: int | None = None,
     ) -> None:
         self.spec = spec
         self.profile = profile
@@ -66,6 +91,11 @@ class StreamingServer:
         self._segments: dict[int, Segment] = {}
         self._sessions: dict[int, PeerSession] = {}
         self._capacity = segments_in_device_memory(spec, profile)
+        self._queue: deque[BlockRequest] = deque()
+        self._round_scheduler = ServeRoundScheduler(
+            per_peer_quota=per_peer_round_quota
+        )
+        self._wire_buffer = bytearray()
         self.stats = ServerStats()
 
     @property
@@ -75,6 +105,16 @@ class StreamingServer:
     @property
     def segment_capacity(self) -> int:
         return self._capacity
+
+    @property
+    def pending_requests(self) -> int:
+        """Queued block requests awaiting the next serving round."""
+        return len(self._queue)
+
+    @property
+    def pending_blocks(self) -> int:
+        """Total coded blocks the queue is waiting on."""
+        return sum(request.num_blocks for request in self._queue)
 
     def publish_segment(self, segment: Segment) -> None:
         """Upload one media segment to the device-resident store.
@@ -106,11 +146,25 @@ class StreamingServer:
 
         Also releases the encoder's device-resident log-domain copy, so a
         long-running live session does not accumulate preprocessing for
-        segments past the live edge.
+        segments past the live edge.  Queued requests for the evicted
+        segment are dropped (their pending counts are returned to the
+        sessions).
         """
         self._segments.pop(segment_id, None)
         self._encoder.drop_segment(segment_id)
         self.stats.segments_stored = len(self._segments)
+        if self._queue:
+            kept: deque[BlockRequest] = deque()
+            for request in self._queue:
+                if request.segment_id == segment_id:
+                    session = self._sessions.get(request.peer_id)
+                    if session is not None:
+                        session.blocks_pending = max(
+                            0, session.blocks_pending - request.num_blocks
+                        )
+                else:
+                    kept.append(request)
+            self._queue = kept
 
     def connect(self, peer_id: int) -> PeerSession:
         """Register a peer session (idempotent)."""
@@ -118,15 +172,9 @@ class StreamingServer:
             self._sessions[peer_id] = PeerSession(peer_id, self.profile)
         return self._sessions[peer_id]
 
-    def serve(
+    def _validate_request(
         self, peer_id: int, segment_id: int, num_blocks: int
-    ) -> list[CodedBlock]:
-        """Generate ``num_blocks`` fresh coded blocks of one segment.
-
-        Raises:
-            CapacityError: if the segment is not resident on the device.
-            ConfigurationError: for unknown peers or non-positive counts.
-        """
+    ) -> Segment:
         if peer_id not in self._sessions:
             raise ConfigurationError(f"peer {peer_id} is not connected")
         if num_blocks < 1:
@@ -134,8 +182,23 @@ class StreamingServer:
         segment = self._segments.get(segment_id)
         if segment is None:
             raise CapacityError(f"segment {segment_id} is not on the device")
+        return segment
 
+    def serve(
+        self, peer_id: int, segment_id: int, num_blocks: int
+    ) -> list[CodedBlock]:
+        """Generate ``num_blocks`` fresh coded blocks of one segment.
+
+        The per-request path (and the round benchmark's baseline): one
+        encode call per invocation, no cross-peer coalescing.
+
+        Raises:
+            CapacityError: if the segment is not resident on the device.
+            ConfigurationError: for unknown peers or non-positive counts.
+        """
+        segment = self._validate_request(peer_id, segment_id, num_blocks)
         result = self._encoder.encode(segment, num_blocks, self._rng)
+        self.stats.encode_calls += 1
         self.stats.blocks_served += num_blocks
         self.stats.bytes_served += result.coded_bytes
         self.stats.gpu_seconds += result.time_seconds
@@ -148,3 +211,109 @@ class StreamingServer:
             )
             for i in range(num_blocks)
         ]
+
+    # -- the batched round pipeline ----------------------------------------
+
+    def request_blocks(
+        self, peer_id: int, segment_id: int, num_blocks: int
+    ) -> None:
+        """Enqueue a peer's ask for coded blocks (drained by rounds).
+
+        Raises:
+            CapacityError: if the segment is not resident on the device.
+            ConfigurationError: for unknown peers or non-positive counts.
+        """
+        self._validate_request(peer_id, segment_id, num_blocks)
+        self._queue.append(BlockRequest(peer_id, segment_id, num_blocks))
+        self._sessions[peer_id].record_request(num_blocks)
+
+    def serve_round(self) -> dict[int, list[BlockBatch]]:
+        """Drain one scheduling round of the request queue.
+
+        All pending requests against the same segment coalesce into a
+        single engine-level batch encode; the combined coefficient and
+        payload matrices then fan back out as zero-copy row views, one
+        :class:`BlockBatch` per (peer, segment) grant.  Requests beyond
+        a peer's round quota stay queued for the next round.
+
+        Returns:
+            ``peer_id -> [BlockBatch, ...]`` for every peer granted
+            blocks this round (empty dict when the queue is empty).
+
+        Raises:
+            CapacityError: if a queued segment was evicted behind the
+                queue's back (cannot normally happen —
+                :meth:`evict_segment` drops its queued requests).
+        """
+        if not self._queue:
+            return {}
+        plan = self._round_scheduler.plan_round(self._queue)
+        segments: dict[int, Segment] = {}
+        for segment_id in plan.grants:
+            segment = self._segments.get(segment_id)
+            if segment is None:
+                raise CapacityError(
+                    f"segment {segment_id} is not on the device"
+                )
+            segments[segment_id] = segment
+        self._queue = deque(plan.carryover)
+
+        fanout: dict[int, list[BlockBatch]] = {}
+        for segment_id, grants in plan.grants.items():
+            counts = [count for _, count in grants]
+            result, slices = self._encoder.encode_coalesced(
+                segments[segment_id], counts, self._rng
+            )
+            self.stats.encode_calls += 1
+            self.stats.blocks_served += sum(counts)
+            self.stats.bytes_served += result.coded_bytes
+            self.stats.gpu_seconds += result.time_seconds
+            for (peer_id, count), rows in zip(grants, slices):
+                batch = BlockBatch(
+                    coefficients=result.coefficients[rows],
+                    payloads=result.payloads[rows],
+                    segment_id=segment_id,
+                )
+                fanout.setdefault(peer_id, []).append(batch)
+                self._sessions[peer_id].record_blocks(count)
+        for peer_id in fanout:
+            self._sessions[peer_id].rounds_served += 1
+        self.stats.rounds_served += 1
+        return fanout
+
+    def serve_round_frames(
+        self, *, checksum: bool = True
+    ) -> dict[int, memoryview]:
+        """Serve one round straight onto the wire, zero-copy.
+
+        Runs :meth:`serve_round`, then packs every granted batch into a
+        single contiguous wire buffer (sized up front with
+        :func:`repro.rlnc.wire.stream_size`, reused and grown across
+        rounds) and returns each peer's frames as a ``memoryview`` slice
+        of that buffer — no per-block ``bytes()`` objects anywhere on
+        the path.  The views alias the reused buffer, so they are valid
+        until the next ``serve_round_frames`` call; consume or copy them
+        before then.
+        """
+        fanout = self.serve_round()
+        total = sum(
+            stream_size(
+                len(batch), batch.num_blocks, batch.block_size, checksum=checksum
+            )
+            for batches in fanout.values()
+            for batch in batches
+        )
+        if len(self._wire_buffer) < total:
+            self._wire_buffer = bytearray(total)
+        view = memoryview(self._wire_buffer)
+        frames: dict[int, memoryview] = {}
+        offset = 0
+        for peer_id, batches in fanout.items():
+            start = offset
+            for batch in batches:
+                packed = pack_blocks(
+                    batch, checksum=checksum, out=view, offset=offset
+                )
+                offset += len(packed)
+            frames[peer_id] = view[start:offset]
+        return frames

@@ -58,7 +58,22 @@ class PeerSession:
     profile: MediaProfile
     next_segment: int = 0
     blocks_received: int = 0
+    blocks_pending: int = 0
+    blocks_requested: int = 0
     segments_completed: int = 0
+    rounds_served: int = 0
+
+    def record_request(self, count: int) -> None:
+        """Account coded blocks the peer has asked for but not received.
+
+        The serving pipeline enqueues requests and drains them in
+        coalesced rounds; the pending counter is what the fairness tests
+        (and capacity monitoring) observe between rounds.
+        """
+        if count < 1:
+            raise ConfigurationError("must request at least one block")
+        self.blocks_requested += count
+        self.blocks_pending += count
 
     def record_blocks(self, count: int) -> None:
         """Account delivered coded blocks, advancing segment progress.
@@ -70,6 +85,7 @@ class PeerSession:
         if count < 0:
             raise ConfigurationError("cannot deliver a negative block count")
         self.blocks_received += count
+        self.blocks_pending = max(0, self.blocks_pending - count)
         n = self.profile.params.num_blocks
         while self.blocks_received >= (self.segments_completed + 1) * n:
             self.segments_completed += 1

@@ -1,0 +1,196 @@
+"""Batched decoder intake: consume_batch vs per-block consume.
+
+The serving pipeline's receive side absorbs whole block matrices with
+one elimination pass; the contract is that the resulting decoder state
+is byte-identical to consuming the same rows one at a time (RREF with
+arrival-order row placement is unique).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodingError
+from repro.rlnc import (
+    BlockBatch,
+    CodedBlock,
+    CodingParams,
+    Encoder,
+    ProgressiveDecoder,
+    Recoder,
+    Segment,
+    TwoStageDecoder,
+    pack_blocks,
+    unpack_blocks,
+)
+
+
+def coded_stream(n, k, count, seed, *, dependent_every=0):
+    """A (count, n)/(count, k) stream, optionally with dependent rows."""
+    rng = np.random.default_rng(seed)
+    segment = Segment.random(CodingParams(n, k), rng)
+    coefficients, payloads = Encoder(segment, rng).encode_batch(count)
+    if dependent_every:
+        # Overwrite some rows with combinations of earlier rows, so the
+        # batch path must discard exactly where the sequential path does.
+        from repro.gf256 import matmul
+
+        for row in range(dependent_every, count, dependent_every):
+            mix = rng.integers(1, 256, size=(1, row), dtype=np.uint8)
+            coefficients[row] = matmul(mix, coefficients[:row])[0]
+            payloads[row] = matmul(mix, payloads[:row])[0]
+    return segment, coefficients, payloads
+
+
+def consume_sequentially(params, coefficients, payloads):
+    decoder = ProgressiveDecoder(params)
+    for row in range(coefficients.shape[0]):
+        if decoder.is_complete:
+            break
+        decoder.consume(
+            CodedBlock(coefficients=coefficients[row], payload=payloads[row])
+        )
+    return decoder
+
+
+def assert_same_state(a: ProgressiveDecoder, b: ProgressiveDecoder) -> None:
+    rows_a, pivots_a = a.dense_state()
+    rows_b, pivots_b = b.dense_state()
+    assert pivots_a == pivots_b
+    assert np.array_equal(rows_a, rows_b)
+    assert a.rank == b.rank
+    assert a.discarded == b.discarded
+
+
+class TestConsumeBatchEquivalence:
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=48),
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_batch_state_matches_sequential(self, n, k, seed, dependent_every):
+        params = CodingParams(n, k)
+        count = n  # exactly enough rows that completion can happen mid-way
+        _, coefficients, payloads = coded_stream(
+            n, k, count, seed, dependent_every=dependent_every
+        )
+        sequential = consume_sequentially(params, coefficients, payloads)
+        batched = ProgressiveDecoder(params)
+        innovative = batched.consume_batch(coefficients, payloads)
+        assert innovative == sequential.rank
+        assert_same_state(sequential, batched)
+
+    def test_split_batches_match_one_batch(self):
+        params = CodingParams(12, 32)
+        _, coefficients, payloads = coded_stream(12, 32, 12, seed=5)
+        whole = ProgressiveDecoder(params)
+        whole.consume_batch(coefficients, payloads)
+        split = ProgressiveDecoder(params)
+        split.consume_batch(coefficients[:5], payloads[:5])
+        split.consume(
+            CodedBlock(coefficients=coefficients[5], payload=payloads[5])
+        )
+        split.consume_batch(coefficients[6:], payloads[6:])
+        assert_same_state(whole, split)
+
+    def test_batch_recovers_segment(self):
+        segment, coefficients, payloads = coded_stream(16, 64, 16, seed=9)
+        decoder = ProgressiveDecoder(segment.params)
+        decoder.consume_batch(coefficients, payloads)
+        assert decoder.is_complete
+        assert np.array_equal(decoder.recover_segment().blocks, segment.blocks)
+
+    def test_surplus_rows_after_completion_are_discarded(self):
+        segment, coefficients, payloads = coded_stream(8, 16, 12, seed=3)
+        decoder = ProgressiveDecoder(segment.params)
+        innovative = decoder.consume_batch(coefficients, payloads)
+        assert innovative == 8
+        assert decoder.is_complete
+        assert decoder.received == 12
+        assert decoder.discarded == 4
+
+    def test_accepts_blockbatch_and_wire_views(self):
+        """The zero-copy (read-only) views from unpack_blocks feed the
+        batched intake directly."""
+        segment, coefficients, payloads = coded_stream(8, 16, 8, seed=4)
+        wire = bytes(
+            pack_blocks(
+                BlockBatch(
+                    coefficients=coefficients, payloads=payloads, segment_id=0
+                )
+            )
+        )
+        decoder = ProgressiveDecoder(segment.params)
+        decoder.consume_batch(unpack_blocks(wire))
+        assert decoder.is_complete
+        assert np.array_equal(decoder.recover_segment().blocks, segment.blocks)
+
+    def test_recoded_batch_intake(self):
+        """Relay path: recoded batches absorb exactly like source batches."""
+        segment, coefficients, payloads = coded_stream(8, 16, 8, seed=6)
+        relay = Recoder(segment.params)
+        relay.add_batch(coefficients, payloads)
+        recoded = relay.recode_matrix(10, np.random.default_rng(7))
+        decoder = ProgressiveDecoder(segment.params)
+        decoder.consume_batch(recoded)
+        assert decoder.is_complete
+        assert np.array_equal(decoder.recover_segment().blocks, segment.blocks)
+
+
+class TestConsumeBatchValidation:
+    def test_geometry_mismatch(self):
+        decoder = ProgressiveDecoder(CodingParams(8, 16))
+        with pytest.raises(DecodingError):
+            decoder.consume_batch(
+                np.zeros((2, 7), dtype=np.uint8), np.zeros((2, 16), dtype=np.uint8)
+            )
+        with pytest.raises(DecodingError):
+            decoder.consume_batch(
+                np.zeros((2, 8), dtype=np.uint8), np.zeros((3, 16), dtype=np.uint8)
+            )
+
+    def test_missing_payloads(self):
+        decoder = ProgressiveDecoder(CodingParams(8, 16))
+        with pytest.raises(DecodingError):
+            decoder.consume_batch(np.zeros((2, 8), dtype=np.uint8))
+
+    def test_empty_batch_is_a_noop(self):
+        decoder = ProgressiveDecoder(CodingParams(8, 16))
+        assert (
+            decoder.consume_batch(
+                np.zeros((0, 8), dtype=np.uint8), np.zeros((0, 16), dtype=np.uint8)
+            )
+            == 0
+        )
+        assert decoder.received == 0
+
+    def test_complete_decoder_rejects_batches(self):
+        segment, coefficients, payloads = coded_stream(4, 8, 4, seed=8)
+        decoder = ProgressiveDecoder(segment.params)
+        decoder.consume_batch(coefficients, payloads)
+        assert decoder.is_complete
+        with pytest.raises(DecodingError):
+            decoder.consume_batch(coefficients[:1], payloads[:1])
+
+
+class TestTwoStageBatchIntake:
+    def test_add_batch_accepts_blockbatch(self):
+        segment, coefficients, payloads = coded_stream(8, 16, 8, seed=10)
+        decoder = TwoStageDecoder(segment.params)
+        decoder.add_batch(
+            BlockBatch(coefficients=coefficients, payloads=payloads)
+        )
+        assert decoder.has_enough
+        assert np.array_equal(decoder.decode().blocks, segment.blocks)
+
+    def test_add_batch_checks_geometry(self):
+        decoder = TwoStageDecoder(CodingParams(8, 16))
+        with pytest.raises(DecodingError):
+            decoder.add_batch(
+                np.zeros((2, 9), dtype=np.uint8), np.zeros((2, 16), dtype=np.uint8)
+            )
+        with pytest.raises(DecodingError):
+            decoder.add_batch(np.zeros((2, 8), dtype=np.uint8))

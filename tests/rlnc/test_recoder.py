@@ -86,3 +86,54 @@ class TestRecoder:
         # Rank can never exceed what the relay holds.
         assert decoder.rank <= 3
         assert innovative == decoder.rank
+
+
+class TestBatchIntake:
+    def test_add_batch_matches_per_block_adds(self):
+        from repro.rlnc import BlockBatch
+
+        segment = make_segment(8, 16, seed=1)
+        rng = np.random.default_rng(2)
+        coefficients, payloads = Encoder(segment, rng).encode_batch(6)
+
+        one = Recoder(segment.params)
+        for row in range(6):
+            one.add(
+                CodedBlock(
+                    coefficients=coefficients[row], payload=payloads[row]
+                )
+            )
+        other = Recoder(segment.params)
+        other.add_batch(
+            BlockBatch(coefficients=coefficients, payloads=payloads)
+        )
+        assert one.buffered == other.buffered == 6
+        # Identical buffers => identical recoded output for the same rng.
+        a = one.recode_matrix(4, np.random.default_rng(3))
+        b = other.recode_matrix(4, np.random.default_rng(3))
+        assert np.array_equal(a.coefficients, b.coefficients)
+        assert np.array_equal(a.payloads, b.payloads)
+
+    def test_add_batch_geometry_checked(self):
+        recoder = Recoder(CodingParams(4, 4))
+        with pytest.raises(DecodingError):
+            recoder.add_batch(
+                np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 4), dtype=np.uint8)
+            )
+        with pytest.raises(DecodingError):
+            recoder.add_batch(np.zeros((2, 4), dtype=np.uint8))
+
+    def test_buffer_grows_past_initial_capacity(self):
+        segment = make_segment(4, 8, seed=5)
+        rng = np.random.default_rng(6)
+        coefficients, payloads = Encoder(segment, rng).encode_batch(40)
+        recoder = Recoder(segment.params)
+        recoder.add_batch(coefficients, payloads)
+        recoder.add_batch(coefficients, payloads)
+        assert recoder.buffered == 80
+        from repro.gf256 import matmul
+
+        recoded = recoder.recode_matrix(3, np.random.default_rng(7))
+        assert np.array_equal(
+            recoded.payloads, matmul(recoded.coefficients, segment.blocks)
+        )

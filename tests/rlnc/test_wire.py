@@ -157,3 +157,149 @@ class TestMalformedFrames:
             decode_stream(junk)
         except DecodingError:
             pass
+
+
+def make_batch(m, n, k, seed=0, segment_id=3):
+    from repro.rlnc import BlockBatch
+
+    rng = np.random.default_rng(seed)
+    return BlockBatch(
+        coefficients=rng.integers(0, 256, size=(m, n), dtype=np.uint8),
+        payloads=rng.integers(0, 256, size=(m, k), dtype=np.uint8),
+        segment_id=segment_id,
+    )
+
+
+class TestBatchedWire:
+    """The batched pack/unpack path against the single-block format."""
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=2**31),
+        st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pack_blocks_bytes_equal_concatenated_frames(
+        self, m, n, k, seed, checksum
+    ):
+        """New writer, old format: the batch buffer is byte-identical to
+        concatenating encode_frame over the rows, so old readers parse
+        new writers' individual records."""
+        from repro.rlnc import pack_blocks, stream_size
+
+        batch = make_batch(m, n, k, seed)
+        packed = pack_blocks(batch, checksum=checksum)
+        legacy = b"".join(
+            encode_frame(block, checksum=checksum) for block in batch.rows()
+        )
+        assert len(packed) == stream_size(m, n, k, checksum=checksum)
+        assert bytes(packed) == legacy
+        # Old reader: per-record parse of the new writer's buffer.
+        parsed = decode_stream(bytes(packed))
+        assert len(parsed) == m
+        for row, block in enumerate(parsed):
+            assert block.segment_id == batch.segment_id
+            assert np.array_equal(block.coefficients, batch.coefficients[row])
+            assert np.array_equal(block.payload, batch.payloads[row])
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=2**31),
+        st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_through_one_buffer(self, m, n, k, seed, checksum):
+        """pack_blocks -> unpack_blocks round-trips byte-exactly."""
+        from repro.rlnc import pack_blocks, unpack_blocks
+
+        batch = make_batch(m, n, k, seed)
+        recovered = unpack_blocks(bytes(pack_blocks(batch, checksum=checksum)))
+        assert recovered.segment_id == batch.segment_id
+        assert np.array_equal(recovered.coefficients, batch.coefficients)
+        assert np.array_equal(recovered.payloads, batch.payloads)
+
+    def test_unpack_accepts_old_writer_output(self):
+        """Old writer, new reader: encode_stream output parses as a batch."""
+        from repro.rlnc import unpack_blocks
+
+        blocks = [make_block(8, 16, seed=i, segment_id=5) for i in range(4)]
+        batch = unpack_blocks(encode_stream(blocks))
+        assert len(batch) == 4
+        for row, block in enumerate(blocks):
+            assert np.array_equal(batch.coefficients[row], block.coefficients)
+            assert np.array_equal(batch.payloads[row], block.payload)
+
+    def test_unpack_views_are_zero_copy(self):
+        from repro.rlnc import pack_blocks, unpack_blocks
+
+        batch = make_batch(4, 8, 16)
+        data = bytes(pack_blocks(batch))
+        recovered = unpack_blocks(data)
+        assert recovered.coefficients.base is not None
+        assert recovered.payloads.base is not None
+        copied = unpack_blocks(data, copy=True)
+        assert copied.coefficients.base is None
+
+    def test_pack_into_preallocated_buffer_with_offset(self):
+        from repro.rlnc import pack_blocks, stream_size, unpack_blocks
+
+        first = make_batch(2, 4, 8, seed=1, segment_id=0)
+        second = make_batch(3, 4, 8, seed=2, segment_id=1)
+        size_first = stream_size(2, 4, 8)
+        size_second = stream_size(3, 4, 8)
+        buffer = bytearray(size_first + size_second)
+        pack_blocks(first, out=buffer)
+        pack_blocks(second, out=buffer, offset=size_first)
+        assert np.array_equal(
+            unpack_blocks(bytes(buffer[:size_first])).payloads, first.payloads
+        )
+        assert np.array_equal(
+            unpack_blocks(bytes(buffer[size_first:])).payloads, second.payloads
+        )
+
+    def test_pack_rejects_undersized_buffer(self):
+        from repro.rlnc import pack_blocks
+
+        batch = make_batch(2, 4, 8)
+        with pytest.raises(DecodingError):
+            pack_blocks(batch, out=bytearray(10))
+
+    def test_unpack_rejects_heterogeneous_stream(self):
+        from repro.rlnc import unpack_blocks
+
+        # Same frame size, different segment ids: must be refused.
+        a = encode_frame(make_block(4, 8, seed=1, segment_id=0))
+        b = encode_frame(make_block(4, 8, seed=2, segment_id=1))
+        with pytest.raises(DecodingError, match="heterogeneous"):
+            unpack_blocks(a + b)
+
+    def test_unpack_rejects_torn_stream(self):
+        from repro.rlnc import pack_blocks, unpack_blocks
+
+        data = bytes(pack_blocks(make_batch(2, 4, 8)))
+        with pytest.raises(DecodingError):
+            unpack_blocks(data[:-3])
+
+    def test_unpack_rejects_empty_and_detects_corruption(self):
+        from repro.rlnc import pack_blocks, unpack_blocks
+
+        with pytest.raises(DecodingError):
+            unpack_blocks(b"")
+        data = bytearray(pack_blocks(make_batch(2, 4, 8)))
+        data[-10] ^= 0xFF  # inside the second frame's payload
+        with pytest.raises(DecodingError, match="checksum"):
+            unpack_blocks(bytes(data))
+
+    def test_pack_frame_into_matches_encode_frame(self):
+        from repro.rlnc import pack_frame_into
+
+        block = make_block(6, 12, seed=7)
+        expected = encode_frame(block)
+        buffer = bytearray(len(expected) + 8)
+        written = pack_frame_into(block, buffer, offset=8)
+        assert written == len(expected)
+        assert bytes(buffer[8:]) == expected

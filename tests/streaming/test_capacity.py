@@ -134,3 +134,19 @@ class TestPlan:
     def test_plan_reports_live_block_budget(self):
         plan = plan_capacity(GTX280, 133 * MB, REFERENCE_PROFILE, DUAL_GIGABIT_ETHERNET)
         assert plan.blocks_per_segment_live == plan.peers * 128
+
+
+class TestNicTransmit:
+    def test_transmit_time_inverse_of_bandwidth(self):
+        assert GIGABIT_ETHERNET.transmit_seconds(
+            GIGABIT_ETHERNET.payload_bytes_per_second
+        ) == pytest.approx(1.0)
+
+    def test_bonding_halves_transmit_time(self):
+        single = GIGABIT_ETHERNET.transmit_seconds(10 * MB)
+        dual = DUAL_GIGABIT_ETHERNET.transmit_seconds(10 * MB)
+        assert dual == pytest.approx(single / 2)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ConfigurationError):
+            GIGABIT_ETHERNET.transmit_seconds(-1)

@@ -117,3 +117,40 @@ class TestSmoothPlayback:
         )
         report = client.play(8)
         assert report.segment_ready_times == sorted(report.segment_ready_times)
+
+
+class TestBlocksPerRound:
+    def test_sustains_media_rate(self):
+        client = StreamingClient(
+            REFERENCE_PROFILE,
+            download_bytes_per_second=1 * MB,
+            decode_bytes_per_second=10 * MB,
+        )
+        round_s = 0.5
+        blocks = client.blocks_per_round(round_s)
+        bytes_per_round = blocks * REFERENCE_PROFILE.params.block_size
+        assert bytes_per_round >= (
+            REFERENCE_PROFILE.stream_bytes_per_second * round_s
+        )
+        # ... but never more than one extra block of slack.
+        assert bytes_per_round < (
+            REFERENCE_PROFILE.stream_bytes_per_second * round_s
+            + REFERENCE_PROFILE.params.block_size
+        )
+
+    def test_at_least_one_block(self):
+        client = StreamingClient(
+            REFERENCE_PROFILE,
+            download_bytes_per_second=1 * MB,
+            decode_bytes_per_second=10 * MB,
+        )
+        assert client.blocks_per_round(1e-6) == 1
+
+    def test_rejects_nonpositive_round(self):
+        client = StreamingClient(
+            REFERENCE_PROFILE,
+            download_bytes_per_second=1 * MB,
+            decode_bytes_per_second=10 * MB,
+        )
+        with pytest.raises(ConfigurationError):
+            client.blocks_per_round(0)

@@ -1,11 +1,15 @@
-"""Tests for the EDF segment scheduler."""
+"""Tests for the EDF segment scheduler and the serving-round planner."""
 
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.rlnc import CodingParams
 from repro.streaming import MediaProfile
-from repro.streaming.scheduler import SegmentScheduler
+from repro.streaming.scheduler import (
+    BlockRequest,
+    ServeRoundScheduler,
+    SegmentScheduler,
+)
 
 PROFILE = MediaProfile(params=CodingParams(8, 1024), stream_bps=8 * 1024 * 8)
 # segment duration = 8 KB / 8 KB/s = 1 s per segment
@@ -147,3 +151,81 @@ class TestConcurrencyBudget:
         scheduler = make_scheduler(lookahead=6)
         fast_link = 10e6 / 8  # 10 Mbps
         assert scheduler.concurrent_fetch_budget(fast_link) >= 2
+
+
+class TestServeRoundScheduler:
+    def test_requests_validate_counts(self):
+        with pytest.raises(ConfigurationError):
+            BlockRequest(peer_id=0, segment_id=0, num_blocks=0)
+        with pytest.raises(ConfigurationError):
+            ServeRoundScheduler(per_peer_quota=0)
+
+    def test_coalesces_by_segment(self):
+        scheduler = ServeRoundScheduler()
+        plan = scheduler.plan_round(
+            [
+                BlockRequest(1, 0, 3),
+                BlockRequest(2, 0, 5),
+                BlockRequest(1, 7, 2),
+            ]
+        )
+        assert plan.grants == {0: [(1, 3), (2, 5)], 7: [(1, 2)]}
+        assert plan.carryover == []
+        assert plan.total_blocks == 10
+        assert plan.peers_served == {1, 2}
+
+    def test_same_peer_segment_requests_merge(self):
+        scheduler = ServeRoundScheduler()
+        plan = scheduler.plan_round(
+            [BlockRequest(1, 0, 3), BlockRequest(1, 0, 4)]
+        )
+        assert plan.grants == {0: [(1, 7)]}
+
+    def test_quota_splits_requests_with_carryover(self):
+        scheduler = ServeRoundScheduler(per_peer_quota=4)
+        plan = scheduler.plan_round([BlockRequest(1, 0, 10)])
+        assert plan.grants == {0: [(1, 4)]}
+        assert plan.carryover == [BlockRequest(1, 0, 6)]
+
+    def test_round_robin_contract_no_starvation(self):
+        """Every peer with pending demand gets exactly min(pending, quota)
+        per round, independent of how much other peers asked for."""
+        quota = 4
+        scheduler = ServeRoundScheduler(per_peer_quota=quota)
+        demands = {1: 16, 2: 3, 3: 9}
+        queue = [
+            BlockRequest(peer, 0, amount) for peer, amount in demands.items()
+        ]
+        delivered = {peer: 0 for peer in demands}
+        rounds = 0
+        while queue:
+            plan = scheduler.plan_round(queue)
+            rounds += 1
+            for allocations in plan.grants.values():
+                for peer, count in allocations:
+                    pending = demands[peer] - delivered[peer]
+                    assert count == min(pending, quota)
+                    delivered[peer] += count
+            queue = plan.carryover
+            assert rounds <= 10  # progress every round; never stalls
+        assert delivered == demands
+        assert rounds == 4  # ceil(16 / 4): bounded by the largest demand
+
+    def test_carryover_preserves_queue_order(self):
+        scheduler = ServeRoundScheduler(per_peer_quota=2)
+        plan = scheduler.plan_round(
+            [BlockRequest(1, 0, 5), BlockRequest(2, 0, 2), BlockRequest(1, 3, 4)]
+        )
+        # Peer 1's quota is used by its first request; the second request
+        # carries over whole, after the remainder of the first.
+        assert plan.carryover == [
+            BlockRequest(1, 0, 3),
+            BlockRequest(1, 3, 4),
+        ]
+
+    def test_unbounded_quota_grants_everything(self):
+        scheduler = ServeRoundScheduler()
+        queue = [BlockRequest(p, 0, 100) for p in range(8)]
+        plan = scheduler.plan_round(queue)
+        assert plan.total_blocks == 800
+        assert plan.carryover == []

@@ -111,3 +111,213 @@ class TestServing:
         server.connect(1)
         blocks = server.serve(1, 3, 2)
         assert all(block.segment_id == 3 for block in blocks)
+
+
+class TestBatchedRounds:
+    def test_request_validation_matches_serve(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        with pytest.raises(ConfigurationError):
+            server.request_blocks(99, 0, 1)  # unknown peer
+        server.connect(1)
+        with pytest.raises(ConfigurationError):
+            server.request_blocks(1, 0, 0)
+        with pytest.raises(CapacityError):
+            server.request_blocks(1, 5, 1)  # segment not resident
+
+    def test_empty_queue_round_is_a_noop(self):
+        server = make_server()
+        assert server.serve_round() == {}
+        assert server.stats.rounds_served == 0
+
+    def test_round_coalesces_to_one_encode_per_segment(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        for peer in range(6):
+            server.connect(peer)
+            server.request_blocks(peer, 0, 2)
+        fanout = server.serve_round()
+        assert server.stats.encode_calls == 1  # six requests, one launch
+        assert server.stats.blocks_served == 12
+        assert set(fanout) == set(range(6))
+        for batches in fanout.values():
+            (batch,) = batches
+            assert len(batch) == 2
+            assert batch.segment_id == 0
+
+    def test_round_blocks_decode(self):
+        server = make_server()
+        segment = make_segment(0)
+        server.publish_segment(segment)
+        decoder = ProgressiveDecoder(SMALL_PROFILE.params)
+        server.connect(3)
+        while not decoder.is_complete:
+            server.request_blocks(3, 0, 4)
+            (batch,) = server.serve_round()[3]
+            decoder.consume_batch(batch)
+        assert np.array_equal(decoder.recover_segment().blocks, segment.blocks)
+
+    def test_fanout_rows_are_views_not_copies(self):
+        """The per-peer batches alias the round's combined matrices."""
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        server.connect(1)
+        server.connect(2)
+        server.request_blocks(1, 0, 3)
+        server.request_blocks(2, 0, 3)
+        fanout = server.serve_round()
+        (first,) = fanout[1]
+        (second,) = fanout[2]
+        assert first.payloads.base is not None
+        assert second.payloads.base is first.payloads.base
+
+    def test_quota_carries_over_between_rounds(self):
+        server = StreamingServer(
+            GTX280,
+            SMALL_PROFILE,
+            rng=np.random.default_rng(0),
+            per_peer_round_quota=3,
+        )
+        server.publish_segment(make_segment(0))
+        session = server.connect(1)
+        server.request_blocks(1, 0, 8)
+        assert session.blocks_pending == 8
+        (batch,) = server.serve_round()[1]
+        assert len(batch) == 3
+        assert session.blocks_pending == 5
+        (batch,) = server.serve_round()[1]
+        assert len(batch) == 3
+        (batch,) = server.serve_round()[1]
+        assert len(batch) == 2
+        assert server.serve_round() == {}
+        assert session.blocks_received == 8
+        assert session.blocks_requested == 8
+        assert session.rounds_served == 3
+
+    def test_multi_segment_round(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        server.publish_segment(make_segment(1, seed=2))
+        server.connect(1)
+        server.request_blocks(1, 0, 2)
+        server.request_blocks(1, 1, 2)
+        fanout = server.serve_round()
+        assert [batch.segment_id for batch in fanout[1]] == [0, 1]
+        assert server.stats.encode_calls == 2  # one per segment
+
+    def test_eviction_drops_queued_requests(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        server.publish_segment(make_segment(1, seed=2))
+        session = server.connect(1)
+        server.request_blocks(1, 0, 4)
+        server.request_blocks(1, 1, 4)
+        server.evict_segment(0)
+        assert server.pending_requests == 1
+        assert session.blocks_pending == 4
+        fanout = server.serve_round()
+        assert [batch.segment_id for batch in fanout[1]] == [1]
+
+    def test_round_stats_match_per_block_totals(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        for peer in range(4):
+            server.connect(peer)
+            server.request_blocks(peer, 0, 2)
+        server.serve_round()
+        assert server.stats.blocks_served == 8
+        assert server.stats.bytes_served == 8 * SMALL_PROFILE.params.block_size
+        assert server.stats.gpu_seconds > 0
+        assert server.stats.rounds_served == 1
+
+
+class TestRoundWirePath:
+    def test_frames_round_trip_through_wire(self):
+        from repro.rlnc import unpack_blocks
+
+        server = make_server()
+        segment = make_segment(0)
+        server.publish_segment(segment)
+        for peer in (1, 2):
+            server.connect(peer)
+            server.request_blocks(peer, 0, 8)
+        frames = server.serve_round_frames()
+        for peer in (1, 2):
+            batch = unpack_blocks(bytes(frames[peer]))
+            assert len(batch) == 8
+            decoder = ProgressiveDecoder(SMALL_PROFILE.params)
+            decoder.consume_batch(batch)
+            assert np.array_equal(
+                decoder.recover_segment().blocks, segment.blocks
+            )
+
+    def test_frames_alias_one_reused_buffer(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        for peer in (1, 2):
+            server.connect(peer)
+            server.request_blocks(peer, 0, 2)
+        frames = server.serve_round_frames()
+        buffers = {id(view.obj) for view in frames.values()}
+        assert len(buffers) == 1  # every peer's view slices one buffer
+
+    def test_old_reader_parses_round_frames(self):
+        """Per-record compatibility: the batched writer's bytes parse
+        with the single-frame reader."""
+        from repro.rlnc import decode_stream
+
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        server.connect(1)
+        server.request_blocks(1, 0, 3)
+        frames = server.serve_round_frames()
+        blocks = decode_stream(bytes(frames[1]))
+        assert len(blocks) == 3
+        assert all(block.segment_id == 0 for block in blocks)
+
+
+class TestRoundByteExactness:
+    def test_round_payloads_match_per_block_path(self):
+        """Batching must not change a single payload byte: re-encoding the
+        round's coefficient rows through the per-request path yields
+        identical payloads."""
+        from repro.kernels import EncodeScheme, GpuEncoder
+
+        server = make_server()
+        segment = make_segment(0)
+        server.publish_segment(segment)
+        for peer in range(4):
+            server.connect(peer)
+            server.request_blocks(peer, 0, 4)
+        fanout = server.serve_round()
+
+        baseline = GpuEncoder(GTX280, EncodeScheme.TABLE_5)
+        baseline.upload_segment(segment)
+        for batches in fanout.values():
+            (batch,) = batches
+            for row in range(len(batch)):
+                result = baseline.encode(
+                    segment,
+                    1,
+                    np.random.default_rng(0),
+                    coefficients=batch.coefficients[row : row + 1].copy(),
+                )
+                assert np.array_equal(result.payloads[0], batch.payloads[row])
+
+
+class TestEvictionReleasesCache:
+    def test_evict_segment_releases_log_cache(self):
+        """Regression: eviction must release the TB-1 log-domain cache —
+        the encoder may not keep an identity-keyed reference alive."""
+        import gc
+        import weakref
+
+        server = make_server()
+        segment = make_segment(0)
+        server.publish_segment(segment)
+        log_ref = weakref.ref(segment.log_blocks())
+        assert log_ref() is not None
+        server.evict_segment(0)
+        del segment  # the segment object owns the other cache reference
+        gc.collect()
+        assert log_ref() is None, "log-domain cache leaked after eviction"
