@@ -286,6 +286,113 @@ def test_server_round_throughput():
         )
 
 
+def test_wire_integrity_overhead():
+    """Cost of the integrity trailer on the serve_round path.
+
+    The acceptance criterion for the fault-tolerance PR: checksumming
+    every frame of a serving round may add at most 10% to the time the
+    server spends producing that round's batches (encode + pack).  Three
+    full round passes are timed — v2 digest trailer, v1 per-row CRC32,
+    and no trailer at all — on the same 64-session x 4-block round shape
+    as ``test_server_round_throughput``.
+
+    Raw ``pack_blocks`` microbenchmarks at the same batch shape are
+    recorded alongside so the trailer cost is visible in isolation: the
+    no-trailer pack is three strided memcpys, the v2 digest is one
+    vectorized multiply-accumulate pass, and the v1 CRC is a per-row
+    zlib call (the reason v2 exists).
+    """
+    from repro.rlnc import BlockBatch, pack_blocks, stream_size
+    from repro.rlnc.wire import VERSION, VERSION2
+
+    params = CodingParams(DECODE_N, DECODE_K)
+    profile = MediaProfile(params=params)
+    segment = Segment.random(params, np.random.default_rng(21), segment_id=0)
+
+    def make_server():
+        server = StreamingServer(
+            GTX280, profile, rng=np.random.default_rng(22)
+        )
+        server.publish_segment(segment)
+        for peer in range(SERVER_SESSIONS):
+            server.connect(peer)
+        return server
+
+    def round_pass(server, *, checksum, version):
+        for peer in range(SERVER_SESSIONS):
+            server.request_blocks(peer, 0, SERVER_BLOCKS_PER_PEER)
+        server.serve_round_frames(checksum=checksum, version=version)
+
+    plain_server = make_server()
+    digest_server = make_server()
+    crc_server = make_server()
+    round_plain = best_of(
+        lambda: round_pass(plain_server, checksum=False, version=VERSION2)
+    )
+    round_digest = best_of(
+        lambda: round_pass(digest_server, checksum=True, version=VERSION2)
+    )
+    round_crc = best_of(
+        lambda: round_pass(crc_server, checksum=True, version=VERSION)
+    )
+    checksum_cost = round_digest - round_plain
+    serve_round_overhead = checksum_cost / round_digest
+
+    # Pack-only microbenchmarks at the same total batch shape.
+    m = SERVER_SESSIONS * SERVER_BLOCKS_PER_PEER
+    n, k = DECODE_N, DECODE_K
+    rng = np.random.default_rng(23)
+    batch = BlockBatch(
+        coefficients=rng.integers(0, 256, size=(m, n), dtype=np.uint8),
+        payloads=rng.integers(0, 256, size=(m, k), dtype=np.uint8),
+        segment_id=0,
+    )
+    plain_out = bytearray(stream_size(m, n, k, checksum=False, version=VERSION2))
+    digest_out = bytearray(stream_size(m, n, k, checksum=True, version=VERSION2))
+    crc_out = bytearray(stream_size(m, n, k, checksum=True))
+    pack_plain = best_of(
+        lambda: pack_blocks(
+            batch, checksum=False, version=VERSION2, out=plain_out
+        )
+    )
+    pack_digest = best_of(
+        lambda: pack_blocks(
+            batch, checksum=True, version=VERSION2, out=digest_out
+        )
+    )
+    pack_crc = best_of(lambda: pack_blocks(batch, checksum=True, out=crc_out))
+
+    record(
+        "wire_integrity_overhead",
+        {
+            "frames": m,
+            "n": n,
+            "k": k,
+            "serve_round_plain_seconds": round_plain,
+            "serve_round_digest_seconds": round_digest,
+            "serve_round_crc32_seconds": round_crc,
+            "checksum_cost_seconds": checksum_cost,
+            "serve_round_overhead_ratio": serve_round_overhead,
+            "pack_plain_seconds": pack_plain,
+            "pack_digest_seconds": pack_digest,
+            "pack_crc32_seconds": pack_crc,
+            "digest_vs_crc32_pack_ratio": pack_digest / pack_crc,
+            "digest_mb_per_s": m * k / (pack_digest - pack_plain) / 1e6,
+        },
+    )
+    if not SMOKE:
+        assert serve_round_overhead <= 0.10, (
+            f"v2 digest adds {serve_round_overhead:.1%} to the "
+            f"serve_round path, above the 10% integrity budget"
+        )
+        # The vectorized digest must not be slower than the per-row CRC
+        # it supersedes.
+        assert pack_digest <= pack_crc, (
+            f"v2 digest pack ({pack_digest * 1e6:.0f}us) is slower than "
+            f"the v1 CRC32 pack ({pack_crc * 1e6:.0f}us)"
+        )
+
+
 def test_cached_log_segment_encode_block():
     # The TB-1 cache: single-block encodes with a warm log-domain segment.
     params = CodingParams(ENCODE_N, ENCODE_K)

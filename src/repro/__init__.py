@@ -39,9 +39,19 @@ from repro.errors import (
     ConfigurationError,
     DecodingError,
     FieldError,
+    IntegrityError,
     LaunchError,
     ReproError,
+    RetryExhaustedError,
+    RetryLater,
     SingularMatrixError,
+    WireError,
+)
+from repro.faults import (
+    FaultCounters,
+    FaultEvent,
+    FaultInjectionChannel,
+    FaultPlan,
 )
 from repro.rlnc import (
     CodedBlock,
@@ -63,14 +73,22 @@ __all__ = [
     "ConfigurationError",
     "DecodingError",
     "Encoder",
+    "FaultCounters",
+    "FaultEvent",
+    "FaultInjectionChannel",
+    "FaultPlan",
     "FieldError",
+    "IntegrityError",
     "LaunchError",
     "MultiSegmentDecoder",
     "ProgressiveDecoder",
     "Recoder",
     "ReproError",
+    "RetryExhaustedError",
+    "RetryLater",
     "Segment",
     "SingularMatrixError",
     "TwoStageDecoder",
+    "WireError",
     "__version__",
 ]

@@ -1,12 +1,30 @@
-"""Exception hierarchy for the repro library.
+"""Exception hierarchy (and control signals) for the repro library.
 
 Every error raised by this package derives from :class:`ReproError`, so
 callers can catch library failures with a single ``except`` clause while
 still distinguishing coding-theory errors from simulator-configuration
-errors when they need to.
+errors when they need to.  The hierarchy::
+
+    ReproError
+    ├── FieldError              invalid GF(2^8) operation
+    ├── SingularMatrixError     rank-deficient matrix
+    ├── DecodingError           decoder misuse / cannot progress
+    │   └── WireError           malformed wire frame (bad magic, torn
+    │       │                   frame, lying length fields, ...)
+    │       └── IntegrityError  frame parsed but its checksum failed
+    ├── ConfigurationError      inconsistent simulator/codec parameters
+    ├── LaunchError             CUDA execution-limit violation
+    ├── CapacityError           streaming resource exhausted
+    └── RetryExhaustedError     a reliable-transport retry loop gave up
+
+:class:`RetryLater` is deliberately *not* an exception: it is the
+streaming server's graceful load-shedding response ("come back in a few
+rounds"), a normal value on the request path rather than a failure.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 
 class ReproError(Exception):
@@ -33,5 +51,55 @@ class LaunchError(ReproError):
     """A GPU kernel launch violated the device's execution limits."""
 
 
+class WireError(DecodingError):
+    """A wire frame is malformed: bad magic or version, torn or truncated
+    framing, or length fields that disagree with the buffer.
+
+    Subclasses :class:`DecodingError` so pre-existing callers that catch
+    the broader class keep working; new transport code catches
+    :class:`WireError` to distinguish framing damage from decoder misuse.
+    """
+
+
+class IntegrityError(WireError):
+    """A frame parsed structurally but its integrity trailer mismatched.
+
+    Raised only by *strict* unpack modes; lenient modes drop the frame
+    and count it in :class:`repro.rlnc.wire.WireStats` instead.
+    """
+
+
 class CapacityError(ReproError):
     """A streaming-server request exceeds available resources."""
+
+
+class RetryExhaustedError(ReproError):
+    """A reliable-transport retry loop ran out of attempts.
+
+    Raised by :class:`repro.streaming.client.ClientSession` when a
+    segment makes no rank progress across ``max_retries`` NACK rounds
+    (including exponential-backoff waits) — the deterministic signal
+    that the wire, not the coding, is the bottleneck.
+    """
+
+
+@dataclass(frozen=True)
+class RetryLater:
+    """Load-shedding response from an overloaded streaming server.
+
+    Returned (not raised) by
+    :meth:`repro.streaming.server.StreamingServer.request_blocks` when
+    the bounded request queue is full and the asking session does not
+    outrank any queued work.  Carries the server's backoff hint so
+    clients can pace their NACK retries instead of hammering the queue.
+
+    Attributes:
+        retry_after_rounds: serving rounds the client should wait
+            before re-requesting.
+    """
+
+    retry_after_rounds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.retry_after_rounds < 1:
+            raise ConfigurationError("retry_after_rounds must be >= 1")

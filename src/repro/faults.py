@@ -1,0 +1,295 @@
+"""Deterministic fault injection for the wire path and channel pipeline.
+
+The robustness layer (frame integrity, quarantine, NACK retransmission)
+is only trustworthy if every failure mode can be reproduced exactly, so
+this module provides a *seeded* fault schedule instead of ad-hoc random
+mangling: a :class:`FaultPlan` decides — purely from its seed and each
+item's arrival index — whether a frame is dropped, bit-flipped,
+duplicated, delayed or reordered, and logs every injected fault as a
+:class:`FaultEvent`.  Tests then assert exact end-to-end accounting:
+each corrupt frame the plan injected must show up in the receiver's
+:class:`~repro.rlnc.wire.WireStats`, with zero silent acceptance.
+
+Two adapters plug the same plan into both transport layers:
+
+* :meth:`FaultPlan.apply_frames` mangles serialized wire frames
+  (``bytes``/``memoryview``), for the
+  :class:`~repro.streaming.client.ClientSession` wire path;
+* :class:`FaultInjectionChannel` implements the
+  :class:`~repro.rlnc.channel.Channel` protocol over
+  :class:`~repro.rlnc.block.CodedBlock` streams, composing with the
+  stochastic channels in :class:`~repro.rlnc.channel.ChannelPipeline`.
+
+Determinism contract: per-item decisions consume a fixed number of
+random draws per arrival index, so a given seed produces the same
+drop/corrupt/duplicate/delay schedule regardless of how the stream is
+split into ``apply`` calls (the plan keeps a monotonic arrival counter
+across calls; :meth:`FaultPlan.reset` restarts it).  Reordering jitter
+is drawn per delivered batch, so it depends additionally on batch
+boundaries — the one documented exception.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rlnc.block import CodedBlock
+
+#: Fault actions a plan can inject.
+ACTIONS = ("drop", "corrupt", "duplicate", "delay")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, for exact test accounting.
+
+    Attributes:
+        index: global arrival index of the affected item.
+        action: one of ``drop``, ``corrupt``, ``duplicate``, ``delay``.
+        detail: action-specific magnitude — the flipped byte offset for
+            ``corrupt``, the displacement for ``delay``, else 0.
+    """
+
+    index: int
+    action: str
+    detail: int = 0
+
+
+@dataclass
+class FaultCounters:
+    """Running totals over every fault a plan has injected."""
+
+    dropped: int = 0
+    corrupted: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.dropped + self.corrupted + self.duplicated + self.delayed
+
+
+class FaultPlan:
+    """A seeded, replayable schedule of transport faults.
+
+    Args:
+        seed: the schedule's only entropy source; equal seeds give equal
+            schedules.
+        drop_rate: probability an item is dropped.
+        corrupt_rate: probability one bit of an item is flipped.
+        duplicate_rate: probability an item is delivered twice.
+        delay_rate: probability an item is displaced later in the
+            delivery order.
+        max_delay: largest displacement (positions) a delayed item may
+            suffer; must be positive when ``delay_rate`` is.
+        reorder_window: when positive, bounded random reordering of each
+            delivered batch by up to this many positions (on top of any
+            per-item faults).
+        drop_indices: arrival indices dropped unconditionally (exact
+            targeting, independent of the random schedule).
+        corrupt_indices: arrival indices bit-flipped unconditionally.
+        predicate: optional gate — random faults only apply to arrival
+            indices where ``predicate(index)`` is true (explicit
+            ``*_indices`` ignore the gate).
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int,
+        drop_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        max_delay: int = 0,
+        reorder_window: int = 0,
+        drop_indices: Iterable[int] = (),
+        corrupt_indices: Iterable[int] = (),
+        predicate: Callable[[int], bool] | None = None,
+    ) -> None:
+        for name, rate in (
+            ("drop_rate", drop_rate),
+            ("corrupt_rate", corrupt_rate),
+            ("duplicate_rate", duplicate_rate),
+            ("delay_rate", delay_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
+        if max_delay < 0 or reorder_window < 0:
+            raise ConfigurationError("delays and windows must be non-negative")
+        if delay_rate > 0 and max_delay == 0:
+            raise ConfigurationError("delay_rate needs max_delay >= 1")
+        self.seed = seed
+        self.drop_rate = drop_rate
+        self.corrupt_rate = corrupt_rate
+        self.duplicate_rate = duplicate_rate
+        self.delay_rate = delay_rate
+        self.max_delay = max_delay
+        self.reorder_window = reorder_window
+        self.drop_indices = frozenset(int(i) for i in drop_indices)
+        self.corrupt_indices = frozenset(int(i) for i in corrupt_indices)
+        self.predicate = predicate
+        self.log: list[FaultEvent] = []
+        self.counters = FaultCounters()
+        self.reset()
+
+    def reset(self) -> None:
+        """Restart the schedule from arrival index 0 (exact replay)."""
+        self._rng = np.random.default_rng(self.seed)
+        self._next_index = 0
+        self.log = []
+        self.counters = FaultCounters()
+
+    @property
+    def items_seen(self) -> int:
+        """Items the plan has scheduled so far (across all calls)."""
+        return self._next_index
+
+    def events(self, action: str) -> list[FaultEvent]:
+        """All logged events of one action type."""
+        if action not in ACTIONS:
+            raise ConfigurationError(f"unknown fault action {action!r}")
+        return [event for event in self.log if event.action == action]
+
+    # -- schedule core -----------------------------------------------------
+
+    def _decide(self, length: int) -> tuple[bool, int | None, bool, int]:
+        """Fault decisions for the next arrival index.
+
+        Consumes a fixed four draws per index (plus magnitude draws only
+        when a fault fires), so the schedule is independent of how the
+        stream is batched.  Returns ``(drop, corrupt_at, duplicate,
+        delay_by)`` where ``corrupt_at`` is a byte offset or ``None``.
+        """
+        index = self._next_index
+        self._next_index += 1
+        draws = self._rng.random(4)
+        gated = self.predicate is None or bool(self.predicate(index))
+        drop = index in self.drop_indices or (
+            gated and draws[0] < self.drop_rate
+        )
+        corrupt_at: int | None = None
+        if index in self.corrupt_indices or (
+            gated and draws[1] < self.corrupt_rate
+        ):
+            corrupt_at = int(self._rng.integers(max(1, length)))
+        duplicate = gated and draws[2] < self.duplicate_rate
+        delay_by = 0
+        if gated and draws[3] < self.delay_rate:
+            delay_by = int(self._rng.integers(1, self.max_delay + 1))
+        if drop:
+            self.log.append(FaultEvent(index, "drop"))
+            self.counters.dropped += 1
+            return True, None, False, 0
+        if corrupt_at is not None:
+            self.log.append(FaultEvent(index, "corrupt", corrupt_at))
+            self.counters.corrupted += 1
+        if duplicate:
+            self.log.append(FaultEvent(index, "duplicate"))
+            self.counters.duplicated += 1
+        if delay_by:
+            self.log.append(FaultEvent(index, "delay", delay_by))
+            self.counters.delayed += 1
+        return False, corrupt_at, duplicate, delay_by
+
+    def _schedule(self, items: Sequence, corrupt) -> list:
+        """Apply per-item faults then delivery-order faults to a batch."""
+        keyed: list[tuple[float, int, object]] = []
+        for position, item in enumerate(items):
+            drop, corrupt_at, duplicate, delay_by = self._decide(
+                self._length_of(item)
+            )
+            if drop:
+                continue
+            if corrupt_at is not None:
+                item = corrupt(item, corrupt_at, self._flip_bit())
+            key = float(position + delay_by)
+            if delay_by:
+                key += 0.5  # land *after* the item it was delayed past
+            keyed.append((key, len(keyed), item))
+            if duplicate:
+                keyed.append((key, len(keyed), item))
+        if self.reorder_window and len(keyed) > 1:
+            jitter = self._rng.uniform(0, self.reorder_window + 1, len(keyed))
+            keyed = [
+                (key + jitter[i], order, item)
+                for i, (key, order, item) in enumerate(keyed)
+            ]
+        keyed.sort(key=lambda entry: (entry[0], entry[1]))
+        return [item for _, _, item in keyed]
+
+    def _flip_bit(self) -> int:
+        return 1 << int(self._rng.integers(8))
+
+    @staticmethod
+    def _length_of(item) -> int:
+        if isinstance(item, CodedBlock):
+            return item.num_blocks + item.block_size
+        return len(item)
+
+    # -- adapters ----------------------------------------------------------
+
+    def apply_frames(self, frames: Iterable) -> list[bytes]:
+        """Inject faults into serialized wire frames.
+
+        Accepts ``bytes``/``bytearray``/``memoryview`` items and returns
+        ``bytes`` copies (corruption never mutates the caller's
+        buffers).  This is the wire-path hook: run the server's
+        ``serve_round_frames`` output through it, then hand the
+        survivors to a lenient unpack and compare the receiver's
+        :class:`~repro.rlnc.wire.WireStats` against :attr:`counters`.
+        """
+
+        def corrupt(frame, offset: int, bit: int) -> bytes:
+            mangled = bytearray(frame)
+            mangled[offset % len(mangled)] ^= bit
+            return bytes(mangled)
+
+        items = [bytes(frame) for frame in frames]
+        return self._schedule(items, corrupt)
+
+    def apply_blocks(self, blocks: Iterable[CodedBlock]) -> list[CodedBlock]:
+        """Inject faults into a coded-block stream (channel-level view).
+
+        Corruption flips one bit in a *copy* of the block's coefficient
+        vector or payload (position drawn over the concatenation, like
+        :class:`~repro.rlnc.channel.CorruptingChannel`).
+        """
+
+        def corrupt(block: CodedBlock, offset: int, bit: int) -> CodedBlock:
+            coefficients = block.coefficients.copy()
+            payload = block.payload.copy()
+            n = block.num_blocks
+            position = offset % (n + block.block_size)
+            if position < n:
+                coefficients[position] ^= np.uint8(bit)
+            else:
+                payload[position - n] ^= np.uint8(bit)
+            return CodedBlock(
+                coefficients=coefficients,
+                payload=payload,
+                segment_id=block.segment_id,
+            )
+
+        return self._schedule(list(blocks), corrupt)
+
+
+@dataclass
+class FaultInjectionChannel:
+    """A :class:`~repro.rlnc.channel.Channel` driven by a :class:`FaultPlan`.
+
+    Drop-in stage for :class:`~repro.rlnc.channel.ChannelPipeline`: the
+    same deterministic schedule that exercises the wire path can replace
+    (or compose with) the stochastic channel models, so channel-level
+    tests replay exact fault sequences.
+    """
+
+    plan: FaultPlan
+
+    def transmit(self, blocks: Iterable[CodedBlock]) -> list[CodedBlock]:
+        """Return the blocks the receiver observes under the plan."""
+        return self.plan.apply_blocks(blocks)

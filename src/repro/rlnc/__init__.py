@@ -30,8 +30,12 @@ from repro.rlnc.stats import (
     measure_reception_overhead,
 )
 from repro.rlnc.wire import (
+    VERSION,
+    VERSION2,
+    WireStats,
     decode_frame,
     decode_stream,
+    digest64,
     encode_frame,
     encode_stream,
     frame_size,
@@ -39,6 +43,7 @@ from repro.rlnc.wire import (
     pack_frame_into,
     stream_size,
     unpack_blocks,
+    unpack_frame,
 )
 
 __all__ = [
@@ -57,9 +62,13 @@ __all__ = [
     "ReorderingChannel",
     "Segment",
     "TwoStageDecoder",
+    "VERSION",
+    "VERSION2",
+    "WireStats",
     "blocks_needed_over_lossy_channel",
     "decode_frame",
     "decode_stream",
+    "digest64",
     "encode_frame",
     "encode_stream",
     "expected_extra_blocks",
@@ -74,4 +83,5 @@ __all__ = [
     "split_into_segments",
     "stream_size",
     "unpack_blocks",
+    "unpack_frame",
 ]

@@ -107,17 +107,28 @@ class DuplicatingChannel:
 class CorruptingChannel:
     """Flips one random bit of a block with probability ``corruption_rate``.
 
-    Corruption targets the payload or (with probability n/(n+k)) the
-    coefficient vector — both travel on the wire.  The returned block is
-    a corrupted *copy*; originals are untouched.
+    ``targets`` selects what corruption may hit: ``"both"`` (default)
+    draws the flipped position uniformly over the concatenated
+    coefficient vector and payload (so coefficients are hit with
+    probability n/(n+k) — both travel on the wire), ``"payload"``
+    restricts damage to payload bytes, and ``"coefficients"`` to the
+    coefficient vector — the nastier case, since one flipped coefficient
+    re-weights an entire source block during elimination.  The returned
+    block is a corrupted *copy*; originals are untouched.
     """
 
     corruption_rate: float
     rng: np.random.Generator
+    targets: str = "both"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.corruption_rate <= 1.0:
             raise ConfigurationError("corruption rate must be in [0, 1]")
+        if self.targets not in ("both", "payload", "coefficients"):
+            raise ConfigurationError(
+                f"targets must be 'both', 'payload' or 'coefficients', "
+                f"got {self.targets!r}"
+            )
 
     def transmit(self, blocks: Iterable[CodedBlock]) -> list[CodedBlock]:
         out: list[CodedBlock] = []
@@ -128,7 +139,12 @@ class CorruptingChannel:
             coefficients = block.coefficients.copy()
             payload = block.payload.copy()
             n, k = len(coefficients), len(payload)
-            position = int(self.rng.integers(n + k))
+            if self.targets == "payload":
+                position = n + int(self.rng.integers(k))
+            elif self.targets == "coefficients":
+                position = int(self.rng.integers(n))
+            else:
+                position = int(self.rng.integers(n + k))
             bit = np.uint8(1 << int(self.rng.integers(8)))
             if position < n:
                 coefficients[position] ^= bit
@@ -155,6 +171,40 @@ class ChannelPipeline:
         for stage in self.stages:
             current = stage.transmit(current)
         return current
+
+    @classmethod
+    def from_rates(
+        cls,
+        rng: np.random.Generator,
+        *,
+        corruption_rate: float = 0.0,
+        corruption_targets: str = "both",
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        max_displacement: int = 0,
+    ) -> "ChannelPipeline":
+        """Compose a standard impairment pipeline over one shared generator.
+
+        Every constructed stage draws from the *same*
+        ``numpy.random.Generator``, so a single seed reproduces the
+        whole pipeline's behaviour exactly — the composition contract
+        the deterministic fault harness (:mod:`repro.faults`) and the
+        soak tests rely on.  Stages apply in wire order: corruption
+        first (damage en route), then loss, duplication, and bounded
+        reordering; zero-rate stages are omitted.
+        """
+        stages: list = []
+        if corruption_rate:
+            stages.append(
+                CorruptingChannel(corruption_rate, rng, targets=corruption_targets)
+            )
+        if loss_rate:
+            stages.append(LossyChannel(loss_rate, rng))
+        if duplicate_rate:
+            stages.append(DuplicatingChannel(duplicate_rate, rng))
+        if max_displacement:
+            stages.append(ReorderingChannel(max_displacement, rng))
+        return cls(stages=stages)
 
 
 def blocks_needed_over_lossy_channel(

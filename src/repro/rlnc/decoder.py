@@ -58,8 +58,15 @@ class ProgressiveDecoder:
         # transform column n + j tracks the contribution of the j-th
         # accepted raw payload.
         self._work = np.zeros((n, 2 * n), dtype=np.uint8)
-        # Data plane: accepted payloads exactly as they arrived.
+        # Data plane: accepted payloads and coefficients exactly as they
+        # arrived.  Raw coefficients buy the quarantine layer two things:
+        # the RREF re-verification invariant C_rref == M @ C_raw, and the
+        # ability to rebuild elimination from scratch with any subset of
+        # accepted rows rolled back.
         self._raw_payloads = np.zeros((n, k), dtype=np.uint8)
+        self._raw_coefficients = np.zeros((n, n), dtype=np.uint8)
+        #: Source tag (e.g. a peer id) of each accepted raw row.
+        self._sources: list[object] = [None] * n
         # Materialized aggregate [C | x]; payload side refreshed on demand.
         self._rows = np.zeros((n, n + k), dtype=np.uint8)
         self._materialized_rank = 0
@@ -67,6 +74,9 @@ class ProgressiveDecoder:
         self._pivot_cols = np.empty(n, dtype=np.int64)
         self._received = 0
         self._discarded = 0
+        self._quarantined = 0
+        self._rank_regressions = 0
+        self._corruption_counts: dict[object, int] = {}
 
     @property
     def params(self) -> CodingParams:
@@ -91,8 +101,42 @@ class ProgressiveDecoder:
     def is_complete(self) -> bool:
         return self.rank == self._params.num_blocks
 
-    def consume(self, block: CodedBlock) -> bool:
+    @property
+    def quarantined(self) -> int:
+        """Accepted rows later rolled back as poisoned."""
+        return self._quarantined
+
+    @property
+    def rank_regressions(self) -> int:
+        """Quarantine events that reduced an already-achieved rank."""
+        return self._rank_regressions
+
+    @property
+    def corruption_counts(self) -> dict[object, int]:
+        """Corrupt contributions attributed per source tag (a copy)."""
+        return dict(self._corruption_counts)
+
+    def record_corrupt(self, source: object = None, count: int = 1) -> None:
+        """Attribute ``count`` corrupt frames to ``source``.
+
+        The transport layer calls this when wire-level integrity checks
+        reject frames before they ever reach elimination, so one counter
+        covers both pre-acceptance (checksum) and post-acceptance
+        (quarantine) corruption per source.
+        """
+        if count < 0:
+            raise DecodingError("corrupt count cannot be negative")
+        if count:
+            self._corruption_counts[source] = (
+                self._corruption_counts.get(source, 0) + count
+            )
+
+    def consume(self, block: CodedBlock, *, source: object = None) -> bool:
         """Absorb one coded block; return True if it was innovative.
+
+        ``source`` tags the accepted row (e.g. with a peer id) so later
+        quarantine can attribute and roll back everything that source
+        contributed.
 
         Raises:
             DecodingError: if the block's geometry does not match, or the
@@ -151,6 +195,8 @@ class ProgressiveDecoder:
 
         self._work[held] = incoming
         self._raw_payloads[held] = block.payload
+        self._raw_coefficients[held] = block.coefficients
+        self._sources[held] = source
         self._pivot_cols[held] = pivot_col
         self._pivot_to_row[pivot_col] = held
         return True
@@ -159,6 +205,8 @@ class ProgressiveDecoder:
         self,
         blocks: BlockBatch | np.ndarray,
         payloads: np.ndarray | None = None,
+        *,
+        source: object = None,
     ) -> int:
         """Absorb a whole batch of blocks; return how many were innovative.
 
@@ -210,7 +258,24 @@ class ProgressiveDecoder:
         if self.is_complete:
             raise DecodingError("decoder already holds a full-rank system")
         self._received += m
+        return self._absorb(coefficients, payloads, source)
 
+    def _absorb(
+        self,
+        coefficients: np.ndarray,
+        payloads: np.ndarray,
+        source: object,
+        *,
+        count_discards: bool = True,
+    ) -> int:
+        """The batched elimination core shared by intake and rebuild.
+
+        Does not touch the ``received`` counter; ``count_discards=False``
+        (the quarantine-rebuild path) suppresses the ``discarded``
+        counter too, so replaying retained rows never inflates stats.
+        """
+        n = self._params.num_blocks
+        m = coefficients.shape[0]
         held0 = self.rank
         incoming = np.zeros((m, 2 * n), dtype=np.uint8)
         incoming[:, :n] = coefficients
@@ -228,7 +293,8 @@ class ProgressiveDecoder:
             row = incoming[idx]
             support = np.nonzero(row[:n])[0]
             if support.size == 0:
-                self._discarded += 1
+                if count_discards:
+                    self._discarded += 1
                 continue
             held = self.rank
             pivot_col = int(support[0])
@@ -258,10 +324,109 @@ class ProgressiveDecoder:
                     )
             self._work[held] = row
             self._raw_payloads[held] = payloads[idx]
+            self._raw_coefficients[held] = coefficients[idx]
+            self._sources[held] = source
             self._pivot_cols[held] = pivot_col
             self._pivot_to_row[pivot_col] = held
             accepted += 1
         return accepted
+
+    # -- poisoned-block quarantine -----------------------------------------
+
+    def verify_consistency(self) -> list[int]:
+        """Re-verify the RREF against the raw rows; return suspect rows.
+
+        The decoder keeps every accepted row's *raw* coefficients next to
+        the row transform ``M``, so the elimination invariant
+        ``C_rref == M @ C_raw`` can be re-checked at any time, together
+        with the structural RREF property that each pivot column is a
+        unit vector.  A mismatch means the decoder's internal state was
+        corrupted after acceptance (bad memory, a mutated zero-copy
+        buffer, a faulty engine backend) — the "inconsistent RREF on
+        re-verify" detector.  Returns the indices of inconsistent
+        accepted rows (empty when the state is sound); feed them to
+        :meth:`quarantine_rows` to roll them back.
+        """
+        held = self.rank
+        if held == 0:
+            return []
+        n = self._params.num_blocks
+        recomputed = matmul(
+            self._work[:held, n : n + held], self._raw_coefficients[:held]
+        )
+        mismatched = np.nonzero(
+            np.any(recomputed != self._work[:held, :n], axis=1)
+        )[0]
+        suspects = {int(row) for row in mismatched}
+        for pivot_col, row in self._pivot_to_row.items():
+            column = self._work[:held, pivot_col]
+            if column[row] != 1 or np.count_nonzero(column) != 1:
+                suspects.add(row)
+        return sorted(suspects)
+
+    def quarantine_rows(self, rows) -> int:
+        """Roll back accepted rows as poisoned; return the new rank.
+
+        The offending raw rows are removed, their sources charged in
+        :attr:`corruption_counts`, and the whole elimination is rebuilt
+        from the retained raw rows — the RREF ends up exactly as if the
+        quarantined blocks had never arrived, instead of silently
+        producing garbage at :meth:`recover_segment`.  The resulting
+        rank drop is recorded as a rank regression; the caller re-fills
+        the missing rank through retransmission.
+
+        Raises:
+            DecodingError: if any index is not an accepted row.
+        """
+        held = self.rank
+        doomed = sorted({int(row) for row in rows})
+        if not doomed:
+            return held
+        if doomed[0] < 0 or doomed[-1] >= held:
+            raise DecodingError(
+                f"quarantine rows {doomed} outside accepted range [0, {held})"
+            )
+        for row in doomed:
+            self.record_corrupt(self._sources[row])
+        keep = [row for row in range(held) if row not in set(doomed)]
+        coefficients = self._raw_coefficients[keep].copy()
+        payloads = self._raw_payloads[keep].copy()
+        sources = [self._sources[row] for row in keep]
+        self._quarantined += len(doomed)
+        self._reset_elimination()
+        for row in range(len(keep)):
+            self._absorb(
+                coefficients[row : row + 1],
+                payloads[row : row + 1],
+                sources[row],
+                count_discards=False,
+            )
+        if self.rank < held:
+            self._rank_regressions += 1
+        return self.rank
+
+    def quarantine_source(self, source: object) -> int:
+        """Roll back every accepted row contributed by ``source``.
+
+        Returns the number of rows quarantined.  Used when an upstream
+        peer is discovered to be feeding corrupt (but
+        checksum-consistent) blocks: all of its contributions are
+        suspect, so the decoder drops them wholesale and lets the retry
+        loop re-request the lost rank from elsewhere.
+        """
+        rows = [
+            row for row in range(self.rank) if self._sources[row] == source
+        ]
+        if rows:
+            self.quarantine_rows(rows)
+        return len(rows)
+
+    def _reset_elimination(self) -> None:
+        """Clear the control plane for a quarantine rebuild."""
+        self._work[:] = 0
+        self._pivot_to_row.clear()
+        self._materialized_rank = 0
+        self._rows[:] = 0
 
     def _materialize(self) -> None:
         """Refresh the payload side of ``_rows`` from the control plane."""

@@ -1,7 +1,9 @@
-"""Wire format for coded blocks.
+"""Wire format for coded blocks: framing, versioning and integrity.
 
 A practical deployment needs to ship coded blocks between machines.
-This module defines a compact, self-describing frame:
+This module defines two compact, self-describing frame versions.
+
+Version 1 (the PR 2 format, still the default — byte-identical output):
 
 ```
 offset  size  field
@@ -16,10 +18,40 @@ offset  size  field
 [18+n+k 4     CRC32 over bytes 0..18+n+k)   when flags bit 0 is set]
 ```
 
-The optional CRC32 addresses the integrity gap
-:class:`~repro.rlnc.channel.CorruptingChannel` demonstrates: GF(2^8)
-coding detects linear *dependence* for free but not *corruption*, so
-real systems frame blocks with a checksum.
+Version 2 (the fault-tolerant transport format) adds a per-frame
+sequence number and replaces the CRC32 with an 8-byte multiply-
+accumulate digest (see :func:`digest64`) that vectorizes across a whole
+batch — the serving pipeline checksums hundreds of frames with three
+numpy passes instead of one C call per frame:
+
+```
+offset  size  field
+0       4     magic "RLNC"
+4       1     version (2)
+5       1     flags (bit 0: checksum present)
+6       4     segment_id        (big endian)
+10      4     num_blocks n      (big endian)
+14      4     block_size k      (big endian)
+18      4     sequence          (big endian, wraps mod 2^32)
+22      n     coefficient vector
+22+n    k     payload
+[22+n+k 8     digest64 trailer (big endian)  when flags bit 0 is set]
+```
+
+Readers accept both versions; writers emit version 1 unless asked for
+``version=2``, so PR 2 peers parse this writer's default output and
+vice versa.
+
+Integrity failures surface through two *unpack modes*: strict mode
+(default) raises :class:`~repro.errors.IntegrityError` on a checksum
+mismatch and :class:`~repro.errors.WireError` on structural damage
+(bad magic/version, torn frames, length fields that disagree with the
+buffer — the parser bound-checks every length before slicing, so a
+lying header can never over-read or crash inside numpy); lenient mode
+(``strict=False``) drops the damaged frame, counts it in a
+:class:`WireStats`, and keeps going — :func:`decode_stream` even
+resynchronizes on the next magic marker after a frame whose framing is
+unparseable.
 
 Serialization is sized up front and packed in place: :func:`frame_size`
 and :func:`stream_size` tell callers exactly how many bytes a frame or a
@@ -30,67 +62,238 @@ intermediate per-field ``bytes()`` copies), and :func:`pack_blocks` /
 matrices through a single contiguous buffer — the batch path writes all
 headers, coefficient rows and payload rows with three strided numpy
 assignments, and the intake path hands back coefficient/payload
-matrices that are zero-copy views into the received buffer.  The batch
-layout is byte-identical to concatenated :func:`encode_frame` output,
-so old readers can parse new writers' individual records.
+matrices that are zero-copy views into the received buffer.  The
+version-1 batch layout is byte-identical to concatenated
+:func:`encode_frame` output, so old readers can parse new writers'
+individual records.
 """
 
 from __future__ import annotations
 
 import struct
 import zlib
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import DecodingError
+from repro.errors import IntegrityError, WireError
 from repro.rlnc.block import BlockBatch, CodedBlock
 
 MAGIC = b"RLNC"
 VERSION = 1
+VERSION2 = 2
 FLAG_CHECKSUM = 0x01
 _HEADER = struct.Struct(">4sBBIII")
+_HEADER2 = struct.Struct(">4sBBIIII")
 _CRC = struct.Struct(">I")
+_DIGEST = struct.Struct(">Q")
+#: v2 header bytes are zero-padded to this width for the digest.
+_HEADER2_PAD = 24
+_SEQ_OFFSET = 18  # big-endian u32 sequence inside the v2 header
+
+#: Fixed seed for the digest weight stream ("RLNC" as an integer) —
+#: part of the wire format, never change it.
+_WEIGHT_SEED = 0x524C4E43
+_weight_cache = np.empty(0, dtype=np.uint64)
 
 
-def frame_size(num_blocks: int, block_size: int, *, checksum: bool = True) -> int:
+def _weights(count: int) -> np.ndarray:
+    """First ``count`` odd 64-bit digest weights (cached, prefix-stable).
+
+    Drawn sequentially from a fixed-seed PCG64 stream, so any prefix is
+    independent of how many weights have ever been requested.
+    """
+    global _weight_cache
+    if count > _weight_cache.shape[0]:
+        size = max(count, 2 * _weight_cache.shape[0], 1024)
+        rng = np.random.Generator(np.random.PCG64(_WEIGHT_SEED))
+        drawn = rng.integers(0, 2**64, size=size, dtype=np.uint64)
+        _weight_cache = drawn | np.uint64(1)
+    return _weight_cache[:count]
+
+
+def _pad_words(matrix: np.ndarray) -> np.ndarray:
+    """View an (m, L) uint8 matrix as (m, ceil(L/8)) LE uint64 words.
+
+    Rows are conceptually zero-padded to a multiple of 8 bytes; the
+    fast path (contiguous rows, L % 8 == 0) is a pure reinterpreting
+    view, anything else pays one copy.
+    """
+    m, length = matrix.shape
+    width = ((length + 7) // 8) * 8
+    if length != width or not matrix.flags.c_contiguous:
+        padded = np.zeros((m, width), dtype=np.uint8)
+        padded[:, :length] = matrix
+        matrix = padded
+    return matrix.view("<u8")
+
+
+def _digest64_rows(
+    headers: np.ndarray, coefficients: np.ndarray, payloads: np.ndarray
+) -> np.ndarray:
+    """Per-row 64-bit digests of (header, coefficients, payload) triples.
+
+    The digest is a multiply-accumulate (Carter–Wegman style) hash over
+    little-endian 64-bit words with fixed odd pseudo-random weights:
+
+        D = sum_i w_i * word_i   (mod 2^64)
+
+    Each part (padded header, padded coefficient row, padded payload
+    row) consumes a disjoint slice of the weight stream, so the digest
+    is position-sensitive within and across parts.  Because every
+    weight is odd (invertible mod 2^64), corrupting any *single* 8-byte
+    word — in particular any single bit flip — always changes the
+    digest; multi-word corruptions escape with probability ~2^-64.
+    Unlike a CRC, the whole computation is three vectorized numpy
+    passes over the batch, which is what keeps the integrity trailer
+    nearly free on the serve-round pack path.
+    """
+    hw = _pad_words(headers)
+    cw = _pad_words(coefficients)
+    pw = _pad_words(payloads)
+    nh, nc, npw = hw.shape[1], cw.shape[1], pw.shape[1]
+    weights = _weights(nh + nc + npw)
+    # einsum fuses the multiply-accumulate without materialising the
+    # (m, words) product matrix; uint64 arithmetic wraps mod 2^64.
+    return (
+        np.einsum("ij,j->i", hw, weights[:nh])
+        + np.einsum("ij,j->i", cw, weights[nh : nh + nc])
+        + np.einsum("ij,j->i", pw, weights[nh + nc :])
+    )
+
+
+def digest64(
+    header: bytes, coefficients: np.ndarray, payload: np.ndarray
+) -> int:
+    """The version-2 integrity digest of one frame (see module docs)."""
+    head = np.zeros(_HEADER2_PAD, dtype=np.uint8)
+    head[: len(header)] = np.frombuffer(header, dtype=np.uint8)
+    return int(
+        _digest64_rows(
+            head.reshape(1, -1),
+            coefficients.reshape(1, -1),
+            payload.reshape(1, -1),
+        )[0]
+    )
+
+
+@dataclass
+class WireStats:
+    """Counters a lenient unpack accumulates instead of raising.
+
+    One instance per receive path (e.g. per peer connection) gives the
+    per-source integrity accounting the quarantine layer reports.
+
+    Attributes:
+        frames_ok: frames that parsed and verified.
+        checksum_failures: frames whose integrity trailer mismatched.
+        malformed: structurally damaged frames (bad magic/version,
+            torn framing, lying length fields, trailing junk).
+    """
+
+    frames_ok: int = 0
+    checksum_failures: int = 0
+    malformed: int = 0
+
+    @property
+    def frames_dropped(self) -> int:
+        """Frames discarded by lenient unpacking."""
+        return self.checksum_failures + self.malformed
+
+    def merge(self, other: "WireStats") -> None:
+        """Fold another stats object into this one."""
+        self.frames_ok += other.frames_ok
+        self.checksum_failures += other.checksum_failures
+        self.malformed += other.malformed
+
+
+def _header_struct(version: int) -> struct.Struct:
+    if version == VERSION:
+        return _HEADER
+    if version == VERSION2:
+        return _HEADER2
+    raise WireError(f"unsupported frame version {version}")
+
+
+def frame_size(
+    num_blocks: int, block_size: int, *, checksum: bool = True, version: int = VERSION
+) -> int:
     """Wire bytes for one framed block of this geometry."""
-    return _HEADER.size + num_blocks + block_size + (4 if checksum else 0)
+    header = _header_struct(version).size
+    trailer = 0
+    if checksum:
+        trailer = _CRC.size if version == VERSION else _DIGEST.size
+    return header + num_blocks + block_size + trailer
 
 
 def stream_size(
-    num_frames: int, num_blocks: int, block_size: int, *, checksum: bool = True
+    num_frames: int,
+    num_blocks: int,
+    block_size: int,
+    *,
+    checksum: bool = True,
+    version: int = VERSION,
 ) -> int:
     """Wire bytes for ``num_frames`` homogeneous frames (for preallocation)."""
-    return num_frames * frame_size(num_blocks, block_size, checksum=checksum)
+    return num_frames * frame_size(
+        num_blocks, block_size, checksum=checksum, version=version
+    )
 
 
 def pack_frame_into(
-    block: CodedBlock, buffer, offset: int = 0, *, checksum: bool = True
+    block: CodedBlock,
+    buffer,
+    offset: int = 0,
+    *,
+    checksum: bool = True,
+    version: int = VERSION,
+    sequence: int = 0,
 ) -> int:
     """Write one frame into ``buffer`` at ``offset``; return bytes written.
 
     ``buffer`` is any writable buffer (``bytearray``, ``memoryview``,
     ``np.ndarray``).  The coefficient and payload arrays are copied into
     place through memoryview slice assignment — no intermediate
-    ``bytes()`` objects are materialized.
+    ``bytes()`` objects are materialized.  ``sequence`` is carried only
+    by version-2 frames (it wraps mod 2^32).
     """
     n, k = block.num_blocks, block.block_size
-    size = frame_size(n, k, checksum=checksum)
+    header = _header_struct(version)
+    size = frame_size(n, k, checksum=checksum, version=version)
     view = memoryview(buffer)
     if offset + size > len(view):
-        raise DecodingError(
+        raise WireError(
             f"buffer too small: need {offset + size} bytes, have {len(view)}"
         )
     flags = FLAG_CHECKSUM if checksum else 0
-    _HEADER.pack_into(
-        view, offset, MAGIC, VERSION, flags, block.segment_id, n, k
-    )
-    body_end = offset + _HEADER.size + n + k
-    view[offset + _HEADER.size : offset + _HEADER.size + n] = block.coefficients
-    view[offset + _HEADER.size + n : body_end] = block.payload
+    if version == VERSION:
+        header.pack_into(view, offset, MAGIC, version, flags, block.segment_id, n, k)
+    else:
+        header.pack_into(
+            view,
+            offset,
+            MAGIC,
+            version,
+            flags,
+            block.segment_id,
+            n,
+            k,
+            sequence & 0xFFFFFFFF,
+        )
+    body_end = offset + header.size + n + k
+    view[offset + header.size : offset + header.size + n] = block.coefficients
+    view[offset + header.size + n : body_end] = block.payload
     if checksum:
-        crc = zlib.crc32(view[offset:body_end]) & 0xFFFFFFFF
-        _CRC.pack_into(view, body_end, crc)
+        if version == VERSION:
+            crc = zlib.crc32(view[offset:body_end]) & 0xFFFFFFFF
+            _CRC.pack_into(view, body_end, crc)
+        else:
+            digest = digest64(
+                bytes(view[offset : offset + header.size]),
+                block.coefficients,
+                block.payload,
+            )
+            _DIGEST.pack_into(view, body_end, digest)
     return size
 
 
@@ -100,32 +303,37 @@ def pack_blocks(
     checksum: bool = True,
     out=None,
     offset: int = 0,
+    version: int = VERSION,
+    first_sequence: int = 0,
 ) -> memoryview:
     """Serialize a whole batch into one contiguous buffer; return its view.
 
     All headers, coefficient rows and payload rows are written with three
     strided numpy assignments into the (optionally caller-preallocated)
-    buffer, so the only per-frame Python work left is the CRC32.  When
-    ``out`` is omitted a fresh ``bytearray`` of exactly
-    :func:`stream_size` bytes is allocated; pass a reusable buffer (and
-    an ``offset``) to pack several batches back to back without
-    reallocating — the round-based serving pipeline packs every peer's
-    blocks for one round into a single buffer this way.
+    buffer.  Version-1 integrity is one CRC32 C call per frame;
+    version-2 computes every frame's :func:`digest64` in one vectorized
+    pass and stamps consecutive sequence numbers starting at
+    ``first_sequence``.  When ``out`` is omitted a fresh ``bytearray``
+    of exactly :func:`stream_size` bytes is allocated; pass a reusable
+    buffer (and an ``offset``) to pack several batches back to back
+    without reallocating — the round-based serving pipeline packs every
+    peer's blocks for one round into a single buffer this way.
 
-    The bytes produced are identical to concatenating
+    The version-1 bytes are identical to concatenating
     ``encode_frame(block)`` over ``batch.rows()``.
     """
     m = len(batch)
     n, k = batch.num_blocks, batch.block_size
-    size_one = frame_size(n, k, checksum=checksum)
+    header = _header_struct(version)
+    size_one = frame_size(n, k, checksum=checksum, version=version)
     total = m * size_one
     if out is None:
         if offset:
-            raise DecodingError("offset requires a caller-supplied buffer")
+            raise WireError("offset requires a caller-supplied buffer")
         out = bytearray(total)
     view = memoryview(out)
     if offset + total > len(view):
-        raise DecodingError(
+        raise WireError(
             f"buffer too small: need {offset + total} bytes, have {len(view)}"
         )
     region = view[offset : offset + total]
@@ -133,72 +341,264 @@ def pack_blocks(
         return region
     frames = np.frombuffer(region, dtype=np.uint8).reshape(m, size_one)
     flags = FLAG_CHECKSUM if checksum else 0
-    header = _HEADER.pack(MAGIC, VERSION, flags, batch.segment_id, n, k)
-    frames[:, : _HEADER.size] = np.frombuffer(header, dtype=np.uint8)
-    frames[:, _HEADER.size : _HEADER.size + n] = batch.coefficients
-    body = _HEADER.size + n + k
-    frames[:, _HEADER.size + n : body] = batch.payloads
+    if version == VERSION:
+        packed = header.pack(MAGIC, version, flags, batch.segment_id, n, k)
+    else:
+        packed = header.pack(
+            MAGIC, version, flags, batch.segment_id, n, k, 0
+        )
+    frames[:, : header.size] = np.frombuffer(packed, dtype=np.uint8)
+    if version == VERSION2:
+        sequences = (
+            np.uint64(first_sequence) + np.arange(m, dtype=np.uint64)
+        ) & np.uint64(0xFFFFFFFF)
+        frames[:, _SEQ_OFFSET : _SEQ_OFFSET + 4] = (
+            sequences.astype(">u4").view(np.uint8).reshape(m, 4)
+        )
+    frames[:, header.size : header.size + n] = batch.coefficients
+    body = header.size + n + k
+    frames[:, header.size + n : body] = batch.payloads
     if checksum:
-        for row in range(m):
-            crc = zlib.crc32(frames[row, :body]) & 0xFFFFFFFF
-            _CRC.pack_into(region, row * size_one + body, crc)
+        if version == VERSION:
+            for row in range(m):
+                crc = zlib.crc32(frames[row, :body]) & 0xFFFFFFFF
+                _CRC.pack_into(region, row * size_one + body, crc)
+        else:
+            digests = _digest64_rows(
+                frames[:, : header.size], batch.coefficients, batch.payloads
+            )
+            frames[:, body : body + 8] = (
+                digests.astype(">u8").view(np.uint8).reshape(m, 8)
+            )
     return region
 
 
-def unpack_blocks(data, *, copy: bool = False) -> BlockBatch:
+def _parse_header(view: memoryview, offset: int):
+    """Validate and read one frame header; never reads past the buffer.
+
+    Returns ``(version, flags, segment_id, n, k, sequence, header_size)``.
+
+    Raises:
+        WireError: on truncation, bad magic, or unknown version.
+    """
+    remaining = len(view) - offset
+    if remaining < _HEADER.size:
+        raise WireError(f"stream truncated at {remaining} bytes")
+    if bytes(view[offset : offset + 4]) != MAGIC:
+        raise WireError(f"bad magic {bytes(view[offset:offset + 4])!r}")
+    version = view[offset + 4]
+    header = _header_struct(version)  # raises WireError on unknown version
+    if remaining < header.size:
+        raise WireError(
+            f"stream truncated at {remaining} bytes (need {header.size} "
+            f"for a version-{version} header)"
+        )
+    if version == VERSION:
+        _, _, flags, segment_id, n, k = header.unpack_from(view, offset)
+        sequence = None
+    else:
+        _, _, flags, segment_id, n, k, sequence = header.unpack_from(view, offset)
+    return version, flags, segment_id, n, k, sequence, header.size
+
+
+def _verify_frame(view: memoryview, offset: int, version: int, header_size: int,
+                  n: int, k: int) -> bool:
+    """Check one frame's integrity trailer; the frame must be in bounds."""
+    body_end = offset + header_size + n + k
+    if version == VERSION:
+        (stored,) = _CRC.unpack_from(view, body_end)
+        return stored == zlib.crc32(view[offset:body_end]) & 0xFFFFFFFF
+    (stored,) = _DIGEST.unpack_from(view, body_end)
+    coefficients = np.frombuffer(
+        view, dtype=np.uint8, count=n, offset=offset + header_size
+    )
+    payload = np.frombuffer(
+        view, dtype=np.uint8, count=k, offset=offset + header_size + n
+    )
+    computed = digest64(
+        bytes(view[offset : offset + header_size]), coefficients, payload
+    )
+    return stored == computed
+
+
+def unpack_frame(
+    data,
+    offset: int = 0,
+    *,
+    strict: bool = True,
+    stats: WireStats | None = None,
+) -> tuple[CodedBlock | None, int, int | None]:
+    """Parse one frame at ``offset``; return ``(block, size, sequence)``.
+
+    The incremental intake primitive: works for both frame versions,
+    bound-checks every length field against the buffer before touching
+    the body (a lying header raises :class:`~repro.errors.WireError`
+    instead of over-reading), and handles integrity failures per the
+    unpack mode — strict raises :class:`~repro.errors.IntegrityError`;
+    lenient counts the failure in ``stats`` and returns ``(None, size,
+    sequence)`` so the caller can skip exactly one frame and continue.
+    ``sequence`` is ``None`` for version-1 frames.
+    """
+    view = memoryview(data)
+    version, flags, segment_id, n, k, sequence, header_size = _parse_header(
+        view, offset
+    )
+    has_checksum = bool(flags & FLAG_CHECKSUM)
+    size = frame_size(n, k, checksum=has_checksum, version=version)
+    if offset + size > len(view):
+        raise WireError(
+            f"header length fields (n={n}, k={k}) exceed the buffer: frame "
+            f"needs {size} bytes, {len(view) - offset} remain"
+        )
+    if has_checksum and not _verify_frame(view, offset, version, header_size, n, k):
+        if strict:
+            raise IntegrityError(
+                f"checksum mismatch in frame at offset {offset} "
+                f"(version {version}, n={n}, k={k})"
+            )
+        if stats is not None:
+            stats.checksum_failures += 1
+        return None, size, sequence
+    coefficients = np.frombuffer(
+        view, dtype=np.uint8, count=n, offset=offset + header_size
+    ).copy()
+    payload = np.frombuffer(
+        view, dtype=np.uint8, count=k, offset=offset + header_size + n
+    ).copy()
+    if stats is not None:
+        stats.frames_ok += 1
+    return (
+        CodedBlock(
+            coefficients=coefficients, payload=payload, segment_id=segment_id
+        ),
+        size,
+        sequence,
+    )
+
+
+def unpack_blocks(
+    data,
+    *,
+    copy: bool = False,
+    strict: bool = True,
+    stats: WireStats | None = None,
+) -> BlockBatch:
     """Parse a homogeneous frame stream into one :class:`BlockBatch`.
 
     This is the vectorized intake path: the whole buffer is viewed as an
     (m, frame_size) byte matrix, headers are validated with one batched
-    comparison, and the returned coefficient/payload matrices are
-    zero-copy strided views into ``data`` (pass ``copy=True`` to detach
-    them, e.g. when the receive buffer will be reused).  The matrices
-    feed :meth:`~repro.rlnc.decoder.ProgressiveDecoder.consume_batch`,
+    comparison, version-2 digests are verified in one vectorized pass,
+    and the returned coefficient/payload matrices are zero-copy strided
+    views into ``data`` (pass ``copy=True`` to detach them, e.g. when
+    the receive buffer will be reused).  The matrices feed
+    :meth:`~repro.rlnc.decoder.ProgressiveDecoder.consume_batch`,
     :meth:`~repro.rlnc.decoder.TwoStageDecoder.add_batch` and
     :meth:`~repro.rlnc.recoder.Recoder.add_batch` directly.
 
+    In lenient mode (``strict=False``) frames whose header bytes or
+    integrity trailer are damaged are dropped and counted in ``stats``
+    (the returned batch then holds copies of only the surviving rows),
+    and a torn tail is counted as one malformed frame instead of
+    raising.  Damage to the *first* frame's geometry fields cannot be
+    localized — the stream's framing derives from it — so that still
+    raises :class:`~repro.errors.WireError` in both modes.
+
     Raises:
-        DecodingError: on empty input, truncation, bad magic/version,
-            mixed geometry or segment ids, or checksum failure.  Use
+        WireError: on empty input, truncation, bad magic/version, or
+            (strict) mixed geometry/segment ids and torn streams.  Use
             :func:`decode_stream` for heterogeneous streams.
+        IntegrityError: (strict) on any checksum failure.
     """
     view = memoryview(data)
-    if len(view) < _HEADER.size:
-        raise DecodingError(f"stream truncated at {len(view)} bytes")
-    magic, version, flags, segment_id, n, k = _HEADER.unpack_from(view)
-    if magic != MAGIC:
-        raise DecodingError(f"bad magic {magic!r}")
-    if version != VERSION:
-        raise DecodingError(f"unsupported frame version {version}")
+    version, flags, segment_id, n, k, _, header_size = _parse_header(view, 0)
     has_checksum = bool(flags & FLAG_CHECKSUM)
-    size_one = frame_size(n, k, checksum=has_checksum)
-    if len(view) % size_one:
-        raise DecodingError(
+    size_one = frame_size(n, k, checksum=has_checksum, version=version)
+    tail = len(view) % size_one
+    if tail and strict:
+        raise WireError(
             f"stream length {len(view)} is not a multiple of the frame "
             f"size {size_one} (torn frame or mixed geometry)"
         )
     m = len(view) // size_one
-    frames = np.frombuffer(view, dtype=np.uint8).reshape(m, size_one)
-    header = frames[0, : _HEADER.size]
-    if m > 1 and not np.array_equal(
-        frames[:, : _HEADER.size], np.broadcast_to(header, (m, _HEADER.size))
-    ):
-        raise DecodingError(
-            "heterogeneous stream: frame headers differ (use decode_stream)"
+    if tail and stats is not None:
+        stats.malformed += 1
+    if m == 0:
+        # Lenient, and the only frame is torn: nothing recoverable.
+        return BlockBatch(
+            coefficients=np.empty((0, n), dtype=np.uint8),
+            payloads=np.empty((0, k), dtype=np.uint8),
+            segment_id=segment_id,
         )
-    body = _HEADER.size + n + k
-    if has_checksum:
-        for row in range(m):
-            (stored,) = _CRC.unpack_from(view, row * size_one + body)
-            actual = zlib.crc32(frames[row, :body]) & 0xFFFFFFFF
-            if stored != actual:
-                raise DecodingError(
-                    f"checksum mismatch in frame {row}: stored "
-                    f"{stored:#010x}, computed {actual:#010x}"
+    frames = np.frombuffer(view, dtype=np.uint8, count=m * size_one).reshape(
+        m, size_one
+    )
+    # Sequence bytes legitimately differ per v2 frame; everything before
+    # them must match frame 0 (for v1 that is the whole header).
+    fixed = _SEQ_OFFSET if version == VERSION2 else header_size
+    reference = frames[0, :fixed]
+    good = np.ones(m, dtype=bool)
+    if m > 1:
+        matches = np.all(
+            frames[:, :fixed] == np.broadcast_to(reference, (m, fixed)), axis=1
+        )
+        if not matches.all():
+            if strict:
+                raise WireError(
+                    "heterogeneous stream: frame headers differ "
+                    "(use decode_stream)"
                 )
-    coefficients = frames[:, _HEADER.size : _HEADER.size + n]
-    payloads = frames[:, _HEADER.size + n : body]
-    if copy:
+            good &= matches
+            if stats is not None:
+                stats.malformed += int(m - int(matches.sum()))
+    body = header_size + n + k
+    if has_checksum:
+        if version == VERSION:
+            for row in range(m):
+                if not good[row]:
+                    continue
+                (stored,) = _CRC.unpack_from(view, row * size_one + body)
+                actual = zlib.crc32(frames[row, :body]) & 0xFFFFFFFF
+                if stored != actual:
+                    if strict:
+                        raise IntegrityError(
+                            f"checksum mismatch in frame {row}: stored "
+                            f"{stored:#010x}, computed {actual:#010x}"
+                        )
+                    good[row] = False
+                    if stats is not None:
+                        stats.checksum_failures += 1
+        else:
+            digests = _digest64_rows(
+                frames[:, :header_size],
+                frames[:, header_size : header_size + n],
+                frames[:, header_size + n : body],
+            )
+            stored = (
+                np.ascontiguousarray(frames[:, body : body + 8])
+                .view(">u8")
+                .reshape(m)
+            )
+            matches = stored == digests
+            bad = good & ~matches
+            if bad.any():
+                if strict:
+                    row = int(np.nonzero(bad)[0][0])
+                    raise IntegrityError(
+                        f"checksum mismatch in frame {row}: stored "
+                        f"{int(stored[row]):#018x}, computed "
+                        f"{int(digests[row]):#018x}"
+                    )
+                if stats is not None:
+                    stats.checksum_failures += int(bad.sum())
+                good &= matches
+    if stats is not None:
+        stats.frames_ok += int(good.sum())
+    coefficients = frames[:, header_size : header_size + n]
+    payloads = frames[:, header_size + n : body]
+    if not good.all():
+        coefficients = coefficients[good]
+        payloads = payloads[good]
+    elif copy:
         coefficients = coefficients.copy()
         payloads = payloads.copy()
     return BlockBatch(
@@ -206,91 +606,118 @@ def unpack_blocks(data, *, copy: bool = False) -> BlockBatch:
     )
 
 
-def encode_frame(block: CodedBlock, *, checksum: bool = True) -> bytes:
+def encode_frame(
+    block: CodedBlock,
+    *,
+    checksum: bool = True,
+    version: int = VERSION,
+    sequence: int = 0,
+) -> bytes:
     """Serialize one coded block to its wire frame."""
     buffer = bytearray(
-        frame_size(block.num_blocks, block.block_size, checksum=checksum)
+        frame_size(
+            block.num_blocks, block.block_size, checksum=checksum, version=version
+        )
     )
-    pack_frame_into(block, buffer, checksum=checksum)
+    pack_frame_into(
+        block, buffer, checksum=checksum, version=version, sequence=sequence
+    )
     return bytes(buffer)
 
 
 def decode_frame(frame: bytes) -> CodedBlock:
-    """Parse one wire frame back into a coded block.
+    """Parse one exact wire frame back into a coded block (either version).
 
     Raises:
-        DecodingError: on truncation, bad magic/version, geometry
-            mismatch, or checksum failure.
+        WireError: on truncation, bad magic/version, or geometry/length
+            mismatch.
+        IntegrityError: on checksum failure.
     """
-    if len(frame) < _HEADER.size:
-        raise DecodingError(f"frame truncated at {len(frame)} bytes")
-    magic, version, flags, segment_id, n, k = _HEADER.unpack_from(frame)
-    if magic != MAGIC:
-        raise DecodingError(f"bad magic {magic!r}")
-    if version != VERSION:
-        raise DecodingError(f"unsupported frame version {version}")
-    expected = frame_size(n, k, checksum=bool(flags & FLAG_CHECKSUM))
-    if len(frame) != expected:
-        raise DecodingError(
-            f"frame length {len(frame)} does not match geometry "
+    view = memoryview(frame)
+    version, flags, _, n, k, _, _ = _parse_header(view, 0)
+    expected = frame_size(
+        n, k, checksum=bool(flags & FLAG_CHECKSUM), version=version
+    )
+    if len(view) != expected:
+        raise WireError(
+            f"frame length {len(view)} does not match geometry "
             f"(n={n}, k={k}, expected {expected})"
         )
-    body_end = _HEADER.size + n + k
-    if flags & FLAG_CHECKSUM:
-        (stored,) = struct.unpack_from(">I", frame, body_end)
-        actual = zlib.crc32(frame[:body_end]) & 0xFFFFFFFF
-        if stored != actual:
-            raise DecodingError(
-                f"checksum mismatch: stored {stored:#010x}, computed "
-                f"{actual:#010x} (corrupted frame)"
-            )
-    coefficients = np.frombuffer(
-        frame, dtype=np.uint8, count=n, offset=_HEADER.size
-    ).copy()
-    payload = np.frombuffer(
-        frame, dtype=np.uint8, count=k, offset=_HEADER.size + n
-    ).copy()
-    return CodedBlock(
-        coefficients=coefficients, payload=payload, segment_id=segment_id
-    )
+    block, _, _ = unpack_frame(view)
+    return block
 
 
-def encode_stream(blocks, *, checksum: bool = True) -> bytes:
+def encode_stream(
+    blocks,
+    *,
+    checksum: bool = True,
+    version: int = VERSION,
+    first_sequence: int = 0,
+) -> bytes:
     """Concatenate frames for a block stream (one up-front allocation).
 
     Sizes are computed first so the whole stream packs into a single
     buffer via :func:`pack_frame_into` — no per-block ``bytes()``
-    intermediates.  Heterogeneous geometries are allowed.
+    intermediates.  Heterogeneous geometries are allowed.  Version-2
+    frames are stamped with consecutive sequence numbers.
     """
     blocks = list(blocks)
     sizes = [
-        frame_size(block.num_blocks, block.block_size, checksum=checksum)
+        frame_size(
+            block.num_blocks, block.block_size, checksum=checksum, version=version
+        )
         for block in blocks
     ]
     buffer = bytearray(sum(sizes))
     offset = 0
-    for block, size in zip(blocks, sizes):
-        pack_frame_into(block, buffer, offset, checksum=checksum)
+    for index, (block, size) in enumerate(zip(blocks, sizes)):
+        pack_frame_into(
+            block,
+            buffer,
+            offset,
+            checksum=checksum,
+            version=version,
+            sequence=first_sequence + index,
+        )
         offset += size
     return bytes(buffer)
 
 
-def decode_stream(data: bytes) -> list[CodedBlock]:
+def decode_stream(
+    data: bytes, *, strict: bool = True, stats: WireStats | None = None
+) -> list[CodedBlock]:
     """Split a concatenated frame stream back into blocks.
 
-    Frames are self-describing, so heterogeneous geometries are allowed;
-    a torn final frame raises.  For homogeneous streams,
-    :func:`unpack_blocks` returns the same records as one zero-copy
-    batch instead.
+    Frames are self-describing, so heterogeneous geometries and mixed
+    versions are allowed; in strict mode a torn final frame or any
+    integrity failure raises.  In lenient mode damaged frames are
+    dropped and counted in ``stats``, and after a frame whose *framing*
+    is unparseable (corrupted magic or length fields) the reader
+    resynchronizes by scanning for the next magic marker — the
+    behaviour a long-lived receive loop needs to survive arbitrary
+    corruption.  For homogeneous streams, :func:`unpack_blocks` returns
+    the same records as one zero-copy batch instead.
     """
+    view = memoryview(data)
     blocks: list[CodedBlock] = []
     offset = 0
-    while offset < len(data):
-        remaining = data[offset:]
-        if len(remaining) < _HEADER.size:
-            raise DecodingError("trailing bytes too short for a frame header")
-        _, _, flags, _, n, k = _HEADER.unpack_from(remaining)
-        size = frame_size(n, k, checksum=bool(flags & FLAG_CHECKSUM))
-        blocks.append(decode_frame(remaining[:size]))
+    while offset < len(view):
+        try:
+            block, size, _ = unpack_frame(view, offset, strict=strict, stats=stats)
+        except IntegrityError:
+            raise
+        except WireError:
+            if strict:
+                raise
+            if stats is not None:
+                stats.malformed += 1
+            # Resynchronize: scan for the next magic marker.
+            next_magic = bytes(view[offset + 1 :]).find(MAGIC)
+            if next_magic < 0:
+                break
+            offset += 1 + next_magic
+            continue
+        if block is not None:
+            blocks.append(block)
         offset += size
     return blocks

@@ -22,7 +22,13 @@ from repro.streaming.scheduler import (
     SegmentScheduler,
     ServeRoundScheduler,
 )
-from repro.streaming.client import PlaybackReport, StreamingClient
+from repro.streaming.client import (
+    ClientSession,
+    PlaybackReport,
+    SessionStats,
+    StreamingClient,
+    drive_sessions,
+)
 from repro.streaming.server import ServerStats, StreamingServer
 from repro.streaming.session import REFERENCE_PROFILE, MediaProfile, PeerSession
 from repro.streaming.workload import (
@@ -35,6 +41,7 @@ from repro.streaming.workload import (
 __all__ = [
     "BlockRequest",
     "CapacityPlan",
+    "ClientSession",
     "DEVICE_MEMORY_RESERVE_BYTES",
     "DUAL_GIGABIT_ETHERNET",
     "GIGABIT_ETHERNET",
@@ -51,10 +58,12 @@ __all__ = [
     "ServeRoundScheduler",
     "ServerStats",
     "SessionArrival",
+    "SessionStats",
     "StreamingClient",
     "StreamingServer",
     "VodWorkloadSimulator",
     "WorkloadReport",
+    "drive_sessions",
     "generate_poisson_trace",
     "live_blocks_per_segment",
     "peers_supported_by_coding",

@@ -31,11 +31,19 @@ from repro.streaming.session import MediaProfile
 
 @dataclass(frozen=True)
 class BlockRequest:
-    """One peer's pending ask for coded blocks of one segment."""
+    """One peer's pending ask for coded blocks of one segment.
+
+    ``priority`` biases the serving order under load: higher values are
+    planned first within a round (ties keep FIFO order).  The server sets
+    it to favour nearly-complete sessions — a peer missing 3 blocks
+    outranks a peer asking for a whole segment, so retransmission NACKs
+    finish stragglers instead of queueing behind bulk fetches.
+    """
 
     peer_id: int
     segment_id: int
     num_blocks: int
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.num_blocks < 1:
@@ -98,11 +106,21 @@ class ServeRoundScheduler:
         Grants to the same (peer, segment) pair merge into one entry, so
         the fan-out after the coalesced encode is one contiguous row
         range per peer per segment.
+
+        Requests are planned in descending ``priority`` order (stable, so
+        equal priorities keep FIFO order — with the default priority of 0
+        this is exactly the original FIFO behaviour).  Carryover keeps
+        the original queue order regardless of priority, so a
+        deprioritized request never loses its queue position.
         """
         plan = RoundPlan()
         budgets: dict[int, int] = {}
         merged: dict[tuple[int, int], int] = {}
-        for request in requests:
+        ordered = sorted(
+            enumerate(requests), key=lambda item: -item[1].priority
+        )
+        carry: list[tuple[int, BlockRequest]] = []
+        for position, request in ordered:
             if self.per_peer_quota is None:
                 granted = request.num_blocks
             else:
@@ -117,9 +135,19 @@ class ServeRoundScheduler:
                     merged[key] = granted
             remainder = request.num_blocks - granted
             if remainder:
-                plan.carryover.append(
-                    BlockRequest(request.peer_id, request.segment_id, remainder)
+                carry.append(
+                    (
+                        position,
+                        BlockRequest(
+                            request.peer_id,
+                            request.segment_id,
+                            remainder,
+                            priority=request.priority,
+                        ),
+                    )
                 )
+        carry.sort(key=lambda entry: entry[0])
+        plan.carryover.extend(request for _, request in carry)
         for (segment_id, peer_id), count in merged.items():
             plan.grants.setdefault(segment_id, []).append((peer_id, count))
         return plan

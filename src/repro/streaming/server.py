@@ -31,12 +31,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import CapacityError, ConfigurationError
+from repro.errors import CapacityError, ConfigurationError, RetryLater
 from repro.gpu.spec import DeviceSpec
 from repro.kernels.cost_model import EncodeScheme
 from repro.kernels.encode import GpuEncoder
 from repro.rlnc.block import BlockBatch, CodedBlock, Segment
-from repro.rlnc.wire import pack_blocks, stream_size
+from repro.rlnc.wire import VERSION, pack_blocks, stream_size
 from repro.streaming.capacity import segments_in_device_memory
 from repro.streaming.scheduler import BlockRequest, ServeRoundScheduler
 from repro.streaming.session import MediaProfile, PeerSession
@@ -53,6 +53,9 @@ class ServerStats:
     upload_seconds: float = 0.0
     rounds_served: int = 0
     encode_calls: int = 0
+    requests_shed: int = 0
+    retry_later_responses: int = 0
+    sessions_evicted: int = 0
 
     @property
     def effective_bandwidth(self) -> float:
@@ -73,6 +76,11 @@ class StreamingServer:
         per_peer_round_quota: most blocks one peer may receive per
             serving round (``None`` = unbounded); see
             :class:`~repro.streaming.scheduler.ServeRoundScheduler`.
+        max_pending_blocks: bound on the total coded blocks the request
+            queue may hold (``None`` = unbounded).  When full, a small
+            ask may shed the largest queued request (priority to
+            nearly-complete sessions); otherwise the server answers with
+            :class:`~repro.errors.RetryLater` instead of queueing.
     """
 
     def __init__(
@@ -83,7 +91,12 @@ class StreamingServer:
         scheme: EncodeScheme = EncodeScheme.TABLE_5,
         rng: np.random.Generator | None = None,
         per_peer_round_quota: int | None = None,
+        max_pending_blocks: int | None = None,
     ) -> None:
+        if max_pending_blocks is not None and max_pending_blocks < 1:
+            raise ConfigurationError(
+                f"max_pending_blocks must be >= 1, got {max_pending_blocks}"
+            )
         self.spec = spec
         self.profile = profile
         self._encoder = GpuEncoder(spec, scheme)
@@ -91,6 +104,8 @@ class StreamingServer:
         self._segments: dict[int, Segment] = {}
         self._sessions: dict[int, PeerSession] = {}
         self._capacity = segments_in_device_memory(spec, profile)
+        self._max_pending_blocks = max_pending_blocks
+        self._disconnected: set[int] = set()
         self._queue: deque[BlockRequest] = deque()
         self._round_scheduler = ServeRoundScheduler(
             per_peer_quota=per_peer_round_quota
@@ -167,15 +182,41 @@ class StreamingServer:
             self._queue = kept
 
     def connect(self, peer_id: int) -> PeerSession:
-        """Register a peer session (idempotent)."""
+        """Register a peer session (idempotent; reconnect after eviction)."""
         if peer_id not in self._sessions:
             self._sessions[peer_id] = PeerSession(peer_id, self.profile)
+            self._disconnected.discard(peer_id)
         return self._sessions[peer_id]
+
+    def disconnect(self, peer_id: int) -> None:
+        """Evict a peer session and drop its queued requests.
+
+        Later requests from the evicted peer raise
+        :class:`~repro.errors.CapacityError` (a clean transport-level
+        rejection the retry loop can surface) rather than the
+        :class:`~repro.errors.ConfigurationError` reserved for peers
+        that never connected.  :meth:`connect` re-admits the peer with a
+        fresh session.
+        """
+        if self._sessions.pop(peer_id, None) is None:
+            raise ConfigurationError(f"peer {peer_id} is not connected")
+        self._disconnected.add(peer_id)
+        if self._queue:
+            self._queue = deque(
+                request
+                for request in self._queue
+                if request.peer_id != peer_id
+            )
+        self.stats.sessions_evicted += 1
 
     def _validate_request(
         self, peer_id: int, segment_id: int, num_blocks: int
     ) -> Segment:
         if peer_id not in self._sessions:
+            if peer_id in self._disconnected:
+                raise CapacityError(
+                    f"peer {peer_id} session was evicted; reconnect first"
+                )
             raise ConfigurationError(f"peer {peer_id} is not connected")
         if num_blocks < 1:
             raise ConfigurationError("must request at least one block")
@@ -216,16 +257,64 @@ class StreamingServer:
 
     def request_blocks(
         self, peer_id: int, segment_id: int, num_blocks: int
-    ) -> None:
+    ) -> RetryLater | None:
         """Enqueue a peer's ask for coded blocks (drained by rounds).
 
+        Requests carry a priority favouring nearly-complete sessions
+        (the fewer blocks asked, the higher the priority), so NACK
+        retransmissions of a handful of missing blocks are planned ahead
+        of whole-segment bulk fetches.
+
+        Load shedding: when ``max_pending_blocks`` is configured and the
+        queue cannot absorb the ask, the server first tries to shed the
+        single largest queued request if it is strictly larger than the
+        new ask (its pending count is refunded to its session — that
+        peer will simply re-request).  If shedding cannot make room, the
+        ask is rejected with a :class:`~repro.errors.RetryLater` hint
+        instead of being queued.
+
+        Returns:
+            ``None`` when queued, or a :class:`~repro.errors.RetryLater`
+            backoff hint when the ask was shed at admission.
+
         Raises:
-            CapacityError: if the segment is not resident on the device.
+            CapacityError: if the segment is not resident on the device,
+                or the peer's session was evicted.
             ConfigurationError: for unknown peers or non-positive counts.
         """
         self._validate_request(peer_id, segment_id, num_blocks)
-        self._queue.append(BlockRequest(peer_id, segment_id, num_blocks))
+        limit = self._max_pending_blocks
+        if limit is not None and self.pending_blocks + num_blocks > limit:
+            victim = max(
+                self._queue,
+                key=lambda request: request.num_blocks,
+                default=None,
+            )
+            freed = 0 if victim is None else victim.num_blocks
+            if (
+                victim is not None
+                and victim.num_blocks > num_blocks
+                and self.pending_blocks - freed + num_blocks <= limit
+            ):
+                self._queue.remove(victim)
+                shed_session = self._sessions.get(victim.peer_id)
+                if shed_session is not None:
+                    shed_session.blocks_pending = max(
+                        0, shed_session.blocks_pending - victim.num_blocks
+                    )
+                self.stats.requests_shed += 1
+            else:
+                self.stats.retry_later_responses += 1
+                overflow = self.pending_blocks + num_blocks - limit
+                return RetryLater(
+                    retry_after_rounds=max(1, -(-overflow // limit))
+                )
+        priority = max(0, self.profile.params.num_blocks - num_blocks)
+        self._queue.append(
+            BlockRequest(peer_id, segment_id, num_blocks, priority=priority)
+        )
         self._sessions[peer_id].record_request(num_blocks)
+        return None
 
     def serve_round(self) -> dict[int, list[BlockBatch]]:
         """Drain one scheduling round of the request queue.
@@ -282,7 +371,7 @@ class StreamingServer:
         return fanout
 
     def serve_round_frames(
-        self, *, checksum: bool = True
+        self, *, checksum: bool = True, version: int = VERSION
     ) -> dict[int, memoryview]:
         """Serve one round straight onto the wire, zero-copy.
 
@@ -294,11 +383,20 @@ class StreamingServer:
         the path.  The views alias the reused buffer, so they are valid
         until the next ``serve_round_frames`` call; consume or copy them
         before then.
+
+        ``version=2`` emits the integrity wire format: every frame gets
+        a digest trailer and a per-session monotonic sequence number
+        (from :attr:`~repro.streaming.session.PeerSession.tx_sequence`),
+        which is what the fault-tolerant client consumes.
         """
         fanout = self.serve_round()
         total = sum(
             stream_size(
-                len(batch), batch.num_blocks, batch.block_size, checksum=checksum
+                len(batch),
+                batch.num_blocks,
+                batch.block_size,
+                checksum=checksum,
+                version=version,
             )
             for batches in fanout.values()
             for batch in batches
@@ -310,10 +408,17 @@ class StreamingServer:
         offset = 0
         for peer_id, batches in fanout.items():
             start = offset
+            session = self._sessions[peer_id]
             for batch in batches:
                 packed = pack_blocks(
-                    batch, checksum=checksum, out=view, offset=offset
+                    batch,
+                    checksum=checksum,
+                    out=view,
+                    offset=offset,
+                    version=version,
+                    first_sequence=session.tx_sequence,
                 )
+                session.tx_sequence += len(batch)
                 offset += len(packed)
             frames[peer_id] = view[start:offset]
         return frames

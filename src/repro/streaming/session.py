@@ -62,6 +62,9 @@ class PeerSession:
     blocks_requested: int = 0
     segments_completed: int = 0
     rounds_served: int = 0
+    #: next wire sequence number for v2 frames sent to this peer
+    #: (monotonic per session, stamped by ``serve_round_frames``).
+    tx_sequence: int = 0
 
     def record_request(self, count: int) -> None:
         """Account coded blocks the peer has asked for but not received.

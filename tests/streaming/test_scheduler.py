@@ -229,3 +229,55 @@ class TestServeRoundScheduler:
         plan = scheduler.plan_round(queue)
         assert plan.total_blocks == 800
         assert plan.carryover == []
+
+
+class TestRequestPriority:
+    def test_higher_priority_planned_first_under_quota(self):
+        """Priority reorders grant allocation but ties stay FIFO."""
+        scheduler = ServeRoundScheduler(per_peer_quota=4)
+        plan = scheduler.plan_round(
+            [
+                BlockRequest(1, 0, 4, priority=0),
+                BlockRequest(1, 0, 4, priority=6),
+            ]
+        )
+        # the high-priority request consumed the whole quota; the
+        # low-priority one carries over in its original queue slot
+        assert plan.grants[0] == [(1, 4)]
+        assert plan.carryover == [BlockRequest(1, 0, 4, priority=0)]
+
+    def test_default_priority_keeps_fifo(self):
+        scheduler = ServeRoundScheduler(per_peer_quota=3)
+        plan = scheduler.plan_round(
+            [BlockRequest(1, 0, 2), BlockRequest(1, 1, 2)]
+        )
+        # FIFO: first request fully granted, second partially
+        assert plan.grants[0] == [(1, 2)]
+        assert plan.grants[1] == [(1, 1)]
+
+    def test_carryover_order_ignores_priority(self):
+        scheduler = ServeRoundScheduler(per_peer_quota=1)
+        plan = scheduler.plan_round(
+            [
+                BlockRequest(1, 0, 3, priority=0),
+                BlockRequest(1, 1, 3, priority=9),
+            ]
+        )
+        # the priority-9 ask won the quota, but carryover keeps original
+        # queue positions
+        assert plan.carryover == [
+            BlockRequest(1, 0, 3, priority=0),
+            BlockRequest(1, 1, 2, priority=9),
+        ]
+
+    def test_priority_never_starves_other_peers(self):
+        """The fairness contract survives priorities: a peer's grant
+        still never depends on other peers' demand."""
+        scheduler = ServeRoundScheduler(per_peer_quota=4)
+        plan = scheduler.plan_round(
+            [
+                BlockRequest(1, 0, 4, priority=100),
+                BlockRequest(2, 0, 4, priority=0),
+            ]
+        )
+        assert dict(plan.grants[0]) == {1: 4, 2: 4}

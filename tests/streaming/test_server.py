@@ -321,3 +321,173 @@ class TestEvictionReleasesCache:
         del segment  # the segment object owns the other cache reference
         gc.collect()
         assert log_ref() is None, "log-domain cache leaked after eviction"
+
+    def test_session_eviction_mid_retry_gets_clean_capacity_error(self):
+        """A session evicted between NACK retries must get a clean
+        CapacityError on its next request — never a stale BlockBatch
+        view of the previous round's buffer (extends the log-cache
+        regression above to the session store)."""
+        import gc
+        import weakref
+
+        from repro.errors import RetryExhaustedError
+        from repro.faults import FaultPlan
+        from repro.streaming import ClientSession
+
+        server = make_server()
+        segment = make_segment(0)
+        server.publish_segment(segment)
+        # 100% loss: the client absorbs nothing and will retry forever
+        client = ClientSession(
+            server,
+            peer_id=7,
+            fault_plan=FaultPlan(seed=1, drop_rate=1.0),
+            max_retries=50,
+        )
+        client.begin_segment(0)
+        client.pre_round()
+        frames = server.serve_round_frames(version=client.wire_version)
+        batch_ref = weakref.ref(server._segments[0])
+        client.intake(frames.get(7))
+        assert not client.complete
+
+        server.disconnect(7)  # eviction lands mid-retry
+        with pytest.raises(CapacityError, match="evicted"):
+            while True:
+                client.pre_round()
+                client.intake(None)
+        assert server.stats.sessions_evicted == 1
+        assert batch_ref() is not None  # the segment itself survives
+        # reconnecting restores service cleanly
+        server.connect(7)
+        fresh = ClientSession(server, peer_id=7)
+        recovered = fresh.fetch_segment(0)
+        assert np.array_equal(recovered.blocks, segment.blocks)
+        del recovered, fresh
+        gc.collect()
+        # avoid unused warnings
+        assert isinstance(RetryExhaustedError, type)
+
+
+class TestLoadShedding:
+    def test_unbounded_queue_never_sheds(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        server.connect(1)
+        for _ in range(100):
+            assert server.request_blocks(1, 0, 8) is None
+        assert server.stats.requests_shed == 0
+        assert server.stats.retry_later_responses == 0
+
+    def test_small_ask_sheds_largest_queued_request(self):
+        from repro.errors import RetryLater
+
+        server = StreamingServer(
+            GTX280,
+            SMALL_PROFILE,
+            rng=np.random.default_rng(0),
+            max_pending_blocks=10,
+        )
+        server.publish_segment(make_segment(0))
+        bulk = server.connect(1)
+        nacker = server.connect(2)
+        assert server.request_blocks(1, 0, 8) is None
+        # the 3-block NACK does not fit (8 + 3 > 10) but outranks the
+        # 8-block bulk ask, which gets shed and refunded
+        assert server.request_blocks(2, 0, 3) is None
+        assert server.stats.requests_shed == 1
+        assert bulk.blocks_pending == 0
+        assert nacker.blocks_pending == 3
+        assert server.pending_blocks == 3
+
+        # a second bulk ask now gets RetryLater: its 8 blocks neither
+        # fit nor outrank the queued work
+        assert server.request_blocks(1, 0, 7) is None  # 3 + 7 <= 10 fits
+        response = server.request_blocks(2, 0, 8)
+        assert isinstance(response, RetryLater)
+        assert response.retry_after_rounds >= 1
+        assert server.stats.retry_later_responses == 1
+
+    def test_nearly_complete_sessions_get_priority_in_rounds(self):
+        """Under quota pressure the 2-block straggler is served in the
+        first round even though it queued last."""
+        server = StreamingServer(
+            GTX280,
+            SMALL_PROFILE,
+            rng=np.random.default_rng(0),
+            per_peer_round_quota=8,
+        )
+        server.publish_segment(make_segment(0))
+        for peer in (1, 2):
+            server.connect(peer)
+        server.request_blocks(1, 0, 8)  # bulk, queued first
+        server.request_blocks(2, 0, 2)  # straggler NACK, queued last
+        fanout = server.serve_round()
+        assert len(fanout[2][0]) == 2  # straggler fully served round 1
+
+    def test_shed_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamingServer(
+                GTX280,
+                SMALL_PROFILE,
+                rng=np.random.default_rng(0),
+                max_pending_blocks=0,
+            )
+
+
+class TestDisconnect:
+    def test_disconnect_drops_queued_requests(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        server.connect(1)
+        server.connect(2)
+        server.request_blocks(1, 0, 4)
+        server.request_blocks(2, 0, 4)
+        server.disconnect(1)
+        assert server.pending_blocks == 4  # only peer 2 remains
+        fanout = server.serve_round()
+        assert set(fanout) == {2}
+
+    def test_disconnect_unknown_peer_rejected(self):
+        server = make_server()
+        with pytest.raises(ConfigurationError, match="not connected"):
+            server.disconnect(42)
+
+    def test_never_connected_still_configuration_error(self):
+        """The evicted-session CapacityError must not leak to peers that
+        simply never connected."""
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        with pytest.raises(ConfigurationError, match="not connected"):
+            server.request_blocks(3, 0, 1)
+
+    def test_reconnect_after_disconnect(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        server.connect(1)
+        server.disconnect(1)
+        session = server.connect(1)
+        assert server.request_blocks(1, 0, 2) is None
+        assert session.blocks_pending == 2
+
+
+class TestWireVersions:
+    def test_v2_frames_carry_per_session_sequences(self):
+        from repro.rlnc import VERSION2, unpack_frame
+
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        server.connect(1)
+        server.request_blocks(1, 0, 2)
+        first = bytes(server.serve_round_frames(version=VERSION2)[1])
+        server.request_blocks(1, 0, 2)
+        second = bytes(server.serve_round_frames(version=VERSION2)[1])
+
+        sequences = []
+        for data in (first, second):
+            offset = 0
+            while offset < len(data):
+                _, size, sequence = unpack_frame(data, offset)
+                sequences.append(sequence)
+                offset += size
+        assert sequences == [0, 1, 2, 3]  # monotonic across rounds

@@ -1,0 +1,181 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    ACTIONS,
+    FaultEvent,
+    FaultInjectionChannel,
+    FaultPlan,
+)
+from repro.rlnc import ChannelPipeline, CodedBlock, ProgressiveDecoder
+from repro.rlnc import CodingParams, Encoder, Segment
+
+
+def make_frames(count, size=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+        for _ in range(count)
+    ]
+
+
+def make_blocks(count, n=8, k=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        CodedBlock(
+            coefficients=rng.integers(0, 256, size=n, dtype=np.uint8),
+            payload=rng.integers(0, 256, size=k, dtype=np.uint8),
+            segment_id=0,
+        )
+        for _ in range(count)
+    ]
+
+
+class TestValidation:
+    def test_rates_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(seed=0, drop_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(seed=0, corrupt_rate=-0.1)
+
+    def test_delay_rate_needs_max_delay(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(seed=0, delay_rate=0.5)
+
+    def test_unknown_event_action_rejected(self):
+        plan = FaultPlan(seed=0)
+        with pytest.raises(ConfigurationError):
+            plan.events("explode")
+        assert set(ACTIONS) == {"drop", "corrupt", "duplicate", "delay"}
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        frames = make_frames(50)
+        a = FaultPlan(seed=9, drop_rate=0.3, corrupt_rate=0.2)
+        b = FaultPlan(seed=9, drop_rate=0.3, corrupt_rate=0.2)
+        assert a.apply_frames(frames) == b.apply_frames(frames)
+        assert a.log == b.log
+
+    def test_different_seed_different_schedule(self):
+        frames = make_frames(60)
+        a = FaultPlan(seed=1, drop_rate=0.3)
+        b = FaultPlan(seed=2, drop_rate=0.3)
+        assert a.apply_frames(frames) != b.apply_frames(frames)
+
+    def test_reset_replays_exactly(self):
+        frames = make_frames(40)
+        plan = FaultPlan(seed=5, drop_rate=0.25, corrupt_rate=0.1)
+        first = plan.apply_frames(frames)
+        first_log = list(plan.log)
+        plan.reset()
+        assert plan.apply_frames(frames) == first
+        assert plan.log == first_log
+
+    def test_schedule_is_batch_split_invariant(self):
+        """Per-item decisions must not depend on how the stream is cut
+        into apply calls (reordering off — the documented exception)."""
+        frames = make_frames(40)
+        whole = FaultPlan(seed=11, drop_rate=0.3, corrupt_rate=0.2,
+                          duplicate_rate=0.1)
+        split = FaultPlan(seed=11, drop_rate=0.3, corrupt_rate=0.2,
+                          duplicate_rate=0.1)
+        expected = whole.apply_frames(frames)
+        got = split.apply_frames(frames[:17]) + split.apply_frames(frames[17:])
+        assert got == expected
+        assert split.log == whole.log
+        assert split.items_seen == whole.items_seen == 40
+
+
+class TestActions:
+    def test_drop_indices_are_exact(self):
+        frames = make_frames(10)
+        plan = FaultPlan(seed=0, drop_indices=[2, 7])
+        survivors = plan.apply_frames(frames)
+        assert len(survivors) == 8
+        assert frames[2] not in survivors and frames[7] not in survivors
+        assert plan.counters.dropped == 2
+        assert [e.index for e in plan.events("drop")] == [2, 7]
+
+    def test_corrupt_indices_flip_one_bit(self):
+        frames = make_frames(5)
+        plan = FaultPlan(seed=0, corrupt_indices=[3])
+        out = plan.apply_frames(frames)
+        assert len(out) == 5
+        diffs = [
+            sum(bin(a ^ b).count("1") for a, b in zip(x, y))
+            for x, y in zip(frames, out)
+        ]
+        assert diffs.count(0) == 4
+        assert sum(diffs) == 1  # exactly one flipped bit total
+        assert plan.counters.corrupted == 1
+
+    def test_duplicates_are_adjacent(self):
+        frames = make_frames(6)
+        plan = FaultPlan(seed=3, duplicate_rate=1.0)
+        out = plan.apply_frames(frames)
+        assert len(out) == 12
+        assert out[::2] == frames and out[1::2] == frames
+
+    def test_delay_displaces_bounded(self):
+        frames = make_frames(20)
+        plan = FaultPlan(seed=4, delay_rate=1.0, max_delay=3)
+        out = plan.apply_frames(frames)
+        assert sorted(out) == sorted(frames)  # nothing lost
+        for original_pos, frame in enumerate(frames):
+            delivered = out.index(frame)
+            assert delivered <= original_pos + 3
+
+    def test_predicate_gates_random_faults(self):
+        frames = make_frames(20)
+        plan = FaultPlan(
+            seed=6, drop_rate=1.0, predicate=lambda index: index % 2 == 0
+        )
+        out = plan.apply_frames(frames)
+        assert out == frames[1::2]  # every even index dropped
+
+    def test_counters_total(self):
+        plan = FaultPlan(seed=1, drop_indices=[0], corrupt_indices=[1])
+        plan.apply_frames(make_frames(3))
+        assert plan.counters.total == 2
+
+    def test_event_is_frozen(self):
+        event = FaultEvent(0, "drop")
+        with pytest.raises(AttributeError):
+            event.index = 5
+
+
+class TestBlockAdapter:
+    def test_apply_blocks_never_mutates_input(self):
+        blocks = make_blocks(8)
+        snapshots = [
+            (b.coefficients.copy(), b.payload.copy()) for b in blocks
+        ]
+        plan = FaultPlan(seed=2, corrupt_rate=1.0)
+        plan.apply_blocks(blocks)
+        for block, (coeffs, payload) in zip(blocks, snapshots):
+            assert np.array_equal(block.coefficients, coeffs)
+            assert np.array_equal(block.payload, payload)
+
+    def test_channel_adapter_composes_in_pipeline(self):
+        params = CodingParams(8, 32)
+        rng = np.random.default_rng(12)
+        segment = Segment.random(params, rng)
+        encoder = Encoder(segment, rng)
+        plan = FaultPlan(seed=8, drop_rate=0.3)
+        pipeline = ChannelPipeline(stages=[FaultInjectionChannel(plan)])
+        decoder = ProgressiveDecoder(params)
+        while not decoder.is_complete:
+            for block in pipeline.transmit(
+                [encoder.encode_block() for _ in range(4)]
+            ):
+                if decoder.is_complete:
+                    break
+                decoder.consume(block)
+        assert np.array_equal(
+            decoder.recover_segment().blocks, segment.blocks
+        )
+        assert plan.counters.dropped > 0
