@@ -5,7 +5,6 @@ progressive Gauss–Jordan decoder.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import paper_targets
 from repro.bench.figures import figure_4b_decoding

@@ -5,7 +5,6 @@ log-domain preprocessing of Sec. 5.1.2.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import BLOCK_SIZE_SWEEP
 from repro.bench.figures import figure_6_table_vs_loop

@@ -18,7 +18,7 @@ from repro.kernels import (
     encode_bandwidth,
 )
 from repro.rlnc import CodingParams
-from repro.streaming import REFERENCE_PROFILE, MediaProfile, peers_supported_by_coding
+from repro.streaming import MediaProfile, peers_supported_by_coding
 
 NS = [32, 64, 128, 256, 512, 1024]
 SEGMENT_BYTES = 512 * 1024  # hold segment size fixed, vary its split

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Fail CI when a hot-path throughput regresses against the baseline.
+
+Compares a freshly generated ``BENCH_hot_paths.json`` against the
+committed baseline (the copy checked out at the build's ref).  Every
+higher-is-better throughput key below may drop at most ``--tolerance``
+(default 25%) before the check fails; speedup *floors* are asserted by
+the benchmark suite itself, so this gate only watches the measured
+trajectory.
+
+The fresh run must be a full-mode run: smoke-mode shapes sit below the
+engine's amortization break-even and their throughputs are meaningless,
+so a smoke fresh file fails the gate outright.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --baseline bench_baseline.json --fresh BENCH_hot_paths.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: section -> list of higher-is-better keys within that section.
+THROUGHPUT_KEYS: dict[str, tuple[str, ...]] = {
+    "batch_encode": ("mb_per_s_after",),
+    "progressive_decode": ("mb_per_s_after",),
+    "server_round_throughput": ("mb_per_s_after",),
+    "matmul_backends": ("auto_gb_per_s",),
+    "encode_block_cached_log": ("mb_per_s",),
+    "observability_overhead": ("enabled_mb_per_s", "disabled_mb_per_s"),
+}
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    failures: list[str] = []
+    if fresh.get("smoke"):
+        failures.append(
+            "fresh benchmark file is a smoke-mode run; the regression "
+            "gate needs full-mode throughputs (unset REPRO_HOT_PATH_SMOKE)"
+        )
+        return failures
+    if baseline.get("smoke"):
+        print("note: baseline is a smoke-mode run; skipping comparison")
+        return failures
+    for section, keys in THROUGHPUT_KEYS.items():
+        fresh_section = fresh.get(section)
+        if fresh_section is None:
+            failures.append(f"fresh results are missing section {section!r}")
+            continue
+        baseline_section = baseline.get(section)
+        if baseline_section is None:
+            print(f"note: baseline has no section {section!r} yet; skipping")
+            continue
+        for key in keys:
+            if key not in fresh_section:
+                failures.append(f"fresh {section}.{key} is missing")
+                continue
+            if key not in baseline_section:
+                print(f"note: baseline has no {section}.{key} yet; skipping")
+                continue
+            base = float(baseline_section[key])
+            new = float(fresh_section[key])
+            if base <= 0:
+                print(f"note: baseline {section}.{key} <= 0; skipping")
+                continue
+            ratio = new / base
+            status = "ok"
+            if ratio < 1.0 - tolerance:
+                status = "REGRESSION"
+                failures.append(
+                    f"{section}.{key} regressed {1 - ratio:.1%} "
+                    f"(baseline {base:.3g}, fresh {new:.3g}, "
+                    f"tolerance {tolerance:.0%})"
+                )
+            print(
+                f"{section + '.' + key:<55} baseline={base:>10.3g} "
+                f"fresh={new:>10.3g} ratio={ratio:>6.2f}  {status}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", required=True, help="committed BENCH_hot_paths.json"
+    )
+    parser.add_argument(
+        "--fresh", required=True, help="freshly generated BENCH_hot_paths.json"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional throughput drop (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+    failures = compare(baseline, fresh, args.tolerance)
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

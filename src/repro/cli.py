@@ -7,7 +7,10 @@ Four subcommands cover the workflows a user of the paper's system runs:
 * ``repro encode FILE`` — encode a file into framed coded blocks;
 * ``repro decode FILE`` — decode a framed block stream back to content;
 * ``repro capacity`` — plan streaming-server capacity for a device,
-  encoding scheme and media bitrate.
+  encoding scheme and media bitrate;
+* ``repro stats`` — record a traced serve session (or load a saved obs
+  snapshot) and render the per-round pipeline breakdown, the metrics
+  summary, Prometheus text, or the raw snapshot JSON.
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -121,6 +124,32 @@ def build_parser() -> argparse.ArgumentParser:
     p2p.add_argument("-n", "--num-blocks", type=int, default=16)
     p2p.add_argument("--loss", type=float, default=0.0)
     p2p.add_argument("--seed", type=int, default=0)
+
+    stats = commands.add_parser(
+        "stats",
+        help="record a traced serve session and show the per-round breakdown",
+    )
+    stats.add_argument(
+        "snapshot", nargs="?", default=None,
+        help="render a previously saved obs snapshot JSON instead of "
+        "recording a fresh session",
+    )
+    stats.add_argument(
+        "--format", choices=["table", "json", "prometheus"], default="table",
+        dest="output_format",
+    )
+    stats.add_argument(
+        "-o", "--output", default=None,
+        help="also save the combined metrics+spans snapshot JSON here",
+    )
+    _add_geometry_arguments(stats)
+    stats.add_argument(
+        "--peers", type=int, default=8, help="concurrent client sessions"
+    )
+    stats.add_argument(
+        "--segments", type=int, default=2, help="segments served end to end"
+    )
+    stats.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -252,6 +281,113 @@ def _cmd_p2p(args: argparse.Namespace) -> int:
     return 0
 
 
+def _record_serve_session(args: argparse.Namespace) -> None:
+    """Drive a small traced serve session covering every pipeline stage.
+
+    One server, ``--peers`` NACK-capable client sessions, ``--segments``
+    segments fetched to completion through coalesced serving rounds,
+    plus one relay hop (recode + two-stage decode) so the recode stage
+    shows up in the breakdown exactly as in the paper's Table 2.
+    """
+    from repro.gpu.spec import GTX280
+    from repro.obs import tracing
+    from repro.rlnc.block import Segment
+    from repro.rlnc.decoder import TwoStageDecoder
+    from repro.rlnc.recoder import Recoder
+    from repro.streaming.client import ClientSession, drive_sessions
+    from repro.streaming.server import StreamingServer
+
+    params = CodingParams(args.num_blocks, args.block_size)
+    profile = MediaProfile(params=params, stream_bps=768_000.0)
+    rng = np.random.default_rng(args.seed)
+    server = StreamingServer(GTX280, profile, rng=rng)
+    sessions = [
+        ClientSession(server, peer_id) for peer_id in range(args.peers)
+    ]
+    with tracing():
+        for segment_id in range(args.segments):
+            segment = Segment.random(params, rng, segment_id=segment_id)
+            server.publish_segment(segment)
+            for session in sessions:
+                session.begin_segment(segment_id)
+            drive_sessions(server, sessions)
+            for session in sessions:
+                session.finish_segment()
+        # Relay hop: an intermediate node recodes what it received and a
+        # downstream two-stage decoder recovers from the recoded blocks.
+        last = args.segments - 1
+        blocks = server.serve(
+            sessions[0].peer_id, last, params.num_blocks
+        )
+        relay = Recoder(params, segment_id=last)
+        relay.add_batch(
+            np.stack([block.coefficients for block in blocks]),
+            np.stack([block.payload for block in blocks]),
+        )
+        mixed = relay.recode_matrix(params.num_blocks + 4, rng)
+        downstream = TwoStageDecoder(params, segment_id=last, slack=8)
+        downstream.add_batch(mixed)
+        downstream.decode()
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        load_snapshot,
+        render_breakdown_table,
+        render_metrics_summary,
+        render_prometheus,
+        round_breakdown,
+        save_snapshot,
+        snapshot_document,
+    )
+
+    if args.snapshot is not None:
+        metrics, records = load_snapshot(args.snapshot)
+        document = None
+        title = f"per-round breakdown ({args.snapshot})"
+    else:
+        if args.peers < 1 or args.segments < 1:
+            print("error: need at least 1 peer and 1 segment", file=sys.stderr)
+            return 2
+        _record_serve_session(args)
+        metrics, records = None, None
+        document = snapshot_document()
+        title = "per-round breakdown (recorded serve session)"
+
+    if args.output is not None:
+        if document is not None:
+            save_snapshot(args.output)
+        else:
+            with open(args.output, "w") as handle:
+                json.dump(
+                    {
+                        "metrics": metrics,
+                        "spans": json.loads(
+                            open(args.snapshot).read()
+                        ).get("spans", []),
+                    },
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+        print(f"snapshot saved to {args.output}", file=sys.stderr)
+
+    if args.output_format == "json":
+        if document is None:
+            document = json.loads(open(args.snapshot).read())
+        print(json.dumps(document, indent=2, sort_keys=True))
+    elif args.output_format == "prometheus":
+        print(render_prometheus(metrics), end="")
+    else:
+        breakdown = round_breakdown(records)
+        print(render_breakdown_table(breakdown, title=title))
+        print()
+        print(render_metrics_summary(metrics))
+    return 0
+
+
 _COMMANDS = {
     "figures": _cmd_figures,
     "encode": _cmd_encode,
@@ -259,6 +395,7 @@ _COMMANDS = {
     "capacity": _cmd_capacity,
     "kernels": _cmd_kernels,
     "p2p": _cmd_p2p,
+    "stats": _cmd_stats,
 }
 
 

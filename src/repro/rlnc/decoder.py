@@ -33,6 +33,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import DecodingError, SingularMatrixError
+from repro.obs import obs_counter, obs_gauge
+from repro.obs.trace import trace
 from repro.gf256 import independent_row_indices, inverse, matmul
 from repro.gf256.engine import ENGINE
 from repro.gf256.tables import INV
@@ -258,7 +260,12 @@ class ProgressiveDecoder:
         if self.is_complete:
             raise DecodingError("decoder already holds a full-rank system")
         self._received += m
-        return self._absorb(coefficients, payloads, source)
+        with trace("decode_intake", segment=self._segment_id):
+            accepted = self._absorb(coefficients, payloads, source)
+        obs_counter("decoder_blocks_innovative").inc(accepted)
+        obs_counter("decoder_blocks_discarded").inc(m - accepted)
+        obs_gauge("decoder_rank").set(self.rank)
+        return accepted
 
     def _absorb(
         self,
@@ -393,16 +400,20 @@ class ProgressiveDecoder:
         payloads = self._raw_payloads[keep].copy()
         sources = [self._sources[row] for row in keep]
         self._quarantined += len(doomed)
-        self._reset_elimination()
-        for row in range(len(keep)):
-            self._absorb(
-                coefficients[row : row + 1],
-                payloads[row : row + 1],
-                sources[row],
-                count_discards=False,
-            )
+        obs_counter("decoder_quarantined_rows").inc(len(doomed))
+        with trace("quarantine_rebuild", segment=self._segment_id):
+            self._reset_elimination()
+            for row in range(len(keep)):
+                self._absorb(
+                    coefficients[row : row + 1],
+                    payloads[row : row + 1],
+                    sources[row],
+                    count_discards=False,
+                )
         if self.rank < held:
             self._rank_regressions += 1
+            obs_counter("decoder_rank_regressions").inc()
+        obs_gauge("decoder_rank").set(self.rank)
         return self.rank
 
     def quarantine_source(self, source: object) -> int:
@@ -572,6 +583,10 @@ class TwoStageDecoder:
             raise DecodingError(
                 f"need {n} blocks to decode, have {self._count}"
             )
+        with trace("two_stage_decode", segment=self._segment_id):
+            return self._decode_stages(n, original_length)
+
+    def _decode_stages(self, n: int, original_length: int | None) -> Segment:
         selected = independent_row_indices(self._coefficients[: self._count], n)
         if selected.size < n:
             raise SingularMatrixError(

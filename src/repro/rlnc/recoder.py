@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.errors import DecodingError
 from repro.gf256 import matmul
+from repro.obs import obs_counter
+from repro.obs.trace import trace
 from repro.rlnc.block import BlockBatch, CodedBlock, CodingParams
 
 #: Initial row capacity of the held-block buffer.
@@ -98,10 +100,12 @@ class Recoder:
         n, k = self._params.num_blocks, self._params.block_size
         if coefficients.shape[1] != n or payloads.shape[1] != k:
             raise DecodingError("batch geometry does not match recoder")
-        self._reserve(rows)
-        self._coefficients[self._count : self._count + rows] = coefficients
-        self._payloads[self._count : self._count + rows] = payloads
-        self._count += rows
+        with trace("recode_intake", segment=self._segment_id):
+            self._reserve(rows)
+            self._coefficients[self._count : self._count + rows] = coefficients
+            self._payloads[self._count : self._count + rows] = payloads
+            self._count += rows
+        obs_counter("recoder_blocks_buffered").inc(rows)
 
     def recode(self, rng: np.random.Generator) -> CodedBlock:
         """Emit one recoded block combining everything buffered.
@@ -127,12 +131,15 @@ class Recoder:
         if not self._count:
             raise DecodingError("cannot recode with an empty buffer")
         held = self._count
-        mix = rng.integers(1, 256, size=(count, held), dtype=np.uint8)
-        return BlockBatch(
-            coefficients=matmul(mix, self._coefficients[:held]),
-            payloads=matmul(mix, self._payloads[:held]),
-            segment_id=self._segment_id,
-        )
+        with trace("recode_emit", segment=self._segment_id):
+            mix = rng.integers(1, 256, size=(count, held), dtype=np.uint8)
+            batch = BlockBatch(
+                coefficients=matmul(mix, self._coefficients[:held]),
+                payloads=matmul(mix, self._payloads[:held]),
+                segment_id=self._segment_id,
+            )
+        obs_counter("recoder_blocks_emitted").inc(count)
+        return batch
 
     def recode_batch(self, count: int, rng: np.random.Generator) -> list[CodedBlock]:
         """Emit ``count`` independently-mixed recoded blocks.

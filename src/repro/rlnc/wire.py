@@ -77,6 +77,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import IntegrityError, WireError
+from repro.obs.registry import Counter, get_registry
 from repro.rlnc.block import BlockBatch, CodedBlock
 
 MAGIC = b"RLNC"
@@ -95,6 +96,21 @@ _SEQ_OFFSET = 18  # big-endian u32 sequence inside the v2 header
 #: part of the wire format, never change it.
 _WEIGHT_SEED = 0x524C4E43
 _weight_cache = np.empty(0, dtype=np.uint64)
+
+#: (registry id, metric name) -> counter handle.  The pack/unpack
+#: functions are module-level, so handles are cached here instead of on
+#: an instance; ``registry.reset()`` keeps cached handles live.
+_metric_cache: dict[tuple[int, str], Counter] = {}
+
+
+def _wire_counter(name: str) -> Counter:
+    registry = get_registry()
+    key = (id(registry), name)
+    counter = _metric_cache.get(key)
+    if counter is None:
+        counter = registry.counter(name, component="wire")
+        _metric_cache[key] = counter
+    return counter
 
 
 def _weights(count: int) -> np.ndarray:
@@ -184,6 +200,16 @@ class WireStats:
     One instance per receive path (e.g. per peer connection) gives the
     per-source integrity accounting the quarantine layer reports.
 
+    Accumulation is **explicit and cumulative**: the unpack functions
+    only ever *add* to a stats object, across however many calls it is
+    reused for — they never zero it behind the caller's back.  A caller
+    that wants per-call (or per-round) figures takes a :meth:`snapshot`
+    before the call and diffs with :meth:`delta`, or calls :meth:`reset`
+    between calls.  (Earlier revisions left this ambiguous, and a reused
+    decoder session's drop counters silently carried over between
+    ``unpack`` calls while reading code expected fresh counts — the
+    regression tests in ``tests/rlnc/test_wire.py`` pin the contract.)
+
     Attributes:
         frames_ok: frames that parsed and verified.
         checksum_failures: frames whose integrity trailer mismatched.
@@ -205,6 +231,54 @@ class WireStats:
         self.frames_ok += other.frames_ok
         self.checksum_failures += other.checksum_failures
         self.malformed += other.malformed
+
+    def snapshot(self) -> "WireStats":
+        """An independent copy of the current totals."""
+        return WireStats(
+            frames_ok=self.frames_ok,
+            checksum_failures=self.checksum_failures,
+            malformed=self.malformed,
+        )
+
+    def delta(self, since: "WireStats") -> "WireStats":
+        """Counts accumulated after ``since`` (an earlier snapshot)."""
+        return WireStats(
+            frames_ok=self.frames_ok - since.frames_ok,
+            checksum_failures=self.checksum_failures - since.checksum_failures,
+            malformed=self.malformed - since.malformed,
+        )
+
+    def reset(self) -> "WireStats":
+        """Zero the counters; returns a snapshot of the values cleared."""
+        cleared = self.snapshot()
+        self.frames_ok = 0
+        self.checksum_failures = 0
+        self.malformed = 0
+        return cleared
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "frames_ok": self.frames_ok,
+            "checksum_failures": self.checksum_failures,
+            "malformed": self.malformed,
+        }
+
+    # -- registry write-through (one source of truth) ----------------------
+
+    def record_ok(self, count: int = 1) -> None:
+        """Count verified frames here *and* in the metrics registry."""
+        self.frames_ok += count
+        _wire_counter("wire_frames_ok").inc(count)
+
+    def record_checksum_failure(self, count: int = 1) -> None:
+        """Count integrity-trailer mismatches (field + registry)."""
+        self.checksum_failures += count
+        _wire_counter("wire_checksum_failures").inc(count)
+
+    def record_malformed(self, count: int = 1) -> None:
+        """Count structurally damaged frames (field + registry)."""
+        self.malformed += count
+        _wire_counter("wire_malformed_frames").inc(count)
 
 
 def _header_struct(version: int) -> struct.Struct:
@@ -294,6 +368,8 @@ def pack_frame_into(
                 block.payload,
             )
             _DIGEST.pack_into(view, body_end, digest)
+    _wire_counter("wire_frames_packed").inc()
+    _wire_counter("wire_bytes_packed").inc(size)
     return size
 
 
@@ -370,6 +446,8 @@ def pack_blocks(
             frames[:, body : body + 8] = (
                 digests.astype(">u8").view(np.uint8).reshape(m, 8)
             )
+    _wire_counter("wire_frames_packed").inc(m)
+    _wire_counter("wire_bytes_packed").inc(total)
     return region
 
 
@@ -450,6 +528,7 @@ def unpack_frame(
             f"header length fields (n={n}, k={k}) exceed the buffer: frame "
             f"needs {size} bytes, {len(view) - offset} remain"
         )
+    _wire_counter("wire_bytes_unpacked").inc(size)
     if has_checksum and not _verify_frame(view, offset, version, header_size, n, k):
         if strict:
             raise IntegrityError(
@@ -457,7 +536,7 @@ def unpack_frame(
                 f"(version {version}, n={n}, k={k})"
             )
         if stats is not None:
-            stats.checksum_failures += 1
+            stats.record_checksum_failure()
         return None, size, sequence
     coefficients = np.frombuffer(
         view, dtype=np.uint8, count=n, offset=offset + header_size
@@ -466,7 +545,7 @@ def unpack_frame(
         view, dtype=np.uint8, count=k, offset=offset + header_size + n
     ).copy()
     if stats is not None:
-        stats.frames_ok += 1
+        stats.record_ok()
     return (
         CodedBlock(
             coefficients=coefficients, payload=payload, segment_id=segment_id
@@ -521,7 +600,7 @@ def unpack_blocks(
         )
     m = len(view) // size_one
     if tail and stats is not None:
-        stats.malformed += 1
+        stats.record_malformed()
     if m == 0:
         # Lenient, and the only frame is torn: nothing recoverable.
         return BlockBatch(
@@ -529,6 +608,7 @@ def unpack_blocks(
             payloads=np.empty((0, k), dtype=np.uint8),
             segment_id=segment_id,
         )
+    _wire_counter("wire_bytes_unpacked").inc(m * size_one)
     frames = np.frombuffer(view, dtype=np.uint8, count=m * size_one).reshape(
         m, size_one
     )
@@ -549,7 +629,7 @@ def unpack_blocks(
                 )
             good &= matches
             if stats is not None:
-                stats.malformed += int(m - int(matches.sum()))
+                stats.record_malformed(int(m - int(matches.sum())))
     body = header_size + n + k
     if has_checksum:
         if version == VERSION:
@@ -566,7 +646,7 @@ def unpack_blocks(
                         )
                     good[row] = False
                     if stats is not None:
-                        stats.checksum_failures += 1
+                        stats.record_checksum_failure()
         else:
             digests = _digest64_rows(
                 frames[:, :header_size],
@@ -589,10 +669,10 @@ def unpack_blocks(
                         f"{int(digests[row]):#018x}"
                     )
                 if stats is not None:
-                    stats.checksum_failures += int(bad.sum())
+                    stats.record_checksum_failure(int(bad.sum()))
                 good &= matches
     if stats is not None:
-        stats.frames_ok += int(good.sum())
+        stats.record_ok(int(good.sum()))
     coefficients = frames[:, header_size : header_size + n]
     payloads = frames[:, header_size + n : body]
     if not good.all():
@@ -710,7 +790,7 @@ def decode_stream(
             if strict:
                 raise
             if stats is not None:
-                stats.malformed += 1
+                stats.record_malformed()
             # Resynchronize: scan for the next magic marker.
             next_magic = bytes(view[offset + 1 :]).find(MAGIC)
             if next_magic < 0:

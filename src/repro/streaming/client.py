@@ -37,6 +37,8 @@ from repro.errors import (
     WireError,
 )
 from repro.faults import FaultPlan
+from repro.obs.registry import get_registry
+from repro.obs.trace import trace
 from repro.rlnc.block import Segment
 from repro.rlnc.decoder import ProgressiveDecoder
 from repro.rlnc.wire import VERSION2, WireStats, frame_size, unpack_frame
@@ -255,6 +257,16 @@ class ClientSession:
         self.checksum = checksum
         self.upstream = upstream
         self.stats = SessionStats()
+        # Registry write-through handles (cached; see StreamingServer).
+        registry = get_registry()
+        self._m_nacks = registry.counter("client_nacks")
+        self._m_retries = registry.counter("client_retries")
+        self._m_backoff = registry.counter("client_backoff_rounds")
+        self._m_retry_later = registry.counter("client_retry_later")
+        self._m_frames = registry.counter("client_frames_received")
+        self._m_innovative = registry.counter("client_blocks_innovative")
+        self._m_discarded = registry.counter("client_blocks_discarded")
+        self._m_segments = registry.counter("client_segments_completed")
         self._session = server.connect(peer_id)
         params = server.profile.params
         self._frame_bytes = frame_size(
@@ -318,6 +330,7 @@ class ClientSession:
         if self._cooldown > 0:
             self._cooldown -= 1
             self.stats.backoff_rounds_waited += 1
+            self._m_backoff.inc()
             self._idle_round = True
             return None
         missing = decoder.params.num_blocks - decoder.rank
@@ -329,6 +342,7 @@ class ClientSession:
         )
         if isinstance(response, RetryLater):
             self.stats.retry_later_responses += 1
+            self._m_retry_later.inc()
             self._register_miss(min_cooldown=response.retry_after_rounds)
             self._idle_round = True
             return response
@@ -336,6 +350,7 @@ class ClientSession:
         self._segment_requests += 1
         if self._segment_requests > 1:
             self.stats.nacks += 1
+            self._m_nacks.inc()
         return None
 
     def intake(self, wire_bytes) -> int:
@@ -368,32 +383,35 @@ class ClientSession:
         blocks = []
         n = decoder.params.num_blocks
         k = decoder.params.block_size
-        for frame in frames:
-            self.stats.frames_received += 1
-            try:
-                block, _, _ = unpack_frame(
-                    frame, strict=False, stats=self.stats.wire
-                )
-            except WireError:
-                # framing so damaged even the lenient parser gave up
-                self.stats.wire.malformed += 1
-                block = None
-            if block is None:
-                decoder.record_corrupt(self.upstream)
-                continue
-            if (
-                block.segment_id != self._segment_id
-                or block.num_blocks != n
-                or block.block_size != k
-            ):
-                self.stats.wire.malformed += 1
-                decoder.record_corrupt(self.upstream)
-                continue
-            blocks.append(block)
+        with trace("wire_unpack", peer=self.peer_id):
+            for frame in frames:
+                self.stats.frames_received += 1
+                self._m_frames.inc()
+                try:
+                    block, _, _ = unpack_frame(
+                        frame, strict=False, stats=self.stats.wire
+                    )
+                except WireError:
+                    # framing so damaged even the lenient parser gave up
+                    self.stats.wire.record_malformed()
+                    block = None
+                if block is None:
+                    decoder.record_corrupt(self.upstream)
+                    continue
+                if (
+                    block.segment_id != self._segment_id
+                    or block.num_blocks != n
+                    or block.block_size != k
+                ):
+                    self.stats.wire.record_malformed()
+                    decoder.record_corrupt(self.upstream)
+                    continue
+                blocks.append(block)
         innovative = 0
         if blocks:
             if decoder.is_complete:
                 self.stats.blocks_discarded += len(blocks)
+                self._m_discarded.inc(len(blocks))
             else:
                 coefficients = np.stack(
                     [block.coefficients for block in blocks]
@@ -404,6 +422,8 @@ class ClientSession:
                 )
                 self.stats.blocks_innovative += innovative
                 self.stats.blocks_discarded += len(blocks) - innovative
+                self._m_innovative.inc(innovative)
+                self._m_discarded.inc(len(blocks) - innovative)
         if self._idle_round:
             self._idle_round = False
         elif innovative > 0 or decoder.is_complete:
@@ -418,6 +438,7 @@ class ClientSession:
         decoder = self._require_segment()
         segment = decoder.recover_segment(original_length)
         self.stats.segments_completed += 1
+        self._m_segments.inc()
         self._decoder = None
         self._segment_id = None
         return segment
@@ -459,6 +480,7 @@ class ClientSession:
     def _register_miss(self, *, min_cooldown: int = 0) -> None:
         self._retries += 1
         self.stats.retries += 1
+        self._m_retries.inc()
         if self._retries > self.max_retries:
             raise RetryExhaustedError(
                 f"segment {self._segment_id} made no progress after "
@@ -477,7 +499,7 @@ class ClientSession:
         size = self._frame_bytes
         count, tail = divmod(len(data), size)
         if tail:
-            self.stats.wire.malformed += 1
+            self.stats.wire.record_malformed()
         return [data[i * size : (i + 1) * size] for i in range(count)]
 
 

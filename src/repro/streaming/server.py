@@ -35,6 +35,8 @@ from repro.errors import CapacityError, ConfigurationError, RetryLater
 from repro.gpu.spec import DeviceSpec
 from repro.kernels.cost_model import EncodeScheme
 from repro.kernels.encode import GpuEncoder
+from repro.obs.registry import get_registry
+from repro.obs.trace import trace
 from repro.rlnc.block import BlockBatch, CodedBlock, Segment
 from repro.rlnc.wire import VERSION, pack_blocks, stream_size
 from repro.streaming.capacity import segments_in_device_memory
@@ -112,6 +114,18 @@ class StreamingServer:
         )
         self._wire_buffer = bytearray()
         self.stats = ServerStats()
+        # Registry write-through handles, cached once per server so the
+        # serve paths pay a plain method call, not a label resolution.
+        registry = get_registry()
+        self._m_blocks = registry.counter("server_blocks_served")
+        self._m_bytes = registry.counter("server_bytes_served")
+        self._m_encodes = registry.counter("server_encode_calls")
+        self._m_rounds = registry.counter("server_rounds_served")
+        self._m_shed = registry.counter("server_requests_shed")
+        self._m_retry = registry.counter("server_retry_later")
+        self._m_queue_depth = registry.gauge("server_queue_depth")
+        self._m_queue_blocks = registry.gauge("server_queue_blocks")
+        self._m_coalesce = registry.histogram("server_coalesce_batch_size")
 
     @property
     def stored_segments(self) -> int:
@@ -243,6 +257,9 @@ class StreamingServer:
         self.stats.blocks_served += num_blocks
         self.stats.bytes_served += result.coded_bytes
         self.stats.gpu_seconds += result.time_seconds
+        self._m_encodes.inc()
+        self._m_blocks.inc(num_blocks)
+        self._m_bytes.inc(result.coded_bytes)
         self._sessions[peer_id].record_blocks(num_blocks)
         return [
             CodedBlock(
@@ -303,8 +320,10 @@ class StreamingServer:
                         0, shed_session.blocks_pending - victim.num_blocks
                     )
                 self.stats.requests_shed += 1
+                self._m_shed.inc()
             else:
                 self.stats.retry_later_responses += 1
+                self._m_retry.inc()
                 overflow = self.pending_blocks + num_blocks - limit
                 return RetryLater(
                     retry_after_rounds=max(1, -(-overflow // limit))
@@ -314,6 +333,8 @@ class StreamingServer:
             BlockRequest(peer_id, segment_id, num_blocks, priority=priority)
         )
         self._sessions[peer_id].record_request(num_blocks)
+        self._m_queue_depth.set(len(self._queue))
+        self._m_queue_blocks.set(self.pending_blocks)
         return None
 
     def serve_round(self) -> dict[int, list[BlockBatch]]:
@@ -336,38 +357,48 @@ class StreamingServer:
         """
         if not self._queue:
             return {}
-        plan = self._round_scheduler.plan_round(self._queue)
-        segments: dict[int, Segment] = {}
-        for segment_id in plan.grants:
-            segment = self._segments.get(segment_id)
-            if segment is None:
-                raise CapacityError(
-                    f"segment {segment_id} is not on the device"
-                )
-            segments[segment_id] = segment
-        self._queue = deque(plan.carryover)
+        with trace("serve_round"):
+            with trace("scheduler_plan"):
+                plan = self._round_scheduler.plan_round(self._queue)
+            segments: dict[int, Segment] = {}
+            for segment_id in plan.grants:
+                segment = self._segments.get(segment_id)
+                if segment is None:
+                    raise CapacityError(
+                        f"segment {segment_id} is not on the device"
+                    )
+                segments[segment_id] = segment
+            self._queue = deque(plan.carryover)
+            self._m_queue_depth.set(len(self._queue))
+            self._m_queue_blocks.set(self.pending_blocks)
 
-        fanout: dict[int, list[BlockBatch]] = {}
-        for segment_id, grants in plan.grants.items():
-            counts = [count for _, count in grants]
-            result, slices = self._encoder.encode_coalesced(
-                segments[segment_id], counts, self._rng
-            )
-            self.stats.encode_calls += 1
-            self.stats.blocks_served += sum(counts)
-            self.stats.bytes_served += result.coded_bytes
-            self.stats.gpu_seconds += result.time_seconds
-            for (peer_id, count), rows in zip(grants, slices):
-                batch = BlockBatch(
-                    coefficients=result.coefficients[rows],
-                    payloads=result.payloads[rows],
-                    segment_id=segment_id,
-                )
-                fanout.setdefault(peer_id, []).append(batch)
-                self._sessions[peer_id].record_blocks(count)
-        for peer_id in fanout:
-            self._sessions[peer_id].rounds_served += 1
-        self.stats.rounds_served += 1
+            fanout: dict[int, list[BlockBatch]] = {}
+            for segment_id, grants in plan.grants.items():
+                counts = [count for _, count in grants]
+                with trace("encode_coalesced", segment=segment_id):
+                    result, slices = self._encoder.encode_coalesced(
+                        segments[segment_id], counts, self._rng
+                    )
+                self.stats.encode_calls += 1
+                self.stats.blocks_served += sum(counts)
+                self.stats.bytes_served += result.coded_bytes
+                self.stats.gpu_seconds += result.time_seconds
+                self._m_encodes.inc()
+                self._m_blocks.inc(sum(counts))
+                self._m_bytes.inc(result.coded_bytes)
+                self._m_coalesce.observe(sum(counts))
+                for (peer_id, count), rows in zip(grants, slices):
+                    batch = BlockBatch(
+                        coefficients=result.coefficients[rows],
+                        payloads=result.payloads[rows],
+                        segment_id=segment_id,
+                    )
+                    fanout.setdefault(peer_id, []).append(batch)
+                    self._sessions[peer_id].record_blocks(count)
+            for peer_id in fanout:
+                self._sessions[peer_id].rounds_served += 1
+            self.stats.rounds_served += 1
+            self._m_rounds.inc()
         return fanout
 
     def serve_round_frames(
@@ -389,36 +420,38 @@ class StreamingServer:
         (from :attr:`~repro.streaming.session.PeerSession.tx_sequence`),
         which is what the fault-tolerant client consumes.
         """
-        fanout = self.serve_round()
-        total = sum(
-            stream_size(
-                len(batch),
-                batch.num_blocks,
-                batch.block_size,
-                checksum=checksum,
-                version=version,
-            )
-            for batches in fanout.values()
-            for batch in batches
-        )
-        if len(self._wire_buffer) < total:
-            self._wire_buffer = bytearray(total)
-        view = memoryview(self._wire_buffer)
-        frames: dict[int, memoryview] = {}
-        offset = 0
-        for peer_id, batches in fanout.items():
-            start = offset
-            session = self._sessions[peer_id]
-            for batch in batches:
-                packed = pack_blocks(
-                    batch,
+        with trace("serve_round"):
+            fanout = self.serve_round()
+            total = sum(
+                stream_size(
+                    len(batch),
+                    batch.num_blocks,
+                    batch.block_size,
                     checksum=checksum,
-                    out=view,
-                    offset=offset,
                     version=version,
-                    first_sequence=session.tx_sequence,
                 )
-                session.tx_sequence += len(batch)
-                offset += len(packed)
-            frames[peer_id] = view[start:offset]
+                for batches in fanout.values()
+                for batch in batches
+            )
+            if len(self._wire_buffer) < total:
+                self._wire_buffer = bytearray(total)
+            view = memoryview(self._wire_buffer)
+            frames: dict[int, memoryview] = {}
+            offset = 0
+            with trace("wire_pack"):
+                for peer_id, batches in fanout.items():
+                    start = offset
+                    session = self._sessions[peer_id]
+                    for batch in batches:
+                        packed = pack_blocks(
+                            batch,
+                            checksum=checksum,
+                            out=view,
+                            offset=offset,
+                            version=version,
+                            first_sequence=session.tx_sequence,
+                        )
+                        session.tx_sequence += len(batch)
+                        offset += len(packed)
+                    frames[peer_id] = view[start:offset]
         return frames

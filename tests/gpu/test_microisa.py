@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.gf256 import MUL_TABLE
-from repro.gpu.microisa import ExecutionResult, MicroInterpreter, ins
+from repro.gpu.microisa import MicroInterpreter, ins
 from repro.gpu.microprograms import (
     loop_multiply_early_exit_program,
     loop_multiply_program,

@@ -2,9 +2,8 @@
 broadcast accounting, atomic return values and determinism."""
 
 import numpy as np
-import pytest
 
-from repro.gpu import GTX280, GEFORCE_8800GT, SimtDevice
+from repro.gpu import GTX280, SimtDevice
 from repro.gpu.spec import DeviceSpec
 
 

@@ -1,7 +1,6 @@
 """Cross-module integration tests: the full pipelines a deployment runs."""
 
 import numpy as np
-import pytest
 
 from repro import CodingParams, MultiSegmentDecoder, Recoder, Segment
 from repro.gpu import GTX280, GEFORCE_8800GT

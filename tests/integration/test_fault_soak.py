@@ -19,6 +19,8 @@ installed (the CI fault job installs it; the marker is inert without
 the plugin).
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -29,10 +31,25 @@ from repro.streaming import ClientSession, MediaProfile, StreamingServer
 
 PROFILE = MediaProfile(params=CodingParams(16, 64))
 
-SOAK_ITERATIONS = 200
+#: The nightly soak workflow extends this to 1000 via the environment;
+#: the default keeps the tier-1/CI wall clock bounded.
+SOAK_ITERATIONS = int(os.environ.get("REPRO_SOAK_ITERATIONS", "200"))
 LOSS_RATE = 0.20
 CORRUPT_RATE = 0.01
 REORDER_WINDOW = 3
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _obs_snapshot():
+    """When ``REPRO_OBS_SNAPSHOT`` names a path, dump the observability
+    registry after the soak so the nightly workflow can archive the
+    cumulative wire/client/decoder counters as an artifact."""
+    yield
+    path = os.environ.get("REPRO_OBS_SNAPSHOT")
+    if path:
+        from repro.obs import save_snapshot
+
+        save_snapshot(path)
 
 
 def published_server(payloads, seed=0):

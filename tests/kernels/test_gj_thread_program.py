@@ -1,7 +1,6 @@
 """SIMT validation of the progressive Gauss–Jordan decode kernel."""
 
 import numpy as np
-import pytest
 
 from repro.gpu import GTX280, SimtDevice
 from repro.kernels.thread_programs import gauss_jordan_decode_program

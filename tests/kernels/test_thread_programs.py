@@ -8,7 +8,6 @@ bank-conflict factor for random exp lookups.
 """
 
 import numpy as np
-import pytest
 
 from repro.gf256 import matmul, to_log_domain
 from repro.gpu import GTX280, SimtDevice

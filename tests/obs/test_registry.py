@@ -1,0 +1,192 @@
+"""Unit tests for the metrics registry."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    UNDERFLOW_BUCKET,
+    MetricsRegistry,
+    bucket_bounds,
+    bucket_index,
+    get_registry,
+    merge_snapshots,
+    obs_counter,
+    obs_gauge,
+    obs_histogram,
+    set_registry,
+)
+
+
+class TestBuckets:
+    def test_power_of_two_buckets(self):
+        assert bucket_index(1.0) == 0
+        assert bucket_index(2.0) == 1
+        assert bucket_index(3.9) == 1
+        assert bucket_index(4.0) == 2
+        assert bucket_index(0.5) == -1
+        assert bucket_index(1024) == 10
+
+    def test_non_positive_values_underflow(self):
+        assert bucket_index(0.0) == UNDERFLOW_BUCKET
+        assert bucket_index(-7.0) == UNDERFLOW_BUCKET
+        assert bucket_index(float("nan")) == UNDERFLOW_BUCKET
+
+    def test_bounds_cover_the_bucket(self):
+        for value in (0.25, 1.0, 3.0, 100.0, 2.0**40):
+            low, high = bucket_bounds(bucket_index(value))
+            assert low <= value < high
+
+    def test_underflow_bounds(self):
+        low, high = bucket_bounds(UNDERFLOW_BUCKET)
+        assert low == float("-inf")
+        assert high == 0.0
+
+
+class TestMetrics:
+    def test_counter_accumulates_and_rejects_decrease(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("frames")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_histogram_tracks_count_sum_min_max(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        for value in (1.0, 3.0, 8.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == 12.0
+        assert histogram.mean == 4.0
+        assert histogram.buckets() == {0: 1, 1: 1, 3: 1}
+
+    def test_handles_are_memoized(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.counter("x", a=1) is registry.counter("x", a=1)
+        assert registry.counter("x", a=1) is not registry.counter("x", a=2)
+        assert registry.counter("x", a=1, b=2) is registry.counter("x", b=2, a=1)
+
+    def test_labels_make_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("served", scheme="table_5").inc(3)
+        registry.counter("served", scheme="loop").inc(4)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]['served{scheme="loop"}'] == 4
+        assert snapshot["counters"]['served{scheme="table_5"}'] == 3
+
+
+class TestRegistryLifecycle:
+    def test_reset_zeroes_but_keeps_handles_live(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        histogram = registry.histogram("h")
+        counter.inc(7)
+        histogram.observe(2.0)
+        registry.reset()
+        assert counter.value == 0
+        assert histogram.count == 0
+        counter.inc()
+        assert registry.snapshot()["counters"]["c"] == 1
+
+    def test_clear_orphans_handles(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        registry.clear()
+        counter.inc()
+        assert registry.snapshot()["counters"] == {}
+
+    def test_set_registry_swaps_default(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_module_helpers_resolve_on_current_default(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            obs_counter("helper_series").inc(2)
+            obs_gauge("helper_gauge").set(5)
+            obs_histogram("helper_hist").observe(1.0)
+            snapshot = fresh.snapshot()
+            assert snapshot["counters"]["helper_series"] == 2
+            assert snapshot["gauges"]["helper_gauge"] == 5
+            assert snapshot["histograms"]["helper_hist"]["count"] == 1
+            assert obs_counter("helper_series") is obs_counter("helper_series")
+        finally:
+            set_registry(previous)
+
+
+class TestSnapshotsAndMerge:
+    def make(self, *increments):
+        registry = MetricsRegistry()
+        for name, amount in increments:
+            registry.counter(name).inc(amount)
+        return registry.snapshot()
+
+    def test_snapshot_is_json_round_trippable(self):
+        registry = MetricsRegistry()
+        registry.counter("c", peer=3).inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(9.0)
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_merge_adds_counters_and_histograms(self):
+        left = self.make(("a", 1), ("b", 2))
+        right = self.make(("b", 3), ("c", 4))
+        merged = merge_snapshots(left, right)
+        assert merged["counters"] == {"a": 1, "b": 5, "c": 4}
+
+    def test_merge_is_right_biased_for_gauges(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(3)
+        left = registry.snapshot()
+        registry.gauge("depth").set(9)
+        right = registry.snapshot()
+        assert merge_snapshots(left, right)["gauges"]["depth"] == 9
+        assert merge_snapshots(right, left)["gauges"]["depth"] == 3
+
+    def test_merge_histograms_preserves_count_sum_min_max(self):
+        first = MetricsRegistry()
+        first.histogram("h").observe(1.0)
+        second = MetricsRegistry()
+        second.histogram("h").observe(16.0)
+        merged = merge_snapshots(first.snapshot(), second.snapshot())
+        payload = merged["histograms"]["h"]
+        assert payload["count"] == 2
+        assert payload["sum"] == 17.0
+        assert payload["min"] == 1.0
+        assert payload["max"] == 16.0
+        assert payload["buckets"] == {"0": 1, "4": 1}
+
+    def test_concurrent_increments_never_lose_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+
+        def worker():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000

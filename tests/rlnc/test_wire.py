@@ -103,7 +103,7 @@ class TestCorruptionDetection:
         channel = CorruptingChannel(1.0, np.random.default_rng(1))
         (corrupted,) = channel.transmit([block])
         frame = encode_frame(block)
-        tampered = encode_frame(corrupted)[: len(frame)]
+        encode_frame(corrupted)  # re-framing the damage is checksummed anew
         # Re-framing the corrupted block produces a *valid* frame (the
         # sender would checksum it); the gap closes when the checksum is
         # computed before the channel:
@@ -303,3 +303,92 @@ class TestBatchedWire:
         written = pack_frame_into(block, buffer, offset=8)
         assert written == len(expected)
         assert bytes(buffer[8:]) == expected
+
+
+class TestWireStatsAccumulation:
+    """Pin the explicit-accumulation contract of :class:`WireStats`.
+
+    Regression: the lenient-mode drop counters are *cumulative* across
+    however many unpack calls reuse one stats object — the unpack
+    functions never zero them behind the caller's back.  Callers that
+    want per-call figures snapshot-and-diff or reset between calls.
+    """
+
+    def _corrupt_stream(self, count=4, bad=2):
+        from repro.rlnc.wire import frame_size as fsize
+
+        blocks = [make_block(seed=i) for i in range(count)]
+        stream = bytearray(encode_stream(blocks))
+        size = fsize(blocks[0].num_blocks, blocks[0].block_size)
+        for frame in range(bad):
+            # Flip a payload byte in the middle of frame `frame`.
+            stream[frame * size + size // 2] ^= 0xFF
+        return bytes(stream), count - bad, bad
+
+    def test_counters_accumulate_across_reused_calls(self):
+        from repro.rlnc.wire import WireStats
+
+        stream, ok, bad = self._corrupt_stream()
+        stats = WireStats()
+        decode_stream(stream, strict=False, stats=stats)
+        assert (stats.frames_ok, stats.checksum_failures) == (ok, bad)
+        # Second unpack with the SAME stats object: totals must add,
+        # not restart — the documented cumulative contract.
+        decode_stream(stream, strict=False, stats=stats)
+        assert (stats.frames_ok, stats.checksum_failures) == (2 * ok, 2 * bad)
+        assert stats.frames_dropped == 2 * bad
+
+    def test_snapshot_delta_isolates_one_call(self):
+        from repro.rlnc.wire import WireStats
+
+        stream, ok, bad = self._corrupt_stream()
+        stats = WireStats()
+        decode_stream(stream, strict=False, stats=stats)
+        before = stats.snapshot()
+        decode_stream(stream, strict=False, stats=stats)
+        delta = stats.delta(before)
+        assert (delta.frames_ok, delta.checksum_failures) == (ok, bad)
+        # The snapshot is an independent copy, untouched by later calls.
+        assert (before.frames_ok, before.checksum_failures) == (ok, bad)
+
+    def test_reset_zeroes_and_returns_cleared_totals(self):
+        from repro.rlnc.wire import WireStats
+
+        stream, ok, bad = self._corrupt_stream()
+        stats = WireStats()
+        decode_stream(stream, strict=False, stats=stats)
+        cleared = stats.reset()
+        assert (cleared.frames_ok, cleared.checksum_failures) == (ok, bad)
+        assert (stats.frames_ok, stats.checksum_failures) == (0, 0)
+        # After reset the next call reports fresh per-call counts.
+        decode_stream(stream, strict=False, stats=stats)
+        assert (stats.frames_ok, stats.checksum_failures) == (ok, bad)
+
+    def test_as_dict_and_merge_round_trip(self):
+        from repro.rlnc.wire import WireStats
+
+        left = WireStats(frames_ok=3, checksum_failures=1, malformed=2)
+        right = WireStats(frames_ok=1, checksum_failures=4, malformed=0)
+        left.merge(right)
+        assert left.as_dict() == {
+            "frames_ok": 4,
+            "checksum_failures": 5,
+            "malformed": 2,
+        }
+
+    def test_reused_client_session_decoder_counts_stay_cumulative(self):
+        """The original bug's shape: a decoder session reused across
+        unpack calls must expose exact cumulative drop counts."""
+        from repro.rlnc.wire import WireStats, pack_blocks, unpack_blocks
+
+        batch = make_batch(6, 8, 16, seed=9)
+        stream = bytearray(bytes(pack_blocks(batch)))
+        size = frame_size(8, 16)
+        stream[size + size // 2] ^= 0x55  # damage frame 1 of call one
+        stats = WireStats()
+        unpack_blocks(bytes(stream), strict=False, stats=stats)
+        unpack_blocks(bytes(stream), strict=False, stats=stats)
+        assert stats.frames_ok == 10
+        assert stats.checksum_failures == 2
+        per_call = stats.delta(stats.snapshot())  # empty delta sanity
+        assert per_call.frames_ok == 0

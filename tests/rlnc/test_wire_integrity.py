@@ -23,7 +23,6 @@ from repro.rlnc import (
     decode_stream,
     digest64,
     encode_frame,
-    encode_stream,
     frame_size,
     pack_blocks,
     stream_size,

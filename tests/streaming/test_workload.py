@@ -8,7 +8,7 @@ from repro.gpu import GTX280
 from repro.kernels import EncodeScheme, encode_bandwidth
 from repro.streaming import GIGABIT_ETHERNET, REFERENCE_PROFILE
 from repro.streaming.capacity import plan_capacity
-from repro.streaming.nic import DUAL_GIGABIT_ETHERNET, NicModel
+from repro.streaming.nic import DUAL_GIGABIT_ETHERNET
 from repro.streaming.workload import (
     SessionArrival,
     VodWorkloadSimulator,

@@ -85,3 +85,43 @@ class TestCapacityCommand:
     def test_projection_device(self, capsys):
         assert main(["capacity", "--device", "gtx280-32k"]) == 0
         assert "projection" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    ARGS = ["-n", "8", "-k", "256", "--peers", "2", "--segments", "1"]
+
+    def test_records_and_renders_breakdown_table(self, capsys):
+        assert main(["stats", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        for stage in ("encode", "recode", "decode", "wire", "scheduler"):
+            assert stage in out
+        assert "counters:" in out
+        assert "server_rounds_served" in out
+
+    def test_snapshot_save_and_reload(self, tmp_path, capsys):
+        snapshot = tmp_path / "obs.json"
+        assert main(["stats", *self.ARGS, "-o", str(snapshot)]) == 0
+        assert snapshot.exists()
+        capsys.readouterr()
+        assert main(["stats", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "encode" in out
+        assert "obs.json" in out
+
+    def test_json_format_is_parseable(self, capsys):
+        import json
+
+        assert main(["stats", *self.ARGS, "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["metrics"]["counters"]
+        assert document["spans"]
+
+    def test_prometheus_format(self, capsys):
+        assert main(["stats", *self.ARGS, "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE server_rounds_served counter" in out
+        assert "span_ns_bucket" in out
+
+    def test_missing_snapshot_file_fails(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "missing.json")]) == 1
+        assert "error:" in capsys.readouterr().err
