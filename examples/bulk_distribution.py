@@ -3,9 +3,12 @@
 Sec. 5.2 motivates multi-segment decoding with exactly this workload:
 "Avalanche, which uses network coding in bulk content distribution,
 gathers a large number of coded blocks over a period of time and
-performs decoding offline."  This example distributes a multi-segment
-file over a random P2P overlay, collects each peer's blocks, and then
-batch-decodes them with the two-stage multi-segment GPU decoder,
+performs decoding offline."  This example serves a multi-segment file
+from a *sharded origin cluster* through the unified ``repro.serving``
+facade: segments are consistent-hash placed across 4 workers, peers
+enqueue asks and collect the coalesced round deliveries without
+decoding anything online (bulk mode), and at the end each peer
+batch-decodes its hoard with the two-stage multi-segment GPU decoder,
 reporting the modelled decode time on a GTX 280.
 
 Run:
@@ -16,51 +19,64 @@ import numpy as np
 
 from repro.gpu import GTX280
 from repro.kernels import GpuMultiSegmentDecoder
-from repro.p2p import P2PSimulator, Strategy, random_overlay
 from repro.rlnc import CodingParams, Segment
+from repro.serving import ServingCluster
+from repro.streaming import MediaProfile
 
 MB = 1e6
 
 
 def main() -> None:
-    rng = np.random.default_rng(17)
     params = CodingParams(num_blocks=12, block_size=256)
     num_segments = 5
-    peers = 8
+    peers = list(range(8))
+    extra = 2  # coded blocks hoarded beyond rank, like a real bulk peer
 
     print(f"distributing {num_segments} segments "
-          f"({num_segments * params.segment_bytes} bytes) to {peers} peers\n")
+          f"({num_segments * params.segment_bytes} bytes) to "
+          f"{len(peers)} peers from a 4-worker origin cluster\n")
 
-    # Distribute each segment over the same overlay; every peer keeps
-    # the coded blocks it receives (bulk mode: no online decoding).
-    graph = random_overlay(peers, 3, rng)
-    collected = {peer: {} for peer in range(peers)}
+    cluster = ServingCluster(
+        GTX280, MediaProfile(params=params), num_workers=4, seed=17
+    )
     segments = []
     for segment_id in range(num_segments):
-        segment = Segment.random(params, rng, segment_id=segment_id)
-        segments.append(segment)
-        simulator = P2PSimulator(
-            graph,
-            params,
-            source="source",
-            sinks=list(range(peers)),
-            strategy=Strategy.CODING,
-            rng=rng,
-            segment=segment,
+        segment = Segment.random(
+            params, np.random.default_rng(200 + segment_id),
+            segment_id=segment_id,
         )
-        result = simulator.run(max_rounds=400)
-        finish = max(result.completion_round.values())
-        print(f"segment {segment_id}: all peers at full rank by round "
-              f"{finish} (innovative ratio {result.innovative_ratio:.0%})")
-        # Harvest blocks: in bulk mode a peer stores coded blocks for
-        # later.  Each node's emit() produces fresh combinations of its
-        # holdings — the same blocks it would have relayed onward.
-        for peer in range(peers):
-            node = simulator.nodes[peer]
-            assert node.is_complete
-            collected[peer][segment_id] = [
-                node.emit() for _ in range(params.num_blocks + 2)
-            ]
+        segments.append(segment)
+        cluster.publish(segment)
+    by_worker: dict[int, int] = {}
+    for owner in cluster.placement().values():
+        by_worker[owner] = by_worker.get(owner, 0) + 1
+    print("placement: " + ", ".join(
+        f"worker {worker} holds {count}"
+        for worker, count in sorted(by_worker.items())))
+
+    # Bulk mode: every peer asks every segment's owner for rank + extra
+    # blocks, then just hoards the deliveries — no online decoding.
+    collected = {peer: {s: [] for s in range(num_segments)} for peer in peers}
+    for peer in peers:
+        cluster.connect(peer)
+        for segment_id in range(num_segments):
+            cluster.request_blocks(
+                peer, segment_id, params.num_blocks + extra
+            )
+    rounds = 0
+    while cluster.pending_blocks:
+        fanout = cluster.serve_round()
+        for peer, batches in fanout.items():
+            for batch in batches:
+                collected[peer][batch.segment_id].extend(batch)
+        rounds += 1
+    total = sum(
+        len(blocks)
+        for hoard in collected.values()
+        for blocks in hoard.values()
+    )
+    print(f"served {total} coded blocks in {rounds} coalesced round(s), "
+          f"modelled cluster speedup {cluster.stats.model_speedup:.2f}x")
 
     # Offline batch decode on the GPU, one peer shown.
     decoder = GpuMultiSegmentDecoder(GTX280)

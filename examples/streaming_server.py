@@ -1,8 +1,11 @@
 """The paper's streaming-server scenario (Sec. 5.1.2) end to end.
 
 Plans capacity for the reference profile (512 KB segments of 128 x 4 KB
-blocks at 768 Kbps) on every encoding scheme, then runs a small
-functional server: publish segments, serve peers, decode at a client.
+blocks at 768 Kbps) on every encoding scheme, then drives the unified
+``repro.serving`` facade: the *same* client code fetches segments from
+a single :class:`~repro.serving.StreamingServer` and from a 4-worker
+sharded :class:`~repro.serving.ServingCluster` — both implement the
+:class:`~repro.serving.ServingEndpoint` protocol.
 
 Run:
     python examples/streaming_server.py
@@ -12,13 +15,14 @@ import numpy as np
 
 from repro.gpu import GTX280
 from repro.kernels import EncodeScheme, encode_bandwidth
-from repro.rlnc import CodingParams, MultiSegmentDecoder, Segment
+from repro.rlnc import CodingParams, Segment
+from repro.serving import ClientSession, ServingCluster, StreamingServer
 from repro.streaming import (
     DUAL_GIGABIT_ETHERNET,
     GIGABIT_ETHERNET,
     MediaProfile,
     REFERENCE_PROFILE,
-    StreamingServer,
+    drive_sessions,
     plan_capacity,
 )
 
@@ -48,33 +52,63 @@ def print_capacity_plans() -> None:
           f"{GIGABIT_ETHERNET.interfaces_saturated_by(rate):.1f}")
 
 
-def run_functional_server() -> None:
-    print("\n--- functional mini-server (scaled-down geometry) ---")
+def serve_through_endpoint(endpoint, segments, peers) -> None:
+    """Fetch every segment at every peer via the serving facade.
+
+    Written once against :class:`~repro.serving.ServingEndpoint`; runs
+    unchanged against one server or a sharded cluster.  Peers fetch in
+    staggered order (peer ``i`` starts at segment ``i``), so every wave
+    touches every segment — on the cluster that keeps all workers busy
+    at once.
+    """
+    for segment in segments:
+        endpoint.publish(segment)
+    sessions = [ClientSession(endpoint, peer_id) for peer_id in peers]
+    for wave in range(len(segments)):
+        targets = {
+            session: segments[(index + wave) % len(segments)]
+            for index, session in enumerate(sessions)
+        }
+        for session, segment in targets.items():
+            session.begin_segment(segment.segment_id)
+        rounds = drive_sessions(endpoint, sessions)
+        for session, segment in targets.items():
+            recovered = session.finish_segment()
+            assert np.array_equal(recovered.blocks, segment.blocks)
+        print(f"  wave {wave}: {len(sessions)} peers at full rank in "
+              f"{rounds} round(s)")
+
+
+def run_functional_endpoints() -> None:
     profile = MediaProfile(params=CodingParams(16, 512))
-    rng = np.random.default_rng(7)
-    server = StreamingServer(GTX280, profile, rng=rng)
-
     segments = [
-        Segment.random(profile.params, rng, segment_id=i) for i in range(4)
+        Segment.random(profile.params, np.random.default_rng(100 + i),
+                       segment_id=i)
+        for i in range(4)
     ]
-    for segment in segments:
-        server.publish_segment(segment)
-    print(f"published {server.stored_segments} segments "
-          f"(device store holds up to {server.segment_capacity})")
 
-    client = MultiSegmentDecoder(profile.params)
-    server.connect(peer_id=1)
-    for segment in segments:
-        for block in server.serve(1, segment.segment_id, 18):
-            client.consume(block)
-    print(f"client decoded {client.segments_completed}/{len(segments)} "
-          "segments")
-    print(f"server stats: {server.stats.blocks_served} blocks, "
-          f"{server.stats.bytes_served} bytes, modelled GPU time "
-          f"{server.stats.gpu_seconds * 1e3:.3f} ms "
-          f"({server.stats.effective_bandwidth / MB:.0f} MB/s effective)")
+    print("\n--- single server through the serving facade ---")
+    server = StreamingServer(GTX280, profile, rng=np.random.default_rng(7))
+    serve_through_endpoint(server, segments, peers=range(3))
+    stats = server.stats
+    print(f"server stats: {stats.blocks_served} blocks, "
+          f"{stats.bytes_served} bytes, modelled GPU time "
+          f"{stats.gpu_seconds * 1e3:.3f} ms "
+          f"({stats.effective_bandwidth / MB:.0f} MB/s effective)")
+
+    print("\n--- 4-worker sharded cluster, same client code ---")
+    cluster = ServingCluster(GTX280, profile, num_workers=4, seed=7)
+    serve_through_endpoint(cluster, segments, peers=range(3))
+    placement = cluster.placement()
+    print(f"placement: {placement}")
+    cstats = cluster.stats
+    print(f"cluster stats: {cstats.blocks_served} blocks over "
+          f"{cstats.rounds_served} rounds, modelled speedup "
+          f"{cstats.model_speedup:.2f}x "
+          f"(serial {cstats.gpu_serial_seconds * 1e3:.3f} ms vs "
+          f"parallel {cstats.gpu_parallel_seconds * 1e3:.3f} ms)")
 
 
 if __name__ == "__main__":
     print_capacity_plans()
-    run_functional_server()
+    run_functional_endpoints()

@@ -32,6 +32,9 @@ THROUGHPUT_KEYS: dict[str, tuple[str, ...]] = {
     "matmul_backends": ("auto_gb_per_s",),
     "encode_block_cached_log": ("mb_per_s",),
     "observability_overhead": ("enabled_mb_per_s", "disabled_mb_per_s"),
+    # Modelled (cost-model) figures — deterministic, so any drop is a
+    # genuine placement or accounting change, not host noise.
+    "cluster_scaleout": ("model_rounds_per_s_w1", "model_rounds_per_s_w4"),
 }
 
 

@@ -14,6 +14,10 @@ simulated CUDA substrate.  The package layers:
   calibrated cost models;
 * :mod:`repro.cpu` — the multicore SIMD CPU baseline;
 * :mod:`repro.streaming` — the network-coded streaming server scenario;
+* :mod:`repro.cluster` — scale-out: consistent-hash segment sharding
+  across N streaming workers with deterministic failover;
+* :mod:`repro.serving` — the unified serving facade (one protocol over
+  a single server or a cluster);
 * :mod:`repro.p2p` — P2P content distribution (coding vs routing);
 * :mod:`repro.baselines` — Reed-Solomon, LT fountain and chunked codes;
 * :mod:`repro.bench` — regeneration of every figure in the evaluation.
@@ -52,6 +56,7 @@ from repro.faults import (
     FaultEvent,
     FaultInjectionChannel,
     FaultPlan,
+    WorkerKillPlan,
 )
 from repro.rlnc import (
     CodedBlock,
@@ -63,11 +68,23 @@ from repro.rlnc import (
     Segment,
     TwoStageDecoder,
 )
+from repro.serving import (
+    ClientSession,
+    ClusterStats,
+    ServerStats,
+    ServingCluster,
+    ServingEndpoint,
+    SessionStats,
+    StreamingServer,
+    drive_sessions,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CapacityError",
+    "ClientSession",
+    "ClusterStats",
     "CodedBlock",
     "CodingParams",
     "ConfigurationError",
@@ -87,8 +104,15 @@ __all__ = [
     "RetryExhaustedError",
     "RetryLater",
     "Segment",
+    "ServerStats",
+    "ServingCluster",
+    "ServingEndpoint",
+    "SessionStats",
     "SingularMatrixError",
+    "StreamingServer",
     "TwoStageDecoder",
     "WireError",
+    "WorkerKillPlan",
     "__version__",
+    "drive_sessions",
 ]

@@ -10,7 +10,11 @@ Four subcommands cover the workflows a user of the paper's system runs:
   encoding scheme and media bitrate;
 * ``repro stats`` — record a traced serve session (or load a saved obs
   snapshot) and render the per-round pipeline breakdown, the metrics
-  summary, Prometheus text, or the raw snapshot JSON.
+  summary, Prometheus text, or the raw snapshot JSON;
+* ``repro cluster`` — demo the sharded serving cluster: consistent-hash
+  placement, a seeded multi-session workload, optional mid-flight
+  worker kill with deterministic rebalance, and the modelled scale-out
+  speedup.
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -150,6 +154,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--segments", type=int, default=2, help="segments served end to end"
     )
     stats.add_argument("--seed", type=int, default=0)
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="demo the sharded serving cluster (placement, failover, "
+        "modelled scale-out)",
+    )
+    cluster.add_argument(
+        "--workers", type=int, default=4, help="cluster size (default 4)"
+    )
+    cluster.add_argument(
+        "--peers", type=int, default=16, help="concurrent client sessions"
+    )
+    cluster.add_argument(
+        "--segments", type=int, default=8, help="segments published"
+    )
+    cluster.add_argument(
+        "-n", "--num-blocks", type=int, default=32,
+        help="source blocks per segment (default 32)",
+    )
+    cluster.add_argument(
+        "-k", "--block-size", type=int, default=1024,
+        help="bytes per block (default 1024)",
+    )
+    cluster.add_argument(
+        "--quota", type=int, default=4,
+        help="per-peer blocks per round (stretches the workload so a "
+        "mid-flight kill has a window; default 4)",
+    )
+    cluster.add_argument(
+        "--kill-at", type=float, default=None,
+        help="kill a seed-drawn victim worker at this progress fraction "
+        "(e.g. 0.2); omitted = no failure injection",
+    )
+    cluster.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -388,6 +426,64 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import run_cluster_workload
+    from repro.faults import WorkerKillPlan
+
+    params = CodingParams(args.num_blocks, args.block_size)
+    kill_plan = None
+    if args.kill_at is not None:
+        kill_plan = WorkerKillPlan(
+            seed=args.seed,
+            num_workers=args.workers,
+            kill_at_progress=args.kill_at,
+        )
+    report = run_cluster_workload(
+        num_workers=args.workers,
+        num_peers=args.peers,
+        num_segments=args.segments,
+        params=params,
+        seed=args.seed,
+        kill_plan=kill_plan,
+        per_peer_round_quota=args.quota,
+    )
+    print(
+        f"sharded serving cluster: {args.workers} workers, "
+        f"{args.segments} segments, {args.peers} peers, seed {args.seed}"
+    )
+    by_worker: dict[int, list[int]] = {}
+    for segment_id, worker_id in sorted(report.placement_before.items()):
+        by_worker.setdefault(worker_id, []).append(segment_id)
+    print("initial placement:")
+    for worker_id in sorted(by_worker):
+        print(f"  worker {worker_id}: segments {by_worker[worker_id]}")
+    if report.killed_worker is not None:
+        moved = ", ".join(
+            f"{segment_id}->{worker_id}"
+            for segment_id, worker_id in sorted(report.moved_segments.items())
+        )
+        print(
+            f"failover: killed worker {report.killed_worker} at round "
+            f"{report.kill_round}; rebalanced [{moved or 'nothing'}]"
+        )
+    stats = report.stats
+    print(
+        f"workload: {report.rounds} rounds, "
+        f"{stats.blocks_served} blocks served, "
+        f"byte-exact: {'yes' if report.byte_exact else 'NO'}"
+    )
+    print(
+        f"modelled GPU time: serial {stats.gpu_serial_seconds * 1e3:.3f} ms, "
+        f"parallel {stats.gpu_parallel_seconds * 1e3:.3f} ms, "
+        f"speedup {report.model_speedup:.2f}x"
+    )
+    if report.undecoded_peers:
+        print(f"undecoded peers: {list(report.undecoded_peers)}")
+    if report.mismatched_peers:
+        print(f"mismatched peers: {list(report.mismatched_peers)}")
+    return 0 if report.byte_exact else 1
+
+
 _COMMANDS = {
     "figures": _cmd_figures,
     "encode": _cmd_encode,
@@ -396,6 +492,7 @@ _COMMANDS = {
     "kernels": _cmd_kernels,
     "p2p": _cmd_p2p,
     "stats": _cmd_stats,
+    "cluster": _cmd_cluster,
 }
 
 

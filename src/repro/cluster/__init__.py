@@ -1,0 +1,30 @@
+"""Sharded serving cluster: consistent-hash placement over N workers.
+
+The repo's first horizontal-scaling primitive.  Segments shard across
+:class:`~repro.streaming.server.StreamingServer` workers via a seeded
+consistent-hash ring with virtual nodes; a router sends every block
+request to the segment's owner and rebalances deterministically when a
+worker dies.  The cluster speaks the same
+:class:`~repro.serving.ServingEndpoint` surface as a single server.
+"""
+
+from repro.cluster.cluster import ClusterPeerView, ClusterStats, ServingCluster
+from repro.cluster.harness import (
+    ClusterWorkloadReport,
+    make_workload_segments,
+    run_cluster_workload,
+)
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.cluster.router import ClusterRouter
+
+__all__ = [
+    "ClusterPeerView",
+    "ClusterRouter",
+    "ClusterStats",
+    "ClusterWorkloadReport",
+    "DEFAULT_VNODES",
+    "HashRing",
+    "ServingCluster",
+    "make_workload_segments",
+    "run_cluster_workload",
+]

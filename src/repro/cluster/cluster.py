@@ -1,0 +1,539 @@
+"""A sharded serving cluster of simulated-GPU streaming workers.
+
+Scale-out past a single :class:`~repro.streaming.server.StreamingServer`:
+``N`` workers each own a simulated GPU, segments shard across them via
+the consistent-hash :class:`~repro.cluster.ring.HashRing`, and the
+:class:`~repro.cluster.router.ClusterRouter` sends every block request
+to the segment's owner.  The cluster implements the same
+:class:`~repro.serving.ServingEndpoint` surface as a single server, so
+:class:`~repro.streaming.client.ClientSession` and
+:func:`~repro.streaming.client.drive_sessions` drive either unchanged.
+
+Timeline model: the workers are *separate simulated devices*, so a
+cluster round's modelled cost is the **critical path** — the maximum of
+the per-worker modelled GPU time spent that round — while the serial
+cost (what one device would have paid) is the sum.  Both accumulate in
+:class:`ClusterStats`; their ratio is the cluster's modelled scale-out
+speedup, which the ``cluster_scaleout`` benchmark pins to >= 1.6x at 4
+workers.  Real threads would add nothing here: the arithmetic below the
+cost model is NumPy fancy-indexing that serializes on the GIL.
+
+Failure model: :meth:`ServingCluster.kill_worker` drops a worker
+mid-flight.  The router rebalances exactly that worker's segments onto
+survivors (re-published from the cluster's origin copies — the durable
+store a real deployment would read from), the dead worker's per-peer
+pending counts vanish from every :class:`ClusterPeerView`, and each
+client's NACK path re-requests precisely its missing rank from the new
+owners.  Decoder state is client-side, so no session loses rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.cluster.router import ClusterRouter
+from repro.errors import CapacityError, ConfigurationError, RetryLater
+from repro.gpu.spec import DeviceSpec
+from repro.kernels.cost_model import EncodeScheme
+from repro.obs.registry import get_registry, merge_snapshots
+from repro.rlnc.block import BlockBatch, Segment
+from repro.rlnc.wire import MAX_WORKER_ID, VERSION
+from repro.streaming.server import StreamingServer
+from repro.streaming.session import MediaProfile, PeerSession
+
+
+@dataclass
+class ClusterStats:
+    """Aggregate accounting for one cluster lifetime.
+
+    Follows the explicit cumulative contract shared by
+    :class:`~repro.rlnc.wire.WireStats`,
+    :class:`~repro.streaming.server.ServerStats` and
+    :class:`~repro.streaming.client.SessionStats`: counters only grow;
+    use :meth:`snapshot`/:meth:`delta` for per-phase figures or
+    :meth:`reset` between phases.
+
+    Attributes:
+        gpu_parallel_seconds: modelled wall time on the cluster's
+            parallel timeline — per round, the *maximum* of the
+            per-worker modelled GPU deltas (critical path).
+        gpu_serial_seconds: the same work priced on one device — per
+            round, the *sum* of the per-worker deltas.
+    """
+
+    rounds_served: int = 0
+    blocks_served: int = 0
+    segments_published: int = 0
+    segments_rebalanced: int = 0
+    segments_withdrawn: int = 0
+    workers_killed: int = 0
+    retry_later_responses: int = 0
+    gpu_parallel_seconds: float = 0.0
+    gpu_serial_seconds: float = 0.0
+
+    @property
+    def model_speedup(self) -> float:
+        """Serial over parallel modelled GPU time (1.0 before any work)."""
+        if self.gpu_parallel_seconds == 0.0:
+            return 1.0
+        return self.gpu_serial_seconds / self.gpu_parallel_seconds
+
+    def snapshot(self) -> "ClusterStats":
+        """An independent copy of the current totals."""
+        return ClusterStats(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def delta(self, since: "ClusterStats") -> "ClusterStats":
+        """Counts accumulated after ``since`` (an earlier snapshot)."""
+        return ClusterStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def reset(self) -> "ClusterStats":
+        """Zero the counters; returns a snapshot of the values cleared."""
+        cleared = self.snapshot()
+        for f in fields(self):
+            setattr(self, f.name, f.default)
+        return cleared
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class ClusterPeerView:
+    """One peer's aggregate session state across live workers.
+
+    What :meth:`ServingCluster.connect` returns — the cluster-side
+    analogue of :class:`~repro.streaming.session.PeerSession`, summing
+    the per-worker sessions so the client's NACK accounting (which
+    watches :attr:`blocks_pending`) sees cluster-wide truth.  When a
+    worker dies, its session drops out of the view and its pending
+    blocks vanish — exactly the signal that makes the client re-request
+    the missing rank from the surviving owners.
+    """
+
+    def __init__(self, peer_id: int) -> None:
+        self.peer_id = peer_id
+        self._sessions: dict[int, PeerSession] = {}
+
+    def _attach(self, worker_id: int, session: PeerSession) -> None:
+        self._sessions[worker_id] = session
+
+    def _detach(self, worker_id: int) -> None:
+        self._sessions.pop(worker_id, None)
+
+    @property
+    def blocks_pending(self) -> int:
+        """Blocks asked for but not yet served, over live workers."""
+        return sum(s.blocks_pending for s in self._sessions.values())
+
+    @property
+    def blocks_requested(self) -> int:
+        return sum(s.blocks_requested for s in self._sessions.values())
+
+    @property
+    def blocks_received(self) -> int:
+        return sum(s.blocks_received for s in self._sessions.values())
+
+
+def _labeled(snapshot: dict, worker_id: int) -> dict:
+    """Re-key a worker snapshot with a ``worker`` label per series."""
+    label = f'{{worker="{worker_id}"}}'
+    return {
+        section: {f"{name}{label}": value for name, value in series.items()}
+        for section, series in snapshot.items()
+    }
+
+
+class ServingCluster:
+    """N sharded streaming workers behind one serving endpoint.
+
+    Args:
+        spec: the GPU each worker runs on (one device per worker).
+        profile: media/coding configuration, shared by all workers.
+        num_workers: cluster size (1..127 — worker ids must fit the
+            v2 wire stamp, see :data:`~repro.rlnc.wire.MAX_WORKER_ID`).
+        scheme: encoding kernel for every worker.
+        seed: seeds the placement ring and each worker's coefficient
+            rng (worker ``w`` draws from ``default_rng([seed, w])``),
+            so a cluster run is exactly reproducible.
+        vnodes_per_worker: ring smoothing factor.
+        per_peer_round_quota: forwarded to each worker's round
+            scheduler.
+        max_pending_blocks: per-worker admission bound (forwarded).
+        max_cluster_pending_blocks: cluster-wide admission bound across
+            all worker queues; asks beyond it get
+            :class:`~repro.errors.RetryLater` before touching a worker.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        profile: MediaProfile,
+        *,
+        num_workers: int = 4,
+        scheme: EncodeScheme = EncodeScheme.TABLE_5,
+        seed: int = 0,
+        vnodes_per_worker: int = DEFAULT_VNODES,
+        per_peer_round_quota: int | None = None,
+        max_pending_blocks: int | None = None,
+        max_cluster_pending_blocks: int | None = None,
+    ) -> None:
+        if not 1 <= num_workers <= MAX_WORKER_ID + 1:
+            raise ConfigurationError(
+                f"num_workers must be in [1, {MAX_WORKER_ID + 1}], "
+                f"got {num_workers}"
+            )
+        if (
+            max_cluster_pending_blocks is not None
+            and max_cluster_pending_blocks < 1
+        ):
+            raise ConfigurationError(
+                "max_cluster_pending_blocks must be >= 1, "
+                f"got {max_cluster_pending_blocks}"
+            )
+        self.spec = spec
+        self.profile = profile
+        self.seed = seed
+        self._max_cluster_pending_blocks = max_cluster_pending_blocks
+        self._workers: dict[int, StreamingServer] = {}
+        for worker_id in range(num_workers):
+            worker = StreamingServer(
+                spec,
+                profile,
+                scheme=scheme,
+                rng=np.random.default_rng([seed, worker_id]),
+                per_peer_round_quota=per_peer_round_quota,
+                max_pending_blocks=max_pending_blocks,
+                worker_id=worker_id,
+            )
+            worker.add_eviction_listener(
+                lambda segment_id, wid=worker_id: self._on_worker_eviction(
+                    wid, segment_id
+                )
+            )
+            self._workers[worker_id] = worker
+        self._router = ClusterRouter(
+            HashRing(seed=seed, vnodes=vnodes_per_worker),
+            range(num_workers),
+        )
+        #: Durable origin copies, the source of truth a rebalance
+        #: re-publishes from (a real deployment's backing store).
+        self._origin: dict[int, Segment] = {}
+        self._peers: dict[int, ClusterPeerView] = {}
+        self._disconnected: set[int] = set()
+        self.stats = ClusterStats()
+        registry = get_registry()
+        self._m_rounds = registry.counter("cluster_rounds_served")
+        self._m_blocks = registry.counter("cluster_blocks_served")
+        self._m_retry = registry.counter("cluster_retry_later")
+        self._m_rebalanced = registry.counter("cluster_segments_rebalanced")
+        self._m_killed = registry.counter("cluster_workers_killed")
+        self._m_withdrawn = registry.counter("cluster_segments_withdrawn")
+        self._m_live = registry.gauge("cluster_live_workers")
+        self._m_placed = registry.gauge("cluster_segments_placed")
+        self._m_live.set(num_workers)
+
+    # -- topology ----------------------------------------------------------
+
+    @property
+    def live_workers(self) -> tuple[int, ...]:
+        """Ids of workers still serving, ascending."""
+        return self._router.live_workers
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._router.live_workers)
+
+    def worker(self, worker_id: int) -> StreamingServer:
+        """A live worker by id (for inspection; raises if dead/unknown)."""
+        if worker_id not in self._router.ring:
+            raise ConfigurationError(f"worker {worker_id} is not live")
+        return self._workers[worker_id]
+
+    def placement(self) -> dict[int, int]:
+        """A copy of the ``segment_id -> worker_id`` placement map."""
+        return self._router.placement()
+
+    @property
+    def stored_segments(self) -> int:
+        return self._router.advertised_segments
+
+    @property
+    def pending_blocks(self) -> int:
+        """Coded blocks queued across every live worker."""
+        return sum(
+            self._workers[wid].pending_blocks for wid in self.live_workers
+        )
+
+    # -- the ServingEndpoint surface ---------------------------------------
+
+    def publish(self, segment: Segment) -> None:
+        """Place a segment on the ring and upload it to its owner.
+
+        Keeps an origin copy so a later rebalance can re-publish the
+        segment to a surviving worker.
+
+        Raises:
+            ConfigurationError: on geometry mismatch or double publish.
+            CapacityError: if the owning worker's segment store is full.
+        """
+        worker_id = self._router.advertise(segment.segment_id)
+        try:
+            self._workers[worker_id].publish(segment)
+        except Exception:
+            self._router.withdraw(segment.segment_id)
+            raise
+        self._origin[segment.segment_id] = segment
+        self.stats.segments_published += 1
+        self._m_placed.set(self._router.advertised_segments)
+
+    def publish_segment(self, segment: Segment) -> None:
+        """Alias for :meth:`publish` (single-server spelling)."""
+        self.publish(segment)
+
+    def connect(self, peer_id: int) -> ClusterPeerView:
+        """Register a peer on every live worker (idempotent)."""
+        view = self._peers.get(peer_id)
+        if view is None:
+            view = ClusterPeerView(peer_id)
+            self._peers[peer_id] = view
+        self._disconnected.discard(peer_id)
+        for worker_id in self.live_workers:
+            view._attach(worker_id, self._workers[worker_id].connect(peer_id))
+        return view
+
+    def disconnect(self, peer_id: int) -> None:
+        """Evict a peer from every live worker.
+
+        Matches the single-server contract: the evicted peer's next ask
+        raises :class:`~repro.errors.CapacityError` (clean rejection the
+        retry loop can surface); :meth:`connect` re-admits it.
+
+        Raises:
+            ConfigurationError: if the peer never connected.
+        """
+        view = self._peers.pop(peer_id, None)
+        if view is None:
+            raise ConfigurationError(f"peer {peer_id} is not connected")
+        self._disconnected.add(peer_id)
+        for worker_id in self.live_workers:
+            self._workers[worker_id].disconnect(peer_id)
+
+    def request_blocks(
+        self, peer_id: int, segment_id: int, num_blocks: int
+    ) -> RetryLater | None:
+        """Route a peer's ask to the segment's owning worker.
+
+        Cluster-level admission runs first: when the sum of all live
+        workers' queues cannot absorb the ask, the cluster answers
+        :class:`~repro.errors.RetryLater` without touching a worker.
+        Worker-level shed/``RetryLater`` (per-worker bounds) propagates
+        unchanged.
+
+        Raises:
+            CapacityError: if the segment is not placed on the cluster,
+                or the owner rejects (e.g. evicted session).
+            ConfigurationError: for unknown peers or bad counts.
+        """
+        if peer_id not in self._peers:
+            if peer_id in self._disconnected:
+                raise CapacityError(
+                    f"peer {peer_id} session was evicted; reconnect first"
+                )
+            raise ConfigurationError(f"peer {peer_id} is not connected")
+        limit = self._max_cluster_pending_blocks
+        if limit is not None and self.pending_blocks + num_blocks > limit:
+            self.stats.retry_later_responses += 1
+            self._m_retry.inc()
+            overflow = self.pending_blocks + num_blocks - limit
+            return RetryLater(retry_after_rounds=max(1, -(-overflow // limit)))
+        worker_id = self._router.worker_for(segment_id)
+        response = self._workers[worker_id].request_blocks(
+            peer_id, segment_id, num_blocks
+        )
+        if isinstance(response, RetryLater):
+            self.stats.retry_later_responses += 1
+            self._m_retry.inc()
+        return response
+
+    def serve_round(
+        self,
+        *,
+        format: str = "batches",
+        checksum: bool = True,
+        version: int = VERSION,
+    ) -> dict[int, list[BlockBatch]] | dict[int, memoryview | bytes]:
+        """Drain one scheduling round on every live worker.
+
+        Workers run their rounds independently (separate simulated
+        devices); results merge per peer in ascending worker order, so
+        a given cluster state always yields the same delivery.  The
+        round's modelled cost on the parallel timeline is the largest
+        per-worker GPU delta (critical path); the serial price is the
+        sum — both accumulate in :attr:`stats`.
+
+        Args:
+            format: ``"batches"`` returns ``peer_id -> [BlockBatch]``
+                merged across workers; ``"frames"`` returns the wire
+                representation — a worker's own slice when one worker
+                served the peer (zero-copy, valid until that worker's
+                next round), else the concatenated bytes.
+            checksum: frames format only — integrity trailers.
+            version: frames format only — wire version; ``version=2``
+                frames carry each worker's id stamp (see
+                :func:`~repro.rlnc.wire.frame_worker_id`).
+
+        Raises:
+            ConfigurationError: on an unknown ``format``.
+        """
+        if format not in ("batches", "frames"):
+            raise ConfigurationError(
+                f"unknown serve_round format {format!r}; "
+                "expected 'batches' or 'frames'"
+            )
+        merged: dict[int, list] = {}
+        parallel = 0.0
+        serial = 0.0
+        blocks = 0
+        served = False
+        for worker_id in self.live_workers:
+            worker = self._workers[worker_id]
+            before = worker.stats.snapshot()
+            result = worker.serve_round(
+                format=format, checksum=checksum, version=version
+            )
+            delta = worker.stats.delta(before)
+            parallel = max(parallel, delta.gpu_seconds)
+            serial += delta.gpu_seconds
+            blocks += delta.blocks_served
+            served = served or bool(result)
+            for peer_id, payload in result.items():
+                merged.setdefault(peer_id, []).append(payload)
+        if served:
+            self.stats.rounds_served += 1
+            self.stats.blocks_served += blocks
+            self.stats.gpu_parallel_seconds += parallel
+            self.stats.gpu_serial_seconds += serial
+            self._m_rounds.inc()
+            self._m_blocks.inc(blocks)
+        if format == "batches":
+            return {
+                peer_id: [batch for batches in parts for batch in batches]
+                for peer_id, parts in merged.items()
+            }
+        return {
+            peer_id: (
+                parts[0]
+                if len(parts) == 1
+                else b"".join(bytes(part) for part in parts)
+            )
+            for peer_id, parts in merged.items()
+        }
+
+    def evict_segment(self, segment_id: int) -> None:
+        """Evict a segment cluster-wide (owner drops it, ring withdraws).
+
+        The owning worker's eviction listener fires back into the
+        cluster, which withdraws the segment from the router and drops
+        the origin copy — later asks fail with the same clean
+        :class:`~repro.errors.CapacityError` a single node raises for a
+        missing segment, instead of routing to a worker that no longer
+        holds the data.
+        """
+        worker_id = self._router.worker_for(segment_id)
+        self._workers[worker_id].evict_segment(segment_id)
+
+    def stats_snapshot(self) -> dict:
+        """Cluster rollup plus per-worker labeled series.
+
+        Every live worker's :meth:`StreamingServer.stats_snapshot`
+        contributes its series re-keyed with a ``worker="N"`` label;
+        :func:`repro.obs.merge_snapshots` folds them with the cluster's
+        own counters (rounds, blocks, rebalances, admission rejections)
+        and gauges (live workers, placed segments, modelled timelines).
+        """
+        per_worker = [
+            _labeled(self._workers[wid].stats_snapshot(), wid)
+            for wid in self.live_workers
+        ]
+        stats = self.stats
+        own = {
+            "counters": {
+                "cluster_blocks_served": float(stats.blocks_served),
+                "cluster_retry_later": float(stats.retry_later_responses),
+                "cluster_rounds_served": float(stats.rounds_served),
+                "cluster_segments_published": float(stats.segments_published),
+                "cluster_segments_rebalanced": float(
+                    stats.segments_rebalanced
+                ),
+                "cluster_segments_withdrawn": float(stats.segments_withdrawn),
+                "cluster_workers_killed": float(stats.workers_killed),
+            },
+            "gauges": {
+                "cluster_gpu_parallel_seconds": stats.gpu_parallel_seconds,
+                "cluster_gpu_serial_seconds": stats.gpu_serial_seconds,
+                "cluster_live_workers": float(self.num_workers),
+                "cluster_pending_blocks": float(self.pending_blocks),
+                "cluster_segments_placed": float(
+                    self._router.advertised_segments
+                ),
+            },
+            "histograms": {},
+        }
+        return merge_snapshots(*per_worker, own)
+
+    # -- failure and rebalance ---------------------------------------------
+
+    def kill_worker(self, worker_id: int) -> dict[int, int]:
+        """Fail a worker; rebalance exactly its segments onto survivors.
+
+        The dead worker leaves the ring, its segments re-place onto the
+        survivors the ring already assigns them (minimal disruption),
+        and its origin copies re-publish there.  Every connected peer's
+        view drops the dead worker's session, so in-flight pending
+        counts vanish and the client NACK path re-requests the missing
+        rank from the new owners — no session loses decoder rank.
+
+        Returns:
+            ``segment_id -> new_worker_id`` for the moved segments.
+
+        Raises:
+            ConfigurationError: if the worker is not live, or it is the
+                last one while segments are still placed.
+        """
+        moved = self._router.rebalance(worker_id)
+        for segment_id, new_worker in moved.items():
+            self._workers[new_worker].publish(self._origin[segment_id])
+        for view in self._peers.values():
+            view._detach(worker_id)
+        self.stats.workers_killed += 1
+        self.stats.segments_rebalanced += len(moved)
+        self._m_killed.inc()
+        self._m_rebalanced.inc(len(moved))
+        self._m_live.set(self.num_workers)
+        return moved
+
+    # -- internal ----------------------------------------------------------
+
+    def _on_worker_eviction(self, worker_id: int, segment_id: int) -> None:
+        """Worker-side eviction callback: withdraw from the ring.
+
+        Only the current owner's eviction withdraws the segment — a
+        stale callback from a worker that lost the segment in a
+        rebalance must not un-place the new owner's copy.
+        """
+        if self._router.placement().get(segment_id) != worker_id:
+            return
+        self._router.withdraw(segment_id)
+        self._origin.pop(segment_id, None)
+        self.stats.segments_withdrawn += 1
+        self._m_withdrawn.inc()
+        self._m_placed.set(self._router.advertised_segments)

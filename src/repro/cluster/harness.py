@@ -1,0 +1,193 @@
+"""Seeded end-to-end cluster workloads, shared by tests, CLI and bench.
+
+One entry point, :func:`run_cluster_workload`, builds a
+:class:`~repro.cluster.cluster.ServingCluster`, publishes deterministic
+segments, fans out NACK-driven
+:class:`~repro.streaming.client.ClientSession` peers through the
+unified serving facade, optionally injects a
+:class:`~repro.faults.WorkerKillPlan` failure mid-flight, and verifies
+every recovered segment byte-for-byte against its origin.  Everything —
+segment payloads, coding coefficients, ring placement, the kill victim
+and its trigger round — derives from the workload seed, so the soak
+test, the ``repro cluster`` demo and the scale-out benchmark all replay
+identical runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster import ClusterStats, ServingCluster
+from repro.errors import RetryExhaustedError
+from repro.faults import WorkerKillPlan
+from repro.gpu.spec import GTX280, DeviceSpec
+from repro.rlnc.block import CodingParams, Segment
+from repro.rlnc.wire import VERSION2
+from repro.streaming.client import ClientSession
+from repro.streaming.session import MediaProfile
+
+
+@dataclass(frozen=True)
+class ClusterWorkloadReport:
+    """What one seeded cluster run did, for assertions and display."""
+
+    num_workers: int
+    num_peers: int
+    num_segments: int
+    rounds: int
+    byte_exact: bool
+    undecoded_peers: tuple[int, ...]
+    mismatched_peers: tuple[int, ...]
+    killed_worker: int | None
+    kill_round: int | None
+    moved_segments: dict[int, int] = field(default_factory=dict)
+    placement_before: dict[int, int] = field(default_factory=dict)
+    placement_after: dict[int, int] = field(default_factory=dict)
+    stats: ClusterStats = field(default_factory=ClusterStats)
+
+    @property
+    def model_speedup(self) -> float:
+        """Modelled scale-out speedup (serial / parallel GPU time)."""
+        return self.stats.model_speedup
+
+
+def make_workload_segments(
+    num_segments: int, params: CodingParams, seed: int
+) -> list[tuple[Segment, bytes]]:
+    """Deterministic origin segments: ``(segment, payload_bytes)`` pairs."""
+    out: list[tuple[Segment, bytes]] = []
+    for segment_id in range(num_segments):
+        rng = np.random.default_rng([seed, 1_000_003, segment_id])
+        data = rng.integers(
+            0, 256, size=params.segment_bytes, dtype=np.uint8
+        ).tobytes()
+        out.append((Segment.from_bytes(data, params, segment_id), data))
+    return out
+
+
+def run_cluster_workload(
+    *,
+    num_workers: int = 4,
+    num_peers: int = 64,
+    num_segments: int = 16,
+    params: CodingParams | None = None,
+    seed: int = 0,
+    spec: DeviceSpec = GTX280,
+    kill_plan: WorkerKillPlan | None = None,
+    wire_version: int = VERSION2,
+    max_rounds: int = 10_000,
+    per_peer_round_quota: int | None = None,
+    max_cluster_pending_blocks: int | None = None,
+) -> ClusterWorkloadReport:
+    """Serve a seeded multi-session workload through a sharded cluster.
+
+    Peer ``i`` fetches segment ``i % num_segments`` to full rank over
+    the wire path (v2 frames by default, so every block arrives stamped
+    with its worker's id).  Each round: incomplete sessions run their
+    NACK ``pre_round``, the cluster drains one coalesced round on every
+    live worker, sessions absorb their frame slices.  A
+    ``per_peer_round_quota`` stretches delivery over multiple rounds
+    (each peer needs ``ceil(n / quota)``), which is what gives a
+    mid-flight failure a window to land in.  When a
+    ``kill_plan`` is given, the victim worker dies the first round
+    workload progress (aggregate decoder rank over total required rank)
+    crosses the plan's threshold — surviving rounds prove the failover
+    path: rebalanced placement, vanished pending counts, NACK
+    re-requests, zero lost decoder rank.
+
+    Returns:
+        A :class:`ClusterWorkloadReport`; ``byte_exact`` is True iff
+        every session decoded and every recovered payload matched its
+        origin bytes exactly.
+    """
+    if params is None:
+        params = CodingParams(num_blocks=32, block_size=1024)
+    profile = MediaProfile(params=params)
+    cluster = ServingCluster(
+        spec,
+        profile,
+        num_workers=num_workers,
+        seed=seed,
+        per_peer_round_quota=per_peer_round_quota,
+        max_cluster_pending_blocks=max_cluster_pending_blocks,
+    )
+    segments = make_workload_segments(num_segments, params, seed)
+    for segment, _ in segments:
+        cluster.publish(segment)
+    placement_before = cluster.placement()
+
+    sessions = [
+        ClientSession(cluster, peer_id, wire_version=wire_version)
+        for peer_id in range(num_peers)
+    ]
+    for peer_id, session in enumerate(sessions):
+        session.begin_segment(peer_id % num_segments)
+
+    total_rank = num_peers * params.num_blocks
+    undecoded: set[int] = set()
+    killed_worker: int | None = None
+    kill_round: int | None = None
+    moved: dict[int, int] = {}
+    rounds = 0
+    while rounds < max_rounds:
+        live = [
+            s for s in sessions if s.peer_id not in undecoded and not s.complete
+        ]
+        if not live:
+            break
+        if kill_plan is not None and not kill_plan.fired:
+            progress = (
+                sum(s.decoder.rank for s in sessions if s.decoder is not None)
+                / total_rank
+            )
+            result = kill_plan.maybe_kill(
+                cluster, progress=progress, round_index=rounds
+            )
+            if result is not None:
+                killed_worker = kill_plan.victim
+                kill_round = rounds
+                moved = result
+        for session in live:
+            try:
+                session.pre_round()
+            except RetryExhaustedError:
+                undecoded.add(session.peer_id)
+        frames = cluster.serve_round(format="frames", version=wire_version)
+        for session in live:
+            if session.peer_id in undecoded:
+                continue
+            try:
+                session.intake(frames.get(session.peer_id))
+            except RetryExhaustedError:
+                undecoded.add(session.peer_id)
+        rounds += 1
+
+    mismatched: list[int] = []
+    for peer_id, session in enumerate(sessions):
+        if peer_id in undecoded:
+            continue
+        if not session.complete:
+            undecoded.add(peer_id)
+            continue
+        _, origin = segments[peer_id % num_segments]
+        recovered = session.finish_segment(len(origin))
+        if recovered.to_bytes() != origin:
+            mismatched.append(peer_id)
+
+    return ClusterWorkloadReport(
+        num_workers=num_workers,
+        num_peers=num_peers,
+        num_segments=num_segments,
+        rounds=rounds,
+        byte_exact=not undecoded and not mismatched,
+        undecoded_peers=tuple(sorted(undecoded)),
+        mismatched_peers=tuple(mismatched),
+        killed_worker=killed_worker,
+        kill_round=kill_round,
+        moved_segments=moved,
+        placement_before=placement_before,
+        placement_after=cluster.placement(),
+        stats=cluster.stats.snapshot(),
+    )

@@ -1,0 +1,135 @@
+"""Consistent-hash placement ring with virtual nodes.
+
+The cluster shards segments across workers the way a production CDN
+shards objects across caches: each worker owns many *virtual nodes*
+(points on a hash ring), and a segment lands on the worker owning the
+first point at or after the segment's own hash.  Virtual nodes smooth
+the load (with ``V`` vnodes per worker the expected imbalance shrinks
+like ``1/sqrt(V)``), and consistent hashing gives the property the
+failover test pins down: removing a worker moves *only* that worker's
+segments — every other placement is untouched.
+
+Determinism contract: all points come from :func:`hashlib.blake2b`
+keyed by the ring seed, never from Python's builtin ``hash`` (which is
+randomized per process by ``PYTHONHASHSEED``).  Equal seeds therefore
+give equal rings in every run, and placement is independent of the
+order workers were added (point collisions resolve to the smallest
+worker id).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import CapacityError, ConfigurationError
+
+#: Default virtual nodes per worker; 64 keeps worst-case imbalance on a
+#: 4-worker ring small enough for the scale-out benchmark's floor.
+DEFAULT_VNODES = 64
+
+
+def _hash_point(seed: int, kind: str, *parts: int) -> int:
+    """A 64-bit ring point, stable across processes and runs."""
+    label = ":".join((str(seed), kind, *(str(part) for part in parts)))
+    digest = hashlib.blake2b(label.encode("ascii"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Seeded consistent-hash ring mapping segment ids to worker ids.
+
+    Args:
+        seed: entropy source for every ring point; equal seeds give
+            equal rings.
+        vnodes: virtual nodes per worker (>= 1).
+    """
+
+    def __init__(self, *, seed: int = 0, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ConfigurationError(f"vnodes must be >= 1, got {vnodes}")
+        self.seed = seed
+        self.vnodes = vnodes
+        #: point -> worker ids claiming it (collisions keep every claimant
+        #: so removals never orphan a surviving worker's point).
+        self._points: dict[int, set[int]] = {}
+        self._sorted_points: list[int] = []
+        self._workers: set[int] = set()
+
+    @property
+    def workers(self) -> tuple[int, ...]:
+        """Worker ids currently on the ring, ascending."""
+        return tuple(sorted(self._workers))
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, worker_id: int) -> bool:
+        return worker_id in self._workers
+
+    def _worker_points(self, worker_id: int) -> list[int]:
+        return [
+            _hash_point(self.seed, "worker", worker_id, replica)
+            for replica in range(self.vnodes)
+        ]
+
+    def add_worker(self, worker_id: int) -> None:
+        """Claim ``vnodes`` ring points for a worker.
+
+        Raises:
+            ConfigurationError: if the worker is already on the ring or
+                the id is negative.
+        """
+        if worker_id < 0:
+            raise ConfigurationError(f"worker id must be >= 0, got {worker_id}")
+        if worker_id in self._workers:
+            raise ConfigurationError(f"worker {worker_id} already on the ring")
+        self._workers.add(worker_id)
+        for point in self._worker_points(worker_id):
+            claimants = self._points.get(point)
+            if claimants is None:
+                self._points[point] = {worker_id}
+                bisect.insort(self._sorted_points, point)
+            else:
+                claimants.add(worker_id)
+
+    def remove_worker(self, worker_id: int) -> None:
+        """Release a worker's ring points (its keys rehash to survivors).
+
+        Raises:
+            ConfigurationError: if the worker is not on the ring.
+        """
+        if worker_id not in self._workers:
+            raise ConfigurationError(f"worker {worker_id} is not on the ring")
+        self._workers.discard(worker_id)
+        for point in self._worker_points(worker_id):
+            claimants = self._points[point]
+            claimants.discard(worker_id)
+            if not claimants:
+                del self._points[point]
+                index = bisect.bisect_left(self._sorted_points, point)
+                del self._sorted_points[index]
+
+    def place(self, segment_id: int) -> int:
+        """The worker owning ``segment_id``: first vnode at/after its hash.
+
+        Point collisions resolve to the smallest claiming worker id, so
+        the answer is a pure function of (seed, membership, segment_id)
+        — insertion order never matters.
+
+        Raises:
+            CapacityError: if the ring has no workers.
+        """
+        if not self._workers:
+            raise CapacityError("cannot place a segment on an empty ring")
+        key = _hash_point(self.seed, "segment", segment_id)
+        index = bisect.bisect_right(self._sorted_points, key)
+        if index == len(self._sorted_points):
+            index = 0
+        return min(self._points[self._sorted_points[index]])
+
+    def placement(self, segment_ids) -> dict[int, int]:
+        """Batch :meth:`place`: ``segment_id -> worker_id`` for each id."""
+        return {
+            segment_id: self.place(segment_id) for segment_id in segment_ids
+        }

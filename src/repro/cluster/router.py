@@ -1,0 +1,136 @@
+"""Segment-to-worker routing for the sharded serving cluster.
+
+The :class:`ClusterRouter` is the cluster's control plane: it owns the
+consistent-hash :class:`~repro.cluster.ring.HashRing`, records which
+worker each published segment lives on, withdraws segments the owning
+worker evicted (so the ring stops advertising data nobody holds), and
+computes the deterministic rebalance that follows a worker failure —
+only the dead worker's segments move, each to the survivor the ring
+already assigns it.
+
+Data-plane note: block requests routed here land in the owning
+worker's queue, where the per-worker round plan is coalesced by the
+worker's embedded
+:class:`~repro.streaming.scheduler.ServeRoundScheduler` — the router
+reuses that machinery (configured cluster-wide through
+``per_peer_round_quota``) instead of planning rounds twice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.cluster.ring import HashRing
+from repro.errors import CapacityError, ConfigurationError
+
+
+class ClusterRouter:
+    """Places segments on workers and routes requests to their owners.
+
+    Args:
+        ring: the placement ring (seeded; see :class:`HashRing`).
+        worker_ids: initial cluster membership, added to the ring in a
+            fixed order (placement is order-independent anyway).
+    """
+
+    def __init__(self, ring: HashRing, worker_ids: Iterable[int]) -> None:
+        self.ring = ring
+        for worker_id in worker_ids:
+            ring.add_worker(worker_id)
+        if not len(ring):
+            raise ConfigurationError("a cluster needs at least one worker")
+        #: segment_id -> owning worker id, for every advertised segment.
+        self._placement: dict[int, int] = {}
+
+    @property
+    def live_workers(self) -> tuple[int, ...]:
+        """Worker ids still on the ring, ascending."""
+        return self.ring.workers
+
+    @property
+    def advertised_segments(self) -> int:
+        return len(self._placement)
+
+    def placement(self) -> dict[int, int]:
+        """A copy of the current ``segment_id -> worker_id`` map."""
+        return dict(self._placement)
+
+    def segments_on(self, worker_id: int) -> list[int]:
+        """Segment ids currently placed on ``worker_id``, ascending."""
+        return sorted(
+            segment_id
+            for segment_id, owner in self._placement.items()
+            if owner == worker_id
+        )
+
+    def advertise(self, segment_id: int) -> int:
+        """Place a new segment on the ring; returns the owning worker.
+
+        Raises:
+            ConfigurationError: if the segment is already advertised.
+            CapacityError: if the ring is empty.
+        """
+        if segment_id in self._placement:
+            raise ConfigurationError(
+                f"segment {segment_id} is already advertised"
+            )
+        worker_id = self.ring.place(segment_id)
+        self._placement[segment_id] = worker_id
+        return worker_id
+
+    def withdraw(self, segment_id: int) -> int | None:
+        """Stop advertising a segment (owner evicted it); idempotent.
+
+        Returns the worker that owned it, or ``None`` if it was not
+        advertised.
+        """
+        return self._placement.pop(segment_id, None)
+
+    def worker_for(self, segment_id: int) -> int:
+        """The worker holding ``segment_id``.
+
+        Raises:
+            CapacityError: if the segment is not advertised (never
+                published, evicted, or withdrawn) — the same clean
+                rejection a single node gives for a missing segment.
+        """
+        worker_id = self._placement.get(segment_id)
+        if worker_id is None:
+            raise CapacityError(
+                f"segment {segment_id} is not placed on the cluster"
+            )
+        return worker_id
+
+    def rebalance(self, dead_worker: int) -> dict[int, int]:
+        """Remove a worker and re-place only its segments.
+
+        Consistent hashing guarantees the minimal-disruption invariant:
+        survivors' vnodes are untouched, so every segment owned by a
+        survivor keeps its placement, and the dead worker's segments
+        rehash deterministically onto the survivors.
+
+        Returns:
+            ``segment_id -> new_worker_id`` for exactly the segments
+            that moved (the dead worker's), in the order they were
+            advertised.
+
+        Raises:
+            ConfigurationError: if the worker is not on the ring, or
+                removing it would empty the ring while segments are
+                still advertised.
+        """
+        if dead_worker not in self.ring:
+            raise ConfigurationError(
+                f"worker {dead_worker} is not on the ring"
+            )
+        if len(self.ring) == 1 and self._placement:
+            raise ConfigurationError(
+                "cannot remove the last worker while segments are placed"
+            )
+        self.ring.remove_worker(dead_worker)
+        moved: dict[int, int] = {}
+        for segment_id, owner in self._placement.items():
+            if owner == dead_worker:
+                moved[segment_id] = self.ring.place(segment_id)
+        self._placement.update(moved)
+        return moved

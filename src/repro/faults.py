@@ -303,3 +303,75 @@ class FaultInjectionChannel:
     def transmit(self, blocks: Iterable[CodedBlock]) -> list[CodedBlock]:
         """Return the blocks the receiver observes under the plan."""
         return self.plan.apply_blocks(blocks)
+
+
+class WorkerKillPlan:
+    """A seeded one-shot worker failure for cluster soak tests.
+
+    Extends the deterministic-fault philosophy to the cluster layer:
+    the victim worker is drawn from the seed at construction (not at
+    kill time), and the kill fires the first time the observed workload
+    progress crosses ``kill_at_progress`` — so a given seed always
+    kills the same worker at the same point of the same workload.  The
+    kill is logged as a :class:`FaultEvent` with action
+    ``"worker_kill"`` (``index`` = the round it fired, ``detail`` = the
+    victim id) for exact test accounting.
+
+    Args:
+        seed: the plan's only entropy source.
+        num_workers: cluster size the victim is drawn from.
+        kill_at_progress: workload-progress fraction in ``[0, 1]`` at
+            which the kill triggers (0.2 = the ISSUE's "20% progress").
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int,
+        num_workers: int,
+        kill_at_progress: float = 0.2,
+    ) -> None:
+        if num_workers < 2:
+            raise ConfigurationError(
+                "killing a worker needs a cluster of >= 2, "
+                f"got {num_workers}"
+            )
+        if not 0.0 <= kill_at_progress <= 1.0:
+            raise ConfigurationError(
+                f"kill_at_progress must be in [0, 1], got {kill_at_progress}"
+            )
+        self.seed = seed
+        self.num_workers = num_workers
+        self.kill_at_progress = kill_at_progress
+        rng = np.random.default_rng([seed, num_workers])
+        self.victim = int(rng.integers(num_workers))
+        self.log: list[FaultEvent] = []
+
+    @property
+    def fired(self) -> bool:
+        return bool(self.log)
+
+    def maybe_kill(self, cluster, *, progress: float, round_index: int):
+        """Kill the victim once ``progress`` crosses the threshold.
+
+        ``cluster`` is duck-typed (anything with ``live_workers`` and
+        ``kill_worker``) so the fault layer stays free of cluster
+        imports.
+
+        Returns:
+            The moved ``segment_id -> new_worker_id`` map when the kill
+            fired this call, else ``None``.
+        """
+        if self.fired or progress < self.kill_at_progress:
+            return None
+        if self.victim not in cluster.live_workers:
+            raise ConfigurationError(
+                f"victim worker {self.victim} is not live"
+            )
+        moved = cluster.kill_worker(self.victim)
+        self.log.append(
+            FaultEvent(
+                index=round_index, action="worker_kill", detail=self.victim
+            )
+        )
+        return moved

@@ -30,6 +30,7 @@ from repro.rlnc.stats import (
     measure_reception_overhead,
 )
 from repro.rlnc.wire import (
+    MAX_WORKER_ID,
     VERSION,
     VERSION2,
     WireStats,
@@ -39,6 +40,7 @@ from repro.rlnc.wire import (
     encode_frame,
     encode_stream,
     frame_size,
+    frame_worker_id,
     pack_blocks,
     pack_frame_into,
     stream_size,
@@ -55,6 +57,7 @@ __all__ = [
     "DuplicatingChannel",
     "Encoder",
     "LossyChannel",
+    "MAX_WORKER_ID",
     "MultiSegmentDecoder",
     "ProgressiveDecoder",
     "RankTracker",
@@ -73,6 +76,7 @@ __all__ = [
     "encode_stream",
     "expected_extra_blocks",
     "frame_size",
+    "frame_worker_id",
     "full_rank_probability",
     "innovative_probability",
     "interleave_round_robin",

@@ -28,7 +28,8 @@ numpy passes instead of one C call per frame:
 offset  size  field
 0       4     magic "RLNC"
 4       1     version (2)
-5       1     flags (bit 0: checksum present)
+5       1     flags (bit 0: checksum present; bits 1-7: worker id + 1,
+              0 = unstamped — see below)
 6       4     segment_id        (big endian)
 10      4     num_blocks n      (big endian)
 14      4     block_size k      (big endian)
@@ -37,6 +38,15 @@ offset  size  field
 22+n    k     payload
 [22+n+k 8     digest64 trailer (big endian)  when flags bit 0 is set]
 ```
+
+Version-2 frames may additionally be *worker-stamped*: a sharded
+serving cluster records which worker produced each frame in the upper
+seven flag bits (``worker_id + 1``, so zero keeps meaning "unstamped"
+and single-node writers are byte-identical to before).  Readers that
+predate the stamp only test bit 0, so stamped frames parse everywhere;
+:func:`frame_worker_id` recovers the stamp, and the digest covers the
+flags byte, so a corrupted stamp is detected like any other header
+damage.
 
 Readers accept both versions; writers emit version 1 unless asked for
 ``version=2``, so PR 2 peers parse this writer's default output and
@@ -84,6 +94,10 @@ MAGIC = b"RLNC"
 VERSION = 1
 VERSION2 = 2
 FLAG_CHECKSUM = 0x01
+#: Largest worker id a version-2 frame can carry (7 flag bits hold
+#: ``worker_id + 1``, and 0 means "unstamped").
+MAX_WORKER_ID = 126
+_WORKER_SHIFT = 1
 _HEADER = struct.Struct(">4sBBIII")
 _HEADER2 = struct.Struct(">4sBBIIII")
 _CRC = struct.Struct(">I")
@@ -289,6 +303,36 @@ def _header_struct(version: int) -> struct.Struct:
     raise WireError(f"unsupported frame version {version}")
 
 
+def _worker_flag_bits(version: int, worker_id: int | None) -> int:
+    """Flag bits carrying an optional version-2 worker stamp."""
+    if worker_id is None:
+        return 0
+    if version != VERSION2:
+        raise WireError(
+            f"worker-id stamping needs version-2 frames, got version {version}"
+        )
+    if not 0 <= worker_id <= MAX_WORKER_ID:
+        raise WireError(
+            f"worker_id must be in [0, {MAX_WORKER_ID}], got {worker_id}"
+        )
+    return (worker_id + 1) << _WORKER_SHIFT
+
+
+def frame_worker_id(data, offset: int = 0) -> int | None:
+    """The worker id stamped on the frame at ``offset``, or ``None``.
+
+    Version-1 frames and unstamped version-2 frames return ``None``.
+
+    Raises:
+        WireError: if the bytes at ``offset`` are not a parseable
+            frame header.
+    """
+    view = memoryview(data)
+    _, flags, _, _, _, _, _ = _parse_header(view, offset)
+    stamp = (flags >> _WORKER_SHIFT) & 0x7F
+    return stamp - 1 if stamp else None
+
+
 def frame_size(
     num_blocks: int, block_size: int, *, checksum: bool = True, version: int = VERSION
 ) -> int:
@@ -322,14 +366,16 @@ def pack_frame_into(
     checksum: bool = True,
     version: int = VERSION,
     sequence: int = 0,
+    worker_id: int | None = None,
 ) -> int:
     """Write one frame into ``buffer`` at ``offset``; return bytes written.
 
     ``buffer`` is any writable buffer (``bytearray``, ``memoryview``,
     ``np.ndarray``).  The coefficient and payload arrays are copied into
     place through memoryview slice assignment — no intermediate
-    ``bytes()`` objects are materialized.  ``sequence`` is carried only
-    by version-2 frames (it wraps mod 2^32).
+    ``bytes()`` objects are materialized.  ``sequence`` and the optional
+    ``worker_id`` stamp are carried only by version-2 frames (the
+    sequence wraps mod 2^32).
     """
     n, k = block.num_blocks, block.block_size
     header = _header_struct(version)
@@ -339,7 +385,9 @@ def pack_frame_into(
         raise WireError(
             f"buffer too small: need {offset + size} bytes, have {len(view)}"
         )
-    flags = FLAG_CHECKSUM if checksum else 0
+    flags = (FLAG_CHECKSUM if checksum else 0) | _worker_flag_bits(
+        version, worker_id
+    )
     if version == VERSION:
         header.pack_into(view, offset, MAGIC, version, flags, block.segment_id, n, k)
     else:
@@ -381,6 +429,7 @@ def pack_blocks(
     offset: int = 0,
     version: int = VERSION,
     first_sequence: int = 0,
+    worker_id: int | None = None,
 ) -> memoryview:
     """Serialize a whole batch into one contiguous buffer; return its view.
 
@@ -388,8 +437,9 @@ def pack_blocks(
     strided numpy assignments into the (optionally caller-preallocated)
     buffer.  Version-1 integrity is one CRC32 C call per frame;
     version-2 computes every frame's :func:`digest64` in one vectorized
-    pass and stamps consecutive sequence numbers starting at
-    ``first_sequence``.  When ``out`` is omitted a fresh ``bytearray``
+    pass, stamps consecutive sequence numbers starting at
+    ``first_sequence``, and carries the optional ``worker_id`` stamp in
+    every frame's flags.  When ``out`` is omitted a fresh ``bytearray``
     of exactly :func:`stream_size` bytes is allocated; pass a reusable
     buffer (and an ``offset``) to pack several batches back to back
     without reallocating — the round-based serving pipeline packs every
@@ -416,7 +466,9 @@ def pack_blocks(
     if m == 0:
         return region
     frames = np.frombuffer(region, dtype=np.uint8).reshape(m, size_one)
-    flags = FLAG_CHECKSUM if checksum else 0
+    flags = (FLAG_CHECKSUM if checksum else 0) | _worker_flag_bits(
+        version, worker_id
+    )
     if version == VERSION:
         packed = header.pack(MAGIC, version, flags, batch.segment_id, n, k)
     else:

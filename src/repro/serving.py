@@ -1,0 +1,93 @@
+"""The unified serving facade: one protocol, one node or a cluster.
+
+Four PRs grew several serving entry points (``serve``, ``serve_round``,
+``serve_round_frames``, ``request_blocks``, ``drive_sessions``); this
+module is the coherent surface that replaces them.  Everything a
+consumer needs routes through :class:`ServingEndpoint` — implemented by
+both the single-node :class:`~repro.streaming.server.StreamingServer`
+and the sharded :class:`~repro.cluster.cluster.ServingCluster` — so
+examples, tests and benchmarks drive either interchangeably::
+
+    from repro.serving import ServingCluster, ClientSession, drive_sessions
+
+    endpoint = ServingCluster(GTX280, profile, num_workers=4, seed=7)
+    endpoint.publish(segment)
+    session = ClientSession(endpoint, peer_id=1)
+    data = session.fetch_segment(segment.segment_id)
+
+Deprecations (one release grace, warn on use):
+
+* ``StreamingServer.serve_round_frames(...)`` ->
+  ``serve_round(format="frames", ...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.cluster.cluster import ClusterStats, ServingCluster
+from repro.errors import RetryLater
+from repro.rlnc.block import Segment
+from repro.streaming.client import ClientSession, SessionStats, drive_sessions
+from repro.streaming.server import ServerStats, StreamingServer
+from repro.streaming.session import MediaProfile
+
+
+@runtime_checkable
+class ServingEndpoint(Protocol):
+    """What it means to serve network-coded segments.
+
+    The structural contract shared by :class:`StreamingServer` (one
+    simulated GPU) and :class:`ServingCluster` (N of them behind a
+    consistent-hash ring).  :class:`ClientSession` and
+    :func:`drive_sessions` are written against this protocol only, so
+    transports and tests never care which side of the scale-out line
+    they run on.
+
+    Beyond the methods below, an endpoint's ``connect`` must return an
+    object exposing ``blocks_pending`` (the client's NACK accounting
+    reads it between rounds), and ``profile`` must carry the media and
+    coding geometry.
+    """
+
+    profile: MediaProfile
+
+    def publish(self, segment: Segment) -> None:
+        """Make a segment servable (upload + any placement)."""
+        ...
+
+    def connect(self, peer_id: int):
+        """Register a peer; returns its session/pending view."""
+        ...
+
+    def request_blocks(
+        self, peer_id: int, segment_id: int, num_blocks: int
+    ) -> RetryLater | None:
+        """Enqueue an ask; ``RetryLater`` when shed at admission."""
+        ...
+
+    def serve_round(
+        self,
+        *,
+        format: str = "batches",
+        checksum: bool = True,
+        version: int = 1,
+    ) -> dict:
+        """Drain one coalesced scheduling round (batches or frames)."""
+        ...
+
+    def stats_snapshot(self) -> dict:
+        """A registry-shaped counters/gauges/histograms snapshot."""
+        ...
+
+
+__all__ = [
+    "ClientSession",
+    "ClusterStats",
+    "ServerStats",
+    "ServingCluster",
+    "ServingEndpoint",
+    "SessionStats",
+    "StreamingServer",
+    "drive_sessions",
+]

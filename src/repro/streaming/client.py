@@ -26,7 +26,8 @@ Two layers live here:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -42,8 +43,10 @@ from repro.obs.trace import trace
 from repro.rlnc.block import Segment
 from repro.rlnc.decoder import ProgressiveDecoder
 from repro.rlnc.wire import VERSION2, WireStats, frame_size, unpack_frame
-from repro.streaming.server import StreamingServer
 from repro.streaming.session import MediaProfile
+
+if TYPE_CHECKING:
+    from repro.serving import ServingEndpoint
 
 
 @dataclass
@@ -186,13 +189,47 @@ class SessionStats:
     segments_completed: int = 0
     wire: WireStats = field(default_factory=WireStats)
 
+    def snapshot(self) -> "SessionStats":
+        """An independent copy of the current totals (wire included)."""
+        values = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "wire"
+        }
+        return SessionStats(wire=self.wire.snapshot(), **values)
+
+    def delta(self, since: "SessionStats") -> "SessionStats":
+        """Counts accumulated after ``since`` (an earlier snapshot)."""
+        values = {
+            f.name: getattr(self, f.name) - getattr(since, f.name)
+            for f in fields(self)
+            if f.name != "wire"
+        }
+        return SessionStats(wire=self.wire.delta(since.wire), **values)
+
+    def reset(self) -> "SessionStats":
+        """Zero the counters; returns a snapshot of the values cleared.
+
+        The same explicit cumulative contract as
+        :class:`~repro.rlnc.wire.WireStats` and
+        :class:`~repro.streaming.server.ServerStats`: nothing in the
+        transport ever resets a stats object behind the caller's back.
+        """
+        cleared = self.snapshot()
+        for f in fields(self):
+            if f.name != "wire":
+                setattr(self, f.name, f.default)
+        self.wire.reset()
+        return cleared
+
 
 class ClientSession:
     """A reliable, NACK-driven fetch loop over the serving pipeline.
 
     One round of the protocol is ``pre_round`` (decide whether to ask
-    the server for missing rank), the server's ``serve_round_frames``
-    (driven by the caller or by :meth:`fetch_segment`), then
+    the server for missing rank), the server's
+    ``serve_round(format="frames")`` (driven by the caller or by
+    :meth:`fetch_segment`), then
     :meth:`intake` (lenient unpack + decoder absorb + retry
     bookkeeping).  Loss and corruption — optionally injected
     deterministically through a :class:`~repro.faults.FaultPlan` — are
@@ -200,7 +237,11 @@ class ClientSession:
     off exponentially after rounds that make no rank progress.
 
     Args:
-        server: the serving side (shared by all sessions under test).
+        server: the serving side (shared by all sessions under test) —
+            any :class:`~repro.serving.ServingEndpoint`, so one session
+            drives a single :class:`~repro.streaming.server.StreamingServer`
+            and a sharded :class:`~repro.cluster.ServingCluster`
+            identically.
         peer_id: this session's peer identity; connected on construction.
         fault_plan: optional deterministic fault injector applied to
             every received frame list (the wire under test).
@@ -222,7 +263,7 @@ class ClientSession:
 
     def __init__(
         self,
-        server: StreamingServer,
+        server: "ServingEndpoint",
         peer_id: int,
         *,
         fault_plan: FaultPlan | None = None,
@@ -449,7 +490,7 @@ class ClientSession:
         """Fetch one segment to completion, driving server rounds.
 
         The single-session convenience loop: each iteration runs
-        ``pre_round`` → ``serve_round_frames`` → ``intake`` until the
+        ``pre_round`` → ``serve_round(format="frames")`` → ``intake`` until the
         decoder reaches full rank.  Multi-session tests drive the same
         primitives through :func:`drive_sessions` instead, so every
         session shares each server round.
@@ -462,8 +503,8 @@ class ClientSession:
         self.begin_segment(segment_id)
         while not self.complete:
             self.pre_round()
-            frames = self.server.serve_round_frames(
-                checksum=self.checksum, version=self.wire_version
+            frames = self.server.serve_round(
+                format="frames", checksum=self.checksum, version=self.wire_version
             )
             self.intake(frames.get(self.peer_id))
         return self.finish_segment(original_length)
@@ -504,7 +545,7 @@ class ClientSession:
 
 
 def drive_sessions(
-    server: StreamingServer,
+    server: "ServingEndpoint",
     sessions: list[ClientSession],
     *,
     max_rounds: int = 10_000,
@@ -542,7 +583,9 @@ def drive_sessions(
         for session in sessions:
             if not session.complete:
                 session.pre_round()
-        frames = server.serve_round_frames(checksum=checksum, version=version)
+        frames = server.serve_round(
+            format="frames", checksum=checksum, version=version
+        )
         for session in sessions:
             if not session.complete:
                 session.intake(frames.get(session.peer_id))

@@ -19,15 +19,24 @@ Two serving paths coexist:
   engine-level batch encode (one coefficient draw, one bulk multiply,
   one cost-model charge), then fans the combined block matrix back out
   as zero-copy per-peer :class:`BlockBatch` row views.
-  :meth:`StreamingServer.serve_round_frames` additionally serializes the
-  whole round into one reused contiguous wire buffer and hands each peer
-  a ``memoryview`` slice of it.
+  ``serve_round(format="frames")`` additionally serializes the whole
+  round into one reused contiguous wire buffer and hands each peer a
+  ``memoryview`` slice of it.
+
+The server implements the :class:`repro.serving.ServingEndpoint`
+protocol, so anything written against the unified serving facade drives
+a single node and a sharded :class:`~repro.cluster.ServingCluster`
+interchangeably.  The pre-facade spelling
+:meth:`StreamingServer.serve_round_frames` remains as a deprecated shim
+for one release.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
-from dataclasses import dataclass
+from collections.abc import Callable
+from dataclasses import dataclass, fields
 
 import numpy as np
 
@@ -38,7 +47,7 @@ from repro.kernels.encode import GpuEncoder
 from repro.obs.registry import get_registry
 from repro.obs.trace import trace
 from repro.rlnc.block import BlockBatch, CodedBlock, Segment
-from repro.rlnc.wire import VERSION, pack_blocks, stream_size
+from repro.rlnc.wire import VERSION, VERSION2, pack_blocks, stream_size
 from repro.streaming.capacity import segments_in_device_memory
 from repro.streaming.scheduler import BlockRequest, ServeRoundScheduler
 from repro.streaming.session import MediaProfile, PeerSession
@@ -46,7 +55,14 @@ from repro.streaming.session import MediaProfile, PeerSession
 
 @dataclass
 class ServerStats:
-    """Aggregate accounting for one server lifetime."""
+    """Aggregate accounting for one server lifetime.
+
+    Accumulation follows the same explicit cumulative contract as
+    :class:`~repro.rlnc.wire.WireStats`: the server only ever *adds* to
+    these counters.  Callers wanting per-round or per-phase figures take
+    a :meth:`snapshot` before the phase and diff with :meth:`delta`, or
+    :meth:`reset` between phases.
+    """
 
     segments_stored: int = 0
     blocks_served: int = 0
@@ -66,6 +82,31 @@ class ServerStats:
             return 0.0
         return self.bytes_served / self.gpu_seconds
 
+    def snapshot(self) -> "ServerStats":
+        """An independent copy of the current totals."""
+        return ServerStats(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def delta(self, since: "ServerStats") -> "ServerStats":
+        """Counts accumulated after ``since`` (an earlier snapshot)."""
+        return ServerStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def reset(self) -> "ServerStats":
+        """Zero the counters; returns a snapshot of the values cleared."""
+        cleared = self.snapshot()
+        for f in fields(self):
+            setattr(self, f.name, f.default)
+        return cleared
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
 
 class StreamingServer:
     """Serves network-coded media segments to downstream peers.
@@ -83,6 +124,12 @@ class StreamingServer:
             ask may shed the largest queued request (priority to
             nearly-complete sessions); otherwise the server answers with
             :class:`~repro.errors.RetryLater` instead of queueing.
+        worker_id: when the server runs as one worker of a sharded
+            cluster, its cluster-assigned id; version-2 frames it packs
+            are stamped with it (see
+            :func:`~repro.rlnc.wire.frame_worker_id`).  ``None`` (the
+            single-node default) leaves frames unstamped and
+            byte-identical to previous releases.
     """
 
     def __init__(
@@ -94,6 +141,7 @@ class StreamingServer:
         rng: np.random.Generator | None = None,
         per_peer_round_quota: int | None = None,
         max_pending_blocks: int | None = None,
+        worker_id: int | None = None,
     ) -> None:
         if max_pending_blocks is not None and max_pending_blocks < 1:
             raise ConfigurationError(
@@ -101,6 +149,8 @@ class StreamingServer:
             )
         self.spec = spec
         self.profile = profile
+        self.worker_id = worker_id
+        self._eviction_listeners: list[Callable[[int], None]] = []
         self._encoder = GpuEncoder(spec, scheme)
         self._rng = rng if rng is not None else np.random.default_rng()
         self._segments: dict[int, Segment] = {}
@@ -134,6 +184,36 @@ class StreamingServer:
     @property
     def segment_capacity(self) -> int:
         return self._capacity
+
+    def stats_snapshot(self) -> dict:
+        """A JSON-able snapshot of this server's serving counters.
+
+        Shaped like a :meth:`repro.obs.MetricsRegistry.snapshot`
+        (``counters``/``gauges``/``histograms`` sections), so per-worker
+        snapshots fold into a cluster rollup with
+        :func:`repro.obs.merge_snapshots`.  Cumulative fields land under
+        ``counters``; point-in-time occupancy under ``gauges``.
+        """
+        stats = self.stats
+        return {
+            "counters": {
+                "server_blocks_served": float(stats.blocks_served),
+                "server_bytes_served": float(stats.bytes_served),
+                "server_encode_calls": float(stats.encode_calls),
+                "server_gpu_seconds": stats.gpu_seconds,
+                "server_requests_shed": float(stats.requests_shed),
+                "server_retry_later": float(stats.retry_later_responses),
+                "server_rounds_served": float(stats.rounds_served),
+                "server_sessions_evicted": float(stats.sessions_evicted),
+                "server_upload_seconds": stats.upload_seconds,
+            },
+            "gauges": {
+                "server_queue_blocks": float(self.pending_blocks),
+                "server_queue_depth": float(len(self._queue)),
+                "server_segments_stored": float(len(self._segments)),
+            },
+            "histograms": {},
+        }
 
     @property
     def pending_requests(self) -> int:
@@ -170,6 +250,23 @@ class StreamingServer:
         self.stats.upload_seconds += self._encoder.upload_segment(segment)
         self.stats.segments_stored = len(self._segments)
 
+    def publish(self, segment: Segment) -> None:
+        """Upload a segment (the :class:`~repro.serving.ServingEndpoint`
+        spelling of :meth:`publish_segment`)."""
+        self.publish_segment(segment)
+
+    def add_eviction_listener(self, listener: Callable[[int], None]) -> None:
+        """Register a callback fired with the segment id on every eviction.
+
+        A cluster router subscribes here so a worker-local
+        :meth:`evict_segment` (e.g. the live window sliding past a
+        segment) immediately stops the cluster ring from advertising the
+        segment — without the hook, queued cluster requests for the
+        evicted segment would strand and new asks would keep routing to
+        a worker that no longer holds the data.
+        """
+        self._eviction_listeners.append(listener)
+
     def evict_segment(self, segment_id: int) -> None:
         """Drop a segment from the device store (e.g. past the live edge).
 
@@ -177,9 +274,11 @@ class StreamingServer:
         long-running live session does not accumulate preprocessing for
         segments past the live edge.  Queued requests for the evicted
         segment are dropped (their pending counts are returned to the
-        sessions).
+        sessions), and every registered eviction listener is notified —
+        this is how a cluster router learns to withdraw the segment from
+        its placement ring.
         """
-        self._segments.pop(segment_id, None)
+        evicted = self._segments.pop(segment_id, None)
         self._encoder.drop_segment(segment_id)
         self.stats.segments_stored = len(self._segments)
         if self._queue:
@@ -194,6 +293,9 @@ class StreamingServer:
                 else:
                     kept.append(request)
             self._queue = kept
+        if evicted is not None:
+            for listener in self._eviction_listeners:
+                listener(segment_id)
 
     def connect(self, peer_id: int) -> PeerSession:
         """Register a peer session (idempotent; reconnect after eviction)."""
@@ -337,7 +439,13 @@ class StreamingServer:
         self._m_queue_blocks.set(self.pending_blocks)
         return None
 
-    def serve_round(self) -> dict[int, list[BlockBatch]]:
+    def serve_round(
+        self,
+        *,
+        format: str = "batches",
+        checksum: bool = True,
+        version: int = VERSION,
+    ) -> dict[int, list[BlockBatch]] | dict[int, memoryview]:
         """Drain one scheduling round of the request queue.
 
         All pending requests against the same segment coalesce into a
@@ -346,15 +454,47 @@ class StreamingServer:
         :class:`BlockBatch` per (peer, segment) grant.  Requests beyond
         a peer's round quota stay queued for the next round.
 
+        The unified serving entry point: ``format`` selects the
+        delivery representation (this call replaces the pre-facade
+        ``serve_round_frames`` method).
+
+        Args:
+            format: ``"batches"`` (default) returns ``peer_id ->
+                [BlockBatch, ...]`` zero-copy row views; ``"frames"``
+                additionally packs the round into one reused contiguous
+                wire buffer and returns ``peer_id -> memoryview`` slices
+                of it (valid until the next frames round — consume or
+                copy before then).
+            checksum: frames format only — whether frames carry
+                integrity trailers.
+            version: frames format only — wire format version.
+                ``version=2`` emits the integrity format: digest
+                trailers, per-session monotonic sequence numbers (from
+                :attr:`~repro.streaming.session.PeerSession.tx_sequence`)
+                and, when the server has a :attr:`worker_id`, the
+                cluster worker stamp.
+
         Returns:
-            ``peer_id -> [BlockBatch, ...]`` for every peer granted
-            blocks this round (empty dict when the queue is empty).
+            The per-peer grants in the requested representation (empty
+            dict when the queue is empty).
 
         Raises:
+            ConfigurationError: on an unknown ``format``.
             CapacityError: if a queued segment was evicted behind the
                 queue's back (cannot normally happen —
                 :meth:`evict_segment` drops its queued requests).
         """
+        if format == "batches":
+            return self._round_batches()
+        if format == "frames":
+            return self._round_frames(checksum=checksum, version=version)
+        raise ConfigurationError(
+            f"unknown serve_round format {format!r}; "
+            "expected 'batches' or 'frames'"
+        )
+
+    def _round_batches(self) -> dict[int, list[BlockBatch]]:
+        """One scheduling round, delivered as zero-copy block batches."""
         if not self._queue:
             return {}
         with trace("serve_round"):
@@ -404,24 +544,36 @@ class StreamingServer:
     def serve_round_frames(
         self, *, checksum: bool = True, version: int = VERSION
     ) -> dict[int, memoryview]:
+        """Deprecated: use ``serve_round(format="frames")`` instead.
+
+        Thin shim kept for one release so pre-facade callers keep
+        working; it forwards to the unified entry point and emits a
+        :class:`DeprecationWarning`.
+        """
+        warnings.warn(
+            "StreamingServer.serve_round_frames() is deprecated; "
+            "use serve_round(format='frames') instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.serve_round(
+            format="frames", checksum=checksum, version=version
+        )
+
+    def _round_frames(
+        self, *, checksum: bool, version: int
+    ) -> dict[int, memoryview]:
         """Serve one round straight onto the wire, zero-copy.
 
-        Runs :meth:`serve_round`, then packs every granted batch into a
+        Runs the batches round, then packs every granted batch into a
         single contiguous wire buffer (sized up front with
         :func:`repro.rlnc.wire.stream_size`, reused and grown across
         rounds) and returns each peer's frames as a ``memoryview`` slice
         of that buffer — no per-block ``bytes()`` objects anywhere on
-        the path.  The views alias the reused buffer, so they are valid
-        until the next ``serve_round_frames`` call; consume or copy them
-        before then.
-
-        ``version=2`` emits the integrity wire format: every frame gets
-        a digest trailer and a per-session monotonic sequence number
-        (from :attr:`~repro.streaming.session.PeerSession.tx_sequence`),
-        which is what the fault-tolerant client consumes.
+        the path.
         """
         with trace("serve_round"):
-            fanout = self.serve_round()
+            fanout = self._round_batches()
             total = sum(
                 stream_size(
                     len(batch),
@@ -438,6 +590,7 @@ class StreamingServer:
             view = memoryview(self._wire_buffer)
             frames: dict[int, memoryview] = {}
             offset = 0
+            stamp = self.worker_id if version == VERSION2 else None
             with trace("wire_pack"):
                 for peer_id, batches in fanout.items():
                     start = offset
@@ -450,6 +603,7 @@ class StreamingServer:
                             offset=offset,
                             version=version,
                             first_sequence=session.tx_sequence,
+                            worker_id=stamp,
                         )
                         session.tx_sequence += len(batch)
                         offset += len(packed)

@@ -1,0 +1,321 @@
+"""Tests for the sharded serving cluster: routing, failover, rollups."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ServingCluster, run_cluster_workload
+from repro.errors import CapacityError, ConfigurationError, RetryLater
+from repro.faults import WorkerKillPlan
+from repro.gpu import GTX280
+from repro.rlnc import VERSION2, CodingParams, Segment, frame_worker_id
+from repro.streaming import MediaProfile
+
+SMALL_PROFILE = MediaProfile(params=CodingParams(8, 64))
+
+
+def make_cluster(num_workers=4, seed=7, **kwargs):
+    return ServingCluster(
+        GTX280, SMALL_PROFILE, num_workers=num_workers, seed=seed, **kwargs
+    )
+
+
+def make_segment(segment_id=0, seed=1):
+    return Segment.random(
+        SMALL_PROFILE.params, np.random.default_rng(seed), segment_id=segment_id
+    )
+
+
+def publish_many(cluster, count):
+    segments = [make_segment(i, seed=100 + i) for i in range(count)]
+    for segment in segments:
+        cluster.publish(segment)
+    return segments
+
+
+class TestPlacementRouting:
+    def test_requests_land_on_the_owning_worker(self):
+        cluster = make_cluster()
+        publish_many(cluster, 8)
+        cluster.connect(1)
+        placement = cluster.placement()
+        for segment_id, owner in placement.items():
+            cluster.request_blocks(1, segment_id, 2)
+            assert cluster.worker(owner).pending_requests > 0
+        queued = sum(
+            cluster.worker(w).pending_blocks for w in cluster.live_workers
+        )
+        assert queued == 2 * len(placement) == cluster.pending_blocks
+
+    def test_placement_is_deterministic_given_seed(self):
+        a = make_cluster(seed=5)
+        b = make_cluster(seed=5)
+        publish_many(a, 16)
+        publish_many(b, 16)
+        assert a.placement() == b.placement()
+
+    def test_unplaced_segment_is_a_clean_capacity_error(self):
+        cluster = make_cluster()
+        cluster.connect(1)
+        with pytest.raises(CapacityError):
+            cluster.request_blocks(1, 99, 2)
+
+    def test_double_publish_rejected(self):
+        cluster = make_cluster()
+        segment = make_segment(0)
+        cluster.publish(segment)
+        with pytest.raises(ConfigurationError):
+            cluster.publish(segment)
+
+    def test_unknown_peer_rejected(self):
+        cluster = make_cluster()
+        publish_many(cluster, 1)
+        with pytest.raises(ConfigurationError):
+            cluster.request_blocks(42, 0, 2)
+
+    def test_disconnect_matches_single_server_contract(self):
+        # Evicted peer -> CapacityError (clean rejection the retry loop
+        # surfaces); never-connected stays ConfigurationError; reconnect
+        # re-admits.  Same contract as StreamingServer.disconnect.
+        cluster = make_cluster()
+        publish_many(cluster, 1)
+        cluster.connect(1)
+        cluster.disconnect(1)
+        with pytest.raises(CapacityError):
+            cluster.request_blocks(1, 0, 2)
+        cluster.connect(1)
+        assert cluster.request_blocks(1, 0, 2) is None
+
+
+class TestWorkerStamping:
+    def test_v2_frames_carry_the_owning_workers_id(self):
+        cluster = make_cluster()
+        publish_many(cluster, 8)
+        cluster.connect(1)
+        placement = cluster.placement()
+        for segment_id in placement:
+            cluster.request_blocks(1, segment_id, 1)
+        frames = cluster.serve_round(format="frames", version=VERSION2)
+        stamped = set()
+        payload = bytes(frames[1])
+        offset = 0
+        n, k = SMALL_PROFILE.params.num_blocks, SMALL_PROFILE.params.block_size
+        from repro.rlnc import frame_size
+
+        step = frame_size(n, k, version=VERSION2)
+        while offset < len(payload):
+            stamped.add(frame_worker_id(payload, offset))
+            offset += step
+        assert stamped == set(placement.values())
+
+
+class TestAdmission:
+    def test_cluster_level_retry_later(self):
+        cluster = make_cluster(max_cluster_pending_blocks=4)
+        publish_many(cluster, 2)
+        cluster.connect(1)
+        assert cluster.request_blocks(1, 0, 4) is None
+        response = cluster.request_blocks(1, 1, 4)
+        assert isinstance(response, RetryLater)
+        assert cluster.stats.retry_later_responses == 1
+
+    def test_worker_level_retry_later_propagates(self):
+        cluster = make_cluster(max_pending_blocks=4)
+        publish_many(cluster, 1)
+        cluster.connect(1)
+        cluster.connect(2)
+        owner = cluster.placement()[0]
+        assert cluster.request_blocks(1, 0, 4) is None
+        response = cluster.request_blocks(2, 0, 4)
+        assert isinstance(response, RetryLater)
+        assert cluster.worker(owner).stats.retry_later_responses == 1
+        assert cluster.stats.retry_later_responses == 1
+
+
+class TestEvictionWithdrawsPlacement:
+    def test_cluster_eviction_stops_advertising(self):
+        cluster = make_cluster()
+        publish_many(cluster, 4)
+        cluster.connect(1)
+        cluster.evict_segment(2)
+        assert 2 not in cluster.placement()
+        assert cluster.stats.segments_withdrawn == 1
+        with pytest.raises(CapacityError):
+            cluster.request_blocks(1, 2, 1)
+
+    def test_worker_local_eviction_notifies_the_router(self):
+        # The PR 5 fix: a worker evicting behind the cluster's back
+        # (live window sliding) must withdraw the ring advertisement.
+        cluster = make_cluster()
+        publish_many(cluster, 4)
+        cluster.connect(1)
+        owner = cluster.placement()[3]
+        cluster.worker(owner).evict_segment(3)
+        assert 3 not in cluster.placement()
+        with pytest.raises(CapacityError):
+            cluster.request_blocks(1, 3, 1)
+
+    def test_stale_eviction_after_rebalance_keeps_new_owner(self):
+        cluster = make_cluster()
+        publish_many(cluster, 8)
+        placement = cluster.placement()
+        victim = placement[0]
+        moved = cluster.kill_worker(victim)
+        assert moved  # segment 0 moved somewhere
+        # The dead worker still holds its local copy; its eviction must
+        # not un-place the new owner's copy.
+        cluster._workers[victim].evict_segment(0)
+        assert cluster.placement()[0] == moved[0]
+
+
+class TestFailover:
+    def test_rebalance_moves_only_the_dead_workers_segments(self):
+        cluster = make_cluster(seed=5)
+        publish_many(cluster, 16)
+        before = cluster.placement()
+        victims = [w for w in cluster.live_workers if w in before.values()]
+        dead = victims[0]
+        moved = cluster.kill_worker(dead)
+        after = cluster.placement()
+        assert set(moved) == {s for s, w in before.items() if w == dead}
+        for segment_id, owner in before.items():
+            if owner == dead:
+                assert after[segment_id] != dead
+            else:
+                assert after[segment_id] == owner
+        assert cluster.stats.segments_rebalanced == len(moved)
+        assert cluster.stats.workers_killed == 1
+
+    def test_rebalance_is_deterministic(self):
+        runs = []
+        for _ in range(2):
+            cluster = make_cluster(seed=9)
+            publish_many(cluster, 16)
+            runs.append(cluster.kill_worker(cluster.live_workers[0]))
+        assert runs[0] == runs[1]
+
+    def test_moved_segments_are_servable_on_the_new_owner(self):
+        cluster = make_cluster(seed=5)
+        segments = publish_many(cluster, 8)
+        cluster.connect(1)
+        dead = cluster.placement()[segments[0].segment_id]
+        moved = cluster.kill_worker(dead)
+        for segment_id, new_owner in moved.items():
+            assert cluster.request_blocks(1, segment_id, 2) is None
+            assert cluster.worker(new_owner).pending_blocks >= 2
+
+    def test_killing_the_last_worker_is_rejected(self):
+        cluster = make_cluster(num_workers=1)
+        publish_many(cluster, 1)
+        with pytest.raises(ConfigurationError):
+            cluster.kill_worker(0)
+
+    def test_dead_worker_is_not_inspectable(self):
+        cluster = make_cluster()
+        cluster.kill_worker(2)
+        with pytest.raises(ConfigurationError):
+            cluster.worker(2)
+
+
+class TestStatsRollup:
+    def test_snapshot_has_worker_labels_and_cluster_counters(self):
+        cluster = make_cluster(num_workers=2)
+        publish_many(cluster, 4)
+        cluster.connect(1)
+        for segment_id in range(4):
+            cluster.request_blocks(1, segment_id, 2)
+        cluster.serve_round()
+        snap = cluster.stats_snapshot()
+        assert snap["counters"]['server_rounds_served{worker="0"}'] >= 0
+        assert snap["counters"]["cluster_rounds_served"] == 1.0
+        assert snap["gauges"]["cluster_live_workers"] == 2.0
+        served = sum(
+            snap["counters"][f'server_blocks_served{{worker="{w}"}}']
+            for w in cluster.live_workers
+        )
+        assert served == snap["counters"]["cluster_blocks_served"] == 8.0
+
+    def test_parallel_timeline_is_the_critical_path(self):
+        cluster = make_cluster()
+        publish_many(cluster, 8)
+        cluster.connect(1)
+        for segment_id in range(8):
+            cluster.request_blocks(1, segment_id, 4)
+        cluster.serve_round()
+        stats = cluster.stats
+        per_worker = [
+            cluster.worker(w).stats.gpu_seconds for w in cluster.live_workers
+        ]
+        assert stats.gpu_serial_seconds == pytest.approx(sum(per_worker))
+        assert stats.gpu_parallel_seconds == pytest.approx(max(per_worker))
+        assert stats.model_speedup > 1.0
+
+
+class TestSeededWorkloads:
+    def test_64_sessions_over_4_workers_decode_byte_exactly(self):
+        report = run_cluster_workload(
+            num_workers=4,
+            num_peers=64,
+            num_segments=16,
+            params=CodingParams(16, 256),
+            seed=0,
+        )
+        assert report.byte_exact
+        assert not report.undecoded_peers
+        assert not report.mismatched_peers
+        assert report.stats.model_speedup > 1.0
+
+    def test_soak_survives_worker_kill_at_twenty_percent(self):
+        plan = WorkerKillPlan(seed=2, num_workers=4, kill_at_progress=0.2)
+        report = run_cluster_workload(
+            num_workers=4,
+            num_peers=32,
+            num_segments=16,
+            params=CodingParams(16, 256),
+            seed=2,
+            per_peer_round_quota=2,
+            kill_plan=plan,
+        )
+        assert report.killed_worker == plan.victim
+        assert report.kill_round is not None and report.kill_round > 0
+        assert plan.log[0].action == "worker_kill"
+        # every moved segment belonged to the victim, and the survivors
+        # finished every session byte-exactly with zero undecodables
+        for segment_id in report.moved_segments:
+            assert report.placement_before[segment_id] == plan.victim
+        assert report.byte_exact
+        assert not report.undecoded_peers
+        assert report.stats.workers_killed == 1
+
+    def test_workload_is_reproducible(self):
+        kwargs = dict(
+            num_workers=3,
+            num_peers=6,
+            num_segments=6,
+            params=CodingParams(8, 64),
+            seed=4,
+            per_peer_round_quota=2,
+        )
+        a = run_cluster_workload(**kwargs)
+        b = run_cluster_workload(**kwargs)
+        assert a.rounds == b.rounds
+        assert a.placement_before == b.placement_before
+        assert a.stats.as_dict() == b.stats.as_dict()
+
+
+class TestConstruction:
+    def test_worker_count_bounds(self):
+        with pytest.raises(ConfigurationError):
+            make_cluster(num_workers=0)
+        with pytest.raises(ConfigurationError):
+            make_cluster(num_workers=128)
+
+    def test_bad_cluster_admission_bound(self):
+        with pytest.raises(ConfigurationError):
+            make_cluster(max_cluster_pending_blocks=0)
+
+    def test_failed_publish_rolls_back_placement(self):
+        cluster = make_cluster()
+        wrong = Segment.random(CodingParams(4, 64), np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            cluster.publish(wrong)
+        assert cluster.stored_segments == 0

@@ -1,0 +1,95 @@
+"""Property tests for the consistent-hash placement ring."""
+
+import pytest
+
+from repro.cluster import HashRing
+from repro.errors import CapacityError, ConfigurationError
+
+SEGMENTS = range(256)
+
+
+def make_ring(seed=7, workers=range(4), vnodes=64):
+    ring = HashRing(seed=seed, vnodes=vnodes)
+    for worker_id in workers:
+        ring.add_worker(worker_id)
+    return ring
+
+
+class TestDeterminism:
+    def test_same_seed_same_placement(self):
+        a = make_ring(seed=11).placement(SEGMENTS)
+        b = make_ring(seed=11).placement(SEGMENTS)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = make_ring(seed=1).placement(SEGMENTS)
+        b = make_ring(seed=2).placement(SEGMENTS)
+        assert a != b
+
+    def test_insertion_order_does_not_matter(self):
+        forward = make_ring(workers=[0, 1, 2, 3]).placement(SEGMENTS)
+        backward = make_ring(workers=[3, 2, 1, 0]).placement(SEGMENTS)
+        assert forward == backward
+
+
+class TestMinimalDisruption:
+    @pytest.mark.parametrize("dead", [0, 1, 2, 3])
+    def test_removal_moves_only_the_dead_workers_keys(self, dead):
+        ring = make_ring()
+        before = ring.placement(SEGMENTS)
+        ring.remove_worker(dead)
+        after = ring.placement(SEGMENTS)
+        for segment_id in SEGMENTS:
+            if before[segment_id] != dead:
+                assert after[segment_id] == before[segment_id]
+            else:
+                assert after[segment_id] != dead
+
+    def test_readding_is_not_required_for_survivors(self):
+        ring = make_ring()
+        ring.remove_worker(2)
+        assert ring.workers == (0, 1, 3)
+        assert all(owner != 2 for owner in ring.placement(SEGMENTS).values())
+
+
+class TestBalance:
+    def test_every_worker_owns_some_segments(self):
+        counts = {worker_id: 0 for worker_id in range(4)}
+        for owner in make_ring().placement(SEGMENTS).values():
+            counts[owner] += 1
+        assert all(count > 0 for count in counts.values())
+
+    def test_more_vnodes_smooth_the_split(self):
+        coarse = make_ring(vnodes=1).placement(SEGMENTS)
+        fine = make_ring(vnodes=128).placement(SEGMENTS)
+
+        def spread(placement):
+            counts = [0, 0, 0, 0]
+            for owner in placement.values():
+                counts[owner] += 1
+            return max(counts) - min(counts)
+
+        assert spread(fine) <= spread(coarse)
+
+
+class TestErrors:
+    def test_empty_ring_cannot_place(self):
+        with pytest.raises(CapacityError):
+            HashRing(seed=0).place(1)
+
+    def test_duplicate_worker_rejected(self):
+        ring = make_ring()
+        with pytest.raises(ConfigurationError):
+            ring.add_worker(0)
+
+    def test_unknown_worker_removal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_ring().remove_worker(9)
+
+    def test_negative_worker_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(seed=0).add_worker(-1)
+
+    def test_bad_vnodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(seed=0, vnodes=0)

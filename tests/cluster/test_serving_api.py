@@ -1,0 +1,168 @@
+"""Tests for the unified repro.serving facade and the stats contract."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ConfigurationError
+from repro.gpu import GTX280
+from repro.rlnc import CodingParams, Segment
+from repro.serving import (
+    ClientSession,
+    ServingCluster,
+    ServingEndpoint,
+    StreamingServer,
+    drive_sessions,
+)
+from repro.streaming import MediaProfile, ServerStats, SessionStats
+
+SMALL_PROFILE = MediaProfile(params=CodingParams(8, 64))
+
+
+def make_segment(segment_id=0, seed=1):
+    return Segment.random(
+        SMALL_PROFILE.params, np.random.default_rng(seed), segment_id=segment_id
+    )
+
+
+def make_server():
+    return StreamingServer(
+        GTX280, SMALL_PROFILE, rng=np.random.default_rng(0)
+    )
+
+
+def make_cluster(num_workers=1):
+    return ServingCluster(
+        GTX280, SMALL_PROFILE, num_workers=num_workers, seed=0
+    )
+
+
+class TestProtocol:
+    def test_server_and_cluster_implement_serving_endpoint(self):
+        assert isinstance(make_server(), ServingEndpoint)
+        assert isinstance(make_cluster(), ServingEndpoint)
+
+    @pytest.mark.parametrize("factory", [make_server, make_cluster])
+    def test_one_driver_serves_both_endpoints(self, factory):
+        endpoint = factory()
+        segment = make_segment(0)
+        endpoint.publish(segment)
+        sessions = [
+            ClientSession(endpoint, peer_id) for peer_id in range(3)
+        ]
+        for session in sessions:
+            session.begin_segment(0)
+        drive_sessions(endpoint, sessions)
+        for session in sessions:
+            recovered = session.finish_segment()
+            assert np.array_equal(recovered.blocks, segment.blocks)
+
+    def test_connect_exposes_blocks_pending(self):
+        for endpoint in (make_server(), make_cluster(num_workers=2)):
+            endpoint.publish(make_segment(0))
+            view = endpoint.connect(5)
+            assert view.blocks_pending == 0
+            endpoint.request_blocks(5, 0, 3)
+            assert view.blocks_pending == 3
+
+
+class TestUnifiedServeRound:
+    def test_frames_format_matches_deprecated_spelling(self):
+        results = []
+        for use_shim in (False, True):
+            server = make_server()
+            server.publish_segment(make_segment(0))
+            server.connect(1)
+            server.request_blocks(1, 0, 4)
+            if use_shim:
+                with pytest.deprecated_call():
+                    frames = server.serve_round_frames()
+            else:
+                frames = server.serve_round(format="frames")
+            results.append(bytes(frames[1]))
+        assert results[0] == results[1]
+
+    def test_unknown_format_rejected(self):
+        server = make_server()
+        with pytest.raises(ConfigurationError):
+            server.serve_round(format="blocks")
+        cluster = make_cluster()
+        with pytest.raises(ConfigurationError):
+            cluster.serve_round(format="blocks")
+
+    def test_batches_is_the_default_format(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        server.connect(1)
+        server.request_blocks(1, 0, 2)
+        fanout = server.serve_round()
+        assert 1 in fanout
+        assert len(fanout[1][0]) == 2
+
+
+class TestStatsContract:
+    def test_server_stats_snapshot_delta_reset(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        server.connect(1)
+        before = server.stats.snapshot()
+        server.serve(1, 0, 4)
+        delta = server.stats.delta(before)
+        assert delta.blocks_served == 4
+        assert delta.gpu_seconds > 0
+        cleared = server.stats.reset()
+        assert cleared.blocks_served == server.stats.blocks_served + 4
+        assert server.stats.blocks_served == 0
+
+    def test_session_stats_snapshot_delta_reset(self):
+        server = make_server()
+        segment = make_segment(0)
+        server.publish_segment(segment)
+        session = ClientSession(server, 1)
+        before = session.stats.snapshot()
+        session.fetch_segment(0)
+        delta = session.stats.delta(before)
+        assert delta.segments_completed == 1
+        assert delta.wire.frames_ok > 0
+        cleared = session.stats.reset()
+        assert cleared.segments_completed == 1
+        assert session.stats.segments_completed == 0
+        assert session.stats.wire.frames_ok == 0
+
+    def test_cluster_stats_snapshot_delta_reset(self):
+        cluster = make_cluster(num_workers=2)
+        cluster.publish(make_segment(0))
+        cluster.connect(1)
+        cluster.request_blocks(1, 0, 4)
+        before = cluster.stats.snapshot()
+        cluster.serve_round()
+        delta = cluster.stats.delta(before)
+        assert delta.rounds_served == 1
+        assert delta.blocks_served == 4
+        cleared = cluster.stats.reset()
+        assert cleared.segments_published == 1
+        assert cluster.stats.rounds_served == 0
+
+
+class TestRootReexports:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "ClientSession",
+            "ClusterStats",
+            "ServerStats",
+            "ServingCluster",
+            "ServingEndpoint",
+            "SessionStats",
+            "StreamingServer",
+            "WorkerKillPlan",
+            "drive_sessions",
+        ],
+    )
+    def test_serving_api_is_importable_from_the_root(self, name):
+        assert hasattr(repro, name)
+        assert name in repro.__all__
+
+    def test_stats_classes_are_the_same_objects(self):
+        assert repro.ServerStats is ServerStats
+        assert repro.SessionStats is SessionStats

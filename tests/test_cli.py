@@ -125,3 +125,46 @@ class TestStatsCommand:
     def test_missing_snapshot_file_fails(self, tmp_path, capsys):
         assert main(["stats", str(tmp_path / "missing.json")]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestClusterCommand:
+    def test_demo_run_is_byte_exact(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster",
+                    "--workers", "2",
+                    "--peers", "4",
+                    "--segments", "4",
+                    "-n", "8",
+                    "-k", "64",
+                    "--seed", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "initial placement" in out
+        assert "byte-exact: yes" in out
+        assert "speedup" in out
+
+    def test_kill_injection_reports_failover(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster",
+                    "--workers", "4",
+                    "--peers", "8",
+                    "--segments", "8",
+                    "-n", "8",
+                    "-k", "64",
+                    "--quota", "2",
+                    "--kill-at", "0.2",
+                    "--seed", "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "failover: killed worker" in out
+        assert "byte-exact: yes" in out

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro",
     "repro.baselines",
     "repro.bench",
+    "repro.cluster",
     "repro.cpu",
     "repro.gf256",
     "repro.gf65536",
@@ -21,6 +22,7 @@ PACKAGES = [
     "repro.kernels",
     "repro.p2p",
     "repro.rlnc",
+    "repro.serving",
     "repro.streaming",
 ]
 
