@@ -51,6 +51,12 @@ ENCODE_SPEEDUP_FLOOR = 2.0
 SERVER_ROUND_SPEEDUP_FLOOR = 5.0
 CLUSTER_SCALEOUT_FLOOR = 1.6
 
+#: Measured wall-clock floors for the multiprocess substrate.  Only
+#: asserted (and only gated by check_bench_regression.py) when the host
+#: actually has the cores — ``wall_gate`` in the recorded payload.
+WALL_SPEEDUP_FLOOR_W2 = 1.3
+WALL_SPEEDUP_FLOOR_W4 = 1.5
+
 _results: dict[str, object] = {
     "smoke": SMOKE,
     "shapes": {
@@ -557,18 +563,29 @@ def test_cached_log_segment_encode_block():
 
 
 def test_cluster_scaleout():
-    """Modelled round throughput of the sharded cluster at 1/2/4 workers.
+    """Cluster scale-out at 1/2/4 workers: modelled AND measured.
 
-    The workers are independent simulated devices, so the honest
-    scale-out figure lives on the *modelled* parallel timeline: a
-    cluster round costs the maximum of the per-worker modelled GPU
-    deltas (critical path), and rounds/s is rounds served over that
-    accumulated time.  Real threads would only un-measure this — the
-    GF(2^8) table kernels serialize on the GIL — while the cost model
-    is deterministic and machine-independent.  The floor is the PR
-    acceptance criterion: >= 1.6x round throughput at 4 workers vs 1,
-    which consistent-hash placement must clear despite imbalance
-    (speedup = segments / max-loaded worker).
+    Two figures per worker count, from the two execution substrates:
+
+    * **modelled** (serial substrate): the workers are independent
+      simulated devices, so a cluster round costs the maximum of the
+      per-worker modelled GPU deltas (critical path) and rounds/s is
+      rounds over that accumulated time.  Deterministic and
+      machine-independent; floored at >= 1.6x at 4 workers, which
+      consistent-hash placement must clear despite imbalance
+      (speedup = segments / max-loaded worker).
+    * **measured** (parallel substrate): wall time of the identical
+      pass with every worker a real OS process packing frames into its
+      shared-memory ring.  ``wall_speedup_wN`` compares the parallel
+      substrate against *itself* at one worker, so process/IPC overhead
+      is inside the baseline and the ratio isolates scale-out.  Floors
+      (1.3x @ 2, 1.5x @ 4) are asserted only when ``wall_gate`` — the
+      host has >= 4 cores and this is a full run — since a one-core CI
+      container can't (and shouldn't) witness parallel speedup.
+
+    ``byte_exact`` records that the 4-worker parallel pass emitted
+    frames byte-identical to the serial substrate before any timing is
+    trusted.
     """
     from repro.cluster import ServingCluster
     from repro.rlnc.wire import VERSION2
@@ -580,32 +597,54 @@ def test_cluster_scaleout():
         for i in range(CLUSTER_SEGMENTS)
     ]
 
-    payload: dict[str, object] = {
-        "segments": CLUSTER_SEGMENTS,
-        "peers": CLUSTER_PEERS,
-        "rounds": CLUSTER_ROUNDS,
-    }
-    model_rounds_per_s: dict[int, float] = {}
-    for workers in (1, 2, 4):
+    def build(workers, parallel):
         cluster = ServingCluster(
-            GTX280, profile, num_workers=workers, seed=13
+            GTX280, profile, num_workers=workers, seed=13, parallel=parallel
         )
         for segment in segments:
             cluster.publish(segment)
         for peer in range(CLUSTER_PEERS):
             cluster.connect(peer)
+        return cluster
 
-        def one_pass(cluster=cluster):
-            for _ in range(CLUSTER_ROUNDS):
-                for peer in range(CLUSTER_PEERS):
-                    cluster.request_blocks(
-                        peer,
-                        peer % CLUSTER_SEGMENTS,
-                        SERVER_BLOCKS_PER_PEER,
-                    )
-                cluster.serve_round(format="frames", version=VERSION2)
+    def one_pass(cluster, collect=False):
+        collected = []
+        for _ in range(CLUSTER_ROUNDS):
+            for peer in range(CLUSTER_PEERS):
+                cluster.request_blocks(
+                    peer, peer % CLUSTER_SEGMENTS, SERVER_BLOCKS_PER_PEER
+                )
+            frames = cluster.serve_round(format="frames", version=VERSION2)
+            if collect:
+                collected.append(
+                    {peer: bytes(data) for peer, data in frames.items()}
+                )
+        return collected
 
-        wall_seconds = best_of(one_pass)
+    cpu_count = os.cpu_count() or 1
+    wall_gate = not SMOKE and cpu_count >= 4
+    payload: dict[str, object] = {
+        "segments": CLUSTER_SEGMENTS,
+        "peers": CLUSTER_PEERS,
+        "rounds": CLUSTER_ROUNDS,
+        "cpu_count": cpu_count,
+        "wall_gate": wall_gate,
+    }
+
+    # Byte-exactness across substrates before any timing is trusted.
+    with build(4, parallel=True) as mirror:
+        reference = build(4, parallel=False)
+        serial_frames = one_pass(reference, collect=True)
+        parallel_frames = one_pass(mirror, collect=True)
+    payload["byte_exact"] = serial_frames == parallel_frames
+    assert payload["byte_exact"], (
+        "parallel substrate diverged from the serial reference"
+    )
+
+    model_rounds_per_s: dict[int, float] = {}
+    for workers in (1, 2, 4):
+        cluster = build(workers, parallel=False)
+        wall_seconds = best_of(lambda: one_pass(cluster))
         stats = cluster.stats
         model_rounds_per_s[workers] = (
             stats.rounds_served / stats.gpu_parallel_seconds
@@ -617,6 +656,17 @@ def test_cluster_scaleout():
         payload[f"model_speedup_w{workers}"] = (
             model_rounds_per_s[workers] / model_rounds_per_s[1]
         )
+
+        with build(workers, parallel=True) as cluster:
+            cluster.serve_round()  # warm the worker processes
+            payload[f"parallel_wall_seconds_w{workers}"] = best_of(
+                lambda: one_pass(cluster)
+            )
+    for workers in (2, 4):
+        payload[f"wall_speedup_w{workers}"] = (
+            payload["parallel_wall_seconds_w1"]
+            / payload[f"parallel_wall_seconds_w{workers}"]
+        )
     record("cluster_scaleout", payload)
     if not SMOKE:
         speedup = payload["model_speedup_w4"]
@@ -625,3 +675,14 @@ def test_cluster_scaleout():
             f"than 1 worker on the modelled timeline "
             f"(floor {CLUSTER_SCALEOUT_FLOOR}x)"
         )
+    if wall_gate:
+        for workers, floor in (
+            (2, WALL_SPEEDUP_FLOOR_W2),
+            (4, WALL_SPEEDUP_FLOOR_W4),
+        ):
+            measured = payload[f"wall_speedup_w{workers}"]
+            assert measured >= floor, (
+                f"{workers}-worker parallel substrate measured only "
+                f"{measured:.2f}x wall speedup on a {cpu_count}-core "
+                f"host (floor {floor}x)"
+            )

@@ -4,9 +4,12 @@
 Compares a freshly generated ``BENCH_hot_paths.json`` against the
 committed baseline (the copy checked out at the build's ref).  Every
 higher-is-better throughput key below may drop at most ``--tolerance``
-(default 25%) before the check fails; speedup *floors* are asserted by
-the benchmark suite itself, so this gate only watches the measured
-trajectory.
+(default 25%) before the check fails.  Two absolute checks ride along:
+the parallel cluster substrate must have produced byte-exact output
+(``cluster_scaleout.byte_exact``), and — on hosts whose fresh run set
+``wall_gate`` — its measured wall speedups must clear the 1.3x/1.5x
+floors at 2/4 workers.  The remaining speedup floors are asserted by
+the benchmark suite itself.
 
 The fresh run must be a full-mode run: smoke-mode shapes sit below the
 engine's amortization break-even and their throughputs are meaningless,
@@ -37,6 +40,53 @@ THROUGHPUT_KEYS: dict[str, tuple[str, ...]] = {
     "cluster_scaleout": ("model_rounds_per_s_w1", "model_rounds_per_s_w4"),
 }
 
+#: Measured wall-clock floors for the multiprocess cluster substrate,
+#: enforced only when the fresh run's ``wall_gate`` is true (full-mode
+#: run on a host with >= 4 cores) — a one-core runner cannot witness
+#: parallel speedup and must not fail on its absence.
+WALL_SPEEDUP_FLOORS: dict[str, float] = {
+    "wall_speedup_w2": 1.3,
+    "wall_speedup_w4": 1.5,
+}
+
+
+def check_cluster_substrate(fresh: dict) -> list[str]:
+    """Absolute checks on the parallel substrate (no baseline needed)."""
+    failures: list[str] = []
+    section = fresh.get("cluster_scaleout")
+    if section is None:
+        return ["fresh results are missing section 'cluster_scaleout'"]
+    if section.get("byte_exact") is not True:
+        failures.append(
+            "cluster_scaleout.byte_exact is not True: the parallel "
+            "substrate diverged from the serial reference"
+        )
+    for key in WALL_SPEEDUP_FLOORS:
+        if key not in section:
+            failures.append(f"fresh cluster_scaleout.{key} is missing")
+    if not section.get("wall_gate"):
+        print(
+            "note: wall_gate is off "
+            f"(cpu_count={section.get('cpu_count')}); recording wall "
+            "speedups without enforcing floors"
+        )
+        return failures
+    for key, floor in WALL_SPEEDUP_FLOORS.items():
+        if key not in section:
+            continue
+        measured = float(section[key])
+        status = "ok" if measured >= floor else "BELOW FLOOR"
+        print(
+            f"{'cluster_scaleout.' + key:<55} floor={floor:>10.3g} "
+            f"fresh={measured:>10.3g}  {status}"
+        )
+        if measured < floor:
+            failures.append(
+                f"cluster_scaleout.{key} measured {measured:.2f}x, "
+                f"below the {floor}x floor"
+            )
+    return failures
+
 
 def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     """Return a list of failure messages (empty = gate passes)."""
@@ -49,7 +99,7 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
         return failures
     if baseline.get("smoke"):
         print("note: baseline is a smoke-mode run; skipping comparison")
-        return failures
+        return check_cluster_substrate(fresh)
     for section, keys in THROUGHPUT_KEYS.items():
         fresh_section = fresh.get(section)
         if fresh_section is None:
@@ -84,6 +134,7 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
                 f"{section + '.' + key:<55} baseline={base:>10.3g} "
                 f"fresh={new:>10.3g} ratio={ratio:>6.2f}  {status}"
             )
+    failures.extend(check_cluster_substrate(fresh))
     return failures
 
 

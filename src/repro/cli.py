@@ -14,7 +14,8 @@ Four subcommands cover the workflows a user of the paper's system runs:
 * ``repro cluster`` — demo the sharded serving cluster: consistent-hash
   placement, a seeded multi-session workload, optional mid-flight
   worker kill with deterministic rebalance, and the modelled scale-out
-  speedup.
+  speedup; ``--parallel`` runs the same workload on real process
+  workers with shared-memory block buffers.
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -186,6 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--kill-at", type=float, default=None,
         help="kill a seed-drawn victim worker at this progress fraction "
         "(e.g. 0.2); omitted = no failure injection",
+    )
+    cluster.add_argument(
+        "--parallel", action="store_true",
+        help="run each worker as its own OS process with shared-memory "
+        "block buffers (byte-identical output; a --kill-at victim is a "
+        "real process)",
     )
     cluster.add_argument("--seed", type=int, default=0)
     return parser
@@ -446,9 +453,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         seed=args.seed,
         kill_plan=kill_plan,
         per_peer_round_quota=args.quota,
+        parallel=args.parallel,
     )
+    mode = "process workers" if args.parallel else "in-process workers"
     print(
-        f"sharded serving cluster: {args.workers} workers, "
+        f"sharded serving cluster: {args.workers} {mode}, "
         f"{args.segments} segments, {args.peers} peers, seed {args.seed}"
     )
     by_worker: dict[int, list[int]] = {}
@@ -477,6 +486,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         f"parallel {stats.gpu_parallel_seconds * 1e3:.3f} ms, "
         f"speedup {report.model_speedup:.2f}x"
     )
+    print(f"wall time: {report.wall_seconds:.3f} s")
     if report.undecoded_peers:
         print(f"undecoded peers: {list(report.undecoded_peers)}")
     if report.mismatched_peers:

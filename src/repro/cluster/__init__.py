@@ -1,11 +1,18 @@
 """Sharded serving cluster: consistent-hash placement over N workers.
 
-The repo's first horizontal-scaling primitive.  Segments shard across
+The repo's horizontal-scaling primitive.  Segments shard across
 :class:`~repro.streaming.server.StreamingServer` workers via a seeded
 consistent-hash ring with virtual nodes; a router sends every block
 request to the segment's owner and rebalances deterministically when a
 worker dies.  The cluster speaks the same
 :class:`~repro.serving.ServingEndpoint` surface as a single server.
+
+Two execution substrates sit behind that surface: the default
+in-process cluster (deterministic reference) and ``parallel=True``,
+which hosts each worker in its own OS process with
+:class:`~repro.cluster.shm.BlockRing` shared-memory block buffers and
+an async round-dispatch loop — byte-identical output, real-core wall
+speedup.
 """
 
 from repro.cluster.cluster import ClusterPeerView, ClusterStats, ServingCluster
@@ -16,15 +23,21 @@ from repro.cluster.harness import (
 )
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.cluster.router import ClusterRouter
+from repro.cluster.shm import RING_NAME_PREFIX, BlockRing
+from repro.cluster.worker import WorkerBootstrap, WorkerProcess
 
 __all__ = [
+    "BlockRing",
     "ClusterPeerView",
     "ClusterRouter",
     "ClusterStats",
     "ClusterWorkloadReport",
     "DEFAULT_VNODES",
     "HashRing",
+    "RING_NAME_PREFIX",
     "ServingCluster",
+    "WorkerBootstrap",
+    "WorkerProcess",
     "make_workload_segments",
     "run_cluster_workload",
 ]

@@ -9,22 +9,45 @@ to the segment's owner.  The cluster implements the same
 :class:`~repro.streaming.client.ClientSession` and
 :func:`~repro.streaming.client.drive_sessions` drive either unchanged.
 
+Execution model — two interchangeable substrates behind one facade:
+
+* ``parallel=False`` (default): every worker is an in-process
+  :class:`~repro.streaming.server.StreamingServer`.  Rounds run
+  worker-after-worker in one interpreter; deterministic, dependency
+  free, and the byte-exactness reference the parallel mode is compared
+  against.  Real *threads* would add nothing here — the arithmetic
+  below the cost model is NumPy fancy-indexing that serializes on the
+  GIL — which is exactly why scale-out needs processes.
+* ``parallel=True``: every worker is a
+  :class:`~repro.cluster.worker.WorkerProcess` — a separate OS process
+  hosting the identical ``StreamingServer`` object graph (same
+  ``default_rng([seed, w])`` stream, same ``worker_id`` stamp), with
+  block payloads crossing the boundary through
+  :class:`~repro.cluster.shm.BlockRing` shared memory and only control
+  messages on the command pipes.  :meth:`ServingCluster.serve_round`
+  becomes an async dispatch loop: it fires every live worker's round,
+  then barriers and merges in ascending worker order — so the output
+  is byte-identical to the serial substrate while the encodes run on
+  real cores.  Parallel clusters own OS resources: :meth:`close` them
+  (or use the cluster as a context manager).
+
 Timeline model: the workers are *separate simulated devices*, so a
 cluster round's modelled cost is the **critical path** — the maximum of
 the per-worker modelled GPU time spent that round — while the serial
 cost (what one device would have paid) is the sum.  Both accumulate in
 :class:`ClusterStats`; their ratio is the cluster's modelled scale-out
-speedup, which the ``cluster_scaleout`` benchmark pins to >= 1.6x at 4
-workers.  Real threads would add nothing here: the arithmetic below the
-cost model is NumPy fancy-indexing that serializes on the GIL.
+speedup.  The ``cluster_scaleout`` benchmark pins the modelled ratio at
+>= 1.6x at 4 workers and, on hosts with enough cores, the *measured*
+wall-clock speedup of the parallel substrate at >= 1.5x.
 
 Failure model: :meth:`ServingCluster.kill_worker` drops a worker
-mid-flight.  The router rebalances exactly that worker's segments onto
-survivors (re-published from the cluster's origin copies — the durable
-store a real deployment would read from), the dead worker's per-peer
-pending counts vanish from every :class:`ClusterPeerView`, and each
-client's NACK path re-requests precisely its missing rank from the new
-owners.  Decoder state is client-side, so no session loses rank.
+mid-flight — in parallel mode by SIGKILLing the actual process.  The
+router rebalances exactly that worker's segments onto survivors
+(re-published from the cluster's origin copies — the durable store a
+real deployment would read from), the dead worker's per-peer pending
+counts vanish from every :class:`ClusterPeerView`, and each client's
+NACK path re-requests precisely its missing rank from the new owners.
+Decoder state is client-side, so no session loses rank.
 """
 
 from __future__ import annotations
@@ -35,12 +58,13 @@ import numpy as np
 
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.cluster.router import ClusterRouter
+from repro.cluster.worker import WorkerProcess
 from repro.errors import CapacityError, ConfigurationError, RetryLater
 from repro.gpu.spec import DeviceSpec
 from repro.kernels.cost_model import EncodeScheme
 from repro.obs.registry import get_registry, merge_snapshots
 from repro.rlnc.block import BlockBatch, Segment
-from repro.rlnc.wire import MAX_WORKER_ID, VERSION
+from repro.rlnc.wire import MAX_WORKER_ID, VERSION, unpack_blocks
 from repro.streaming.server import StreamingServer
 from repro.streaming.session import MediaProfile, PeerSession
 
@@ -171,6 +195,13 @@ class ServingCluster:
         max_cluster_pending_blocks: cluster-wide admission bound across
             all worker queues; asks beyond it get
             :class:`~repro.errors.RetryLater` before touching a worker.
+        parallel: True runs every worker as its own OS process with
+            shared-memory block buffers (see the module docstring);
+            False (default) keeps the in-process substrate.  Both
+            produce byte-identical output for the same seed.
+        start_method: parallel only — multiprocessing start method
+            override (default: ``REPRO_MP_START_METHOD`` env var, else
+            fork where available).
     """
 
     def __init__(
@@ -185,6 +216,8 @@ class ServingCluster:
         per_peer_round_quota: int | None = None,
         max_pending_blocks: int | None = None,
         max_cluster_pending_blocks: int | None = None,
+        parallel: bool = False,
+        start_method: str | None = None,
     ) -> None:
         if not 1 <= num_workers <= MAX_WORKER_ID + 1:
             raise ConfigurationError(
@@ -202,24 +235,44 @@ class ServingCluster:
         self.spec = spec
         self.profile = profile
         self.seed = seed
+        self.parallel = parallel
+        self._closed = False
         self._max_cluster_pending_blocks = max_cluster_pending_blocks
-        self._workers: dict[int, StreamingServer] = {}
-        for worker_id in range(num_workers):
-            worker = StreamingServer(
-                spec,
-                profile,
-                scheme=scheme,
-                rng=np.random.default_rng([seed, worker_id]),
-                per_peer_round_quota=per_peer_round_quota,
-                max_pending_blocks=max_pending_blocks,
-                worker_id=worker_id,
-            )
-            worker.add_eviction_listener(
-                lambda segment_id, wid=worker_id: self._on_worker_eviction(
-                    wid, segment_id
+        self._workers: dict[int, StreamingServer | WorkerProcess] = {}
+        try:
+            for worker_id in range(num_workers):
+                if parallel:
+                    worker: StreamingServer | WorkerProcess = WorkerProcess(
+                        worker_id,
+                        spec,
+                        profile,
+                        scheme=scheme,
+                        seed=seed,
+                        per_peer_round_quota=per_peer_round_quota,
+                        max_pending_blocks=max_pending_blocks,
+                        start_method=start_method,
+                    )
+                else:
+                    worker = StreamingServer(
+                        spec,
+                        profile,
+                        scheme=scheme,
+                        rng=np.random.default_rng([seed, worker_id]),
+                        per_peer_round_quota=per_peer_round_quota,
+                        max_pending_blocks=max_pending_blocks,
+                        worker_id=worker_id,
+                    )
+                worker.add_eviction_listener(
+                    lambda segment_id, wid=worker_id: self._on_worker_eviction(
+                        wid, segment_id
+                    )
                 )
-            )
-            self._workers[worker_id] = worker
+                self._workers[worker_id] = worker
+        except Exception:
+            for worker in self._workers.values():
+                if isinstance(worker, WorkerProcess):
+                    worker.shutdown()
+            raise
         self._router = ClusterRouter(
             HashRing(seed=seed, vnodes=vnodes_per_worker),
             range(num_workers),
@@ -252,8 +305,14 @@ class ServingCluster:
     def num_workers(self) -> int:
         return len(self._router.live_workers)
 
-    def worker(self, worker_id: int) -> StreamingServer:
-        """A live worker by id (for inspection; raises if dead/unknown)."""
+    def worker(self, worker_id: int) -> StreamingServer | WorkerProcess:
+        """A live worker by id (for inspection; raises if dead/unknown).
+
+        In-process clusters return the worker's
+        :class:`~repro.streaming.server.StreamingServer`; parallel
+        clusters return its
+        :class:`~repro.cluster.worker.WorkerProcess` handle.
+        """
         if worker_id not in self._router.ring:
             raise ConfigurationError(f"worker {worker_id} is not live")
         return self._workers[worker_id]
@@ -374,8 +433,10 @@ class ServingCluster:
         """Drain one scheduling round on every live worker.
 
         Workers run their rounds independently (separate simulated
-        devices); results merge per peer in ascending worker order, so
-        a given cluster state always yields the same delivery.  The
+        devices — and in parallel mode, separate OS processes whose
+        rounds are dispatched concurrently and barriered); results
+        merge per peer in ascending worker order, so a given cluster
+        state always yields the same delivery on either substrate.  The
         round's modelled cost on the parallel timeline is the largest
         per-worker GPU delta (critical path); the serial price is the
         sum — both accumulate in :attr:`stats`.
@@ -399,24 +460,14 @@ class ServingCluster:
                 f"unknown serve_round format {format!r}; "
                 "expected 'batches' or 'frames'"
             )
-        merged: dict[int, list] = {}
-        parallel = 0.0
-        serial = 0.0
-        blocks = 0
-        served = False
-        for worker_id in self.live_workers:
-            worker = self._workers[worker_id]
-            before = worker.stats.snapshot()
-            result = worker.serve_round(
-                format=format, checksum=checksum, version=version
+        if self.parallel:
+            merged, parallel, serial, blocks, served = self._round_parallel(
+                format, checksum, version
             )
-            delta = worker.stats.delta(before)
-            parallel = max(parallel, delta.gpu_seconds)
-            serial += delta.gpu_seconds
-            blocks += delta.blocks_served
-            served = served or bool(result)
-            for peer_id, payload in result.items():
-                merged.setdefault(peer_id, []).append(payload)
+        else:
+            merged, parallel, serial, blocks, served = self._round_serial(
+                format, checksum, version
+            )
         if served:
             self.stats.rounds_served += 1
             self.stats.blocks_served += blocks
@@ -438,6 +489,105 @@ class ServingCluster:
             for peer_id, parts in merged.items()
         }
 
+    def _round_serial(
+        self, format: str, checksum: bool, version: int
+    ) -> tuple[dict[int, list], float, float, int, bool]:
+        """One round on the in-process substrate, worker after worker."""
+        merged: dict[int, list] = {}
+        parallel = 0.0
+        serial = 0.0
+        blocks = 0
+        served = False
+        for worker_id in self.live_workers:
+            worker = self._workers[worker_id]
+            before = worker.stats.snapshot()
+            result = worker.serve_round(
+                format=format, checksum=checksum, version=version
+            )
+            delta = worker.stats.delta(before)
+            parallel = max(parallel, delta.gpu_seconds)
+            serial += delta.gpu_seconds
+            blocks += delta.blocks_served
+            served = served or bool(result)
+            for peer_id, payload in result.items():
+                merged.setdefault(peer_id, []).append(payload)
+        return merged, parallel, serial, blocks, served
+
+    def _round_parallel(
+        self, format: str, checksum: bool, version: int
+    ) -> tuple[dict[int, list], float, float, int, bool]:
+        """One round on the process substrate: dispatch all, then barrier.
+
+        Every live worker's round command is fired before any reply is
+        awaited, so the per-worker encodes run concurrently on real
+        cores; replies are then collected in ascending worker order,
+        which makes the merge deterministic and byte-identical to the
+        serial substrate.  Frames land in each worker's shared-memory
+        ring — the reply carries only ``(offset, length)`` spans — and
+        ``format="batches"`` results travel as sequence-neutral
+        checksum-free v1 frames re-hydrated parent-side, so batches
+        rounds leave the v2 wire sequences exactly where a serial
+        cluster would.
+        """
+        procs: list[tuple[int, WorkerProcess]] = [
+            (wid, self._workers[wid]) for wid in self.live_workers
+        ]
+        frames = format == "frames"
+        for _, proc in procs:
+            if frames:
+                proc.start_round(checksum=checksum, version=version)
+            else:
+                proc.start_round(
+                    checksum=False, version=VERSION, stamp_sequence=False
+                )
+        merged: dict[int, list] = {}
+        parallel = 0.0
+        serial = 0.0
+        blocks = 0
+        served = False
+        for _, proc in procs:
+            spans, delta = proc.finish_round()
+            gpu = delta["gpu_seconds"]
+            parallel = max(parallel, gpu)
+            serial += gpu
+            blocks += int(delta["blocks_served"])
+            served = served or bool(spans)
+            for peer_id, peer_spans in spans.items():
+                if frames:
+                    start = peer_spans[0][0]
+                    end = peer_spans[-1][0] + peer_spans[-1][1]
+                    payload: object = proc.view(start, end - start)
+                else:
+                    payload = [
+                        unpack_blocks(proc.view(offset, length), copy=True)
+                        for offset, length in peer_spans
+                    ]
+                merged.setdefault(peer_id, []).append(payload)
+        return merged, parallel, serial, blocks, served
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop worker processes and release their shared memory.
+
+        Parallel mode owns OS resources (processes, pipes, shm rings);
+        call this when done, or drive the cluster as a context manager.
+        In-process clusters are a no-op.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers.values():
+            if isinstance(worker, WorkerProcess):
+                worker.shutdown()
+
+    def __enter__(self) -> "ServingCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
     def evict_segment(self, segment_id: int) -> None:
         """Evict a segment cluster-wide (owner drops it, ring withdraws).
 
@@ -454,11 +604,16 @@ class ServingCluster:
     def stats_snapshot(self) -> dict:
         """Cluster rollup plus per-worker labeled series.
 
-        Every live worker's :meth:`StreamingServer.stats_snapshot`
-        contributes its series re-keyed with a ``worker="N"`` label;
-        :func:`repro.obs.merge_snapshots` folds them with the cluster's
-        own counters (rounds, blocks, rebalances, admission rejections)
-        and gauges (live workers, placed segments, modelled timelines).
+        Every live worker's ``stats_snapshot`` contributes its series
+        re-keyed with a ``worker="N"`` label — in parallel mode the
+        snapshot dict crosses the process boundary as a control
+        message, which is exactly the pickle-then-merge round trip the
+        obs suite property-tests.  :func:`repro.obs.merge_snapshots`
+        folds them with the cluster's own counters (rounds, blocks,
+        rebalances, admission rejections) and gauges (live workers,
+        placed segments, modelled timelines); parallel clusters add
+        their control-plane byte counters so dashboards can watch the
+        control/data split stay lopsided.
         """
         per_worker = [
             _labeled(self._workers[wid].stats_snapshot(), wid)
@@ -488,6 +643,15 @@ class ServingCluster:
             },
             "histograms": {},
         }
+        own["gauges"]["cluster_parallel"] = float(self.parallel)
+        if self.parallel:
+            sent = received = 0
+            for worker in self._workers.values():
+                if isinstance(worker, WorkerProcess):
+                    sent += worker.control_bytes_sent
+                    received += worker.control_bytes_received
+            own["counters"]["cluster_control_bytes_sent"] = float(sent)
+            own["counters"]["cluster_control_bytes_received"] = float(received)
         return merge_snapshots(*per_worker, own)
 
     # -- failure and rebalance ---------------------------------------------
@@ -495,12 +659,16 @@ class ServingCluster:
     def kill_worker(self, worker_id: int) -> dict[int, int]:
         """Fail a worker; rebalance exactly its segments onto survivors.
 
-        The dead worker leaves the ring, its segments re-place onto the
-        survivors the ring already assigns them (minimal disruption),
-        and its origin copies re-publish there.  Every connected peer's
-        view drops the dead worker's session, so in-flight pending
-        counts vanish and the client NACK path re-requests the missing
-        rank from the new owners — no session loses decoder rank.
+        In parallel mode this SIGKILLs the actual worker process (and
+        reaps its pipe and shared-memory ring) — the fault harness
+        exercises a real process death, not a simulated one.  Either
+        way the dead worker leaves the ring, its segments re-place onto
+        the survivors the ring already assigns them (minimal
+        disruption), and its origin copies re-publish there.  Every
+        connected peer's view drops the dead worker's session, so
+        in-flight pending counts vanish and the client NACK path
+        re-requests the missing rank from the new owners — no session
+        loses decoder rank.
 
         Returns:
             ``segment_id -> new_worker_id`` for the moved segments.
@@ -510,6 +678,9 @@ class ServingCluster:
                 last one while segments are still placed.
         """
         moved = self._router.rebalance(worker_id)
+        victim = self._workers[worker_id]
+        if isinstance(victim, WorkerProcess):
+            victim.kill()
         for segment_id, new_worker in moved.items():
             self._workers[new_worker].publish(self._origin[segment_id])
         for view in self._peers.values():

@@ -15,6 +15,7 @@ identical runs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -42,6 +43,8 @@ class ClusterWorkloadReport:
     mismatched_peers: tuple[int, ...]
     killed_worker: int | None
     kill_round: int | None
+    parallel: bool = False
+    wall_seconds: float = 0.0
     moved_segments: dict[int, int] = field(default_factory=dict)
     placement_before: dict[int, int] = field(default_factory=dict)
     placement_after: dict[int, int] = field(default_factory=dict)
@@ -80,6 +83,8 @@ def run_cluster_workload(
     max_rounds: int = 10_000,
     per_peer_round_quota: int | None = None,
     max_cluster_pending_blocks: int | None = None,
+    parallel: bool = False,
+    start_method: str | None = None,
 ) -> ClusterWorkloadReport:
     """Serve a seeded multi-session workload through a sharded cluster.
 
@@ -97,6 +102,11 @@ def run_cluster_workload(
     path: rebalanced placement, vanished pending counts, NACK
     re-requests, zero lost decoder rank.
 
+    ``parallel=True`` runs the identical workload on the multiprocess
+    substrate (same seeds, byte-identical frames); the kill plan then
+    fells a real OS process.  The cluster is always closed before the
+    report is built, so no workload leaks processes or shared memory.
+
     Returns:
         A :class:`ClusterWorkloadReport`; ``byte_exact`` is True iff
         every session decoded and every recovered payload matched its
@@ -112,57 +122,74 @@ def run_cluster_workload(
         seed=seed,
         per_peer_round_quota=per_peer_round_quota,
         max_cluster_pending_blocks=max_cluster_pending_blocks,
+        parallel=parallel,
+        start_method=start_method,
     )
-    segments = make_workload_segments(num_segments, params, seed)
-    for segment, _ in segments:
-        cluster.publish(segment)
-    placement_before = cluster.placement()
+    start = time.perf_counter()
+    try:
+        segments = make_workload_segments(num_segments, params, seed)
+        for segment, _ in segments:
+            cluster.publish(segment)
+        placement_before = cluster.placement()
 
-    sessions = [
-        ClientSession(cluster, peer_id, wire_version=wire_version)
-        for peer_id in range(num_peers)
-    ]
-    for peer_id, session in enumerate(sessions):
-        session.begin_segment(peer_id % num_segments)
-
-    total_rank = num_peers * params.num_blocks
-    undecoded: set[int] = set()
-    killed_worker: int | None = None
-    kill_round: int | None = None
-    moved: dict[int, int] = {}
-    rounds = 0
-    while rounds < max_rounds:
-        live = [
-            s for s in sessions if s.peer_id not in undecoded and not s.complete
+        sessions = [
+            ClientSession(cluster, peer_id, wire_version=wire_version)
+            for peer_id in range(num_peers)
         ]
-        if not live:
-            break
-        if kill_plan is not None and not kill_plan.fired:
-            progress = (
-                sum(s.decoder.rank for s in sessions if s.decoder is not None)
-                / total_rank
-            )
-            result = kill_plan.maybe_kill(
-                cluster, progress=progress, round_index=rounds
-            )
-            if result is not None:
-                killed_worker = kill_plan.victim
-                kill_round = rounds
-                moved = result
-        for session in live:
-            try:
-                session.pre_round()
-            except RetryExhaustedError:
-                undecoded.add(session.peer_id)
-        frames = cluster.serve_round(format="frames", version=wire_version)
-        for session in live:
-            if session.peer_id in undecoded:
-                continue
-            try:
-                session.intake(frames.get(session.peer_id))
-            except RetryExhaustedError:
-                undecoded.add(session.peer_id)
-        rounds += 1
+        for peer_id, session in enumerate(sessions):
+            session.begin_segment(peer_id % num_segments)
+
+        total_rank = num_peers * params.num_blocks
+        undecoded: set[int] = set()
+        killed_worker: int | None = None
+        kill_round: int | None = None
+        moved: dict[int, int] = {}
+        frames: dict = {}
+        rounds = 0
+        while rounds < max_rounds:
+            live = [
+                s
+                for s in sessions
+                if s.peer_id not in undecoded and not s.complete
+            ]
+            if not live:
+                break
+            if kill_plan is not None and not kill_plan.fired:
+                progress = (
+                    sum(
+                        s.decoder.rank
+                        for s in sessions
+                        if s.decoder is not None
+                    )
+                    / total_rank
+                )
+                result = kill_plan.maybe_kill(
+                    cluster, progress=progress, round_index=rounds
+                )
+                if result is not None:
+                    killed_worker = kill_plan.victim
+                    kill_round = rounds
+                    moved = result
+            for session in live:
+                try:
+                    session.pre_round()
+                except RetryExhaustedError:
+                    undecoded.add(session.peer_id)
+            frames = cluster.serve_round(format="frames", version=wire_version)
+            for session in live:
+                if session.peer_id in undecoded:
+                    continue
+                try:
+                    session.intake(frames.get(session.peer_id))
+                except RetryExhaustedError:
+                    undecoded.add(session.peer_id)
+            rounds += 1
+        # Drop the last round's ring views so closing the cluster can
+        # unmap its shared memory cleanly.
+        frames = {}
+    finally:
+        cluster.close()
+    wall_seconds = time.perf_counter() - start
 
     mismatched: list[int] = []
     for peer_id, session in enumerate(sessions):
@@ -182,6 +209,8 @@ def run_cluster_workload(
         num_segments=num_segments,
         rounds=rounds,
         byte_exact=not undecoded and not mismatched,
+        parallel=parallel,
+        wall_seconds=wall_seconds,
         undecoded_peers=tuple(sorted(undecoded)),
         mismatched_peers=tuple(mismatched),
         killed_worker=killed_worker,

@@ -15,7 +15,8 @@ errors when they need to.  The hierarchy::
     ├── ConfigurationError      inconsistent simulator/codec parameters
     ├── LaunchError             CUDA execution-limit violation
     ├── CapacityError           streaming resource exhausted
-    └── RetryExhaustedError     a reliable-transport retry loop gave up
+    ├── RetryExhaustedError     a reliable-transport retry loop gave up
+    └── WorkerCrashError        a cluster worker process died mid-command
 
 :class:`RetryLater` is deliberately *not* an exception: it is the
 streaming server's graceful load-shedding response ("come back in a few
@@ -80,6 +81,19 @@ class RetryExhaustedError(ReproError):
     segment makes no rank progress across ``max_retries`` NACK rounds
     (including exponential-backoff waits) — the deterministic signal
     that the wire, not the coding, is the bottleneck.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A cluster worker process died while a command was in flight.
+
+    Raised by the parallel :class:`repro.cluster.ServingCluster` when a
+    command pipe to a :class:`repro.cluster.WorkerProcess` breaks —
+    either the process was killed (the failover path the fault harness
+    exercises deliberately) or it crashed.  The cluster's
+    :meth:`~repro.cluster.ServingCluster.kill_worker` rebalance is the
+    recovery; requests routed to a crashed-but-unrebalanced worker
+    surface this error instead of hanging.
     """
 
 

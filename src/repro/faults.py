@@ -249,7 +249,7 @@ class FaultPlan:
         Accepts ``bytes``/``bytearray``/``memoryview`` items and returns
         ``bytes`` copies (corruption never mutates the caller's
         buffers).  This is the wire-path hook: run the server's
-        ``serve_round_frames`` output through it, then hand the
+        ``serve_round(format="frames")`` output through it, then hand the
         survivors to a lenient unpack and compare the receiver's
         :class:`~repro.rlnc.wire.WireStats` against :attr:`counters`.
         """

@@ -1,12 +1,13 @@
 """The unified serving facade: one protocol, one node or a cluster.
 
-Four PRs grew several serving entry points (``serve``, ``serve_round``,
-``serve_round_frames``, ``request_blocks``, ``drive_sessions``); this
-module is the coherent surface that replaces them.  Everything a
-consumer needs routes through :class:`ServingEndpoint` — implemented by
-both the single-node :class:`~repro.streaming.server.StreamingServer`
-and the sharded :class:`~repro.cluster.cluster.ServingCluster` — so
-examples, tests and benchmarks drive either interchangeably::
+Early PRs grew several serving entry points (``serve``, ``serve_round``,
+``request_blocks``, ``drive_sessions``); this module is the coherent
+surface that replaces them.  Everything a consumer needs routes through
+:class:`ServingEndpoint` — implemented by both the single-node
+:class:`~repro.streaming.server.StreamingServer` and the sharded
+:class:`~repro.cluster.cluster.ServingCluster` (in-process or
+multiprocess alike) — so examples, tests and benchmarks drive either
+interchangeably::
 
     from repro.serving import ServingCluster, ClientSession, drive_sessions
 
@@ -15,10 +16,9 @@ examples, tests and benchmarks drive either interchangeably::
     session = ClientSession(endpoint, peer_id=1)
     data = session.fetch_segment(segment.segment_id)
 
-Deprecations (one release grace, warn on use):
-
-* ``StreamingServer.serve_round_frames(...)`` ->
-  ``serve_round(format="frames", ...)``.
+The pre-facade ``StreamingServer.serve_round_frames`` shim completed its
+one-release deprecation grace and has been removed; use
+``serve_round(format="frames", ...)``.
 """
 
 from __future__ import annotations

@@ -21,19 +21,19 @@ Two serving paths coexist:
   as zero-copy per-peer :class:`BlockBatch` row views.
   ``serve_round(format="frames")`` additionally serializes the whole
   round into one reused contiguous wire buffer and hands each peer a
-  ``memoryview`` slice of it.
+  ``memoryview`` slice of it.  Both wire spellings sit on
+  :meth:`StreamingServer.serve_round_into`, which packs a round into
+  *caller-allocated* storage — the hook the multiprocess cluster uses
+  to land frames directly in a shared-memory ring.
 
 The server implements the :class:`repro.serving.ServingEndpoint`
 protocol, so anything written against the unified serving facade drives
 a single node and a sharded :class:`~repro.cluster.ServingCluster`
-interchangeably.  The pre-facade spelling
-:meth:`StreamingServer.serve_round_frames` remains as a deprecated shim
-for one release.
+interchangeably.
 """
 
 from __future__ import annotations
 
-import warnings
 from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, fields
@@ -213,6 +213,23 @@ class StreamingServer:
                 "server_segments_stored": float(len(self._segments)),
             },
             "histograms": {},
+        }
+
+    def session_counters(self) -> dict[int, tuple[int, int, int]]:
+        """Per-peer ``(requested, received, pending)`` block counters.
+
+        The compact session summary a multiprocess cluster worker diffs
+        into its replies, so the parent-side session mirrors (which the
+        client NACK accounting reads) stay exact without shipping
+        :class:`~repro.streaming.session.PeerSession` objects.
+        """
+        return {
+            peer_id: (
+                session.blocks_requested,
+                session.blocks_received,
+                session.blocks_pending,
+            )
+            for peer_id, session in self._sessions.items()
         }
 
     @property
@@ -455,8 +472,7 @@ class StreamingServer:
         a peer's round quota stay queued for the next round.
 
         The unified serving entry point: ``format`` selects the
-        delivery representation (this call replaces the pre-facade
-        ``serve_round_frames`` method).
+        delivery representation.
 
         Args:
             format: ``"batches"`` (default) returns ``peer_id ->
@@ -541,39 +557,48 @@ class StreamingServer:
             self._m_rounds.inc()
         return fanout
 
-    def serve_round_frames(
-        self, *, checksum: bool = True, version: int = VERSION
-    ) -> dict[int, memoryview]:
-        """Deprecated: use ``serve_round(format="frames")`` instead.
+    def serve_round_into(
+        self,
+        alloc: Callable[[int], tuple[object, int]],
+        *,
+        checksum: bool = True,
+        version: int = VERSION,
+        stamp_sequence: bool = True,
+    ) -> dict[int, list[tuple[int, int]]]:
+        """Serve one round packed into caller-allocated wire storage.
 
-        Thin shim kept for one release so pre-facade callers keep
-        working; it forwards to the unified entry point and emits a
-        :class:`DeprecationWarning`.
-        """
-        warnings.warn(
-            "StreamingServer.serve_round_frames() is deprecated; "
-            "use serve_round(format='frames') instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.serve_round(
-            format="frames", checksum=checksum, version=version
-        )
+        The single packing implementation under both wire spellings:
+        ``serve_round(format="frames")`` allocates out of the server's
+        reused buffer, while a multiprocess cluster worker allocates out
+        of its shared-memory ring — either way the frames are written in
+        place by :func:`~repro.rlnc.wire.pack_blocks` with no
+        intermediate ``bytes()`` objects, so the zero-copy wire path
+        survives the process boundary.
 
-    def _round_frames(
-        self, *, checksum: bool, version: int
-    ) -> dict[int, memoryview]:
-        """Serve one round straight onto the wire, zero-copy.
+        Args:
+            alloc: called once per non-empty round with the round's
+                total wire size; must return ``(buffer, offset)`` — any
+                writable buffer and the position to start packing at.
+            checksum: whether frames carry integrity trailers.
+            version: wire format version (``version=2`` adds digests,
+                sequences and the worker stamp).
+            stamp_sequence: when True (the frames-path default), v2
+                frames consume each session's monotonic
+                :attr:`~repro.streaming.session.PeerSession.tx_sequence`.
+                False packs sequence-neutral frames (used when frames
+                are a transport encoding for ``format="batches"``
+                results, which must not disturb the wire sequences).
 
-        Runs the batches round, then packs every granted batch into a
-        single contiguous wire buffer (sized up front with
-        :func:`repro.rlnc.wire.stream_size`, reused and grown across
-        rounds) and returns each peer's frames as a ``memoryview`` slice
-        of that buffer — no per-block ``bytes()`` objects anywhere on
-        the path.
+        Returns:
+            ``peer_id -> [(offset, length), ...]`` spans into the
+            returned buffer, one per granted batch; a peer's spans are
+            contiguous and in grant order.  Empty dict when the queue
+            was empty.
         """
         with trace("serve_round"):
             fanout = self._round_batches()
+            if not fanout:
+                return {}
             total = sum(
                 stream_size(
                     len(batch),
@@ -585,27 +610,54 @@ class StreamingServer:
                 for batches in fanout.values()
                 for batch in batches
             )
-            if len(self._wire_buffer) < total:
-                self._wire_buffer = bytearray(total)
-            view = memoryview(self._wire_buffer)
-            frames: dict[int, memoryview] = {}
-            offset = 0
+            buffer, offset = alloc(total)
+            view = memoryview(buffer)
+            spans: dict[int, list[tuple[int, int]]] = {}
             stamp = self.worker_id if version == VERSION2 else None
             with trace("wire_pack"):
                 for peer_id, batches in fanout.items():
-                    start = offset
                     session = self._sessions[peer_id]
+                    peer_spans = spans.setdefault(peer_id, [])
                     for batch in batches:
+                        sequence = session.tx_sequence if stamp_sequence else 0
                         packed = pack_blocks(
                             batch,
                             checksum=checksum,
                             out=view,
                             offset=offset,
                             version=version,
-                            first_sequence=session.tx_sequence,
+                            first_sequence=sequence,
                             worker_id=stamp,
                         )
-                        session.tx_sequence += len(batch)
+                        if stamp_sequence:
+                            session.tx_sequence += len(batch)
+                        peer_spans.append((offset, len(packed)))
                         offset += len(packed)
-                    frames[peer_id] = view[start:offset]
+        return spans
+
+    def _round_frames(
+        self, *, checksum: bool, version: int
+    ) -> dict[int, memoryview]:
+        """Serve one round straight onto the wire, zero-copy.
+
+        :meth:`serve_round_into` targeting the server's own contiguous
+        wire buffer (reused and grown across rounds); each peer's frames
+        come back as one ``memoryview`` slice of it — no per-block
+        ``bytes()`` objects anywhere on the path.
+        """
+
+        def alloc(total: int) -> tuple[bytearray, int]:
+            if len(self._wire_buffer) < total:
+                self._wire_buffer = bytearray(total)
+            return self._wire_buffer, 0
+
+        spans = self.serve_round_into(
+            alloc, checksum=checksum, version=version
+        )
+        view = memoryview(self._wire_buffer)
+        frames: dict[int, memoryview] = {}
+        for peer_id, peer_spans in spans.items():
+            start = peer_spans[0][0]
+            end = peer_spans[-1][0] + peer_spans[-1][1]
+            frames[peer_id] = view[start:end]
         return frames

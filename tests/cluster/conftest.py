@@ -1,0 +1,43 @@
+"""Cluster-suite fixtures: shared-memory hygiene and worker-count caps.
+
+Every test in this package runs under the autouse reaper below, which
+fails the test (after cleaning up) if it leaked a ``repro-ring-*``
+shared-memory segment — the acceptance bar for the multiprocess
+substrate is that rings are *always* released, even through kills.
+
+Hosted CI runners set ``REPRO_CLUSTER_WORKER_CAP=2`` so the parallel
+tests never oversubscribe a two-core box; tests size their clusters
+with :func:`capped_workers`.
+"""
+
+import glob
+import os
+
+import pytest
+
+#: Most process workers any parallel test may spawn (CI sets 2).
+WORKER_CAP = max(1, int(os.environ.get("REPRO_CLUSTER_WORKER_CAP", "4")))
+
+_SHM_GLOB = "/dev/shm/repro-ring-*"
+
+
+def capped_workers(requested: int) -> int:
+    """Clamp a test's worker count to the host's configured cap."""
+    return max(1, min(requested, WORKER_CAP))
+
+
+@pytest.fixture(autouse=True)
+def reap_shared_memory():
+    """Fail (and clean up) any test that leaks a block-ring segment."""
+    if not os.path.isdir("/dev/shm"):
+        yield
+        return
+    before = set(glob.glob(_SHM_GLOB))
+    yield
+    leaked = sorted(set(glob.glob(_SHM_GLOB)) - before)
+    for path in leaked:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    assert not leaked, f"leaked shared-memory segments: {leaked}"

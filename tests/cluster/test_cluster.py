@@ -9,8 +9,14 @@ from repro.faults import WorkerKillPlan
 from repro.gpu import GTX280
 from repro.rlnc import VERSION2, CodingParams, Segment, frame_worker_id
 from repro.streaming import MediaProfile
+from tests.cluster.conftest import capped_workers
 
 SMALL_PROFILE = MediaProfile(params=CodingParams(8, 64))
+
+#: Every seeded workload runs on both execution substrates.
+BOTH_SUBSTRATES = pytest.mark.parametrize(
+    "parallel", [False, True], ids=["serial", "parallel"]
+)
 
 
 def make_cluster(num_workers=4, seed=7, **kwargs):
@@ -251,29 +257,39 @@ class TestStatsRollup:
 
 
 class TestSeededWorkloads:
-    def test_64_sessions_over_4_workers_decode_byte_exactly(self):
+    @BOTH_SUBSTRATES
+    def test_64_sessions_over_4_workers_decode_byte_exactly(self, parallel):
         report = run_cluster_workload(
-            num_workers=4,
+            num_workers=capped_workers(4) if parallel else 4,
             num_peers=64,
             num_segments=16,
             params=CodingParams(16, 256),
             seed=0,
+            parallel=parallel,
         )
+        assert report.parallel == parallel
         assert report.byte_exact
         assert not report.undecoded_peers
         assert not report.mismatched_peers
         assert report.stats.model_speedup > 1.0
 
-    def test_soak_survives_worker_kill_at_twenty_percent(self):
-        plan = WorkerKillPlan(seed=2, num_workers=4, kill_at_progress=0.2)
+    @BOTH_SUBSTRATES
+    def test_soak_survives_worker_kill_at_twenty_percent(self, parallel):
+        num_workers = capped_workers(4) if parallel else 4
+        if num_workers < 2:
+            pytest.skip("kill soak needs two workers under the cap")
+        plan = WorkerKillPlan(
+            seed=2, num_workers=num_workers, kill_at_progress=0.2
+        )
         report = run_cluster_workload(
-            num_workers=4,
+            num_workers=num_workers,
             num_peers=32,
             num_segments=16,
             params=CodingParams(16, 256),
             seed=2,
             per_peer_round_quota=2,
             kill_plan=plan,
+            parallel=parallel,
         )
         assert report.killed_worker == plan.victim
         assert report.kill_round is not None and report.kill_round > 0
@@ -286,14 +302,16 @@ class TestSeededWorkloads:
         assert not report.undecoded_peers
         assert report.stats.workers_killed == 1
 
-    def test_workload_is_reproducible(self):
+    @BOTH_SUBSTRATES
+    def test_workload_is_reproducible(self, parallel):
         kwargs = dict(
-            num_workers=3,
+            num_workers=capped_workers(3) if parallel else 3,
             num_peers=6,
             num_segments=6,
             params=CodingParams(8, 64),
             seed=4,
             per_peer_round_quota=2,
+            parallel=parallel,
         )
         a = run_cluster_workload(**kwargs)
         b = run_cluster_workload(**kwargs)

@@ -67,20 +67,19 @@ class TestProtocol:
 
 
 class TestUnifiedServeRound:
-    def test_frames_format_matches_deprecated_spelling(self):
-        results = []
-        for use_shim in (False, True):
-            server = make_server()
-            server.publish_segment(make_segment(0))
-            server.connect(1)
-            server.request_blocks(1, 0, 4)
-            if use_shim:
-                with pytest.deprecated_call():
-                    frames = server.serve_round_frames()
-            else:
-                frames = server.serve_round(format="frames")
-            results.append(bytes(frames[1]))
-        assert results[0] == results[1]
+    def test_deprecated_frames_shim_is_gone(self):
+        # The one-release serve_round_frames grace period ended; the
+        # unified spelling is the only wire entry point left.
+        server = make_server()
+        assert not hasattr(server, "serve_round_frames")
+
+    def test_frames_format_serves_the_round(self):
+        server = make_server()
+        server.publish_segment(make_segment(0))
+        server.connect(1)
+        server.request_blocks(1, 0, 4)
+        frames = server.serve_round(format="frames")
+        assert len(bytes(frames[1])) > 0
 
     def test_unknown_format_rejected(self):
         server = make_server()

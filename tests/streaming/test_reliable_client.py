@@ -184,7 +184,7 @@ class TestRetryLaterHandling:
         recovered = None
         while not client.complete:
             client.pre_round()
-            frames = server.serve_round_frames(version=client.wire_version)
+            frames = server.serve_round(format="frames", version=client.wire_version)
             client.intake(frames.get(1))
         recovered = client.finish_segment()
         assert np.array_equal(recovered.blocks, segment.blocks)

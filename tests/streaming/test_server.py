@@ -241,7 +241,7 @@ class TestRoundWirePath:
         for peer in (1, 2):
             server.connect(peer)
             server.request_blocks(peer, 0, 8)
-        frames = server.serve_round_frames()
+        frames = server.serve_round(format="frames")
         for peer in (1, 2):
             batch = unpack_blocks(bytes(frames[peer]))
             assert len(batch) == 8
@@ -257,7 +257,7 @@ class TestRoundWirePath:
         for peer in (1, 2):
             server.connect(peer)
             server.request_blocks(peer, 0, 2)
-        frames = server.serve_round_frames()
+        frames = server.serve_round(format="frames")
         buffers = {id(view.obj) for view in frames.values()}
         assert len(buffers) == 1  # every peer's view slices one buffer
 
@@ -270,7 +270,7 @@ class TestRoundWirePath:
         server.publish_segment(make_segment(0))
         server.connect(1)
         server.request_blocks(1, 0, 3)
-        frames = server.serve_round_frames()
+        frames = server.serve_round(format="frames")
         blocks = decode_stream(bytes(frames[1]))
         assert len(blocks) == 3
         assert all(block.segment_id == 0 for block in blocks)
@@ -346,7 +346,7 @@ class TestEvictionReleasesCache:
         )
         client.begin_segment(0)
         client.pre_round()
-        frames = server.serve_round_frames(version=client.wire_version)
+        frames = server.serve_round(format="frames", version=client.wire_version)
         batch_ref = weakref.ref(server._segments[0])
         client.intake(frames.get(7))
         assert not client.complete
@@ -479,9 +479,9 @@ class TestWireVersions:
         server.publish_segment(make_segment(0))
         server.connect(1)
         server.request_blocks(1, 0, 2)
-        first = bytes(server.serve_round_frames(version=VERSION2)[1])
+        first = bytes(server.serve_round(format="frames", version=VERSION2)[1])
         server.request_blocks(1, 0, 2)
-        second = bytes(server.serve_round_frames(version=VERSION2)[1])
+        second = bytes(server.serve_round(format="frames", version=VERSION2)[1])
 
         sequences = []
         for data in (first, second):
