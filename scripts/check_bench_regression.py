@@ -4,12 +4,14 @@
 Compares a freshly generated ``BENCH_hot_paths.json`` against the
 committed baseline (the copy checked out at the build's ref).  Every
 higher-is-better throughput key below may drop at most ``--tolerance``
-(default 25%) before the check fails.  Two absolute checks ride along:
-the parallel cluster substrate must have produced byte-exact output
-(``cluster_scaleout.byte_exact``), and — on hosts whose fresh run set
-``wall_gate`` — its measured wall speedups must clear the 1.3x/1.5x
-floors at 2/4 workers.  The remaining speedup floors are asserted by
-the benchmark suite itself.
+(default 25%) before the check fails.  Absolute checks ride along: the
+parallel cluster substrate must have produced byte-exact output
+(``cluster_scaleout.byte_exact``), hosts whose fresh run set
+``wall_gate`` must clear the 1.3x/1.5x wall floors at 2/4 workers, the
+wide backend must clear its 5x floor over the seed-era auto choice
+whenever the compiled kernel loaded, and the rotadd head-to-head must
+have round-tripped byte-exact.  The remaining speedup floors are
+asserted by the benchmark suite itself.
 
 The fresh run must be a full-mode run: smoke-mode shapes sit below the
 engine's amortization break-even and their throughputs are meaningless,
@@ -32,7 +34,12 @@ THROUGHPUT_KEYS: dict[str, tuple[str, ...]] = {
     "batch_encode": ("mb_per_s_after",),
     "progressive_decode": ("mb_per_s_after",),
     "server_round_throughput": ("mb_per_s_after",),
-    "matmul_backends": ("auto_gb_per_s",),
+    "matmul_backends": (
+        "auto_gb_per_s",
+        "wide_gb_per_s",
+        "wide_region_gb_per_s",
+    ),
+    "rotadd_head_to_head": ("encode_mb_per_s", "decode_mb_per_s"),
     "encode_block_cached_log": ("mb_per_s",),
     "observability_overhead": ("enabled_mb_per_s", "disabled_mb_per_s"),
     # Modelled (cost-model) figures — deterministic, so any drop is a
@@ -88,6 +95,56 @@ def check_cluster_substrate(fresh: dict) -> list[str]:
     return failures
 
 
+#: The wide backend's acceptance floor over the seed-era auto choice,
+#: enforced only when the fresh run's compiled kernel actually loaded
+#: (``matmul_backends.wide_kernel``) — the numpy fallback keeps things
+#: correct, not fast.
+WIDE_SPEEDUP_FLOOR = 5.0
+
+
+def check_wide_and_rotadd(fresh: dict) -> list[str]:
+    """Absolute checks on the wide backend and rotadd head-to-head."""
+    failures: list[str] = []
+    backends = fresh.get("matmul_backends")
+    if backends is None:
+        failures.append("fresh results are missing section 'matmul_backends'")
+    else:
+        speedup = backends.get("wide_speedup_vs_seed_auto")
+        if speedup is None:
+            failures.append(
+                "fresh matmul_backends.wide_speedup_vs_seed_auto is missing"
+            )
+        elif backends.get("wide_kernel"):
+            measured = float(speedup)
+            status = "ok" if measured >= WIDE_SPEEDUP_FLOOR else "BELOW FLOOR"
+            print(
+                f"{'matmul_backends.wide_speedup_vs_seed_auto':<55} "
+                f"floor={WIDE_SPEEDUP_FLOOR:>10.3g} "
+                f"fresh={measured:>10.3g}  {status}"
+            )
+            if measured < WIDE_SPEEDUP_FLOOR:
+                failures.append(
+                    f"wide_speedup_vs_seed_auto measured {measured:.2f}x, "
+                    f"below the {WIDE_SPEEDUP_FLOOR}x floor"
+                )
+        else:
+            print(
+                "note: wide kernel unavailable in fresh run; recording "
+                "wide throughput without enforcing the speedup floor"
+            )
+    rotadd = fresh.get("rotadd_head_to_head")
+    if rotadd is None:
+        failures.append(
+            "fresh results are missing section 'rotadd_head_to_head'"
+        )
+    elif rotadd.get("byte_exact") is not True:
+        failures.append(
+            "rotadd_head_to_head.byte_exact is not True: the circular-"
+            "shift codec did not round-trip the segment"
+        )
+    return failures
+
+
 def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     """Return a list of failure messages (empty = gate passes)."""
     failures: list[str] = []
@@ -99,7 +156,7 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
         return failures
     if baseline.get("smoke"):
         print("note: baseline is a smoke-mode run; skipping comparison")
-        return check_cluster_substrate(fresh)
+        return check_cluster_substrate(fresh) + check_wide_and_rotadd(fresh)
     for section, keys in THROUGHPUT_KEYS.items():
         fresh_section = fresh.get(section)
         if fresh_section is None:
@@ -135,6 +192,7 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
                 f"fresh={new:>10.3g} ratio={ratio:>6.2f}  {status}"
             )
     failures.extend(check_cluster_substrate(fresh))
+    failures.extend(check_wide_and_rotadd(fresh))
     return failures
 
 

@@ -1,0 +1,20 @@
+"""Alternative codecs beyond GF(2^8) RLNC.
+
+Currently one family: the table-free circular-shift-and-add codec of
+:mod:`repro.codecs.rotadd`, which trades RLNC's rateless recodable
+stream for arithmetic made of byte rotations and wrapping adds only.
+"""
+
+from repro.codecs.rotadd import (
+    RotAddBlock,
+    RotAddDecoder,
+    RotAddEncoder,
+    ring_length,
+)
+
+__all__ = [
+    "RotAddBlock",
+    "RotAddDecoder",
+    "RotAddEncoder",
+    "ring_length",
+]

@@ -1,0 +1,206 @@
+"""Compile-on-demand loader for the wide region-op kernel.
+
+The ``wide`` engine backend's fast path is ``_regionops.c`` — a
+dependency-free C translation unit implementing the nibble-shuffle
+multiply-accumulate (module docs there).  This module owns its whole
+lifecycle:
+
+* compile the bundled source with the host's ``cc`` into a content-
+  addressed shared object under a per-user cache directory (one compile
+  per source revision per machine, ~100 ms, then reused forever);
+* load it with :mod:`ctypes` and initialize its nibble tables from the
+  canonical :data:`~repro.gf256.tables.MUL_TABLE`;
+* degrade gracefully: any failure (no compiler, read-only filesystem,
+  unloadable object) marks the kernel unavailable and the engine falls
+  back to the pure-numpy wide path — never an import error.
+
+Environment knobs:
+
+* ``REPRO_WIDE_KERNEL=0`` disables the compiled kernel outright (the
+  numpy fallback is then used even where ``cc`` exists — how the test
+  suite cross-validates both wide implementations).
+* ``REPRO_WIDE_KERNEL_CACHE`` overrides the shared-object cache
+  directory (default ``~/.cache/repro/regionops``).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+#: Environment variable that disables the compiled kernel when "0".
+KERNEL_ENV_VAR = "REPRO_WIDE_KERNEL"
+
+#: Environment variable overriding the shared-object cache directory.
+CACHE_ENV_VAR = "REPRO_WIDE_KERNEL_CACHE"
+
+_SOURCE = Path(__file__).with_name("_regionops.c")
+
+_lib: ctypes.CDLL | None = None
+_load_attempted = False
+_load_error: str | None = None
+
+_U8P = ctypes.POINTER(ctypes.c_uint8)
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "regionops"
+
+
+def _compile(source: Path, target: Path) -> None:
+    """Compile the kernel into ``target`` (atomic rename via temp file)."""
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(
+        suffix=".so", prefix=target.stem + ".", dir=target.parent
+    )
+    os.close(fd)
+    try:
+        subprocess.run(
+            ["cc", "-O3", "-fPIC", "-shared", "-o", temp_name, str(source)],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        os.replace(temp_name, target)
+    finally:
+        if os.path.exists(temp_name):
+            os.unlink(temp_name)
+
+
+def _pointer(array: np.ndarray):
+    return array.ctypes.data_as(_U8P)
+
+
+def _declare(lib: ctypes.CDLL) -> None:
+    size_t = ctypes.c_size_t
+    lib.gf256_init.argtypes = [_U8P]
+    lib.gf256_simd_level.restype = ctypes.c_int
+    lib.gf256_mul_add_region.argtypes = [_U8P, _U8P, size_t, ctypes.c_uint8]
+    lib.gf256_matmul.argtypes = [
+        _U8P,
+        _U8P,
+        _U8P,
+        size_t,
+        size_t,
+        size_t,
+        size_t,
+    ]
+    lib.gf256_axpy_rows.argtypes = [_U8P, size_t, _U8P, _U8P, size_t, size_t]
+    lib.gf256_fold_rows.argtypes = [_U8P, _U8P, size_t, _U8P, size_t, size_t]
+
+
+def _load() -> ctypes.CDLL | None:
+    global _lib, _load_attempted, _load_error
+    if _load_attempted:
+        return _lib
+    _load_attempted = True
+    if os.environ.get(KERNEL_ENV_VAR, "1") == "0":
+        _load_error = f"disabled via {KERNEL_ENV_VAR}=0"
+        return None
+    try:
+        source_text = _SOURCE.read_bytes()
+        digest = hashlib.sha256(source_text).hexdigest()[:16]
+        target = _cache_dir() / f"regionops-{digest}.so"
+        if not target.is_file():
+            _compile(_SOURCE, target)
+        lib = ctypes.CDLL(str(target))
+        _declare(lib)
+        from repro.gf256.tables import MUL_TABLE
+
+        lib.gf256_init(_pointer(np.ascontiguousarray(MUL_TABLE)))
+        _lib = lib
+    except Exception as exc:  # no cc, sandboxed fs, bad object, ...
+        _load_error = f"{type(exc).__name__}: {exc}"
+        _lib = None
+    return _lib
+
+
+def kernel_available() -> bool:
+    """True when the compiled kernel loaded (or can load) on this host."""
+    return _load() is not None
+
+
+def load_error() -> str | None:
+    """Why the kernel is unavailable (None when it loaded fine)."""
+    _load()
+    return _load_error
+
+
+def simd_level() -> int:
+    """0 = scalar, 1 = AVX2, 2 = AVX-512BW; -1 when unavailable."""
+    lib = _load()
+    if lib is None:
+        return -1
+    return int(lib.gf256_simd_level())
+
+
+def _check_row_view(array: np.ndarray, name: str) -> int:
+    """Validate a 2-D uint8 view with contiguous rows; return row stride."""
+    if array.dtype != np.uint8 or array.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D uint8 array")
+    if array.shape[1] and array.strides[1] != 1:
+        raise ValueError(f"{name} rows must be contiguous")
+    return array.strides[0]
+
+
+def mul_add_region(dst: np.ndarray, src: np.ndarray, coefficient: int) -> None:
+    """``dst ^= coefficient * src`` in one fused pass (1-D contiguous)."""
+    lib = _load()
+    lib.gf256_mul_add_region(
+        _pointer(dst), _pointer(src), dst.shape[0], coefficient
+    )
+
+
+def matmul_into(out: np.ndarray, a: np.ndarray, b: np.ndarray) -> None:
+    """``out[:] = a @ b`` over GF(2^8); ``out`` may have strided rows."""
+    lib = _load()
+    stride = _check_row_view(out, "out")
+    m, n = a.shape
+    lib.gf256_matmul(
+        _pointer(a), _pointer(b), _pointer(out), m, n, b.shape[1], stride
+    )
+
+
+def axpy_rows(dst: np.ndarray, factors: np.ndarray, src: np.ndarray) -> None:
+    """``dst[r] ^= factors[r] * src`` per row; zero factors skipped."""
+    lib = _load()
+    stride = _check_row_view(dst, "dst")
+    lib.gf256_axpy_rows(
+        _pointer(dst),
+        stride,
+        _pointer(src),
+        _pointer(factors),
+        dst.shape[0],
+        dst.shape[1],
+    )
+
+
+def fold_rows(dst: np.ndarray, rows: np.ndarray, factors: np.ndarray) -> None:
+    """``dst ^= XOR_i factors[i] * rows[i]``; zero factors skipped."""
+    lib = _load()
+    stride = _check_row_view(rows, "rows")
+    lib.gf256_fold_rows(
+        _pointer(dst),
+        _pointer(rows),
+        stride,
+        _pointer(factors),
+        rows.shape[0],
+        rows.shape[1],
+    )
+
+
+def _reset_for_tests() -> None:
+    """Drop the cached load state so env-var changes take effect."""
+    global _lib, _load_attempted, _load_error
+    _lib = None
+    _load_attempted = False
+    _load_error = None

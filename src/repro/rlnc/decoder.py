@@ -18,10 +18,13 @@ The progressive decoder's elimination is vectorized through the GF(2^8)
 engine and splits the work the way the paper's TB-1 preprocessing splits
 encoding: the *control plane* — the coefficient matrix ``C`` and the row
 transform ``M`` with ``rows = M @ raw_payloads`` — is kept in exact RREF
-after every block, using one batched gather + XOR-reduce over all live
-pivots instead of one Python-loop trip per pivot; the *data plane* (the
-k-byte payload side) is stored raw and materialized on demand with a
-single dense engine matmul.  Because the RREF of a row space (with this
+after every block, using the engine's fused region operations
+(``fold_rows`` for forward reduction, ``axpy_rows`` for
+back-elimination) over all live pivots instead of one Python-loop trip
+per pivot, so no intermediate scaled-row matrix is ever materialized;
+the *data plane* (the k-byte payload side) is stored raw and
+materialized on demand with a single dense engine matmul accumulated
+directly into the aggregate view.  Because the RREF of a row space (with this
 decoder's arrival-order row placement) is unique, the materialized state
 is byte-identical to the eager seed implementation after every consume —
 ``tests/rlnc/test_decoder_golden.py`` replays identical streams through
@@ -161,17 +164,17 @@ class ProgressiveDecoder:
         # are all zero there, so forward reduction leaves it attributable.
         incoming[n + held] = 1
 
-        # Forward-reduce against every live pivot in one batched pass: the
-        # stored rows are in RREF, so the factors read at the pivot
-        # columns are mutually independent.
+        # Forward-reduce against every live pivot in one fused region
+        # pass: the stored rows are in RREF, so the factors read at the
+        # pivot columns are mutually independent and can be captured
+        # before the in-place fold mutates the incoming row.  Zero
+        # factors are skipped inside the engine (ENGINE.scaled_rows_xor
+        # is the materializing fallback behind this region op).
         if held:
             pivots = self._pivot_cols[:held]
             factors = incoming[pivots]
-            live = np.nonzero(factors)[0]
-            if live.size:
-                incoming ^= ENGINE.scaled_rows_xor(
-                    self._work[live], factors[live]
-                )
+            if factors.any():
+                ENGINE.fold_rows(incoming, self._work[:held], factors)
 
         support = np.nonzero(incoming[:n])[0]
         if support.size == 0:
@@ -186,14 +189,14 @@ class ProgressiveDecoder:
             incoming = ENGINE.mul_scalar(incoming, int(INV[lead]))
 
         # Back-eliminate the new pivot column from all stored rows so the
-        # matrix stays fully reduced, batched over every touched row.
+        # matrix stays fully reduced: one region pass per touched row,
+        # accumulating straight into the stored matrix (no scaled-row
+        # matrix is materialized).  The column must be captured first —
+        # the pass mutates the very column it scales by.
         if held:
             column = self._work[:held, pivot_col].copy()
-            targets = np.nonzero(column)[0]
-            if targets.size:
-                self._work[targets] ^= ENGINE.scaled_rows(
-                    column[targets], incoming
-                )
+            if column.any():
+                ENGINE.axpy_rows(self._work[:held], column, incoming)
 
         self._work[held] = incoming
         self._raw_payloads[held] = block.payload
@@ -313,22 +316,18 @@ class ProgressiveDecoder:
             if lead != 1:
                 row = ENGINE.mul_scalar(row, int(INV[lead]))
             # Eliminate the new pivot from the not-yet-processed batch
-            # rows so their factors stay final when their turn comes.
+            # rows so their factors stay final when their turn comes —
+            # the same in-place region pass as consume()'s back-
+            # elimination (zero factors skipped by the engine).
             if idx + 1 < m:
                 column = incoming[idx + 1 :, pivot_col].copy()
-                targets = np.nonzero(column)[0]
-                if targets.size:
-                    incoming[idx + 1 + targets] ^= ENGINE.scaled_rows(
-                        column[targets], row
-                    )
+                if column.any():
+                    ENGINE.axpy_rows(incoming[idx + 1 :], column, row)
             # Back-eliminate from all stored rows, as consume() does.
             if held:
                 column = self._work[:held, pivot_col].copy()
-                targets = np.nonzero(column)[0]
-                if targets.size:
-                    self._work[targets] ^= ENGINE.scaled_rows(
-                        column[targets], row
-                    )
+                if column.any():
+                    ENGINE.axpy_rows(self._work[:held], column, row)
             self._work[held] = row
             self._raw_payloads[held] = payloads[idx]
             self._raw_coefficients[held] = coefficients[idx]
@@ -445,8 +444,12 @@ class ProgressiveDecoder:
         held = self.rank
         self._rows[:held, :n] = self._work[:held, :n]
         if held and self._materialized_rank != held:
-            self._rows[:held, n:] = matmul(
-                self._work[:held, n : n + held], self._raw_payloads[:held]
+            # The wide backend accumulates straight into the payload
+            # sub-view (strided rows), so no (held, k) temporary exists.
+            ENGINE.matmul(
+                self._work[:held, n : n + held],
+                self._raw_payloads[:held],
+                out=self._rows[:held, n:],
             )
             self._materialized_rank = held
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import DecodingError
-from repro.gf256 import matmul
+from repro.gf256.engine import ENGINE
 from repro.obs import obs_counter
 from repro.obs.trace import trace
 from repro.rlnc.block import BlockBatch, CodedBlock, CodingParams
@@ -131,11 +131,27 @@ class Recoder:
         if not self._count:
             raise DecodingError("cannot recode with an empty buffer")
         held = self._count
+        n, k = self._params.num_blocks, self._params.block_size
         with trace("recode_emit", segment=self._segment_id):
             mix = rng.integers(1, 256, size=(count, held), dtype=np.uint8)
+            coefficients = np.zeros((count, n), dtype=np.uint8)
+            payloads = np.zeros((count, k), dtype=np.uint8)
+            if count == 1:
+                # Single-emit fast path: fold the buffered rows straight
+                # into the output row with one region pass per held
+                # block — no mix-matrix product machinery at all.
+                ENGINE.fold_rows(
+                    coefficients[0], self._coefficients[:held], mix[0]
+                )
+                ENGINE.fold_rows(payloads[0], self._payloads[:held], mix[0])
+            else:
+                ENGINE.matmul(
+                    mix, self._coefficients[:held], out=coefficients
+                )
+                ENGINE.matmul(mix, self._payloads[:held], out=payloads)
             batch = BlockBatch(
-                coefficients=matmul(mix, self._coefficients[:held]),
-                payloads=matmul(mix, self._payloads[:held]),
+                coefficients=coefficients,
+                payloads=payloads,
                 segment_id=self._segment_id,
             )
         obs_counter("recoder_blocks_emitted").inc(count)

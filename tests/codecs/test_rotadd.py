@@ -1,0 +1,184 @@
+"""Property suite for the circular-shift-and-add codec.
+
+The decisive invariant is the round trip: encode any segment, hand any
+n distinct-exponent coded blocks to the decoder in any order, and the
+recovered blocks are byte-identical to the source.  Alongside the
+randomized sweep the degenerate geometries are pinned explicitly —
+single-block generations (n=1), one-byte blocks (k=1), and all-zero
+segments — plus the codec's failure modes: duplicate exponents,
+exponent-space exhaustion, and parity violations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs import RotAddBlock, RotAddDecoder, RotAddEncoder, ring_length
+from repro.codecs.rotadd import _embed, _is_prime, _rotate_rows
+from repro.errors import ConfigurationError, DecodingError
+from repro.rlnc.block import CodingParams, Segment
+
+geometries = st.tuples(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=40),
+)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+class TestRingStructure:
+    def test_ring_length_is_prime_and_large_enough(self):
+        for n in (1, 2, 7, 128):
+            for k in (1, 2, 63, 4096):
+                params = CodingParams(num_blocks=n, block_size=k)
+                length = ring_length(params)
+                assert _is_prime(length)
+                assert length >= n and length >= k + 1 and length >= 3
+
+    def test_embedding_is_zero_sum(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.integers(0, 256, size=(6, 10), dtype=np.uint8)
+        lifted = _embed(blocks, 13)
+        assert not lifted.sum(axis=1, dtype=np.uint8).any()
+        assert np.array_equal(lifted[:, :10], blocks)
+        assert not lifted[:, 11:].any()
+
+    def test_rotate_rows_matches_np_roll(self):
+        rng = np.random.default_rng(2)
+        rows = rng.integers(0, 256, size=(9, 17), dtype=np.uint8)
+        shifts = rng.integers(0, 17, size=9)
+        rotated = _rotate_rows(rows, shifts)
+        for i in range(9):
+            assert np.array_equal(rotated[i], np.roll(rows[i], shifts[i])), i
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(geometries, seeds)
+    def test_any_n_distinct_blocks_decode(self, geometry, seed):
+        n, k = geometry
+        rng = np.random.default_rng(seed)
+        params = CodingParams(num_blocks=n, block_size=k)
+        segment = Segment.random(params, rng)
+        encoder = RotAddEncoder(segment, rng)
+        surplus = min(encoder.blocks_remaining, n + 3)
+        blocks = encoder.encode_blocks(surplus)
+        rng.shuffle(blocks)
+        decoder = RotAddDecoder(params)
+        innovative = sum(decoder.consume(block) for block in blocks)
+        assert innovative == n
+        assert decoder.is_complete
+        assert np.array_equal(decoder.recover().blocks, segment.blocks)
+
+    def test_single_block_generation(self):
+        rng = np.random.default_rng(3)
+        params = CodingParams(num_blocks=1, block_size=24)
+        segment = Segment.random(params, rng)
+        decoder = RotAddDecoder(params)
+        assert decoder.consume(RotAddEncoder(segment, rng).encode_block())
+        assert np.array_equal(decoder.recover().blocks, segment.blocks)
+
+    def test_one_byte_blocks(self):
+        rng = np.random.default_rng(4)
+        params = CodingParams(num_blocks=5, block_size=1)
+        segment = Segment.random(params, rng)
+        encoder = RotAddEncoder(segment, rng)
+        decoder = RotAddDecoder(params)
+        for block in encoder.encode_blocks(5):
+            decoder.consume(block)
+        assert np.array_equal(decoder.recover().blocks, segment.blocks)
+
+    def test_all_zero_segment(self):
+        params = CodingParams(num_blocks=4, block_size=8)
+        segment = Segment(blocks=np.zeros((4, 8), dtype=np.uint8))
+        rng = np.random.default_rng(5)
+        encoder = RotAddEncoder(segment, rng)
+        decoder = RotAddDecoder(params)
+        for block in encoder.encode_blocks(4):
+            decoder.consume(block)
+        assert not decoder.recover().blocks.any()
+
+    def test_batch_interfaces_round_trip(self):
+        rng = np.random.default_rng(6)
+        params = CodingParams(num_blocks=8, block_size=32)
+        segment = Segment.random(params, rng)
+        encoder = RotAddEncoder(segment, rng)
+        exponents, payloads = encoder.encode_batch(10)
+        decoder = RotAddDecoder(params)
+        assert decoder.consume_batch(exponents, payloads) == 8
+        recovered = decoder.recover(original_length=params.segment_bytes)
+        assert np.array_equal(recovered.blocks, segment.blocks)
+        assert recovered.to_bytes() == segment.to_bytes()
+
+
+class TestFailureModes:
+    def test_duplicate_exponents_are_not_innovative(self):
+        rng = np.random.default_rng(7)
+        params = CodingParams(num_blocks=3, block_size=8)
+        encoder = RotAddEncoder(Segment.random(params, rng), rng)
+        decoder = RotAddDecoder(params)
+        block = encoder.encode_block()
+        assert decoder.consume(block) is True
+        assert decoder.consume(block) is False
+        assert decoder.blocks_held == 1
+
+    def test_exponent_space_exhaustion(self):
+        rng = np.random.default_rng(8)
+        params = CodingParams(num_blocks=2, block_size=2)
+        encoder = RotAddEncoder(Segment.random(params, rng), rng)
+        encoder.encode_batch(encoder.ring_length)
+        with pytest.raises(ConfigurationError):
+            encoder.encode_block()
+        with pytest.raises(ConfigurationError):
+            encoder.encode_batch(1)
+
+    def test_incomplete_decoder_refuses(self):
+        params = CodingParams(num_blocks=3, block_size=8)
+        with pytest.raises(DecodingError):
+            RotAddDecoder(params).recover()
+
+    def test_geometry_mismatch_rejected(self):
+        rng = np.random.default_rng(9)
+        params = CodingParams(num_blocks=3, block_size=8)
+        other = CodingParams(num_blocks=4, block_size=8)
+        block = RotAddEncoder(Segment.random(params, rng), rng).encode_block()
+        with pytest.raises(DecodingError):
+            RotAddDecoder(other).consume(block)
+
+    def test_corrupted_payload_detected(self):
+        rng = np.random.default_rng(10)
+        params = CodingParams(num_blocks=3, block_size=6)
+        encoder = RotAddEncoder(Segment.random(params, rng), rng)
+        block = encoder.encode_block()
+        block.payload[0] ^= 0x55
+        with pytest.raises(DecodingError):
+            RotAddDecoder(params).consume(block)
+
+    def test_malformed_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RotAddBlock(
+                exponent=0,
+                payload=np.zeros(4, dtype=np.uint8),
+                num_blocks=3,
+                block_size=8,
+            )
+        length = ring_length(CodingParams(num_blocks=3, block_size=8))
+        with pytest.raises(ConfigurationError):
+            RotAddBlock(
+                exponent=length,
+                payload=np.zeros(length, dtype=np.uint8),
+                num_blocks=3,
+                block_size=8,
+            )
+
+
+class TestWireEconomics:
+    def test_wire_size_and_expansion(self):
+        rng = np.random.default_rng(11)
+        params = CodingParams(num_blocks=8, block_size=32)
+        encoder = RotAddEncoder(Segment.random(params, rng), rng)
+        block = encoder.encode_block()
+        assert block.wire_size() == encoder.ring_length + 2
+        assert encoder.expansion_ratio == encoder.ring_length / 32
+        # The exponent replaces RLNC's n-byte coefficient vector.
+        assert block.wire_size() < encoder.ring_length + params.num_blocks

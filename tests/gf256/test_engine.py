@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.errors import FieldError
-from repro.gf256 import gf_mul_loop
+from repro.gf256 import gf_mul_loop, regionops
 from repro.gf256.engine import (
     BACKENDS,
     EXP_PAD,
@@ -174,8 +174,37 @@ class TestBackendSelection:
         with pytest.raises(FieldError):
             engine.set_backend("nope")
 
-    def test_heuristic_shape_dispatch(self):
+    def test_unknown_env_backend_raises_listing_catalog(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GF_BACKEND", "quantum")
+        with pytest.raises(FieldError) as excinfo:
+            Gf256Engine()
+        message = str(excinfo.value)
+        for name in BACKENDS:
+            assert name in message
+
+    def test_env_var_reread_per_construction(self, monkeypatch):
+        # The variable is consulted at construction (and on
+        # set_backend(None)), never latched at import time.
+        monkeypatch.setenv("REPRO_GF_BACKEND", "bitslice")
+        assert Gf256Engine().backend == "bitslice"
+        monkeypatch.setenv("REPRO_GF_BACKEND", "table")
+        assert Gf256Engine().backend == "table"
+        engine = Gf256Engine("log")
+        monkeypatch.setenv("REPRO_GF_BACKEND", "wide")
+        engine.set_backend(None)
+        assert engine.backend == "wide"
+
+    def test_heuristic_prefers_wide_kernel_when_available(self, monkeypatch):
         engine = Gf256Engine("auto")
+        monkeypatch.setattr(regionops, "kernel_available", lambda: True)
+        # The fused region pass has no amortization threshold: every
+        # shape routes to the compiled wide backend.
+        assert engine.select_matmul_backend(256, 128, 4096) == "wide"
+        assert engine.select_matmul_backend(1, 4, 8) == "wide"
+
+    def test_heuristic_shape_dispatch_without_kernel(self, monkeypatch):
+        engine = Gf256Engine("auto")
+        monkeypatch.setattr(regionops, "kernel_available", lambda: False)
         # Many output rows amortize the multiples tables.
         assert engine.select_matmul_backend(256, 128, 4096) == "bitslice"
         # Few rows, cached log operand: log gather.

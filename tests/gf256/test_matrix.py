@@ -105,9 +105,13 @@ class TestSolve:
 
     def test_shape_checks(self):
         with pytest.raises(FieldError):
-            gfm.solve(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 4), dtype=np.uint8))
+            gfm.solve(
+                np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 4), dtype=np.uint8)
+            )
         with pytest.raises(FieldError):
-            gfm.solve(np.zeros((2, 2), dtype=np.uint8), np.zeros((3, 4), dtype=np.uint8))
+            gfm.solve(
+                np.zeros((2, 2), dtype=np.uint8), np.zeros((3, 4), dtype=np.uint8)
+            )
 
 
 class TestRandomMatrices:

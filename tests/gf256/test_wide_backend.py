@@ -1,0 +1,262 @@
+"""Property suite for the wide region-op backend and its fallbacks.
+
+Cross-validates three implementations against each other and against
+the pinned seed-era reference: the compiled SIMD kernel (when it
+loaded), the uint64 SWAR numpy fallback (forced via
+``REPRO_WIDE_KERNEL=0``), and the plain table backend.  Degenerate
+shapes — zero output rows, k=1, single-block generations, all-zero
+coefficient rows — are pinned explicitly alongside the randomized
+sweep.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.gf256 import regionops
+from repro.gf256.engine import ENGINE, Gf256Engine
+from repro.gf256.tables import MUL_TABLE
+from repro.rlnc._reference import ReferenceProgressiveDecoder
+from repro.rlnc.block import CodingParams, Segment
+from repro.rlnc.decoder import ProgressiveDecoder
+from repro.rlnc.encoder import Encoder
+
+shapes = st.tuples(
+    st.integers(min_value=0, max_value=24),
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=80),
+)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+@pytest.fixture
+def forced_numpy_fallback(monkeypatch):
+    """Disable the compiled kernel so wide runs its SWAR numpy path."""
+    monkeypatch.setenv(regionops.KERNEL_ENV_VAR, "0")
+    regionops._reset_for_tests()
+    yield
+    regionops._reset_for_tests()
+
+
+def random_operands(m, n, k, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 256, size=(m, n), dtype=np.uint8)
+    b = rng.integers(0, 256, size=(n, k), dtype=np.uint8)
+    return a, b
+
+
+class TestWideMatmul:
+    @settings(max_examples=60, deadline=None)
+    @given(shapes, seeds)
+    def test_wide_matches_table(self, shape, seed):
+        m, n, k = shape
+        a, b = random_operands(m, n, k, seed)
+        expected = Gf256Engine("table").matmul(a, b)
+        got = Gf256Engine("wide").matmul(a, b)
+        assert got.dtype == np.uint8
+        assert np.array_equal(got, expected)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        # The fallback-forcing fixture intentionally spans all examples:
+        # the kernel stays disabled for the whole sweep.
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(shapes, seeds)
+    def test_numpy_fallback_matches_table(
+        self, forced_numpy_fallback, shape, seed
+    ):
+        m, n, k = shape
+        assert not regionops.kernel_available()
+        a, b = random_operands(m, n, k, seed)
+        expected = Gf256Engine("table").matmul(a, b)
+        assert np.array_equal(Gf256Engine("wide").matmul(a, b), expected)
+
+    def test_zero_output_rows(self):
+        a = np.zeros((0, 5), dtype=np.uint8)
+        b = np.arange(5 * 7, dtype=np.uint8).reshape(5, 7)
+        got = Gf256Engine("wide").matmul(a, b)
+        assert got.shape == (0, 7)
+
+    def test_single_byte_blocks(self):
+        # k=1: one-byte payloads exercise the scalar tail exclusively.
+        a, b = random_operands(9, 6, 1, 101)
+        expected = Gf256Engine("table").matmul(a, b)
+        assert np.array_equal(Gf256Engine("wide").matmul(a, b), expected)
+
+    def test_all_zero_coefficient_rows(self):
+        a = np.zeros((4, 8), dtype=np.uint8)
+        a[1] = np.arange(8)
+        b = np.full((8, 33), 0xAB, dtype=np.uint8)
+        got = Gf256Engine("wide").matmul(a, b)
+        assert not got[0].any() and not got[2].any() and not got[3].any()
+        assert np.array_equal(got[1], Gf256Engine("table").matmul(a, b)[1])
+
+    def test_strided_out_rows(self):
+        # The decoder writes payload columns of a wider aggregate matrix:
+        # out rows are strided views.  Must land byte-exact in place.
+        a, b = random_operands(6, 6, 40, 77)
+        aggregate = np.zeros((6, 50), dtype=np.uint8)
+        Gf256Engine("wide").matmul(a, b, out=aggregate[:, 10:])
+        assert np.array_equal(
+            aggregate[:, 10:], Gf256Engine("table").matmul(a, b)
+        )
+        assert not aggregate[:, :10].any()
+
+
+class TestRegionOps:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=0, max_value=255),
+        seeds,
+    )
+    def test_mul_add_region_matches_tables(self, width, coefficient, seed):
+        rng = np.random.default_rng(seed)
+        dst = rng.integers(0, 256, size=width, dtype=np.uint8)
+        src = rng.integers(0, 256, size=width, dtype=np.uint8)
+        expected = dst ^ MUL_TABLE[coefficient][src]
+        got = dst.copy()
+        Gf256Engine("wide").mul_add_region(got, src, coefficient)
+        assert np.array_equal(got, expected)
+
+    def test_mul_add_region_misaligned_view(self):
+        rng = np.random.default_rng(5)
+        host = rng.integers(0, 256, size=130, dtype=np.uint8)
+        src = rng.integers(0, 256, size=129, dtype=np.uint8)
+        dst = host[1:]  # deliberately 8-byte misaligned
+        expected = dst ^ MUL_TABLE[0x47][src]
+        Gf256Engine("wide").mul_add_region(dst, src, 0x47)
+        assert np.array_equal(host[1:], expected)
+
+    @pytest.mark.parametrize("backend", ("table", "log", "bitslice", "wide"))
+    def test_all_backends_agree_on_region_op(self, backend):
+        rng = np.random.default_rng(6)
+        dst = rng.integers(0, 256, size=95, dtype=np.uint8)
+        src = rng.integers(0, 256, size=95, dtype=np.uint8)
+        expected = dst ^ MUL_TABLE[0x9D][src]
+        got = dst.copy()
+        Gf256Engine(backend).mul_add_region(got, src, 0x9D)
+        assert np.array_equal(got, expected), backend
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=1, max_value=96),
+        seeds,
+    )
+    def test_axpy_rows_matches_naive(self, rows, width, seed):
+        rng = np.random.default_rng(seed)
+        dst = rng.integers(0, 256, size=(rows, width), dtype=np.uint8)
+        src = rng.integers(0, 256, size=width, dtype=np.uint8)
+        factors = rng.integers(0, 256, size=rows, dtype=np.uint8)
+        expected = dst.copy()
+        for i in range(rows):
+            expected[i] ^= MUL_TABLE[factors[i]][src]
+        got = dst.copy()
+        Gf256Engine("wide").axpy_rows(got, factors, src)
+        assert np.array_equal(got, expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=1, max_value=96),
+        seeds,
+    )
+    def test_fold_rows_matches_naive(self, rows, width, seed):
+        rng = np.random.default_rng(seed)
+        dst = rng.integers(0, 256, size=width, dtype=np.uint8)
+        stack = rng.integers(0, 256, size=(rows, width), dtype=np.uint8)
+        factors = rng.integers(0, 256, size=rows, dtype=np.uint8)
+        expected = dst.copy()
+        for i in range(rows):
+            expected ^= MUL_TABLE[factors[i]][stack[i]]
+        got = dst.copy()
+        Gf256Engine("wide").fold_rows(got, stack, factors)
+        assert np.array_equal(got, expected)
+
+    def test_zero_factors_are_noops(self):
+        rng = np.random.default_rng(8)
+        dst = rng.integers(0, 256, size=(5, 64), dtype=np.uint8)
+        src = rng.integers(0, 256, size=64, dtype=np.uint8)
+        before = dst.copy()
+        engine = Gf256Engine("wide")
+        engine.axpy_rows(dst, np.zeros(5, dtype=np.uint8), src)
+        assert np.array_equal(dst, before)
+        engine.fold_rows(dst[0], dst[1:], np.zeros(4, dtype=np.uint8))
+        assert np.array_equal(dst, before)
+
+    def test_region_ops_without_kernel(self, forced_numpy_fallback):
+        rng = np.random.default_rng(9)
+        dst = rng.integers(0, 256, size=(7, 70), dtype=np.uint8)
+        src = rng.integers(0, 256, size=70, dtype=np.uint8)
+        factors = rng.integers(0, 256, size=7, dtype=np.uint8)
+        expected = dst.copy()
+        for i in range(7):
+            expected[i] ^= MUL_TABLE[factors[i]][src]
+        Gf256Engine("wide").axpy_rows(dst, factors, src)
+        assert np.array_equal(dst, expected)
+
+
+class TestDecoderCrossValidation:
+    @pytest.fixture(params=["wide", "table"])
+    def global_backend(self, request):
+        ENGINE.set_backend(request.param)
+        yield request.param
+        ENGINE.set_backend(None)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.tuples(
+            st.integers(min_value=1, max_value=9),
+            st.integers(min_value=1, max_value=24),
+        ),
+        seeds,
+    )
+    def test_progressive_decoder_matches_reference(self, geometry, seed):
+        n, k = geometry
+        rng = np.random.default_rng(seed)
+        segment = Segment.random(CodingParams(n, k), rng)
+        blocks = Encoder(segment, rng).encode_blocks(n + 3)
+        decoder = ProgressiveDecoder(segment.params)
+        reference = ReferenceProgressiveDecoder(segment.params)
+        for block in blocks:
+            if decoder.is_complete:
+                break
+            assert decoder.consume(block) == reference.consume(block)
+            assert decoder.rank == reference.rank
+        assert decoder.is_complete and reference.is_complete
+        assert np.array_equal(
+            decoder.recover_segment().blocks,
+            reference.recover_segment().blocks,
+        )
+
+    def test_decoder_byte_exact_under_forced_backends(self, global_backend):
+        rng = np.random.default_rng(21)
+        segment = Segment.random(CodingParams(6, 40), rng)
+        blocks = Encoder(segment, rng).encode_blocks(8)
+        decoder = ProgressiveDecoder(segment.params)
+        reference = ReferenceProgressiveDecoder(segment.params)
+        for block in blocks:
+            if decoder.is_complete:
+                break
+            decoder.consume(block)
+            reference.consume(block)
+        assert np.array_equal(
+            decoder.recover_segment().blocks,
+            reference.recover_segment().blocks,
+        )
+
+    def test_single_block_generation(self):
+        # n=1: every coded block is a scalar multiple of the one source
+        # block; the decoder must finish after a single innovative row.
+        rng = np.random.default_rng(22)
+        segment = Segment.random(CodingParams(1, 16), rng)
+        decoder = ProgressiveDecoder(segment.params)
+        decoder.consume(Encoder(segment, rng).encode_block())
+        assert decoder.is_complete
+        assert np.array_equal(
+            decoder.recover_segment().blocks, segment.blocks
+        )

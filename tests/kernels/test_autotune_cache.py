@@ -1,0 +1,111 @@
+"""Round-trip and robustness tests for the persisted matmul tune cache.
+
+The contract CI enforces: a tuner pointed at an existing cache file
+answers lookups without a single new measurement, corrupt cache files
+degrade to re-measurement instead of raising, and an attached tuner's
+measured winner overrides the engine's built-in shape heuristic.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gf256.engine import Gf256Engine
+from repro.kernels.autotune import (
+    TUNE_CACHE_ENV_VAR,
+    TUNED_BACKENDS,
+    MatmulTuner,
+)
+
+SHAPE = (4, 4, 32)
+
+
+@pytest.fixture
+def cache_path(tmp_path):
+    return tmp_path / "matmul_tune.json"
+
+
+class TestCacheRoundTrip:
+    def test_fresh_instance_answers_without_measuring(self, cache_path):
+        tuner = MatmulTuner(cache_path)
+        assert tuner.lookup(*SHAPE) is None
+        winner = tuner.tune(*SHAPE, repeats=1)
+        assert winner in TUNED_BACKENDS
+        assert tuner.measure_count == len(TUNED_BACKENDS)
+
+        fresh = MatmulTuner(cache_path)
+        assert fresh.lookup(*SHAPE) == winner
+        assert fresh.ensure(*SHAPE) == winner
+        assert fresh.measure_count == 0
+
+    def test_ranking_covers_every_backend(self, cache_path):
+        tuner = MatmulTuner(cache_path)
+        tuner.tune(*SHAPE, repeats=1)
+        ranking = MatmulTuner(cache_path).ranking(*SHAPE)
+        assert set(ranking) == set(TUNED_BACKENDS)
+        assert all(rate > 0 for rate in ranking.values())
+
+    def test_ensure_measures_exactly_once(self, cache_path):
+        tuner = MatmulTuner(cache_path)
+        tuner.ensure(*SHAPE)
+        measured = tuner.measure_count
+        assert measured > 0
+        tuner.ensure(*SHAPE)
+        assert tuner.measure_count == measured
+
+    def test_env_var_selects_cache_location(self, cache_path, monkeypatch):
+        monkeypatch.setenv(TUNE_CACHE_ENV_VAR, str(cache_path))
+        MatmulTuner().tune(*SHAPE, repeats=1)
+        assert str(SHAPE[0]) in cache_path.read_text()
+
+
+class TestCacheRobustness:
+    def test_corrupt_cache_degrades_to_empty(self, cache_path):
+        cache_path.write_text("{definitely not json")
+        tuner = MatmulTuner(cache_path)
+        assert tuner.lookup(*SHAPE) is None
+        # And tuning over the wreckage repairs the file.
+        tuner.tune(*SHAPE, repeats=1)
+        assert MatmulTuner(cache_path).lookup(*SHAPE) in TUNED_BACKENDS
+
+    def test_unknown_winner_entries_are_dropped(self, cache_path):
+        cache_path.write_text(
+            json.dumps({"4x4x32": {"winner": "simd9000", "gb_per_s": {}}})
+        )
+        assert MatmulTuner(cache_path).lookup(*SHAPE) is None
+
+    def test_invalid_shapes_rejected(self, cache_path):
+        tuner = MatmulTuner(cache_path)
+        with pytest.raises(ConfigurationError):
+            tuner.tune(0, 4, 4)
+        with pytest.raises(ConfigurationError):
+            tuner.tune(4, 4, 4, repeats=0)
+
+
+class TestEngineIntegration:
+    def test_attached_tuner_overrides_heuristic(self, cache_path):
+        tuner = MatmulTuner(cache_path)
+        tuner._entries[tuner._key(*SHAPE)] = {
+            "winner": "log",
+            "gb_per_s": {backend: 1.0 for backend in TUNED_BACKENDS},
+        }
+        engine = Gf256Engine("auto")
+        engine.attach_tuner(tuner)
+        assert engine.select_matmul_backend(*SHAPE) == "log"
+        # Untuned shapes fall through to the built-in resolution.
+        assert engine.select_matmul_backend(3, 3, 3) != "log"
+        engine.attach_tuner(None)
+        assert engine.select_matmul_backend(*SHAPE) != "log"
+
+    def test_tuned_winner_stays_byte_exact(self, cache_path):
+        tuner = MatmulTuner(cache_path)
+        winner = tuner.ensure(*SHAPE)
+        rng = np.random.default_rng(23)
+        a = rng.integers(0, 256, size=SHAPE[:2], dtype=np.uint8)
+        b = rng.integers(0, 256, size=SHAPE[1:], dtype=np.uint8)
+        assert np.array_equal(
+            Gf256Engine(winner).matmul(a, b),
+            Gf256Engine("table").matmul(a, b),
+        )

@@ -65,4 +65,20 @@ def test_decoder_inverse_scalar_comes_from_engine():
     # normalization via INV) must flow through the engine facade.
     decoder_text = (SRC_ROOT / "rlnc" / "decoder.py").read_text()
     assert "ENGINE.mul_scalar" in decoder_text
-    assert "ENGINE.scaled_rows_xor" in decoder_text
+
+
+def test_decoder_row_reduction_uses_region_ops():
+    # Forward reduction and back-elimination must use the fused region
+    # operations (no materialized scaled-row intermediates): fold_rows
+    # for the incoming-row reduction, axpy_rows for pivot elimination.
+    decoder_text = (SRC_ROOT / "rlnc" / "decoder.py").read_text()
+    assert "ENGINE.fold_rows" in decoder_text
+    assert "ENGINE.axpy_rows" in decoder_text
+
+
+def test_recoder_emit_uses_region_ops():
+    # The recoder's single-emit path folds buffered rows via region ops
+    # and its batched path accumulates into preallocated outputs.
+    recoder_text = (SRC_ROOT / "rlnc" / "recoder.py").read_text()
+    assert "ENGINE.fold_rows" in recoder_text
+    assert "ENGINE.matmul" in recoder_text
