@@ -66,6 +66,15 @@ WIDE_SPEEDUP_FLOOR = 5.0
 WALL_SPEEDUP_FLOOR_W2 = 1.3
 WALL_SPEEDUP_FLOOR_W4 = 1.5
 
+#: Self-healing ceilings (lower is better), enforced only under
+#: ``failover_gate`` — full mode on a >= 4-core host, like the wall
+#: floors: a crash must be noticed within a second, healed within a
+#: bounded number of degraded rounds, and the outage must not blow up
+#: the mean round time by more than the slowdown ceiling.
+FAILOVER_DETECTION_SECONDS_CEILING = 1.0
+FAILOVER_RECOVERY_ROUNDS_CEILING = 50.0
+FAILOVER_DEGRADED_SLOWDOWN_CEILING = 25.0
+
 _results: dict[str, object] = {
     "smoke": SMOKE,
     "shapes": {
@@ -794,3 +803,106 @@ def test_cluster_scaleout():
                 f"{measured:.2f}x wall speedup on a {cpu_count}-core "
                 f"host (floor {floor}x)"
             )
+
+
+def test_cluster_failover():
+    """What self-healing costs: detection latency, recovery, slowdown.
+
+    Runs the identical seeded NACK workload twice through a supervised
+    parallel cluster — once clean, once with a :class:`ChaosPlan` that
+    crashes a seed-drawn worker mid-round — and records what the healing
+    cost:
+
+    * ``detection_seconds`` — mean silent-to-detected latency over all
+      failures (the window the cluster believed a dead worker healthy);
+    * ``recovery_rounds`` — mean serve rounds the victim spent down
+      before its replacement was serving again;
+    * ``degraded_round_slowdown`` — mean wall seconds per round,
+      chaotic run over clean run, so the outage's pacing + republish
+      cost is visible as a ratio.
+
+    ``byte_exact`` must hold unconditionally (recovery may cost rounds,
+    never bytes).  The ceilings are enforced only under
+    ``failover_gate`` — full mode on a >= 4-core host, exactly like the
+    scale-out wall floors: a loaded one- or two-core runner measures
+    scheduling noise, not supervision latency.
+    """
+    from repro.cluster import SupervisorConfig, run_cluster_workload
+    from repro.faults import ChaosPlan
+
+    cpu_count = os.cpu_count() or 1
+    failover_gate = not SMOKE and cpu_count >= 4
+    workers = 4 if cpu_count >= 4 else 2
+    peers, segments = (8, 4) if SMOKE else (16, 8)
+    params = CodingParams(8, 256) if SMOKE else CodingParams(32, 1024)
+    config = SupervisorConfig(
+        command_timeout=10.0,
+        round_timeout=10.0,
+        restart_budget=3,
+        backoff_base=0.02,
+        backoff_max=0.1,
+    )
+
+    def run(plan):
+        return run_cluster_workload(
+            num_workers=workers,
+            num_peers=peers,
+            num_segments=segments,
+            params=params,
+            seed=5,
+            per_peer_round_quota=2,
+            parallel=True,
+            chaos_plan=plan,
+            supervision=config,
+        )
+
+    clean = run(None)
+    chaotic = run(
+        ChaosPlan(seed=5, num_workers=workers, crash_at_round=2)
+    )
+    stats = chaotic.supervision
+    clean_round_seconds = clean.wall_seconds / max(1, clean.rounds)
+    chaotic_round_seconds = chaotic.wall_seconds / max(1, chaotic.rounds)
+    payload = {
+        "workers": workers,
+        "peers": peers,
+        "segments": segments,
+        "cpu_count": cpu_count,
+        "failover_gate": failover_gate,
+        "byte_exact": bool(clean.byte_exact and chaotic.byte_exact),
+        "failures_detected": stats.failures_detected,
+        "recoveries": stats.recoveries,
+        "degraded_rounds": stats.degraded_rounds,
+        "republished_segments": stats.republished_segments,
+        "detection_seconds": stats.detection_seconds_avg,
+        "recovery_rounds": stats.recovery_rounds_avg,
+        "round_seconds_clean": clean_round_seconds,
+        "round_seconds_failover": chaotic_round_seconds,
+        "degraded_round_slowdown": (
+            chaotic_round_seconds / clean_round_seconds
+        ),
+    }
+    record("cluster_failover", payload)
+    assert payload["byte_exact"], (
+        "self-healing run lost bytes: recovery may cost rounds, never bytes"
+    )
+    assert stats.failures_detected == 1 and stats.recoveries == 1
+    if failover_gate:
+        assert stats.detection_seconds_avg <= (
+            FAILOVER_DETECTION_SECONDS_CEILING
+        ), (
+            f"crash took {stats.detection_seconds_avg:.3f}s to detect, "
+            f"above the {FAILOVER_DETECTION_SECONDS_CEILING}s ceiling"
+        )
+        assert stats.recovery_rounds_avg <= (
+            FAILOVER_RECOVERY_ROUNDS_CEILING
+        ), (
+            f"recovery took {stats.recovery_rounds_avg:.1f} rounds, "
+            f"above the {FAILOVER_RECOVERY_ROUNDS_CEILING} ceiling"
+        )
+        slowdown = payload["degraded_round_slowdown"]
+        assert slowdown <= FAILOVER_DEGRADED_SLOWDOWN_CEILING, (
+            f"failover rounds ran {slowdown:.1f}x slower than clean "
+            f"rounds, above the {FAILOVER_DEGRADED_SLOWDOWN_CEILING}x "
+            "ceiling"
+        )

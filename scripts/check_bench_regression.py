@@ -9,9 +9,13 @@ parallel cluster substrate must have produced byte-exact output
 (``cluster_scaleout.byte_exact``), hosts whose fresh run set
 ``wall_gate`` must clear the 1.3x/1.5x wall floors at 2/4 workers, the
 wide backend must clear its 5x floor over the seed-era auto choice
-whenever the compiled kernel loaded, and the rotadd head-to-head must
-have round-tripped byte-exact.  The remaining speedup floors are
-asserted by the benchmark suite itself.
+whenever the compiled kernel loaded, the rotadd head-to-head must
+have round-tripped byte-exact, and the self-healing run
+(``cluster_failover``) must be byte-exact with every detected failure
+recovered — its detection-latency / recovery-rounds / degraded-slowdown
+ceilings are enforced under ``failover_gate`` (>= 4 cores), mirroring
+``wall_gate``.  The remaining speedup floors are asserted by the
+benchmark suite itself.
 
 The fresh run must be a full-mode run: smoke-mode shapes sit below the
 engine's amortization break-even and their throughputs are meaningless,
@@ -95,6 +99,62 @@ def check_cluster_substrate(fresh: dict) -> list[str]:
     return failures
 
 
+#: Self-healing ceilings (lower is better), enforced only when the
+#: fresh run's ``failover_gate`` is true — full mode on a host with
+#: >= 4 cores, mirroring ``wall_gate``: a loaded one- or two-core
+#: runner measures scheduling noise, not supervision latency.  The
+#: byte-exactness and exact-accounting checks apply everywhere.
+FAILOVER_CEILINGS: dict[str, float] = {
+    "detection_seconds": 1.0,
+    "recovery_rounds": 50.0,
+    "degraded_round_slowdown": 25.0,
+}
+
+
+def check_cluster_failover(fresh: dict) -> list[str]:
+    """Absolute checks on the self-healing path (no baseline needed)."""
+    failures: list[str] = []
+    section = fresh.get("cluster_failover")
+    if section is None:
+        return ["fresh results are missing section 'cluster_failover'"]
+    if section.get("byte_exact") is not True:
+        failures.append(
+            "cluster_failover.byte_exact is not True: the supervised "
+            "recovery lost bytes"
+        )
+    if section.get("recoveries") != section.get("failures_detected"):
+        failures.append(
+            "cluster_failover accounting broken: "
+            f"{section.get('failures_detected')} failures detected but "
+            f"{section.get('recoveries')} recoveries"
+        )
+    for key in FAILOVER_CEILINGS:
+        if key not in section:
+            failures.append(f"fresh cluster_failover.{key} is missing")
+    if not section.get("failover_gate"):
+        print(
+            "note: failover_gate is off "
+            f"(cpu_count={section.get('cpu_count')}); recording failover "
+            "latencies without enforcing ceilings"
+        )
+        return failures
+    for key, ceiling in FAILOVER_CEILINGS.items():
+        if key not in section:
+            continue
+        measured = float(section[key])
+        status = "ok" if measured <= ceiling else "ABOVE CEILING"
+        print(
+            f"{'cluster_failover.' + key:<55} ceiling={ceiling:>9.3g} "
+            f"fresh={measured:>10.3g}  {status}"
+        )
+        if measured > ceiling:
+            failures.append(
+                f"cluster_failover.{key} measured {measured:.3g}, "
+                f"above the {ceiling:g} ceiling"
+            )
+    return failures
+
+
 #: The wide backend's acceptance floor over the seed-era auto choice,
 #: enforced only when the fresh run's compiled kernel actually loaded
 #: (``matmul_backends.wide_kernel``) — the numpy fallback keeps things
@@ -156,7 +216,11 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
         return failures
     if baseline.get("smoke"):
         print("note: baseline is a smoke-mode run; skipping comparison")
-        return check_cluster_substrate(fresh) + check_wide_and_rotadd(fresh)
+        return (
+            check_cluster_substrate(fresh)
+            + check_wide_and_rotadd(fresh)
+            + check_cluster_failover(fresh)
+        )
     for section, keys in THROUGHPUT_KEYS.items():
         fresh_section = fresh.get(section)
         if fresh_section is None:
@@ -193,6 +257,7 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
             )
     failures.extend(check_cluster_substrate(fresh))
     failures.extend(check_wide_and_rotadd(fresh))
+    failures.extend(check_cluster_failover(fresh))
     return failures
 
 

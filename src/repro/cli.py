@@ -15,7 +15,9 @@ Four subcommands cover the workflows a user of the paper's system runs:
   placement, a seeded multi-session workload, optional mid-flight
   worker kill with deterministic rebalance, and the modelled scale-out
   speedup; ``--parallel`` runs the same workload on real process
-  workers with shared-memory block buffers.
+  workers with shared-memory block buffers, and ``--chaos`` arms a
+  seeded process-level fault schedule (crash, hang, slow replies) that
+  the supervision layer must detect and heal mid-workload.
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -193,6 +195,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run each worker as its own OS process with shared-memory "
         "block buffers (byte-identical output; a --kill-at victim is a "
         "real process)",
+    )
+    cluster.add_argument(
+        "--chaos", action="store_true",
+        help="seeded process-level chaos soak (implies --parallel): "
+        "seed-drawn victims crash, hang and slow down mid-workload and "
+        "the supervision layer must detect, restart and heal them — "
+        "plus a raw SIGKILL drop when the cluster has >= 5 workers",
     )
     cluster.add_argument("--seed", type=int, default=0)
     return parser
@@ -434,8 +443,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
-    from repro.cluster import run_cluster_workload
-    from repro.faults import WorkerKillPlan
+    from repro.cluster import SupervisorConfig, run_cluster_workload
+    from repro.faults import ChaosPlan, WorkerKillPlan
 
     params = CodingParams(args.num_blocks, args.block_size)
     kill_plan = None
@@ -445,6 +454,27 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             num_workers=args.workers,
             kill_at_progress=args.kill_at,
         )
+    chaos_plan = None
+    supervision = None
+    if args.chaos:
+        args.parallel = True
+        chaos_plan = ChaosPlan(
+            seed=args.seed,
+            num_workers=args.workers,
+            crash_at_round=2,
+            hang_at_round=3,
+            hang_seconds=2.0,
+            slow_from_round=2,
+            slow_reply_seconds=0.4,
+            drop_at_progress=0.5 if args.workers >= 5 else None,
+        )
+        supervision = SupervisorConfig(
+            round_timeout=1.0,
+            slow_round_seconds=0.25,
+            max_slow_strikes=2,
+            restart_budget=3,
+            backoff_base=0.05,
+        )
     report = run_cluster_workload(
         num_workers=args.workers,
         num_peers=args.peers,
@@ -452,6 +482,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         params=params,
         seed=args.seed,
         kill_plan=kill_plan,
+        chaos_plan=chaos_plan,
+        supervision=supervision,
         per_peer_round_quota=args.quota,
         parallel=args.parallel,
     )
@@ -474,6 +506,26 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         print(
             f"failover: killed worker {report.killed_worker} at round "
             f"{report.kill_round}; rebalanced [{moved or 'nothing'}]"
+        )
+    if report.dropped_worker is not None:
+        print(
+            f"chaos: worker {report.dropped_worker} raw-SIGKILLed at "
+            f"round {report.drop_round} (supervision must notice)"
+        )
+    if report.supervision is not None:
+        sup = report.supervision
+        print(
+            f"supervision: {sup.failures_detected} failures detected "
+            f"({sup.crashes_detected} crash, {sup.hangs_detected} hang, "
+            f"{sup.slow_evictions} slow), {sup.restarts} restarts, "
+            f"{sup.recoveries} recoveries, "
+            f"{sup.breaker_trips} breaker trips"
+        )
+        print(
+            f"  degraded rounds: {sup.degraded_rounds}, "
+            f"stale-ring retries: {sup.stale_ring_retries}, "
+            f"mean detection {sup.detection_seconds_avg * 1e3:.0f} ms, "
+            f"mean recovery {sup.recovery_rounds_avg:.1f} rounds"
         )
     stats = report.stats
     print(

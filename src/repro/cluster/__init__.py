@@ -13,6 +13,14 @@ which hosts each worker in its own OS process with
 :class:`~repro.cluster.shm.BlockRing` shared-memory block buffers and
 an async round-dispatch loop — byte-identical output, real-core wall
 speedup.
+
+Parallel clusters can additionally self-heal: construct with
+``supervision=SupervisorConfig(...)`` and a
+:class:`~repro.cluster.supervisor.WorkerSupervisor` detects crashed,
+hung and pathologically slow workers (deadlines, heartbeats, slow-round
+strikes) and restarts them under an exponential-backoff budget, with a
+circuit breaker evicting repeat offenders — see
+:mod:`repro.cluster.supervisor`.
 """
 
 from repro.cluster.cluster import ClusterPeerView, ClusterStats, ServingCluster
@@ -24,7 +32,16 @@ from repro.cluster.harness import (
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.cluster.router import ClusterRouter
 from repro.cluster.shm import RING_NAME_PREFIX, BlockRing
-from repro.cluster.worker import WorkerBootstrap, WorkerProcess
+from repro.cluster.supervisor import (
+    SupervisorConfig,
+    SupervisorStats,
+    WorkerSupervisor,
+)
+from repro.cluster.worker import (
+    WorkerBootstrap,
+    WorkerLifecycleStats,
+    WorkerProcess,
+)
 
 __all__ = [
     "BlockRing",
@@ -36,8 +53,12 @@ __all__ = [
     "HashRing",
     "RING_NAME_PREFIX",
     "ServingCluster",
+    "SupervisorConfig",
+    "SupervisorStats",
     "WorkerBootstrap",
+    "WorkerLifecycleStats",
     "WorkerProcess",
+    "WorkerSupervisor",
     "make_workload_segments",
     "run_cluster_workload",
 ]

@@ -48,18 +48,42 @@ real deployment would read from), the dead worker's per-peer pending
 counts vanish from every :class:`ClusterPeerView`, and each client's
 NACK path re-requests precisely its missing rank from the new owners.
 Decoder state is client-side, so no session loses rank.
+
+Self-healing: constructed with ``supervision=SupervisorConfig(...)``
+(parallel mode only), a :class:`~repro.cluster.supervisor
+.WorkerSupervisor` watches the workers — deadlines on every command,
+liveness probes, slow-round strikes — and heals *unrequested* failures
+automatically: SIGKILL plus restart under exponential backoff,
+republish from origin copies, peers reconnected, serve rounds
+completing **degraded** on the survivors meanwhile.  Requests routed to
+a down-but-still-placed worker answer :class:`~repro.errors.RetryLater`
+(never a raw crash error — the ordinary load-shedding response the
+client retry loop already paces itself against), and a worker that
+exhausts its restart budget trips the circuit breaker: permanent
+eviction through the same rebalance path as :meth:`ServingCluster
+.kill_worker`.  ``chaos=ChaosPlan(...)`` arms seeded process-level
+faults (crash / hang / slow replies / dropped process) so the soak
+tests can drive all of the above deterministically.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, fields
 
 import numpy as np
 
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.cluster.router import ClusterRouter
+from repro.cluster.supervisor import SupervisorConfig, WorkerSupervisor
 from repro.cluster.worker import WorkerProcess
-from repro.errors import CapacityError, ConfigurationError, RetryLater
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    RetryLater,
+    WorkerCrashError,
+)
+from repro.faults import ChaosPlan
 from repro.gpu.spec import DeviceSpec
 from repro.kernels.cost_model import EncodeScheme
 from repro.obs.registry import get_registry, merge_snapshots
@@ -202,6 +226,16 @@ class ServingCluster:
         start_method: parallel only — multiprocessing start method
             override (default: ``REPRO_MP_START_METHOD`` env var, else
             fork where available).
+        supervision: parallel only — arm a
+            :class:`~repro.cluster.supervisor.WorkerSupervisor` with
+            these thresholds (deadlines, heartbeats, restart budget);
+            crashes and hangs then heal automatically instead of
+            raising out of :meth:`serve_round`.
+        chaos: parallel only — a seeded
+            :class:`~repro.faults.ChaosPlan`; each victim worker is
+            spawned carrying its scheduled process-level fault.
+            Supervisor restarts spawn replacements *without* the fault,
+            so healed victims come back healthy.
     """
 
     def __init__(
@@ -218,6 +252,8 @@ class ServingCluster:
         max_cluster_pending_blocks: int | None = None,
         parallel: bool = False,
         start_method: str | None = None,
+        supervision: SupervisorConfig | None = None,
+        chaos: ChaosPlan | None = None,
     ) -> None:
         if not 1 <= num_workers <= MAX_WORKER_ID + 1:
             raise ConfigurationError(
@@ -232,42 +268,35 @@ class ServingCluster:
                 "max_cluster_pending_blocks must be >= 1, "
                 f"got {max_cluster_pending_blocks}"
             )
+        if not parallel and (supervision is not None or chaos is not None):
+            raise ConfigurationError(
+                "supervision and chaos require parallel=True: an "
+                "in-process worker cannot crash or hang independently "
+                "of its caller"
+            )
+        if chaos is not None and chaos.num_workers != num_workers:
+            raise ConfigurationError(
+                f"chaos plan was drawn for {chaos.num_workers} workers "
+                f"but the cluster has {num_workers}"
+            )
         self.spec = spec
         self.profile = profile
         self.seed = seed
         self.parallel = parallel
+        self.chaos = chaos
         self._closed = False
         self._max_cluster_pending_blocks = max_cluster_pending_blocks
+        self._scheme = scheme
+        self._per_peer_round_quota = per_peer_round_quota
+        self._max_pending_blocks = max_pending_blocks
+        self._start_method = start_method
         self._workers: dict[int, StreamingServer | WorkerProcess] = {}
         try:
             for worker_id in range(num_workers):
-                if parallel:
-                    worker: StreamingServer | WorkerProcess = WorkerProcess(
-                        worker_id,
-                        spec,
-                        profile,
-                        scheme=scheme,
-                        seed=seed,
-                        per_peer_round_quota=per_peer_round_quota,
-                        max_pending_blocks=max_pending_blocks,
-                        start_method=start_method,
-                    )
-                else:
-                    worker = StreamingServer(
-                        spec,
-                        profile,
-                        scheme=scheme,
-                        rng=np.random.default_rng([seed, worker_id]),
-                        per_peer_round_quota=per_peer_round_quota,
-                        max_pending_blocks=max_pending_blocks,
-                        worker_id=worker_id,
-                    )
-                worker.add_eviction_listener(
-                    lambda segment_id, wid=worker_id: self._on_worker_eviction(
-                        wid, segment_id
-                    )
+                self._workers[worker_id] = self._spawn_worker(
+                    worker_id,
+                    chaos=chaos.spec_for(worker_id) if chaos else None,
                 )
-                self._workers[worker_id] = worker
         except Exception:
             for worker in self._workers.values():
                 if isinstance(worker, WorkerProcess):
@@ -293,6 +322,58 @@ class ServingCluster:
         self._m_live = registry.gauge("cluster_live_workers")
         self._m_placed = registry.gauge("cluster_segments_placed")
         self._m_live.set(num_workers)
+        self.supervisor: WorkerSupervisor | None = (
+            WorkerSupervisor(self, supervision)
+            if supervision is not None
+            else None
+        )
+
+    def _spawn_worker(
+        self, worker_id: int, chaos=None
+    ) -> StreamingServer | WorkerProcess:
+        """Build one worker (initial spawn and supervisor restarts).
+
+        Restarts call this with ``chaos=None`` — a healed victim comes
+        back without its scheduled fault — and always get the same
+        deterministic server the first spawn got: worker ``w`` draws
+        coefficients from ``default_rng([seed, w])`` regardless of how
+        many times it has been respawned, and the rateless code makes
+        the decoded output identical either way.
+        """
+        if self.parallel:
+            worker: StreamingServer | WorkerProcess = WorkerProcess(
+                worker_id,
+                self.spec,
+                self.profile,
+                scheme=self._scheme,
+                seed=self.seed,
+                per_peer_round_quota=self._per_peer_round_quota,
+                max_pending_blocks=self._max_pending_blocks,
+                start_method=self._start_method,
+                chaos=chaos,
+            )
+        else:
+            worker = StreamingServer(
+                self.spec,
+                self.profile,
+                scheme=self._scheme,
+                rng=np.random.default_rng([self.seed, worker_id]),
+                per_peer_round_quota=self._per_peer_round_quota,
+                max_pending_blocks=self._max_pending_blocks,
+                worker_id=worker_id,
+            )
+        worker.add_eviction_listener(
+            lambda segment_id, wid=worker_id: self._on_worker_eviction(
+                wid, segment_id
+            )
+        )
+        return worker
+
+    def _is_down(self, worker_id: int) -> bool:
+        """True while a supervised worker is torn down awaiting restart."""
+        return self.supervisor is not None and self.supervisor.is_down(
+            worker_id
+        )
 
     # -- topology ----------------------------------------------------------
 
@@ -340,16 +421,30 @@ class ServingCluster:
         Keeps an origin copy so a later rebalance can re-publish the
         segment to a surviving worker.
 
+        Supervised clusters accept publishes while the owning worker is
+        down: the segment stays advertised and the origin copy is
+        stored, and the restart republishes everything the ring maps to
+        the worker — so an outage window never loses a publish.
+
         Raises:
             ConfigurationError: on geometry mismatch or double publish.
             CapacityError: if the owning worker's segment store is full.
         """
         worker_id = self._router.advertise(segment.segment_id)
-        try:
-            self._workers[worker_id].publish(segment)
-        except Exception:
-            self._router.withdraw(segment.segment_id)
-            raise
+        if not self._is_down(worker_id):
+            try:
+                self._workers[worker_id].publish(segment)
+            except WorkerCrashError as exc:
+                if self.supervisor is None:
+                    self._router.withdraw(segment.segment_id)
+                    raise
+                # Undetected death surfacing through the publish path:
+                # tear the worker down and keep the segment advertised —
+                # the restart republishes it from the origin copy below.
+                self.supervisor.note_failure(worker_id, exc, phase="publish")
+            except Exception:
+                self._router.withdraw(segment.segment_id)
+                raise
         self._origin[segment.segment_id] = segment
         self.stats.segments_published += 1
         self._m_placed.set(self._router.advertised_segments)
@@ -366,7 +461,16 @@ class ServingCluster:
             self._peers[peer_id] = view
         self._disconnected.discard(peer_id)
         for worker_id in self.live_workers:
-            view._attach(worker_id, self._workers[worker_id].connect(peer_id))
+            if self._is_down(worker_id):
+                continue  # the restart path reconnects every known peer
+            try:
+                view._attach(
+                    worker_id, self._workers[worker_id].connect(peer_id)
+                )
+            except WorkerCrashError as exc:
+                if self.supervisor is None:
+                    raise
+                self.supervisor.note_failure(worker_id, exc, phase="connect")
         return view
 
     def disconnect(self, peer_id: int) -> None:
@@ -384,7 +488,19 @@ class ServingCluster:
             raise ConfigurationError(f"peer {peer_id} is not connected")
         self._disconnected.add(peer_id)
         for worker_id in self.live_workers:
-            self._workers[worker_id].disconnect(peer_id)
+            if self._is_down(worker_id):
+                # The dead process took the session with it; the restart
+                # only reconnects peers still in the registry, and this
+                # one is leaving it — nothing worker-side to evict.
+                continue
+            try:
+                self._workers[worker_id].disconnect(peer_id)
+            except WorkerCrashError as exc:
+                if self.supervisor is None:
+                    raise
+                self.supervisor.note_failure(
+                    worker_id, exc, phase="disconnect"
+                )
 
     def request_blocks(
         self, peer_id: int, segment_id: int, num_blocks: int
@@ -396,6 +512,14 @@ class ServingCluster:
         :class:`~repro.errors.RetryLater` without touching a worker.
         Worker-level shed/``RetryLater`` (per-worker bounds) propagates
         unchanged.
+
+        Supervised clusters never surface a raw crash here: an ask
+        routed to a worker that is down-but-still-placed (the window
+        between teardown and restart) answers
+        :class:`~repro.errors.RetryLater` — the same pacing response an
+        overloaded worker sends — and the client retry loop comes back
+        after the restart.  An *undetected* death surfacing through
+        this path is detected now and answered the same way.
 
         Raises:
             CapacityError: if the segment is not placed on the cluster,
@@ -415,13 +539,28 @@ class ServingCluster:
             overflow = self.pending_blocks + num_blocks - limit
             return RetryLater(retry_after_rounds=max(1, -(-overflow // limit)))
         worker_id = self._router.worker_for(segment_id)
-        response = self._workers[worker_id].request_blocks(
-            peer_id, segment_id, num_blocks
-        )
+        if self._is_down(worker_id):
+            return self._stale_route_response()
+        try:
+            response = self._workers[worker_id].request_blocks(
+                peer_id, segment_id, num_blocks
+            )
+        except WorkerCrashError as exc:
+            if self.supervisor is None:
+                raise
+            self.supervisor.note_failure(worker_id, exc, phase="request")
+            return self._stale_route_response()
         if isinstance(response, RetryLater):
             self.stats.retry_later_responses += 1
             self._m_retry.inc()
         return response
+
+    def _stale_route_response(self) -> RetryLater:
+        """The answer for an ask routed to a down-but-placed worker."""
+        self.supervisor.note_stale_route()
+        self.stats.retry_later_responses += 1
+        self._m_retry.inc()
+        return RetryLater(retry_after_rounds=1)
 
     def serve_round(
         self,
@@ -528,25 +667,64 @@ class ServingCluster:
         checksum-free v1 frames re-hydrated parent-side, so batches
         rounds leave the v2 wire sequences exactly where a serial
         cluster would.
+
+        Under supervision the round is additionally self-healing: the
+        supervisor ticks first (restarting workers whose backoff
+        elapsed, probing silent ones), down workers are skipped, every
+        ``finish_round`` carries the configured round deadline, and a
+        worker that crashes or hangs mid-round is detected and torn
+        down while the merge completes **degraded** on the survivors —
+        the barrier never blocks on a dead pipe.
         """
+        supervisor = self.supervisor
+        down: frozenset[int] = frozenset()
+        if supervisor is not None:
+            supervisor.tick()
+            down = frozenset(supervisor.down_workers)
+        round_timeout = (
+            supervisor.config.round_timeout if supervisor else None
+        )
         procs: list[tuple[int, WorkerProcess]] = [
-            (wid, self._workers[wid]) for wid in self.live_workers
+            (wid, self._workers[wid])
+            for wid in self.live_workers
+            if wid not in down
         ]
         frames = format == "frames"
-        for _, proc in procs:
-            if frames:
-                proc.start_round(checksum=checksum, version=version)
-            else:
-                proc.start_round(
-                    checksum=False, version=VERSION, stamp_sequence=False
-                )
+        dispatched: list[tuple[int, WorkerProcess, float]] = []
+        failed = 0
+        for wid, proc in procs:
+            try:
+                if frames:
+                    proc.start_round(checksum=checksum, version=version)
+                else:
+                    proc.start_round(
+                        checksum=False, version=VERSION, stamp_sequence=False
+                    )
+            except WorkerCrashError as exc:
+                if supervisor is None:
+                    raise
+                supervisor.note_failure(wid, exc, phase="dispatch")
+                failed += 1
+                continue
+            dispatched.append((wid, proc, time.monotonic()))
         merged: dict[int, list] = {}
         parallel = 0.0
         serial = 0.0
         blocks = 0
         served = False
-        for _, proc in procs:
-            spans, delta = proc.finish_round()
+        for wid, proc, sent_at in dispatched:
+            try:
+                if supervisor is None:
+                    spans, delta = proc.finish_round()
+                else:
+                    spans, delta = proc.finish_round(timeout=round_timeout)
+            except WorkerCrashError as exc:
+                if supervisor is None:
+                    raise
+                supervisor.note_failure(wid, exc, phase="round")
+                failed += 1
+                continue
+            wall = delta.pop("round_wall_seconds", None)
             gpu = delta["gpu_seconds"]
             parallel = max(parallel, gpu)
             serial += gpu
@@ -563,6 +741,18 @@ class ServingCluster:
                         for offset, length in peer_spans
                     ]
                 merged.setdefault(peer_id, []).append(payload)
+            if supervisor is not None:
+                # Strike on the worker's own wall clock (barrier wait on
+                # an earlier sibling must not be charged to this worker),
+                # and only after the merge: a slow-strike eviction here
+                # closes the ring, and the exported views above pin the
+                # mapping so this round's payloads stay valid.
+                supervisor.note_round(
+                    wid,
+                    time.monotonic() - sent_at if wall is None else wall,
+                )
+        if supervisor is not None and served and (failed or down):
+            supervisor.note_degraded_round()
         return merged, parallel, serial, blocks, served
 
     # -- lifecycle ---------------------------------------------------------
@@ -615,10 +805,18 @@ class ServingCluster:
         their control-plane byte counters so dashboards can watch the
         control/data split stay lopsided.
         """
-        per_worker = [
-            _labeled(self._workers[wid].stats_snapshot(), wid)
-            for wid in self.live_workers
-        ]
+        per_worker = []
+        for wid in self.live_workers:
+            if self._is_down(wid):
+                continue  # no process to ask; its series resume on restart
+            try:
+                per_worker.append(
+                    _labeled(self._workers[wid].stats_snapshot(), wid)
+                )
+            except WorkerCrashError as exc:
+                if self.supervisor is None:
+                    raise
+                self.supervisor.note_failure(wid, exc, phase="snapshot")
         stats = self.stats
         own = {
             "counters": {
@@ -652,6 +850,10 @@ class ServingCluster:
                     received += worker.control_bytes_received
             own["counters"]["cluster_control_bytes_sent"] = float(sent)
             own["counters"]["cluster_control_bytes_received"] = float(received)
+        if self.supervisor is not None:
+            return merge_snapshots(
+                *per_worker, own, self.supervisor.snapshot_series()
+            )
         return merge_snapshots(*per_worker, own)
 
     # -- failure and rebalance ---------------------------------------------
@@ -681,7 +883,29 @@ class ServingCluster:
         victim = self._workers[worker_id]
         if isinstance(victim, WorkerProcess):
             victim.kill()
+        if self.supervisor is not None:
+            # A deliberate kill is an eviction, not an outage: the
+            # supervisor must not restart this worker.
+            self.supervisor.forget(worker_id)
+        self._finish_eviction(worker_id, moved)
+        return moved
+
+    def _evict_worker(self, worker_id: int) -> dict[int, int]:
+        """Circuit-breaker eviction: the victim is already torn down.
+
+        Same terminal path as :meth:`kill_worker` minus the kill (the
+        supervisor SIGKILLed the process when it detected the failure);
+        survivors that are themselves down get their moved segments on
+        restart, when everything the ring maps to them republishes.
+        """
+        moved = self._router.rebalance(worker_id)
+        self._finish_eviction(worker_id, moved)
+        return moved
+
+    def _finish_eviction(self, worker_id: int, moved: dict[int, int]) -> None:
         for segment_id, new_worker in moved.items():
+            if self._is_down(new_worker):
+                continue
             self._workers[new_worker].publish(self._origin[segment_id])
         for view in self._peers.values():
             view._detach(worker_id)
@@ -690,7 +914,6 @@ class ServingCluster:
         self._m_killed.inc()
         self._m_rebalanced.inc(len(moved))
         self._m_live.set(self.num_workers)
-        return moved
 
     # -- internal ----------------------------------------------------------
 

@@ -21,8 +21,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.cluster import ClusterStats, ServingCluster
-from repro.errors import RetryExhaustedError
-from repro.faults import WorkerKillPlan
+from repro.cluster.supervisor import SupervisorConfig, SupervisorStats
+from repro.errors import ConfigurationError, RetryExhaustedError
+from repro.faults import ChaosPlan, WorkerKillPlan
 from repro.gpu.spec import GTX280, DeviceSpec
 from repro.rlnc.block import CodingParams, Segment
 from repro.rlnc.wire import VERSION2
@@ -49,6 +50,11 @@ class ClusterWorkloadReport:
     placement_before: dict[int, int] = field(default_factory=dict)
     placement_after: dict[int, int] = field(default_factory=dict)
     stats: ClusterStats = field(default_factory=ClusterStats)
+    #: Final supervisor accounting (None when unsupervised).
+    supervision: SupervisorStats | None = None
+    #: Parent-side raw SIGKILL from a chaos plan, if one fired.
+    dropped_worker: int | None = None
+    drop_round: int | None = None
 
     @property
     def model_speedup(self) -> float:
@@ -79,6 +85,8 @@ def run_cluster_workload(
     seed: int = 0,
     spec: DeviceSpec = GTX280,
     kill_plan: WorkerKillPlan | None = None,
+    chaos_plan: ChaosPlan | None = None,
+    supervision: SupervisorConfig | None = None,
     wire_version: int = VERSION2,
     max_rounds: int = 10_000,
     per_peer_round_quota: int | None = None,
@@ -107,11 +115,25 @@ def run_cluster_workload(
     fells a real OS process.  The cluster is always closed before the
     report is built, so no workload leaks processes or shared memory.
 
+    A ``chaos_plan`` (parallel + ``supervision`` required) goes further
+    than a kill plan: victims crash, hang or slow down *uninvited* —
+    inside their own processes or via a parent-side raw SIGKILL — and
+    the cluster's supervisor, not the harness, must detect and heal
+    them.  The report then carries the supervisor's final accounting,
+    and ``byte_exact`` still demands every payload match its origin:
+    the self-healing path may cost rounds, never bytes.
+
     Returns:
         A :class:`ClusterWorkloadReport`; ``byte_exact`` is True iff
         every session decoded and every recovered payload matched its
         origin bytes exactly.
     """
+    if chaos_plan is not None and (not parallel or supervision is None):
+        raise ConfigurationError(
+            "chaos_plan needs parallel=True and a supervision config — "
+            "without a supervisor, an uninvited worker death would "
+            "simply crash the workload instead of exercising recovery"
+        )
     if params is None:
         params = CodingParams(num_blocks=32, block_size=1024)
     profile = MediaProfile(params=params)
@@ -124,6 +146,8 @@ def run_cluster_workload(
         max_cluster_pending_blocks=max_cluster_pending_blocks,
         parallel=parallel,
         start_method=start_method,
+        supervision=supervision,
+        chaos=chaos_plan,
     )
     start = time.perf_counter()
     try:
@@ -143,9 +167,18 @@ def run_cluster_workload(
         undecoded: set[int] = set()
         killed_worker: int | None = None
         kill_round: int | None = None
+        dropped_worker: int | None = None
+        drop_round: int | None = None
         moved: dict[int, int] = {}
         frames: dict = {}
         rounds = 0
+
+        def progress() -> float:
+            return (
+                sum(s.decoder.rank for s in sessions if s.decoder is not None)
+                / total_rank
+            )
+
         while rounds < max_rounds:
             live = [
                 s
@@ -155,21 +188,20 @@ def run_cluster_workload(
             if not live:
                 break
             if kill_plan is not None and not kill_plan.fired:
-                progress = (
-                    sum(
-                        s.decoder.rank
-                        for s in sessions
-                        if s.decoder is not None
-                    )
-                    / total_rank
-                )
                 result = kill_plan.maybe_kill(
-                    cluster, progress=progress, round_index=rounds
+                    cluster, progress=progress(), round_index=rounds
                 )
                 if result is not None:
                     killed_worker = kill_plan.victim
                     kill_round = rounds
                     moved = result
+            if chaos_plan is not None and not chaos_plan.drop_fired:
+                victim = chaos_plan.maybe_drop(
+                    cluster, progress=progress(), round_index=rounds
+                )
+                if victim is not None:
+                    dropped_worker = victim
+                    drop_round = rounds
             for session in live:
                 try:
                     session.pre_round()
@@ -184,9 +216,24 @@ def run_cluster_workload(
                 except RetryExhaustedError:
                     undecoded.add(session.peer_id)
             rounds += 1
+            if (
+                cluster.supervisor is not None
+                and cluster.supervisor.down_workers
+            ):
+                # Degraded cadence: a real deployment's rounds have a
+                # period, but this loop spins them in microseconds — so
+                # while a worker is down, give the supervisor's restart
+                # backoff wall-clock room before the starved sessions
+                # burn through their RetryLater budget.
+                time.sleep(cluster.supervisor.config.backoff_base)
         # Drop the last round's ring views so closing the cluster can
         # unmap its shared memory cleanly.
         frames = {}
+        supervision_stats = (
+            cluster.supervisor.stats.snapshot()
+            if cluster.supervisor is not None
+            else None
+        )
     finally:
         cluster.close()
     wall_seconds = time.perf_counter() - start
@@ -219,4 +266,7 @@ def run_cluster_workload(
         placement_before=placement_before,
         placement_after=cluster.placement(),
         stats=cluster.stats.snapshot(),
+        supervision=supervision_stats,
+        dropped_worker=dropped_worker,
+        drop_round=drop_round,
     )

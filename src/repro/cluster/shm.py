@@ -91,6 +91,8 @@ class BlockRing:
         self.inbox_bytes = inbox_bytes
         self._owner = owner
         self._head = 0
+        self._closed = False
+        self._unlinked = False
 
     @classmethod
     def create(cls, *, capacity: int, inbox_bytes: int = 0) -> "BlockRing":
@@ -156,10 +158,26 @@ class BlockRing:
         """A zero-copy slice of the segment (absolute ``offset``)."""
         return self._shm.buf[offset : offset + length]
 
+    @property
+    def closed(self) -> bool:
+        """True once this side's mapping has been released (or pinned)."""
+        return self._closed
+
     def close(self) -> None:
         """Unmap this side's view (best-effort: exported frame views may
-        pin the mapping until they are garbage collected)."""
+        pin the mapping until they are garbage collected).
+
+        Idempotent: supervisor restart cycles route a dying worker's
+        ring through both the explicit teardown and the weakref
+        finalizer, so a second close must neither double-pin the
+        mapping nor re-raise the original ``BufferError``.  The pinned
+        sweep always runs — every close is a chance to release
+        mappings an earlier round's exported views kept alive.
+        """
         _sweep_pinned()
+        if self._closed:
+            return
+        self._closed = True
         try:
             self._shm.close()
         except BufferError:
@@ -170,9 +188,15 @@ class BlockRing:
             _pinned.append(self._shm)
 
     def unlink(self) -> None:
-        """Remove the backing segment (owner side only; idempotent)."""
-        if not self._owner:
+        """Remove the backing segment (owner side only; idempotent).
+
+        Only the first call touches the filesystem and the resource
+        tracker — repeat unlinks across restart/teardown cycles are
+        no-ops, never a double tracker unregister.
+        """
+        if not self._owner or self._unlinked:
             return
+        self._unlinked = True
         try:
             self._shm.unlink()
         except FileNotFoundError:

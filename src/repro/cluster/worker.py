@@ -34,14 +34,20 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from multiprocessing import get_all_start_methods, get_context
 
 import numpy as np
 
 from repro.cluster.shm import BlockRing
-from repro.errors import ConfigurationError, WorkerCrashError
+from repro.errors import (
+    ConfigurationError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.faults import WorkerChaosSpec
 from repro.gpu.spec import DeviceSpec
 from repro.kernels.cost_model import EncodeScheme
 from repro.rlnc.block import Segment
@@ -50,6 +56,10 @@ from repro.streaming.server import StreamingServer
 from repro.streaming.session import MediaProfile
 
 _PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Sentinel distinguishing "no timeout passed" from an explicit None
+#: (wait forever) in :meth:`WorkerProcess.call`.
+_UNSET = object()
 
 #: Headroom added to the parent's per-round arena-size bound, covering
 #: rounding in the bound itself (the bound is already conservative: a
@@ -92,6 +102,35 @@ class WorkerBootstrap:
     ring_name: str
     ring_capacity: int
     ring_inbox_bytes: int
+    #: Scheduled process-level fault, if this worker is a chaos victim.
+    chaos: WorkerChaosSpec | None = None
+
+
+@dataclass
+class WorkerLifecycleStats:
+    """Teardown accounting for one :class:`WorkerProcess` handle.
+
+    The supervision layer needs to know *how* a worker died, not just
+    that it did: a graceful exit, a SIGKILL, or an escalation because a
+    join deadline expired with the process still alive.  Counters only
+    grow, following the cumulative contract of the other stats classes.
+
+    Attributes:
+        graceful_exits: shutdown handshakes the worker acknowledged.
+        sigkills: SIGKILLs delivered to the process.
+        join_escalations: graceful shutdowns whose join deadline
+            expired with the process still alive, forcing a SIGKILL.
+        join_timeouts: post-SIGKILL joins that timed out and had to be
+            retried (a reaped-but-unjoined or D-state process).
+    """
+
+    graceful_exits: int = 0
+    sigkills: int = 0
+    join_escalations: int = 0
+    join_timeouts: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class _SessionMirror:
@@ -135,6 +174,31 @@ class _WorkerRuntime:
         self.server.add_eviction_listener(self.evicted.append)
         #: last counters reported per peer, for reply diffing
         self.reported: dict[int, tuple[int, int, int]] = {}
+        #: scheduled process-level fault (chaos victim only)
+        self.chaos = bootstrap.chaos
+        #: commands handled, per verb — chaos triggers and ping payloads
+        self.command_counts: dict[str, int] = {}
+
+    def _inject_chaos(self, tag: str) -> None:
+        """Fire this worker's scheduled fault if ``tag`` triggers it.
+
+        Runs *before* the command is handled and before any reply, so a
+        crash looks to the parent exactly like a real mid-command death
+        (EOF on the pipe) and a hang exactly like a stuck worker (no
+        reply until a deadline fires).
+        """
+        spec = self.chaos
+        if spec is None or tag != spec.command:
+            return
+        count = self.command_counts.get(tag, 0)
+        if spec.action == "crash":
+            if count == spec.at_count:
+                os._exit(spec.exit_code)
+        elif spec.action == "hang":
+            if count == spec.at_count:
+                time.sleep(spec.seconds)
+        elif count >= spec.at_count:  # slow: every reply from then on
+            time.sleep(spec.seconds)
 
     def _alloc(self, total: int) -> tuple[memoryview, int]:
         return self.ring.buffer, self.ring.reserve(total)
@@ -197,6 +261,10 @@ class _WorkerRuntime:
             return server.stats_snapshot()
         if tag == "stats":
             return server.stats.as_dict()
+        if tag == "ping":
+            # The liveness probe: proof the event loop is draining the
+            # pipe, plus enough state for the supervisor to cross-check.
+            return ("pong", os.getpid(), dict(self.command_counts))
         if tag == "ring":
             name, capacity, inbox_bytes = args
             fresh = BlockRing.attach(
@@ -215,11 +283,23 @@ class _WorkerRuntime:
             except (EOFError, OSError):
                 break
             tag, args = pickle.loads(raw)
+            self.command_counts[tag] = self.command_counts.get(tag, 0) + 1
+            started = time.monotonic()
+            self._inject_chaos(tag)
             if tag == "shutdown":
                 conn.send_bytes(pickle.dumps(("ok", None, 0, {}), _PROTOCOL))
                 break
             try:
                 payload = self.handle(tag, args)
+                if tag == "round":
+                    # The worker's own wall clock for this round, chaos
+                    # included.  The parent's barrier collects replies in
+                    # worker order, so parent-side timing would charge a
+                    # worker for time spent waiting on a slow sibling —
+                    # only the child can measure its own slowness.
+                    payload[1]["round_wall_seconds"] = (
+                        time.monotonic() - started
+                    )
             except Exception as exc:
                 try:
                     reply = pickle.dumps(("err", exc), _PROTOCOL)
@@ -250,7 +330,7 @@ def _reap(process, conn, state: dict) -> None:
     try:
         if process.is_alive():
             process.kill()
-            process.join(timeout=5)
+            process.join(timeout=state.get("join_timeout", 5.0))
     except Exception:
         pass
     try:
@@ -290,9 +370,18 @@ class WorkerProcess:
         max_pending_blocks: int | None = None,
         start_method: str | None = None,
         ring_capacity: int | None = None,
+        chaos: WorkerChaosSpec | None = None,
+        shutdown_join_timeout: float = 10.0,
+        kill_join_timeout: float = 5.0,
     ) -> None:
+        if shutdown_join_timeout <= 0 or kill_join_timeout <= 0:
+            raise ConfigurationError("join timeouts must be positive")
         self.worker_id = worker_id
         self.profile = profile
+        #: graceful-shutdown join deadline before escalating to SIGKILL
+        self.shutdown_join_timeout = shutdown_join_timeout
+        #: post-SIGKILL join deadline before the reap is retried
+        self.kill_join_timeout = kill_join_timeout
         params = profile.params
         if ring_capacity is None:
             # Room for ~two full-segment rounds before the first growth.
@@ -323,6 +412,7 @@ class WorkerProcess:
             ring_name=ring.name,
             ring_capacity=ring.capacity,
             ring_inbox_bytes=ring.inbox_bytes,
+            chaos=chaos,
         )
         process = ctx.Process(
             target=_worker_main,
@@ -335,11 +425,24 @@ class WorkerProcess:
         self._process = process
         self._conn = parent_conn
         self._ring = ring
-        self._state = {"ring": ring}
+        self._state = {"ring": ring, "join_timeout": kill_join_timeout}
         self._reaped = False
         self._inflight = False
+        self._tainted = False
         self._reply_tap = None
         self._eviction_listeners: list = []
+        #: default deadline (seconds) for every command round trip;
+        #: ``None`` waits forever.  The supervisor sets this on the
+        #: workers it watches; explicit ``timeout=`` arguments win.
+        self.command_timeout: float | None = None
+        #: monotonic time of the last successful reply (spawn time
+        #: before any) — the "last-reply age" half of the heartbeat.
+        self.last_reply_at = time.monotonic()
+        #: send-to-reply latency of the most recent round trip.
+        self.last_reply_latency = 0.0
+        self._last_send_at = self.last_reply_at
+        #: teardown accounting (graceful exits, SIGKILLs, escalations)
+        self.lifecycle = WorkerLifecycleStats()
         #: parent-side mirrors of the worker's peer sessions
         self.sessions: dict[int, _SessionMirror] = {}
         #: mirrored total of the worker's queued coded blocks
@@ -364,6 +467,15 @@ class WorkerProcess:
     def ring(self) -> BlockRing:
         return self._ring
 
+    @property
+    def tainted(self) -> bool:
+        """True after a missed deadline left the pipe out of sync."""
+        return self._tainted
+
+    def reply_age(self, now: float | None = None) -> float:
+        """Seconds since the last successful reply (liveness signal)."""
+        return (time.monotonic() if now is None else now) - self.last_reply_at
+
     def tap_replies(self, callback) -> None:
         """Register a hook fed every raw reply (test instrumentation)."""
         self._reply_tap = callback
@@ -373,8 +485,14 @@ class WorkerProcess:
             raise WorkerCrashError(
                 f"worker {self.worker_id} has been shut down"
             )
+        if self._tainted:
+            raise WorkerTimeoutError(
+                f"worker {self.worker_id} (pid {self.pid}) missed a "
+                "deadline; its command pipe is out of sync — replace it"
+            )
         raw = pickle.dumps((tag, args), _PROTOCOL)
         self.control_bytes_sent += len(raw)
+        self._last_send_at = time.monotonic()
         try:
             self._conn.send_bytes(raw)
         except (BrokenPipeError, OSError) as exc:
@@ -383,14 +501,30 @@ class WorkerProcess:
                 "command pipe is broken"
             ) from exc
 
-    def _recv(self):
+    def _recv(self, timeout: float | None = None):
+        """Collect one reply, optionally bounded by a deadline.
+
+        A missed deadline taints the handle: the late reply (if the
+        worker is merely slow) would pair with the *next* command, so
+        every later send refuses until the supervisor replaces the
+        process.
+        """
         try:
+            if timeout is not None and not self._conn.poll(timeout):
+                self._tainted = True
+                raise WorkerTimeoutError(
+                    f"worker {self.worker_id} (pid {self.pid}) exceeded "
+                    f"its {timeout:g}s deadline"
+                )
             raw = self._conn.recv_bytes()
         except (EOFError, OSError) as exc:
             raise WorkerCrashError(
                 f"worker {self.worker_id} (pid {self.pid}) died mid-command"
             ) from exc
         self.control_bytes_received += len(raw)
+        now = time.monotonic()
+        self.last_reply_latency = now - self._last_send_at
+        self.last_reply_at = now
         if self._reply_tap is not None:
             self._reply_tap(raw)
         message = pickle.loads(raw)
@@ -412,10 +546,26 @@ class WorkerProcess:
             ) = counters
         return payload
 
-    def call(self, tag: str, *args):
-        """One synchronous control round trip."""
+    def call(self, tag: str, *args, timeout=_UNSET):
+        """One synchronous control round trip.
+
+        ``timeout`` defaults to :attr:`command_timeout`; pass an
+        explicit ``None`` to wait forever regardless of the default.
+        """
         self._send(tag, *args)
-        return self._recv()
+        return self._recv(
+            self.command_timeout if timeout is _UNSET else timeout
+        )
+
+    def ping(self, timeout=_UNSET):
+        """Liveness probe: a no-op round trip through the worker loop.
+
+        Returns the worker's ``(\"pong\", pid, command_counts)`` reply;
+        raises :class:`~repro.errors.WorkerTimeoutError` /
+        :class:`~repro.errors.WorkerCrashError` like any command when
+        the worker is hung or gone.
+        """
+        return self.call("ping", timeout=timeout)
 
     # -- the serving verbs -------------------------------------------------
 
@@ -493,20 +643,29 @@ class WorkerProcess:
         self._send("round", checksum, version, stamp_sequence)
         self._inflight = True
 
-    def finish_round(self) -> tuple[dict[int, list[tuple[int, int]]], dict]:
-        """Barrier on the in-flight round.
+    def finish_round(
+        self, timeout=_UNSET
+    ) -> tuple[dict[int, list[tuple[int, int]]], dict]:
+        """Barrier on the in-flight round, optionally deadline-bounded.
 
         Returns:
             ``(spans, stats_delta)`` — per-peer lists of ``(offset,
             length)`` ring spans (one per granted batch, contiguous per
             peer), and the round's ``ServerStats`` delta as a dict.
+
+        Raises:
+            WorkerTimeoutError: the round missed its deadline (the
+                handle is tainted; the supervisor must replace it).
+            WorkerCrashError: the worker died mid-round.
         """
         if not self._inflight:
             raise ConfigurationError(
                 f"no round in flight on worker {self.worker_id}"
             )
         self._inflight = False
-        return self._recv()
+        return self._recv(
+            self.command_timeout if timeout is _UNSET else timeout
+        )
 
     def view(self, offset: int, length: int) -> memoryview:
         """Zero-copy view of round output in this worker's ring."""
@@ -540,19 +699,37 @@ class WorkerProcess:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def kill(self) -> None:
+    def kill(self, join_timeout: float | None = None) -> None:
         """Hard-kill the process (SIGKILL) and release pipe + ring.
 
         This is the failover path: the fault harness calls it through
-        :meth:`ServingCluster.kill_worker` to fell a real process.
-        Idempotent.
+        :meth:`ServingCluster.kill_worker`, and the supervisor calls it
+        to tear down a crashed or hung worker before restarting it.
+        The post-SIGKILL join deadline is :attr:`kill_join_timeout`
+        unless overridden; a join that expires with the process still
+        alive is retried once with a fresh SIGKILL and recorded in
+        :attr:`lifecycle` — the handle never reports success while it
+        knows the process survives.  Idempotent.
         """
         if self._reaped:
             return
         self._reaped = True
+        join_timeout = (
+            self.kill_join_timeout if join_timeout is None else join_timeout
+        )
         if self._process.is_alive():
             self._process.kill()
-        self._process.join(timeout=10)
+            self.lifecycle.sigkills += 1
+        self._process.join(timeout=join_timeout)
+        if self._process.is_alive():
+            # SIGKILL is not maskable, but the join can still lose the
+            # race (or the process can sit in uninterruptible sleep):
+            # escalate with a second kill + join rather than returning
+            # with a live process.
+            self.lifecycle.join_timeouts += 1
+            self._process.kill()
+            self.lifecycle.sigkills += 1
+            self._process.join(timeout=join_timeout)
         try:
             self._conn.close()
         except OSError:
@@ -564,16 +741,28 @@ class WorkerProcess:
         self.sessions.clear()
         self.pending_blocks = 0
 
-    def shutdown(self, timeout: float = 10.0) -> None:
+    def shutdown(self, timeout: float | None = None) -> None:
         """Graceful stop: ask the worker to exit, then reap everything.
 
-        Falls back to :meth:`kill` when the worker is already gone.
+        The handshake and join share one deadline
+        (:attr:`shutdown_join_timeout` unless overridden) so a hung
+        worker cannot block shutdown forever; when the deadline expires
+        with the process alive, the stop escalates to :meth:`kill` and
+        the escalation is recorded in :attr:`lifecycle`.  Falls back to
+        :meth:`kill` when the worker is already gone.
         """
         if self._reaped:
             return
+        timeout = self.shutdown_join_timeout if timeout is None else timeout
+        graceful = False
         try:
-            self.call("shutdown")
+            self.call("shutdown", timeout=timeout)
             self._process.join(timeout=timeout)
+            graceful = not self._process.is_alive()
         except (WorkerCrashError, OSError):
             pass
+        if graceful:
+            self.lifecycle.graceful_exits += 1
+        else:
+            self.lifecycle.join_escalations += 1
         self.kill()

@@ -17,6 +17,7 @@ errors when they need to.  The hierarchy::
     ├── CapacityError           streaming resource exhausted
     ├── RetryExhaustedError     a reliable-transport retry loop gave up
     └── WorkerCrashError        a cluster worker process died mid-command
+        └── WorkerTimeoutError  a worker missed a supervision deadline
 
 :class:`RetryLater` is deliberately *not* an exception: it is the
 streaming server's graceful load-shedding response ("come back in a few
@@ -94,6 +95,23 @@ class WorkerCrashError(ReproError):
     :meth:`~repro.cluster.ServingCluster.kill_worker` rebalance is the
     recovery; requests routed to a crashed-but-unrebalanced worker
     surface this error instead of hanging.
+    """
+
+
+class WorkerTimeoutError(WorkerCrashError):
+    """A cluster worker missed a supervision deadline.
+
+    Raised parent-side when a command's reply does not arrive within the
+    deadline the :class:`repro.cluster.supervisor.SupervisorConfig`
+    imposes — the worker process may be hung, pathologically slow, or
+    mid-crash; the supervisor cannot tell without tearing it down.
+
+    Subclasses :class:`WorkerCrashError` deliberately: every failover
+    path that already handles a crashed worker must handle a hung one
+    the same way (SIGKILL, shared-memory reap, restart or rebalance).
+    A worker handle that missed a deadline is *tainted* — a late reply
+    would desynchronize the command pipe — so every later command on it
+    raises this error until the supervisor replaces the process.
     """
 
 

@@ -31,6 +31,8 @@ boundaries — the one documented exception.
 
 from __future__ import annotations
 
+import os
+import signal
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -41,6 +43,9 @@ from repro.rlnc.block import CodedBlock
 
 #: Fault actions a plan can inject.
 ACTIONS = ("drop", "corrupt", "duplicate", "delay")
+
+#: Process-level fault actions a :class:`ChaosPlan` can schedule.
+CHAOS_ACTIONS = ("crash", "hang", "slow", "drop")
 
 
 @dataclass(frozen=True)
@@ -375,3 +380,234 @@ class WorkerKillPlan:
             )
         )
         return moved
+
+
+@dataclass(frozen=True)
+class WorkerChaosSpec:
+    """One worker's scheduled process-level fault (picklable).
+
+    The spec crosses the process boundary inside
+    :class:`~repro.cluster.worker.WorkerBootstrap`; the worker runtime
+    counts the commands it handles and fires the fault when the
+    ``at_count``-th command of the configured ``command`` verb arrives —
+    the same hook point :meth:`~repro.cluster.worker.WorkerProcess
+    .tap_replies` instruments from the parent side.  Faults are
+    *pre-reply*: a crashing worker never acknowledges the command, so
+    the parent observes exactly what a real mid-command death looks
+    like (EOF on the pipe / a missed deadline), not a polite error.
+
+    Attributes:
+        action: ``crash`` (abrupt ``os._exit``, no cleanup), ``hang``
+            (sleep ``seconds`` once, then serve normally) or ``slow``
+            (sleep ``seconds`` before every reply from ``at_count`` on).
+        command: the worker verb the fault fires on — an injection
+            point: ``round``, ``request``, ``publish``, ``ping``, ...
+        at_count: 1-based occurrence of ``command`` that triggers.
+        seconds: sleep duration for ``hang``/``slow``.
+        exit_code: ``crash`` only — the worker's exit status.
+    """
+
+    action: str
+    command: str = "round"
+    at_count: int = 1
+    seconds: float = 0.0
+    exit_code: int = 1
+
+    def __post_init__(self) -> None:
+        if self.action not in ("crash", "hang", "slow"):
+            raise ConfigurationError(
+                f"unknown worker chaos action {self.action!r}; "
+                "expected crash, hang or slow"
+            )
+        if self.at_count < 1:
+            raise ConfigurationError(
+                f"at_count is 1-based and must be >= 1, got {self.at_count}"
+            )
+        if self.seconds < 0:
+            raise ConfigurationError("chaos seconds must be non-negative")
+        if self.action in ("hang", "slow") and self.seconds <= 0:
+            raise ConfigurationError(
+                f"{self.action} chaos needs seconds > 0"
+            )
+
+
+class ChaosPlan:
+    """A seeded schedule of process-level cluster faults.
+
+    Extends the deterministic-fault philosophy from frames and blocks to
+    whole worker processes: every victim is drawn from the seed at
+    construction (one distinct victim per enabled action, drawn from a
+    seeded permutation), so a given seed always fells the same workers
+    at the same points of the same workload.  Three fault modes run
+    *inside* the victim (compiled into its
+    :class:`~repro.cluster.worker.WorkerBootstrap` as a
+    :class:`WorkerChaosSpec`); the fourth fires from the parent:
+
+    * ``crash_at_round`` — the victim ``os._exit``\\ s while handling
+      its Nth serve round (1-based), mid-command: no reply, no cleanup.
+    * ``hang_at_round`` — the victim sleeps ``hang_seconds`` before
+      replying to its Nth round; only a deadline can unblock the
+      barrier.
+    * ``slow_from_round`` — every reply from the Nth round on is
+      delayed ``slow_reply_seconds``; the supervisor's slow-strike
+      accounting must evict it.
+    * ``drop_at_progress`` — the parent sends a raw ``SIGKILL``
+      (bypassing all cluster bookkeeping) the first time workload
+      progress crosses the fraction, so detection — not the kill — is
+      what gets exercised.
+
+    Every scheduled fault is logged as a :class:`FaultEvent` at
+    construction (``index`` = the scheduled round, or ``-1`` for
+    progress-triggered drops; ``detail`` = the victim id), and the drop
+    firing appends a ``worker_drop`` event — tests assert exact
+    accounting between this log and the supervisor's detections.
+
+    Args:
+        seed: the plan's only entropy source.
+        num_workers: cluster size victims are drawn from; must be at
+            least the number of enabled actions plus one survivor.
+        crash_at_round: 1-based round the crash victim dies on.
+        hang_at_round: 1-based round the hang victim stalls on.
+        hang_seconds: how long the hang victim sleeps.
+        slow_from_round: 1-based round the slow victim degrades from.
+        slow_reply_seconds: per-reply delay of the slow victim.
+        drop_at_progress: workload-progress fraction in ``[0, 1]`` at
+            which the parent SIGKILLs the drop victim.
+        command: injection point for the in-process faults (the worker
+            verb; default ``round``).
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int,
+        num_workers: int,
+        crash_at_round: int | None = None,
+        hang_at_round: int | None = None,
+        hang_seconds: float = 1.0,
+        slow_from_round: int | None = None,
+        slow_reply_seconds: float = 0.25,
+        drop_at_progress: float | None = None,
+        command: str = "round",
+    ) -> None:
+        enabled = [
+            action
+            for action, trigger in (
+                ("crash", crash_at_round),
+                ("hang", hang_at_round),
+                ("slow", slow_from_round),
+                ("drop", drop_at_progress),
+            )
+            if trigger is not None
+        ]
+        if not enabled:
+            raise ConfigurationError(
+                "a ChaosPlan needs at least one of crash_at_round, "
+                "hang_at_round, slow_from_round or drop_at_progress"
+            )
+        if num_workers < len(enabled) + 1:
+            raise ConfigurationError(
+                f"{len(enabled)} chaos action(s) need at least "
+                f"{len(enabled) + 1} workers (one must survive), "
+                f"got {num_workers}"
+            )
+        for name, value in (
+            ("crash_at_round", crash_at_round),
+            ("hang_at_round", hang_at_round),
+            ("slow_from_round", slow_from_round),
+        ):
+            if value is not None and value < 1:
+                raise ConfigurationError(
+                    f"{name} is 1-based and must be >= 1, got {value}"
+                )
+        if drop_at_progress is not None and not (
+            0.0 <= drop_at_progress <= 1.0
+        ):
+            raise ConfigurationError(
+                f"drop_at_progress must be in [0, 1], got {drop_at_progress}"
+            )
+        self.seed = seed
+        self.num_workers = num_workers
+        self.drop_at_progress = drop_at_progress
+        self.command = command
+        rng = np.random.default_rng([seed, num_workers])
+        order = [int(w) for w in rng.permutation(num_workers)]
+        #: action -> seed-drawn victim worker id (distinct per action).
+        self.victims: dict[str, int] = {
+            action: order[i] for i, action in enumerate(enabled)
+        }
+        self._specs: dict[int, WorkerChaosSpec] = {}
+        self.log: list[FaultEvent] = []
+        if crash_at_round is not None:
+            victim = self.victims["crash"]
+            self._specs[victim] = WorkerChaosSpec(
+                "crash", command=command, at_count=crash_at_round
+            )
+            self.log.append(FaultEvent(crash_at_round, "crash", victim))
+        if hang_at_round is not None:
+            victim = self.victims["hang"]
+            self._specs[victim] = WorkerChaosSpec(
+                "hang",
+                command=command,
+                at_count=hang_at_round,
+                seconds=hang_seconds,
+            )
+            self.log.append(FaultEvent(hang_at_round, "hang", victim))
+        if slow_from_round is not None:
+            victim = self.victims["slow"]
+            self._specs[victim] = WorkerChaosSpec(
+                "slow",
+                command=command,
+                at_count=slow_from_round,
+                seconds=slow_reply_seconds,
+            )
+            self.log.append(FaultEvent(slow_from_round, "slow", victim))
+        if drop_at_progress is not None:
+            self.log.append(FaultEvent(-1, "drop", self.victims["drop"]))
+        self._drop_fired = False
+
+    @property
+    def scheduled_process_faults(self) -> int:
+        """Faults this plan will inject (in-process specs + drop)."""
+        return len(self._specs) + (1 if self.drop_at_progress is not None else 0)
+
+    @property
+    def drop_fired(self) -> bool:
+        return self._drop_fired
+
+    def spec_for(self, worker_id: int) -> WorkerChaosSpec | None:
+        """The chaos spec baked into ``worker_id``'s bootstrap, if any.
+
+        Only a worker's *first* incarnation gets a spec — the cluster
+        passes ``chaos=None`` on supervisor restarts, so a healed
+        victim comes back healthy instead of replaying its fault.
+        """
+        return self._specs.get(worker_id)
+
+    def maybe_drop(self, cluster, *, progress: float, round_index: int):
+        """Raw-SIGKILL the drop victim once ``progress`` crosses the bar.
+
+        Unlike :meth:`WorkerKillPlan.maybe_kill` this never calls
+        ``kill_worker``: the signal goes straight to the OS process, so
+        the cluster's supervision layer — not the caller — must notice
+        the death and run recovery.  Returns the victim id when the
+        drop fired this call, else ``None``.
+        """
+        if (
+            self.drop_at_progress is None
+            or self._drop_fired
+            or progress < self.drop_at_progress
+        ):
+            return None
+        victim = self.victims["drop"]
+        if victim not in cluster.live_workers:
+            raise ConfigurationError(f"drop victim {victim} is not live")
+        pid = cluster.worker(victim).pid
+        if pid is None:
+            raise ConfigurationError(
+                f"drop victim {victim} has no OS process (parallel=False?)"
+            )
+        os.kill(pid, signal.SIGKILL)
+        self._drop_fired = True
+        self.log.append(FaultEvent(round_index, "worker_drop", victim))
+        return victim

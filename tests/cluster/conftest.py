@@ -2,8 +2,10 @@
 
 Every test in this package runs under the autouse reaper below, which
 fails the test (after cleaning up) if it leaked a ``repro-ring-*``
-shared-memory segment — the acceptance bar for the multiprocess
-substrate is that rings are *always* released, even through kills.
+shared-memory segment or left a ``repro-worker-*`` process alive — the
+acceptance bar for the multiprocess substrate is that rings and
+processes are *always* released, even through kills, supervised
+restarts and chaos injection.
 
 Hosted CI runners set ``REPRO_CLUSTER_WORKER_CAP=2`` so the parallel
 tests never oversubscribe a two-core box; tests size their clusters
@@ -11,6 +13,7 @@ with :func:`capped_workers`.
 """
 
 import glob
+import multiprocessing
 import os
 
 import pytest
@@ -26,18 +29,36 @@ def capped_workers(requested: int) -> int:
     return max(1, min(requested, WORKER_CAP))
 
 
+def _orphan_workers() -> list:
+    """Live ``repro-worker-*`` children (calling active_children also
+    reaps any zombies multiprocessing already knows are done)."""
+    return [
+        proc
+        for proc in multiprocessing.active_children()
+        if proc.name.startswith("repro-worker-")
+    ]
+
+
 @pytest.fixture(autouse=True)
 def reap_shared_memory():
-    """Fail (and clean up) any test that leaks a block-ring segment."""
-    if not os.path.isdir("/dev/shm"):
-        yield
-        return
-    before = set(glob.glob(_SHM_GLOB))
+    """Fail (and clean up) any test that leaks a ring or a worker."""
+    has_shm = os.path.isdir("/dev/shm")
+    before = set(glob.glob(_SHM_GLOB)) if has_shm else set()
     yield
-    leaked = sorted(set(glob.glob(_SHM_GLOB)) - before)
+    orphans = _orphan_workers()
+    for proc in orphans:
+        proc.kill()
+        proc.join(timeout=5)
+    leaked = (
+        sorted(set(glob.glob(_SHM_GLOB)) - before) if has_shm else []
+    )
     for path in leaked:
         try:
             os.unlink(path)
         except OSError:
             pass
+    assert not orphans, (
+        "leaked worker processes: "
+        f"{[proc.name for proc in orphans]}"
+    )
     assert not leaked, f"leaked shared-memory segments: {leaked}"

@@ -1,0 +1,301 @@
+"""Seeded process-level chaos soaks: the self-healing acceptance bar.
+
+Every soak drives the full NACK workload through a supervised parallel
+cluster while a :class:`~repro.faults.ChaosPlan` fells seed-drawn
+victims — crash (abrupt ``os._exit`` mid-command), hang (stuck reply
+only a deadline can unblock), slow (degraded replies the strike
+accounting must evict) and drop (parent-side raw SIGKILL the liveness
+tick must notice) — at three distinct injection points (``round``,
+``request`` and ``publish`` commands).  The acceptance bar, matching
+the rest of the fault suite's exact-accounting philosophy:
+
+* **byte-exact**: every session decodes and every recovered payload
+  equals its origin bytes — recovery may cost rounds, never bytes;
+* **exact counters**: detections match the plan's schedule, and the
+  supervisor's identities hold (``failures == crashes + hangs + slow``,
+  ``restarts == recoveries + restart_failures``, every failure ends in
+  a recovery or a breaker trip);
+* **hygiene**: zero orphaned worker processes and zero leaked
+  shared-memory segments (enforced by the package's autouse reaper).
+"""
+
+import pytest
+
+from repro.cluster import SupervisorConfig, run_cluster_workload
+from repro.errors import ConfigurationError
+from repro.faults import ChaosPlan, WorkerChaosSpec
+from repro.rlnc import CodingParams
+from tests.cluster.conftest import capped_workers
+
+pytestmark = pytest.mark.timeout(300)
+
+PARAMS = CodingParams(8, 64)
+
+
+def soak(plan, config, *, num_workers, seed, peers=8, segments=4):
+    return run_cluster_workload(
+        num_workers=num_workers,
+        num_peers=peers,
+        num_segments=segments,
+        params=PARAMS,
+        seed=seed,
+        per_peer_round_quota=2,
+        parallel=True,
+        chaos_plan=plan,
+        supervision=config,
+    )
+
+
+def assert_identities(stats):
+    """The supervisor's counter identities (see SupervisorStats)."""
+    assert stats.failures_detected == (
+        stats.crashes_detected
+        + stats.hangs_detected
+        + stats.slow_evictions
+    )
+    assert stats.restarts == stats.recoveries + stats.restart_failures
+    # every failure resolved: healed or permanently evicted (a worker
+    # still down at workload end would have starved its segments and
+    # broken byte-exactness first)
+    assert stats.recoveries + stats.breaker_trips >= stats.failures_detected
+
+
+class TestChaosPlanSchedule:
+    def test_same_seed_same_victims_and_log(self):
+        kwargs = dict(
+            num_workers=6,
+            crash_at_round=2,
+            hang_at_round=3,
+            slow_from_round=4,
+            drop_at_progress=0.5,
+        )
+        a = ChaosPlan(seed=13, **kwargs)
+        b = ChaosPlan(seed=13, **kwargs)
+        assert a.victims == b.victims
+        assert a.log == b.log
+        assert a.scheduled_process_faults == 4
+        c = ChaosPlan(seed=14, **kwargs)
+        assert c.victims != a.victims or c.log != a.log
+
+    def test_victims_are_distinct(self):
+        plan = ChaosPlan(
+            seed=0,
+            num_workers=5,
+            crash_at_round=1,
+            hang_at_round=1,
+            slow_from_round=1,
+            drop_at_progress=0.1,
+        )
+        assert len(set(plan.victims.values())) == 4
+
+    def test_needs_a_survivor(self):
+        with pytest.raises(ConfigurationError, match="survive"):
+            ChaosPlan(seed=0, num_workers=2, crash_at_round=1,
+                      hang_at_round=1)
+
+    def test_needs_at_least_one_action(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            ChaosPlan(seed=0, num_workers=4)
+
+    def test_rounds_are_one_based(self):
+        with pytest.raises(ConfigurationError, match="1-based"):
+            ChaosPlan(seed=0, num_workers=4, crash_at_round=0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkerChaosSpec("explode")
+        with pytest.raises(ConfigurationError):
+            WorkerChaosSpec("hang", seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            WorkerChaosSpec("crash", at_count=0)
+
+    def test_restarts_do_not_replay_the_fault(self):
+        plan = ChaosPlan(seed=1, num_workers=3, crash_at_round=1)
+        victim = plan.victims["crash"]
+        assert plan.spec_for(victim) is not None
+        assert plan.spec_for((victim + 1) % 3) is None
+
+
+@pytest.mark.parametrize("command", ["round", "request", "publish"])
+class TestCrashSoak:
+    def test_crash_detected_and_healed_byte_exactly(self, command):
+        num_workers = capped_workers(2)
+        if num_workers < 2:
+            pytest.skip("chaos soak needs two workers under the cap")
+        at_count = {"round": 2, "request": 3, "publish": 1}[command]
+        plan = ChaosPlan(
+            seed=21,
+            num_workers=num_workers,
+            crash_at_round=at_count,
+            command=command,
+        )
+        config = SupervisorConfig(
+            command_timeout=10.0,
+            round_timeout=10.0,
+            restart_budget=3,
+            backoff_base=0.02,
+            backoff_max=0.1,
+        )
+        report = soak(plan, config, num_workers=num_workers, seed=21)
+        stats = report.supervision
+        victim = plan.victims["crash"]
+        victim_owned = any(
+            wid == victim for wid in report.placement_before.values()
+        )
+        if command in ("request", "publish") and not victim_owned:
+            pytest.skip("seed placed no segments on the victim")
+        assert report.byte_exact
+        assert not report.undecoded_peers
+        assert stats.crashes_detected == 1
+        assert stats.hangs_detected == 0
+        assert stats.recoveries == 1
+        assert stats.breaker_trips == 0
+        assert_identities(stats)
+
+
+class TestHangSoak:
+    @pytest.mark.parametrize("command", ["round", "request"])
+    def test_hang_detected_by_deadline_byte_exactly(self, command):
+        num_workers = capped_workers(2)
+        if num_workers < 2:
+            pytest.skip("chaos soak needs two workers under the cap")
+        plan = ChaosPlan(
+            seed=22,
+            num_workers=num_workers,
+            hang_at_round=2,
+            hang_seconds=30.0,
+            command=command,
+        )
+        config = SupervisorConfig(
+            command_timeout=0.4,
+            round_timeout=0.4,
+            restart_budget=3,
+            backoff_base=0.02,
+            backoff_max=0.1,
+        )
+        report = soak(plan, config, num_workers=num_workers, seed=22)
+        stats = report.supervision
+        victim = plan.victims["hang"]
+        victim_owned = any(
+            wid == victim for wid in report.placement_before.values()
+        )
+        if command == "request" and not victim_owned:
+            pytest.skip("seed placed no segments on the victim")
+        assert report.byte_exact
+        assert stats.hangs_detected == 1
+        assert stats.crashes_detected == 0
+        assert stats.recoveries == 1
+        assert_identities(stats)
+
+
+class TestSlowSoak:
+    def test_slow_replies_strike_out_and_heal_byte_exactly(self):
+        num_workers = capped_workers(2)
+        if num_workers < 2:
+            pytest.skip("chaos soak needs two workers under the cap")
+        plan = ChaosPlan(
+            seed=23,
+            num_workers=num_workers,
+            slow_from_round=2,
+            slow_reply_seconds=0.3,
+        )
+        config = SupervisorConfig(
+            command_timeout=10.0,
+            round_timeout=10.0,
+            slow_round_seconds=0.15,
+            max_slow_strikes=2,
+            restart_budget=3,
+            backoff_base=0.02,
+            backoff_max=0.1,
+        )
+        report = soak(plan, config, num_workers=num_workers, seed=23)
+        stats = report.supervision
+        assert report.byte_exact
+        assert stats.slow_evictions == 1
+        assert stats.slow_strikes >= config.max_slow_strikes
+        assert stats.recoveries == 1
+        assert_identities(stats)
+
+
+class TestDropSoak:
+    def test_raw_sigkill_is_detected_and_healed(self):
+        num_workers = capped_workers(2)
+        if num_workers < 2:
+            pytest.skip("chaos soak needs two workers under the cap")
+        plan = ChaosPlan(
+            seed=24, num_workers=num_workers, drop_at_progress=0.25
+        )
+        config = SupervisorConfig(
+            command_timeout=10.0,
+            round_timeout=10.0,
+            restart_budget=3,
+            backoff_base=0.02,
+            backoff_max=0.1,
+        )
+        report = soak(plan, config, num_workers=num_workers, seed=24)
+        stats = report.supervision
+        assert report.byte_exact
+        assert report.dropped_worker == plan.victims["drop"]
+        assert report.drop_round is not None
+        assert plan.drop_fired
+        assert plan.log[-1].action == "worker_drop"
+        assert stats.crashes_detected == 1
+        assert_identities(stats)
+
+
+class TestCombinedSoak:
+    def test_crash_hang_and_slow_together_byte_exactly(self):
+        num_workers = capped_workers(4)
+        if num_workers < 4:
+            pytest.skip("combined chaos needs four workers under the cap")
+        plan = ChaosPlan(
+            seed=7,
+            num_workers=num_workers,
+            crash_at_round=2,
+            hang_at_round=3,
+            hang_seconds=30.0,
+            slow_from_round=2,
+            slow_reply_seconds=0.3,
+        )
+        config = SupervisorConfig(
+            command_timeout=10.0,
+            round_timeout=0.5,
+            slow_round_seconds=0.15,
+            max_slow_strikes=2,
+            restart_budget=3,
+            backoff_base=0.02,
+            backoff_max=0.1,
+        )
+        report = soak(plan, config, num_workers=num_workers, seed=7)
+        stats = report.supervision
+        assert report.byte_exact
+        assert not report.undecoded_peers
+        assert not report.mismatched_peers
+        # every scheduled fault fired, was detected, and healed
+        assert stats.crashes_detected == 1
+        assert stats.hangs_detected == 1
+        assert stats.slow_evictions == 1
+        assert stats.failures_detected == plan.scheduled_process_faults
+        assert stats.recoveries == 3
+        assert stats.breaker_trips == 0
+        assert stats.republished_segments >= 1
+        assert stats.degraded_rounds >= 1
+        assert stats.detection_seconds_avg >= 0.0
+        assert_identities(stats)
+
+    def test_chaos_soak_requires_supervision(self):
+        plan = ChaosPlan(seed=1, num_workers=2, crash_at_round=1)
+        with pytest.raises(ConfigurationError, match="supervision"):
+            run_cluster_workload(
+                num_workers=2,
+                params=PARAMS,
+                parallel=True,
+                chaos_plan=plan,
+            )
+        with pytest.raises(ConfigurationError, match="parallel"):
+            run_cluster_workload(
+                num_workers=2,
+                params=PARAMS,
+                chaos_plan=plan,
+                supervision=SupervisorConfig(),
+            )

@@ -1,0 +1,540 @@
+"""Tests for the cluster supervision / self-healing layer.
+
+Covers the detection and recovery machinery piece by piece — deadlines
+and pipe taint on the worker handle, liveness detection, the
+down-but-placed ``RetryLater`` window (the stale-ring regression),
+restart with backoff, the circuit breaker, shutdown escalation, and the
+idempotent shared-memory close path — while the end-to-end seeded chaos
+soaks live in ``test_chaos.py``.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BlockRing,
+    ServingCluster,
+    SupervisorConfig,
+    SupervisorStats,
+    WorkerProcess,
+)
+from repro.errors import (
+    ConfigurationError,
+    RetryLater,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.faults import ChaosPlan, WorkerChaosSpec
+from repro.gpu import GTX280
+from repro.rlnc import CodingParams, Segment
+from repro.streaming import MediaProfile
+from tests.cluster.conftest import capped_workers
+
+pytestmark = pytest.mark.timeout(120)
+
+SMALL_PROFILE = MediaProfile(params=CodingParams(8, 64))
+
+#: Aggressive thresholds so detection/restart cycles finish in tests.
+FAST = SupervisorConfig(
+    command_timeout=10.0,
+    round_timeout=10.0,
+    heartbeat_timeout=5.0,
+    restart_budget=3,
+    backoff_base=0.01,
+    backoff_factor=2.0,
+    backoff_max=0.05,
+)
+
+
+def make_supervised(num_workers=2, seed=7, config=FAST, **kwargs):
+    cluster = ServingCluster(
+        GTX280,
+        SMALL_PROFILE,
+        num_workers=num_workers,
+        seed=seed,
+        parallel=True,
+        supervision=config,
+        **kwargs,
+    )
+    assert cluster.supervisor is not None
+    return cluster
+
+
+def sigkill_and_wait(cluster, worker_id: int) -> None:
+    """Raw SIGKILL (no cluster bookkeeping) and wait for the OS reap."""
+    proc = cluster.worker(worker_id)
+    os.kill(proc.pid, signal.SIGKILL)
+    deadline = time.monotonic() + 10.0
+    while proc.is_alive and time.monotonic() < deadline:
+        time.sleep(0.005)
+    assert not proc.is_alive
+
+
+def publish_segments(cluster, count=4, seed=3):
+    rng = np.random.default_rng(seed)
+    segments = [
+        Segment.random(SMALL_PROFILE.params, rng, segment_id=sid)
+        for sid in range(count)
+    ]
+    for segment in segments:
+        cluster.publish(segment)
+    return segments
+
+
+class TestSupervisorConfig:
+    def test_defaults_validate(self):
+        config = SupervisorConfig()
+        assert config.restart_budget == 2
+        assert config.backoff_for(0) == config.backoff_base
+
+    def test_backoff_grows_and_caps(self):
+        config = SupervisorConfig(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3
+        )
+        assert config.backoff_for(0) == pytest.approx(0.1)
+        assert config.backoff_for(1) == pytest.approx(0.2)
+        assert config.backoff_for(5) == pytest.approx(0.3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"command_timeout": 0.0},
+            {"round_timeout": -1.0},
+            {"heartbeat_timeout": 0.0},
+            {"max_reply_age": 0.0},
+            {"slow_round_seconds": -0.5},
+            {"max_slow_strikes": 0},
+            {"restart_budget": -1},
+            {"backoff_base": 0.0},
+            {"backoff_factor": 0.5},
+            {"backoff_base": 1.0, "backoff_max": 0.5},
+        ],
+    )
+    def test_rejects_bad_thresholds(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(**kwargs)
+
+    def test_supervision_requires_parallel(self):
+        with pytest.raises(ConfigurationError, match="parallel"):
+            ServingCluster(
+                GTX280,
+                SMALL_PROFILE,
+                num_workers=2,
+                supervision=SupervisorConfig(),
+            )
+
+    def test_chaos_requires_parallel(self):
+        plan = ChaosPlan(seed=0, num_workers=2, crash_at_round=1)
+        with pytest.raises(ConfigurationError, match="parallel"):
+            ServingCluster(
+                GTX280, SMALL_PROFILE, num_workers=2, chaos=plan
+            )
+
+    def test_chaos_worker_count_must_match(self):
+        plan = ChaosPlan(seed=0, num_workers=3, crash_at_round=1)
+        with pytest.raises(ConfigurationError, match="workers"):
+            ServingCluster(
+                GTX280,
+                SMALL_PROFILE,
+                num_workers=2,
+                parallel=True,
+                chaos=plan,
+            )
+
+
+class TestSupervisorStats:
+    def test_snapshot_delta_and_dict(self):
+        stats = SupervisorStats()
+        stats.failures_detected = 3
+        stats.detection_seconds_total = 0.6
+        before = stats.snapshot()
+        stats.failures_detected = 5
+        delta = stats.delta(before)
+        assert delta.failures_detected == 2
+        assert stats.as_dict()["failures_detected"] == 5
+
+    def test_averages_guard_zero_division(self):
+        stats = SupervisorStats()
+        assert stats.detection_seconds_avg == 0.0
+        assert stats.recovery_rounds_avg == 0.0
+        stats.failures_detected = 2
+        stats.detection_seconds_total = 1.0
+        stats.recoveries = 2
+        stats.recovery_rounds_total = 5
+        assert stats.detection_seconds_avg == pytest.approx(0.5)
+        assert stats.recovery_rounds_avg == pytest.approx(2.5)
+
+
+class TestWorkerDeadlines:
+    def test_missed_deadline_taints_the_handle(self):
+        proc = WorkerProcess(
+            0,
+            GTX280,
+            SMALL_PROFILE,
+            chaos=WorkerChaosSpec(
+                "hang", command="ping", at_count=1, seconds=30.0
+            ),
+        )
+        try:
+            with pytest.raises(WorkerTimeoutError):
+                proc.ping(timeout=0.1)
+            assert proc.tainted
+            # every later command refuses: a late reply would pair with
+            # the wrong command, so the handle must be replaced
+            with pytest.raises(WorkerTimeoutError, match="out of sync"):
+                proc.ping(timeout=5.0)
+        finally:
+            proc.kill()
+        assert proc.lifecycle.sigkills >= 1
+
+    def test_ping_reports_pid_and_command_counts(self):
+        proc = WorkerProcess(0, GTX280, SMALL_PROFILE)
+        try:
+            tag, pid, counts = proc.ping(timeout=10.0)
+            assert tag == "pong"
+            assert pid == proc.pid
+            assert counts.get("ping") == 1
+            _, _, counts = proc.ping(timeout=10.0)
+            assert counts.get("ping") == 2
+        finally:
+            proc.shutdown()
+
+    def test_reply_age_resets_on_traffic(self):
+        proc = WorkerProcess(0, GTX280, SMALL_PROFILE)
+        try:
+            time.sleep(0.05)
+            stale = proc.reply_age()
+            assert stale >= 0.05
+            proc.ping(timeout=10.0)
+            assert proc.reply_age() < stale
+            assert proc.last_reply_latency > 0.0
+        finally:
+            proc.shutdown()
+
+    def test_command_timeout_default_applies(self):
+        proc = WorkerProcess(
+            0,
+            GTX280,
+            SMALL_PROFILE,
+            chaos=WorkerChaosSpec(
+                "hang", command="ping", at_count=1, seconds=30.0
+            ),
+        )
+        proc.command_timeout = 0.1
+        try:
+            with pytest.raises(WorkerTimeoutError):
+                proc.ping()
+        finally:
+            proc.kill()
+
+
+class TestShutdownEscalation:
+    def test_graceful_shutdown_is_recorded(self):
+        proc = WorkerProcess(0, GTX280, SMALL_PROFILE)
+        proc.shutdown()
+        assert not proc.is_alive
+        assert proc.lifecycle.graceful_exits == 1
+        assert proc.lifecycle.join_escalations == 0
+
+    def test_hung_worker_escalates_to_sigkill(self):
+        proc = WorkerProcess(
+            0,
+            GTX280,
+            SMALL_PROFILE,
+            chaos=WorkerChaosSpec(
+                "hang", command="shutdown", at_count=1, seconds=30.0
+            ),
+        )
+        start = time.monotonic()
+        proc.shutdown(timeout=0.2)
+        elapsed = time.monotonic() - start
+        # never returns with a live process, and never waits the full
+        # hang out — the deadline bounds the handshake
+        assert not proc.is_alive
+        assert elapsed < 10.0
+        assert proc.lifecycle.join_escalations == 1
+        assert proc.lifecycle.sigkills >= 1
+        assert proc.lifecycle.graceful_exits == 0
+
+    def test_join_timeouts_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            WorkerProcess(
+                0, GTX280, SMALL_PROFILE, shutdown_join_timeout=0.0
+            )
+        with pytest.raises(ConfigurationError):
+            WorkerProcess(0, GTX280, SMALL_PROFILE, kill_join_timeout=-1.0)
+
+    def test_kill_is_idempotent(self):
+        proc = WorkerProcess(0, GTX280, SMALL_PROFILE)
+        proc.kill()
+        sigkills = proc.lifecycle.sigkills
+        proc.kill()
+        proc.shutdown()
+        assert proc.lifecycle.sigkills == sigkills
+
+
+class TestDetectionAndRecovery:
+    def test_liveness_tick_detects_raw_sigkill(self):
+        with make_supervised(capped_workers(2)) as cluster:
+            if cluster.num_workers < 2:
+                pytest.skip("needs two workers under the cap")
+            publish_segments(cluster)
+            victim = cluster.placement()[0]
+            sigkill_and_wait(cluster, victim)
+            supervisor = cluster.supervisor
+            assert not supervisor.is_down(victim)
+            supervisor.tick()
+            assert supervisor.is_down(victim)
+            assert supervisor.stats.crashes_detected == 1
+            assert supervisor.stats.failures_detected == 1
+            assert victim in supervisor.down_workers
+
+    def test_down_worker_routes_retry_later_not_crash(self):
+        # Regression: between teardown and republish the ring still maps
+        # the victim's segments to it; asks in that window must get the
+        # pacing response, never a raw WorkerCrashError.
+        with make_supervised(capped_workers(2)) as cluster:
+            if cluster.num_workers < 2:
+                pytest.skip("needs two workers under the cap")
+            publish_segments(cluster)
+            cluster.connect(0)
+            victim = cluster.placement()[0]
+            sigkill_and_wait(cluster, victim)
+            cluster.supervisor.tick()
+            before = cluster.supervisor.stats.stale_ring_retries
+            response = cluster.request_blocks(0, 0, 2)
+            assert isinstance(response, RetryLater)
+            assert cluster.supervisor.stats.stale_ring_retries == before + 1
+            # the segment never left the ring: same owner after recovery
+            assert cluster.placement()[0] == victim
+
+    def test_undetected_death_on_request_path_degrades_to_retry(self):
+        with make_supervised(capped_workers(2)) as cluster:
+            if cluster.num_workers < 2:
+                pytest.skip("needs two workers under the cap")
+            publish_segments(cluster)
+            cluster.connect(0)
+            victim = cluster.placement()[0]
+            sigkill_and_wait(cluster, victim)
+            # no tick: the death is discovered by the request itself
+            response = cluster.request_blocks(0, 0, 2)
+            assert isinstance(response, RetryLater)
+            assert cluster.supervisor.stats.failures_detected == 1
+
+    def test_restart_heals_and_republishes(self):
+        with make_supervised(capped_workers(2)) as cluster:
+            if cluster.num_workers < 2:
+                pytest.skip("needs two workers under the cap")
+            publish_segments(cluster)
+            cluster.connect(0)
+            victim = cluster.placement()[0]
+            owned = [
+                sid
+                for sid, wid in cluster.placement().items()
+                if wid == victim
+            ]
+            sigkill_and_wait(cluster, victim)
+            supervisor = cluster.supervisor
+            supervisor.tick()
+            assert supervisor.is_down(victim)
+            time.sleep(FAST.backoff_base + 0.05)
+            supervisor.tick()
+            assert not supervisor.is_down(victim)
+            assert supervisor.stats.recoveries == 1
+            assert supervisor.stats.restarts == 1
+            assert supervisor.stats.republished_segments == len(owned)
+            assert supervisor.stats.reconnected_sessions == 1
+            fresh = cluster.worker(victim)
+            assert fresh.is_alive
+            # the healed worker serves its segments again
+            assert cluster.request_blocks(0, owned[0], 2) is None
+            drained = cluster.serve_round()
+            assert 0 in drained
+
+    def test_probe_detects_hung_worker(self):
+        plan = ChaosPlan(
+            seed=5, num_workers=2, hang_at_round=1, hang_seconds=30.0,
+            command="ping",
+        )
+        config = SupervisorConfig(
+            command_timeout=10.0,
+            heartbeat_timeout=0.1,
+            restart_budget=1,
+            backoff_base=0.01,
+        )
+        if capped_workers(2) < 2:
+            pytest.skip("needs two workers under the cap")
+        with make_supervised(2, config=config, chaos=plan) as cluster:
+            victim = plan.victims["hang"]
+            assert cluster.supervisor.probe(1 - victim)
+            assert not cluster.supervisor.probe(victim)
+            assert cluster.supervisor.stats.hangs_detected == 1
+            assert cluster.supervisor.is_down(victim)
+
+    def test_round_deadline_unblocks_the_barrier(self):
+        if capped_workers(2) < 2:
+            pytest.skip("needs two workers under the cap")
+        plan = ChaosPlan(
+            seed=9, num_workers=2, hang_at_round=1, hang_seconds=30.0
+        )
+        config = SupervisorConfig(
+            command_timeout=10.0,
+            round_timeout=0.2,
+            restart_budget=1,
+            backoff_base=0.01,
+        )
+        with make_supervised(2, config=config, chaos=plan) as cluster:
+            publish_segments(cluster)
+            cluster.connect(0)
+            for segment_id in range(4):
+                cluster.request_blocks(0, segment_id, 2)
+            start = time.monotonic()
+            cluster.serve_round()
+            assert time.monotonic() - start < 10.0
+            assert cluster.supervisor.stats.hangs_detected == 1
+            assert cluster.supervisor.stats.degraded_rounds >= 1
+
+    def test_slow_strikes_evict_after_threshold(self):
+        if capped_workers(2) < 2:
+            pytest.skip("needs two workers under the cap")
+        plan = ChaosPlan(
+            seed=2, num_workers=2, slow_from_round=1,
+            slow_reply_seconds=0.25,
+        )
+        config = SupervisorConfig(
+            command_timeout=10.0,
+            round_timeout=10.0,
+            slow_round_seconds=0.1,
+            max_slow_strikes=2,
+            restart_budget=1,
+            backoff_base=0.01,
+        )
+        with make_supervised(2, config=config, chaos=plan) as cluster:
+            cluster.serve_round()
+            assert cluster.supervisor.stats.slow_strikes == 1
+            assert cluster.supervisor.stats.slow_evictions == 0
+            cluster.serve_round()
+            assert cluster.supervisor.stats.slow_strikes == 2
+            assert cluster.supervisor.stats.slow_evictions == 1
+            assert cluster.supervisor.is_down(plan.victims["slow"])
+
+
+class TestCircuitBreaker:
+    def test_budget_zero_evicts_immediately(self):
+        config = SupervisorConfig(
+            command_timeout=10.0, restart_budget=0, backoff_base=0.01
+        )
+        with make_supervised(
+            capped_workers(2), config=config
+        ) as cluster:
+            if cluster.num_workers < 2:
+                pytest.skip("needs two workers under the cap")
+            publish_segments(cluster)
+            cluster.connect(0)
+            victim = cluster.placement()[0]
+            before_live = cluster.num_workers
+            sigkill_and_wait(cluster, victim)
+            cluster.supervisor.tick()
+            stats = cluster.supervisor.stats
+            assert stats.breaker_trips == 1
+            assert stats.restarts == 0
+            assert victim not in cluster.live_workers
+            assert cluster.num_workers == before_live - 1
+            # the victim's segments now live on survivors and serve
+            assert cluster.placement()[0] != victim
+            assert cluster.request_blocks(0, 0, 2) is None
+            # a tripped breaker stays tripped: later ticks never restart
+            time.sleep(0.05)
+            cluster.supervisor.tick()
+            assert cluster.supervisor.stats.restarts == 0
+
+    def test_explicit_kill_worker_is_not_resurrected(self):
+        with make_supervised(capped_workers(2)) as cluster:
+            if cluster.num_workers < 2:
+                pytest.skip("needs two workers under the cap")
+            publish_segments(cluster)
+            victim = cluster.placement()[0]
+            cluster.kill_worker(victim)
+            assert victim not in cluster.live_workers
+            time.sleep(FAST.backoff_base + 0.05)
+            cluster.supervisor.tick()
+            assert cluster.supervisor.stats.restarts == 0
+            assert victim not in cluster.live_workers
+
+
+class TestPublishDuringOutage:
+    def test_publish_to_down_worker_lands_after_restart(self):
+        with make_supervised(capped_workers(2)) as cluster:
+            if cluster.num_workers < 2:
+                pytest.skip("needs two workers under the cap")
+            publish_segments(cluster, count=4)
+            victim = cluster.placement()[0]
+            sigkill_and_wait(cluster, victim)
+            cluster.supervisor.tick()
+            assert cluster.supervisor.is_down(victim)
+            # publish while the owner of (potentially) this segment is
+            # down: must not raise, must stay advertised
+            rng = np.random.default_rng(99)
+            late = Segment.random(
+                SMALL_PROFILE.params, rng, segment_id=100
+            )
+            cluster.publish(late)
+            assert 100 in cluster.placement()
+            time.sleep(FAST.backoff_base + 0.05)
+            cluster.supervisor.tick()
+            assert not cluster.supervisor.is_down(victim)
+            # every placed segment is requestable after the heal
+            cluster.connect(1)
+            assert cluster.request_blocks(1, 100, 2) is None
+
+
+class TestRingHygiene:
+    def test_close_is_idempotent(self):
+        ring = BlockRing.create(capacity=1024, inbox_bytes=64)
+        assert not ring.closed
+        ring.close()
+        assert ring.closed
+        ring.close()  # second close: no error, no double pin
+        ring.unlink()
+        ring.unlink()  # second unlink: no tracker double-unregister
+
+    def test_close_unlink_cycle_like_a_restart(self):
+        # the supervisor teardown path runs close+unlink through both
+        # the explicit kill and the finalizer; a stale handle must stay
+        # inert through repeated cycles
+        for _ in range(3):
+            ring = BlockRing.create(capacity=512, inbox_bytes=0)
+            ring.close()
+            ring.unlink()
+            ring.close()
+            ring.unlink()
+
+    def test_worker_kill_releases_ring_exactly_once(self):
+        proc = WorkerProcess(0, GTX280, SMALL_PROFILE)
+        ring = proc.ring
+        proc.kill()
+        assert ring.closed
+        proc.kill()  # idempotent: no second unlink attempt
+        proc.shutdown()
+
+
+class TestSupervisionSnapshot:
+    def test_stats_snapshot_carries_supervision_series(self):
+        with make_supervised(capped_workers(2)) as cluster:
+            if cluster.num_workers < 2:
+                pytest.skip("needs two workers under the cap")
+            publish_segments(cluster)
+            victim = cluster.placement()[0]
+            sigkill_and_wait(cluster, victim)
+            cluster.supervisor.tick()
+            snapshot = cluster.stats_snapshot()
+            counters = snapshot["counters"]
+            assert counters["supervisor_failures_detected"] == 1.0
+            assert counters["supervisor_crashes_detected"] == 1.0
+            gauges = snapshot["gauges"]
+            assert gauges["supervisor_workers_down"] == 1.0
+            assert gauges["supervisor_detection_seconds_avg"] >= 0.0
