@@ -44,6 +44,9 @@ SERVER_SESSIONS, SERVER_BLOCKS_PER_PEER = (8, 2) if SMOKE else (64, 4)
 CLUSTER_SEGMENTS, CLUSTER_PEERS, CLUSTER_ROUNDS = (
     (4, 8, 2) if SMOKE else (16, 32, 4)
 )
+LOADTEST_SESSIONS, LOADTEST_ROUNDS, LOADTEST_MAX_WORKERS = (
+    (10_000, 60, 2) if SMOKE else (100_000, 200, 16)
+)
 REPEATS = 1 if SMOKE else 3
 
 #: Speedup floors from the PR acceptance criteria (full mode only).
@@ -75,6 +78,13 @@ FAILOVER_DETECTION_SECONDS_CEILING = 1.0
 FAILOVER_RECOVERY_ROUNDS_CEILING = 50.0
 FAILOVER_DEGRADED_SLOWDOWN_CEILING = 25.0
 
+#: Load-harness acceptance (full mode): the modelled population must
+#: actually reach six figures, the flash crowd's queueing must stay
+#: bounded (p99 admission delay in rounds), and the autoscaler must
+#: have acted at least once in each direction.
+LOADTEST_PEAK_SESSIONS_FLOOR = 100_000
+LOADTEST_DELAY_P99_CEILING = 32.0
+
 _results: dict[str, object] = {
     "smoke": SMOKE,
     "shapes": {
@@ -92,6 +102,11 @@ _results: dict[str, object] = {
             "segments": CLUSTER_SEGMENTS,
             "peers": CLUSTER_PEERS,
             "rounds_per_pass": CLUSTER_ROUNDS,
+        },
+        "loadtest_scale": {
+            "target_sessions": LOADTEST_SESSIONS,
+            "rounds": LOADTEST_ROUNDS,
+            "max_workers": LOADTEST_MAX_WORKERS,
         },
     },
 }
@@ -905,4 +920,89 @@ def test_cluster_failover():
             f"failover rounds ran {slowdown:.1f}x slower than clean "
             f"rounds, above the {FAILOVER_DEGRADED_SLOWDOWN_CEILING}x "
             "ceiling"
+        )
+
+
+def test_loadtest_scale():
+    """The million-session harness: sustained load through autoscaling.
+
+    Drives :func:`repro.workloads.run_loadtest` at the acceptance shape
+    (10^5 modelled sessions full mode, 10^4 in CI smoke): Poisson
+    arrivals sized by Little's law, Zipf segment popularity, a 3x flash
+    crowd landing mid-run, 1% per-round peer churn, and the
+    watermark-driven autoscaler growing the ring from two workers.
+    Records what the run sustained — peak modelled sessions, rounds/s,
+    the p50/p99 admission delay the shed policy imposed, and how many
+    scale events the load forced — plus ``byte_exact`` from the sampled
+    real-session cohort that rides the cluster through every rebalance.
+
+    ``byte_exact`` must hold unconditionally; the population floor,
+    delay ceiling, and at-least-one-scale-up are full-mode assertions
+    (the smoke shape is too small to need the full worker budget).
+    """
+    from repro.faults import ChurnPlan
+    from repro.workloads import AutoscalerConfig, FlashCrowd, run_loadtest
+
+    flash_at = (2 * LOADTEST_ROUNDS) // 3
+    report = run_loadtest(
+        target_sessions=LOADTEST_SESSIONS,
+        rounds=LOADTEST_ROUNDS,
+        seed=11,
+        num_segments=CLUSTER_SEGMENTS,
+        flash_crowds=(
+            FlashCrowd(
+                start_round=flash_at,
+                duration_rounds=LOADTEST_ROUNDS // 10,
+                multiplier=3.0,
+            ),
+        ),
+        churn=ChurnPlan(seed=11, departure_rate=0.01, flap_rate=0.01),
+        initial_workers=1 if SMOKE else 2,
+        autoscaler_config=AutoscalerConfig(
+            max_workers=LOADTEST_MAX_WORKERS,
+            sustain_rounds=2,
+            cooldown_rounds=3 if SMOKE else 4,
+        ),
+        sample_peers=4 if SMOKE else 8,
+    )
+
+    payload = {
+        "smoke": SMOKE,
+        "target_sessions": LOADTEST_SESSIONS,
+        "rounds": report.rounds,
+        "wall_seconds": report.wall_seconds,
+        "rounds_per_s": report.rounds_per_s,
+        "peak_modelled_sessions": report.peak_active_sessions,
+        "final_active_sessions": report.final_active_sessions,
+        "admission_delay_p50": report.admission_delay_p50,
+        "admission_delay_p99": report.admission_delay_p99,
+        "shed_responses": report.stats.shed_responses,
+        "waiting_at_end": report.waiting_at_end,
+        "scale_ups": report.scale_ups,
+        "scale_downs": report.scale_downs,
+        "peak_workers": report.peak_workers,
+        "final_workers": report.final_workers,
+        "cohort_peers": report.cohort_peers,
+        "verified_segments": report.verified_segments,
+        "byte_exact": report.byte_exact,
+    }
+    record("loadtest_scale", payload)
+
+    assert payload["byte_exact"], (
+        "sampled cohort lost bytes under load: shed must pace sessions "
+        f"(RetryLater), never drop them — {report.mismatched_segments} "
+        f"mismatched, {report.exhausted_peers} exhausted peers"
+    )
+    if not SMOKE:
+        assert report.peak_active_sessions >= LOADTEST_PEAK_SESSIONS_FLOOR, (
+            f"peaked at {report.peak_active_sessions} modelled sessions, "
+            f"below the {LOADTEST_PEAK_SESSIONS_FLOOR} acceptance floor"
+        )
+        assert report.admission_delay_p99 <= LOADTEST_DELAY_P99_CEILING, (
+            f"p99 admission delay {report.admission_delay_p99:.1f} rounds "
+            f"breaches the {LOADTEST_DELAY_P99_CEILING}-round ceiling"
+        )
+        assert report.scale_ups >= 1, (
+            "the flash crowd never forced a scale-up: the autoscaler is "
+            "not reacting to load"
         )

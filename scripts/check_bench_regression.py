@@ -14,8 +14,11 @@ have round-tripped byte-exact, and the self-healing run
 (``cluster_failover``) must be byte-exact with every detected failure
 recovered — its detection-latency / recovery-rounds / degraded-slowdown
 ceilings are enforced under ``failover_gate`` (>= 4 cores), mirroring
-``wall_gate``.  The remaining speedup floors are asserted by the
-benchmark suite itself.
+``wall_gate``.  The load harness (``loadtest_scale``) must have modelled
+at least 10^5 sessions at peak, kept the p99 admission delay bounded,
+scaled up at least once, and stayed byte-exact on its sampled cohort.
+The remaining speedup floors are asserted by the benchmark suite
+itself.
 
 The fresh run must be a full-mode run: smoke-mode shapes sit below the
 engine's amortization break-even and their throughputs are meaningless,
@@ -49,6 +52,7 @@ THROUGHPUT_KEYS: dict[str, tuple[str, ...]] = {
     # Modelled (cost-model) figures — deterministic, so any drop is a
     # genuine placement or accounting change, not host noise.
     "cluster_scaleout": ("model_rounds_per_s_w1", "model_rounds_per_s_w4"),
+    "loadtest_scale": ("rounds_per_s",),
 }
 
 #: Measured wall-clock floors for the multiprocess cluster substrate,
@@ -155,6 +159,62 @@ def check_cluster_failover(fresh: dict) -> list[str]:
     return failures
 
 
+#: Load-harness acceptance (absolute, no baseline needed): the full-mode
+#: run must have modelled at least the acceptance population, kept the
+#: p99 admission delay bounded through the flash crowd, scaled up at
+#: least once, and proven byte-exactness on the sampled cohort.
+LOADTEST_PEAK_SESSIONS_FLOOR = 100_000
+LOADTEST_DELAY_P99_CEILING = 32.0
+
+
+def check_loadtest_scale(fresh: dict) -> list[str]:
+    """Absolute checks on the load harness (no baseline needed)."""
+    failures: list[str] = []
+    section = fresh.get("loadtest_scale")
+    if section is None:
+        return ["fresh results are missing section 'loadtest_scale'"]
+    if section.get("byte_exact") is not True:
+        failures.append(
+            "loadtest_scale.byte_exact is not True: the sampled cohort "
+            "lost bytes under load (shed must pace sessions, never drop "
+            "them)"
+        )
+    peak = section.get("peak_modelled_sessions")
+    if peak is None:
+        failures.append("fresh loadtest_scale.peak_modelled_sessions missing")
+    elif float(peak) < LOADTEST_PEAK_SESSIONS_FLOOR:
+        failures.append(
+            f"loadtest_scale peaked at {float(peak):.0f} modelled "
+            f"sessions, below the {LOADTEST_PEAK_SESSIONS_FLOOR} floor"
+        )
+    p99 = section.get("admission_delay_p99")
+    if p99 is None:
+        failures.append("fresh loadtest_scale.admission_delay_p99 missing")
+    else:
+        measured = float(p99)
+        status = (
+            "ok" if measured <= LOADTEST_DELAY_P99_CEILING
+            else "ABOVE CEILING"
+        )
+        print(
+            f"{'loadtest_scale.admission_delay_p99':<55} "
+            f"ceiling={LOADTEST_DELAY_P99_CEILING:>9.3g} "
+            f"fresh={measured:>10.3g}  {status}"
+        )
+        if measured > LOADTEST_DELAY_P99_CEILING:
+            failures.append(
+                f"loadtest_scale.admission_delay_p99 measured "
+                f"{measured:.1f} rounds, above the "
+                f"{LOADTEST_DELAY_P99_CEILING:g}-round ceiling"
+            )
+    if not section.get("scale_ups"):
+        failures.append(
+            "loadtest_scale.scale_ups is zero: the autoscaler never "
+            "reacted to the flash crowd"
+        )
+    return failures
+
+
 #: The wide backend's acceptance floor over the seed-era auto choice,
 #: enforced only when the fresh run's compiled kernel actually loaded
 #: (``matmul_backends.wide_kernel``) — the numpy fallback keeps things
@@ -220,6 +280,7 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
             check_cluster_substrate(fresh)
             + check_wide_and_rotadd(fresh)
             + check_cluster_failover(fresh)
+            + check_loadtest_scale(fresh)
         )
     for section, keys in THROUGHPUT_KEYS.items():
         fresh_section = fresh.get(section)
@@ -258,6 +319,7 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     failures.extend(check_cluster_substrate(fresh))
     failures.extend(check_wide_and_rotadd(fresh))
     failures.extend(check_cluster_failover(fresh))
+    failures.extend(check_loadtest_scale(fresh))
     return failures
 
 

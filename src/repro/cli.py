@@ -17,7 +17,12 @@ Four subcommands cover the workflows a user of the paper's system runs:
   speedup; ``--parallel`` runs the same workload on real process
   workers with shared-memory block buffers, and ``--chaos`` arms a
   seeded process-level fault schedule (crash, hang, slow replies) that
-  the supervision layer must detect and heal mid-workload.
+  the supervision layer must detect and heal mid-workload;
+* ``repro loadtest`` — drive the cluster at 10^5-10^6 modelled sessions
+  with seeded Poisson/diurnal arrivals, flash crowds, Zipf popularity
+  and churn, while the metrics-driven autoscaler grows and shrinks the
+  hash ring and a sampled cohort of real sessions proves the data path
+  byte-exact through every scale event.
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -204,6 +209,74 @@ def build_parser() -> argparse.ArgumentParser:
         "plus a raw SIGKILL drop when the cluster has >= 5 workers",
     )
     cluster.add_argument("--seed", type=int, default=0)
+
+    loadtest = commands.add_parser(
+        "loadtest",
+        help="drive the cluster at 10^5-10^6 modelled sessions with "
+        "seeded traffic, autoscaling and a byte-exactness cohort",
+    )
+    loadtest.add_argument(
+        "--sessions", type=int, default=100_000,
+        help="target steady-state modelled sessions (default 100000)",
+    )
+    loadtest.add_argument(
+        "--rounds", type=int, default=200,
+        help="serve rounds to run (default 200)",
+    )
+    loadtest.add_argument(
+        "--workers", type=int, default=2,
+        help="initial cluster size (default 2)",
+    )
+    loadtest.add_argument(
+        "--max-workers", type=int, default=16,
+        help="autoscaler ceiling (default 16)",
+    )
+    loadtest.add_argument(
+        "--min-workers", type=int, default=1,
+        help="autoscaler floor (default 1)",
+    )
+    loadtest.add_argument(
+        "--segments", type=int, default=64,
+        help="catalog size the Zipf popularity draws from (default 64)",
+    )
+    loadtest.add_argument(
+        "--sample-peers", type=int, default=8,
+        help="real byte-exactness cohort size (default 8)",
+    )
+    loadtest.add_argument(
+        "--arrivals", choices=["poisson", "diurnal"], default="poisson",
+        help="arrival process (diurnal ramps trough->crest over the run)",
+    )
+    loadtest.add_argument(
+        "--dwell", type=float, default=16.0,
+        help="mean session dwell in rounds (default 16)",
+    )
+    loadtest.add_argument(
+        "--zipf", type=float, default=1.0,
+        help="segment-popularity Zipf exponent (default 1.0)",
+    )
+    loadtest.add_argument(
+        "--flash-at", type=int, default=None,
+        help="start round of a flash crowd (omitted = none)",
+    )
+    loadtest.add_argument(
+        "--flash-rounds", type=int, default=20,
+        help="flash crowd duration in rounds (default 20)",
+    )
+    loadtest.add_argument(
+        "--flash-mult", type=float, default=3.0,
+        help="flash crowd arrival multiplier (default 3.0)",
+    )
+    loadtest.add_argument(
+        "--churn", type=float, default=0.01,
+        help="per-round modelled-session departure probability "
+        "(default 0.01)",
+    )
+    loadtest.add_argument(
+        "--flap", type=float, default=0.01,
+        help="per-round cohort connection-flap probability (default 0.01)",
+    )
+    loadtest.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -546,6 +619,94 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0 if report.byte_exact else 1
 
 
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.faults import ChurnPlan
+    from repro.workloads import (
+        AutoscalerConfig,
+        DiurnalArrivals,
+        FlashCrowd,
+        run_loadtest,
+    )
+
+    if args.sessions < 1 or args.rounds < 1:
+        print("error: need >= 1 session and >= 1 round", file=sys.stderr)
+        return 2
+    arrivals = None
+    if args.arrivals == "diurnal":
+        rate = args.sessions / args.dwell
+        arrivals = DiurnalArrivals(
+            rate * 0.25,
+            rate * 1.25,
+            period_rounds=max(2, args.rounds),
+            seed=args.seed,
+        )
+    flash_crowds = ()
+    if args.flash_at is not None:
+        flash_crowds = (
+            FlashCrowd(
+                start_round=args.flash_at,
+                duration_rounds=args.flash_rounds,
+                multiplier=args.flash_mult,
+            ),
+        )
+    churn = None
+    if args.churn > 0 or args.flap > 0:
+        churn = ChurnPlan(
+            seed=args.seed,
+            departure_rate=args.churn,
+            flap_rate=args.flap,
+        )
+    report = run_loadtest(
+        target_sessions=args.sessions,
+        rounds=args.rounds,
+        seed=args.seed,
+        mean_dwell_rounds=args.dwell,
+        arrivals=arrivals,
+        num_segments=args.segments,
+        zipf_exponent=args.zipf,
+        flash_crowds=flash_crowds,
+        churn=churn,
+        initial_workers=args.workers,
+        autoscaler_config=AutoscalerConfig(
+            min_workers=args.min_workers, max_workers=args.max_workers
+        ),
+        sample_peers=args.sample_peers,
+    )
+    stats = report.stats
+    print(
+        f"loadtest: target {report.target_sessions} sessions, "
+        f"{report.rounds} rounds, seed {args.seed}"
+    )
+    print(
+        f"population: peak {report.peak_active_sessions} active, "
+        f"final {report.final_active_sessions}, "
+        f"{stats.arrivals} arrivals, {stats.admitted} admitted, "
+        f"{stats.completions} completed, {stats.departures} churned"
+    )
+    print(
+        f"admission: p50 {report.admission_delay_p50:.1f} / "
+        f"p99 {report.admission_delay_p99:.1f} rounds queued, "
+        f"{stats.shed_responses} RetryLater responses "
+        f"({report.waiting_at_end} still waiting)"
+    )
+    print(
+        f"autoscaling: {report.scale_ups} up / {report.scale_downs} down, "
+        f"workers {args.workers} -> {report.final_workers} "
+        f"(peak {report.peak_workers})"
+    )
+    print(
+        f"cohort: {report.cohort_peers} real peers, "
+        f"{report.verified_segments} segments verified, "
+        f"{stats.flaps} connection flaps, "
+        f"byte-exact: {'yes' if report.byte_exact else 'NO'}"
+    )
+    print(
+        f"wall time: {report.wall_seconds:.3f} s "
+        f"({report.rounds_per_s:.1f} rounds/s)"
+    )
+    return 0 if report.byte_exact else 1
+
+
 _COMMANDS = {
     "figures": _cmd_figures,
     "encode": _cmd_encode,
@@ -555,6 +716,7 @@ _COMMANDS = {
     "p2p": _cmd_p2p,
     "stats": _cmd_stats,
     "cluster": _cmd_cluster,
+    "loadtest": _cmd_loadtest,
 }
 
 

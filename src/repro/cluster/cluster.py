@@ -118,6 +118,8 @@ class ClusterStats:
     segments_rebalanced: int = 0
     segments_withdrawn: int = 0
     workers_killed: int = 0
+    workers_added: int = 0
+    workers_removed: int = 0
     retry_later_responses: int = 0
     gpu_parallel_seconds: float = 0.0
     gpu_serial_seconds: float = 0.0
@@ -318,6 +320,8 @@ class ServingCluster:
         self._m_retry = registry.counter("cluster_retry_later")
         self._m_rebalanced = registry.counter("cluster_segments_rebalanced")
         self._m_killed = registry.counter("cluster_workers_killed")
+        self._m_added = registry.counter("cluster_workers_added")
+        self._m_removed = registry.counter("cluster_workers_removed")
         self._m_withdrawn = registry.counter("cluster_segments_withdrawn")
         self._m_live = registry.gauge("cluster_live_workers")
         self._m_placed = registry.gauge("cluster_segments_placed")
@@ -829,6 +833,8 @@ class ServingCluster:
                 ),
                 "cluster_segments_withdrawn": float(stats.segments_withdrawn),
                 "cluster_workers_killed": float(stats.workers_killed),
+                "cluster_workers_added": float(stats.workers_added),
+                "cluster_workers_removed": float(stats.workers_removed),
             },
             "gauges": {
                 "cluster_gpu_parallel_seconds": stats.gpu_parallel_seconds,
@@ -855,6 +861,132 @@ class ServingCluster:
                 *per_worker, own, self.supervisor.snapshot_series()
             )
         return merge_snapshots(*per_worker, own)
+
+    # -- elastic membership ------------------------------------------------
+
+    def next_worker_id(self) -> int:
+        """The smallest worker id free for :meth:`add_worker`.
+
+        Ids of decommissioned workers are reused (the id space is capped
+        at :data:`~repro.rlnc.wire.MAX_WORKER_ID` by the v2 wire stamp,
+        so a long-lived autoscaled cluster must recycle), but an id
+        still tracked by the supervisor as down is skipped — its restart
+        path owns that slot until the breaker or a decommission frees
+        it.
+
+        Raises:
+            CapacityError: if every id in the stamp space is live.
+        """
+        live = set(self._router.live_workers)
+        for candidate in range(MAX_WORKER_ID + 1):
+            if candidate in live:
+                continue
+            if self.supervisor is not None and self.supervisor.is_down(
+                candidate
+            ):
+                continue
+            return candidate
+        raise CapacityError(
+            f"all {MAX_WORKER_ID + 1} worker ids are live; cannot scale up"
+        )
+
+    def add_worker(self, worker_id: int | None = None) -> dict[int, int]:
+        """Scale up: join a fresh worker and migrate only its segments.
+
+        The autoscaler's grow primitive, the mirror image of
+        :meth:`kill_worker`'s shrink: the newcomer claims its vnodes on
+        the ring, and consistent hashing moves exactly the segments
+        whose arcs it now owns — each re-published to the new worker
+        from the cluster's origin copy, then evicted from its previous
+        owner (the stale-eviction guard keeps the withdrawal from
+        un-placing the new copy).  Every registered peer is connected
+        on the newcomer, so in-flight sessions simply see their next
+        asks routed there; blocks pending on a previous owner are
+        served by it before the eviction lands, and anything lost in
+        the window re-requests through the ordinary NACK path.
+
+        Args:
+            worker_id: explicit id to join with (must not be live);
+                default :meth:`next_worker_id`.
+
+        Returns:
+            ``segment_id -> worker_id`` for the segments that moved to
+            the new worker (possibly empty).
+
+        Raises:
+            ConfigurationError: if the id is live, out of stamp range,
+                or held by a supervised down worker.
+            CapacityError: if the id space is exhausted.
+        """
+        if worker_id is None:
+            worker_id = self.next_worker_id()
+        if not 0 <= worker_id <= MAX_WORKER_ID:
+            raise ConfigurationError(
+                f"worker id must be in [0, {MAX_WORKER_ID}], got {worker_id}"
+            )
+        if worker_id in self._router.ring:
+            raise ConfigurationError(f"worker {worker_id} is already live")
+        if self.supervisor is not None and self.supervisor.is_down(worker_id):
+            raise ConfigurationError(
+                f"worker {worker_id} is down awaiting restart; its id is "
+                "not free until the supervisor evicts or heals it"
+            )
+        previous_owner = self._router.placement()
+        worker = self._spawn_worker(worker_id)
+        try:
+            moved = self._router.expand(worker_id)
+            for segment_id in moved:
+                worker.publish(self._origin[segment_id])
+            for peer_id, view in self._peers.items():
+                view._attach(worker_id, worker.connect(peer_id))
+        except Exception:
+            if isinstance(worker, WorkerProcess):
+                worker.shutdown()
+            raise
+        self._workers[worker_id] = worker
+        if self.supervisor is not None:
+            self.supervisor.watch(worker_id, worker)
+        for segment_id in moved:
+            old_owner = previous_owner[segment_id]
+            if not self._is_down(old_owner):
+                # The guarded eviction listener sees the placement
+                # already pointing at the newcomer and ignores this.
+                self._workers[old_owner].evict_segment(segment_id)
+        self.stats.workers_added += 1
+        self.stats.segments_rebalanced += len(moved)
+        self._m_added.inc()
+        self._m_rebalanced.inc(len(moved))
+        self._m_live.set(self.num_workers)
+        return moved
+
+    def remove_worker(self, worker_id: int) -> dict[int, int]:
+        """Scale down: gracefully decommission a worker.
+
+        The autoscaler's shrink primitive.  Shares :meth:`kill_worker`'s
+        rebalance machinery — the leaver's segments re-place onto the
+        survivors the ring already assigns them and re-publish from
+        origin copies — but the teardown is a clean shutdown rather
+        than a SIGKILL, and the event counts as ``workers_removed``,
+        not ``workers_killed``.  Safe to call on a supervised worker
+        that is currently down (a scale-down racing the supervisor's
+        restart backoff): the supervisor forgets it and the rebalance
+        proceeds — decommissioning wins the race.
+
+        Returns:
+            ``segment_id -> new_worker_id`` for the moved segments.
+
+        Raises:
+            ConfigurationError: if the worker is not live, or it is the
+                last one while segments are still placed.
+        """
+        moved = self._router.rebalance(worker_id)
+        victim = self._workers[worker_id]
+        if isinstance(victim, WorkerProcess):
+            victim.shutdown()
+        if self.supervisor is not None:
+            self.supervisor.forget(worker_id)
+        self._finish_eviction(worker_id, moved, removal="removed")
+        return moved
 
     # -- failure and rebalance ---------------------------------------------
 
@@ -902,16 +1034,28 @@ class ServingCluster:
         self._finish_eviction(worker_id, moved)
         return moved
 
-    def _finish_eviction(self, worker_id: int, moved: dict[int, int]) -> None:
+    def _finish_eviction(
+        self, worker_id: int, moved: dict[int, int], *, removal: str = "killed"
+    ) -> None:
+        """Shared tail of every departure path (kill / evict / remove).
+
+        ``removal`` picks which event counter the departure lands in:
+        ``"killed"`` (failures and deliberate kills) or ``"removed"``
+        (graceful autoscale decommissions).
+        """
         for segment_id, new_worker in moved.items():
             if self._is_down(new_worker):
                 continue
             self._workers[new_worker].publish(self._origin[segment_id])
         for view in self._peers.values():
             view._detach(worker_id)
-        self.stats.workers_killed += 1
+        if removal == "removed":
+            self.stats.workers_removed += 1
+            self._m_removed.inc()
+        else:
+            self.stats.workers_killed += 1
+            self._m_killed.inc()
         self.stats.segments_rebalanced += len(moved)
-        self._m_killed.inc()
         self._m_rebalanced.inc(len(moved))
         self._m_live.set(self.num_workers)
 

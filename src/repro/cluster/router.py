@@ -101,6 +101,34 @@ class ClusterRouter:
             )
         return worker_id
 
+    def expand(self, new_worker: int) -> dict[int, int]:
+        """Add a worker and re-place only the segments it now owns.
+
+        The mirror image of :meth:`rebalance`: consistent hashing
+        guarantees that adding a worker moves exactly the segments whose
+        owning vnode interval the newcomer's points split — every moved
+        segment's new owner *is* the new worker, and every other
+        placement is untouched.  This is the property an autoscaler
+        needs: scale-up cost is proportional to the newcomer's share of
+        the keyspace, never to cluster size.
+
+        Returns:
+            ``segment_id -> new_worker`` for exactly the segments that
+            moved (all of them onto ``new_worker``), in the order they
+            were advertised.
+
+        Raises:
+            ConfigurationError: if the worker is already on the ring.
+        """
+        self.ring.add_worker(new_worker)
+        moved: dict[int, int] = {}
+        for segment_id, owner in self._placement.items():
+            new_owner = self.ring.place(segment_id)
+            if new_owner != owner:
+                moved[segment_id] = new_owner
+        self._placement.update(moved)
+        return moved
+
     def rebalance(self, dead_worker: int) -> dict[int, int]:
         """Remove a worker and re-place only its segments.
 

@@ -471,6 +471,18 @@ class WorkerSupervisor:
 
     # -- bookkeeping hooks (called by the cluster) -------------------------
 
+    def watch(self, worker_id: int, proc) -> None:
+        """Start supervising a worker the cluster just scaled up.
+
+        The newcomer gets a fresh supervision state — an id recycled
+        from an earlier decommission must not inherit the leaver's
+        strikes or consumed restart budget — and this supervisor's
+        command deadline is armed on its handle.
+        """
+        self._states[worker_id] = _WorkerState()
+        self._arm(proc)
+        self._m_down.set(len(self.down_workers))
+
     def forget(self, worker_id: int) -> None:
         """Stop supervising a worker the caller evicted deliberately."""
         state = self._states.get(worker_id)

@@ -382,6 +382,84 @@ class WorkerKillPlan:
         return moved
 
 
+class ChurnPlan:
+    """A seeded schedule of peer churn for the load harness.
+
+    Extends the deterministic-fault philosophy to population dynamics:
+    the million-session workload needs sessions that *leave* (and
+    sampled live peers that flap their connections) on a schedule that
+    replays exactly.  Every per-round decision is drawn from
+    ``default_rng([seed, kind, round_index])`` — a pure function of the
+    seed and the round — so the schedule is independent of call order
+    and of how many other draws the harness makes in between.
+
+    Args:
+        seed: the plan's only entropy source.
+        departure_rate: per-round probability that any single active
+            modelled session departs (drawn binomially over the active
+            population).
+        flap_rate: per-round probability that a sampled live peer drops
+            its connection for one round (disconnect + reconnect —
+            exercising the cluster's eviction/re-admission path).
+
+    Every nonzero draw is logged as a :class:`FaultEvent`
+    (``churn_depart`` with ``detail`` = departures; ``churn_flap`` with
+    ``detail`` = the flapping peer id) for exact accounting.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int,
+        departure_rate: float = 0.0,
+        flap_rate: float = 0.0,
+    ) -> None:
+        for name, rate in (
+            ("departure_rate", departure_rate),
+            ("flap_rate", flap_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {rate}"
+                )
+        self.seed = seed
+        self.departure_rate = departure_rate
+        self.flap_rate = flap_rate
+        self.log: list[FaultEvent] = []
+
+    def departures(self, round_index: int, active: int) -> int:
+        """Modelled sessions leaving during ``round_index``.
+
+        A binomial draw over the active population; deterministic per
+        ``(seed, round_index)`` regardless of when (or how often) the
+        harness asks.
+        """
+        if active <= 0 or self.departure_rate == 0.0:
+            return 0
+        rng = np.random.default_rng([self.seed, 0, round_index])
+        count = int(rng.binomial(active, self.departure_rate))
+        if count:
+            self.log.append(FaultEvent(round_index, "churn_depart", count))
+        return count
+
+    def flaps(
+        self, round_index: int, peer_ids: Sequence[int]
+    ) -> list[int]:
+        """Sampled live peers that flap (drop + rejoin) this round."""
+        if not peer_ids or self.flap_rate == 0.0:
+            return []
+        rng = np.random.default_rng([self.seed, 1, round_index])
+        draws = rng.random(len(peer_ids))
+        flapping = [
+            peer_id
+            for peer_id, draw in zip(peer_ids, draws)
+            if draw < self.flap_rate
+        ]
+        for peer_id in flapping:
+            self.log.append(FaultEvent(round_index, "churn_flap", peer_id))
+        return flapping
+
+
 @dataclass(frozen=True)
 class WorkerChaosSpec:
     """One worker's scheduled process-level fault (picklable).

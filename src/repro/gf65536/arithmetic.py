@@ -96,7 +96,9 @@ def matmul16(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return out
 
 
-def coefficient_overhead_ratio(field_bits: int, num_blocks: int, block_size: int) -> float:
+def coefficient_overhead_ratio(
+    field_bits: int, num_blocks: int, block_size: int
+) -> float:
     """Per-block coefficient overhead for a field width (the RLNC
     trade-off GF(2^16) improves: wider symbols mean fewer coefficient
     *symbols*, but each is wider — the byte overhead is identical; the

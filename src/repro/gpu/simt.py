@@ -110,7 +110,16 @@ class Barrier:
     """__syncthreads(): all threads of the block must arrive."""
 
 
-Event = Alu | SmemLoad | SmemStore | GmemLoad | GmemStore | TexLoad | AtomicMin | Barrier
+Event = (
+    Alu
+    | SmemLoad
+    | SmemStore
+    | GmemLoad
+    | GmemStore
+    | TexLoad
+    | AtomicMin
+    | Barrier
+)
 KernelFn = Callable[["ThreadContext"], Generator[Event, Any, None]]
 
 
@@ -417,14 +426,18 @@ class SimtDevice:
         try:
             return arrays[name]
         except KeyError:
-            raise LaunchError(f"kernel touched undeclared shared array {name!r}") from None
+            raise LaunchError(
+                f"kernel touched undeclared shared array {name!r}"
+            ) from None
 
     @staticmethod
     def _buffer(buffers: dict[str, np.ndarray], name: str) -> np.ndarray:
         try:
             return buffers[name]
         except KeyError:
-            raise LaunchError(f"kernel touched unknown global buffer {name!r}") from None
+            raise LaunchError(
+                f"kernel touched unknown global buffer {name!r}"
+            ) from None
 
 
 def _assign_buffer_bases(buffers: dict[str, np.ndarray]) -> dict[str, int]:

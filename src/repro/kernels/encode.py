@@ -196,7 +196,9 @@ class GpuEncoder:
             offset += count
         return result, slices
 
-    def estimate(self, *, num_blocks: int, block_size: int, coded_rows: int) -> KernelStats:
+    def estimate(
+        self, *, num_blocks: int, block_size: int, coded_rows: int
+    ) -> KernelStats:
         """Cost-model-only estimate (no functional work); for sweeps."""
         return encode_stats(
             self.spec,

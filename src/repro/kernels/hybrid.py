@@ -51,7 +51,9 @@ class HybridEncoder:
         self.gpu = gpu_encoder
         self.cpu = cpu_encoder
 
-    def split(self, *, num_blocks: int, block_size: int, coded_rows: int) -> tuple[int, int]:
+    def split(
+        self, *, num_blocks: int, block_size: int, coded_rows: int
+    ) -> tuple[int, int]:
         """Rows assigned to (gpu, cpu), proportional to modelled rates."""
         if coded_rows < 2:
             raise ConfigurationError("hybrid encoding needs at least two rows")

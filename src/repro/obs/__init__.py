@@ -34,6 +34,7 @@ from repro.obs.registry import (
     obs_counter,
     obs_gauge,
     obs_histogram,
+    quantile_from_buckets,
     set_registry,
 )
 from repro.obs.trace import (
@@ -63,6 +64,7 @@ __all__ = [
     "obs_counter",
     "obs_gauge",
     "obs_histogram",
+    "quantile_from_buckets",
     "render_breakdown_table",
     "render_metrics_summary",
     "render_prometheus",

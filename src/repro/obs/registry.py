@@ -48,6 +48,7 @@ __all__ = [
     "obs_counter",
     "obs_gauge",
     "obs_histogram",
+    "quantile_from_buckets",
     "set_registry",
 ]
 
@@ -194,6 +195,61 @@ class Histogram:
         """A copy of the sparse ``bucket_index -> count`` map."""
         with self._lock:
             return dict(self._buckets)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the log-scale buckets.
+
+        See :func:`quantile_from_buckets` for the estimator and its
+        error bound (at most one power-of-two bucket width).
+        """
+        with self._lock:
+            return quantile_from_buckets(self._buckets, self._count, q)
+
+
+def quantile_from_buckets(
+    buckets: dict, count: int | None = None, q: float = 0.5
+) -> float:
+    """Estimate a quantile from a sparse log-bucket count map.
+
+    Walks the buckets in value order to the one holding the
+    ``ceil(q * count)``-th observation and interpolates linearly inside
+    its ``[2**i, 2**(i+1))`` range — so the estimate is off by at most
+    one power-of-two bucket width, which is exactly the resolution the
+    histogram stores.  Works on a live histogram's :meth:`Histogram
+    .buckets` map *or* on snapshot/merge-produced maps with string
+    keys — including the **delta** of two cumulative snapshots, which
+    is how a load harness gets a windowed p99 without storing raw
+    observations.
+
+    Args:
+        buckets: ``bucket_index -> count`` (int or str indices).
+        count: total observations; summed from the buckets if ``None``.
+        q: the quantile in ``[0, 1]``.
+
+    Returns:
+        The estimated value; ``0.0`` for an empty distribution or a
+        rank that falls in the underflow bucket (observations ``<= 0``).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    normalized = {int(index): int(n) for index, n in buckets.items() if n}
+    if count is None:
+        count = sum(normalized.values())
+    if count <= 0 or not normalized:
+        return 0.0
+    rank = max(1, math.ceil(q * count))
+    seen = 0
+    for index in sorted(normalized):
+        in_bucket = normalized[index]
+        if seen + in_bucket >= rank:
+            if index == UNDERFLOW_BUCKET:
+                return 0.0
+            low, high = bucket_bounds(index)
+            fraction = (rank - seen) / in_bucket
+            return low + (high - low) * fraction
+        seen += in_bucket
+    # count overstated the buckets (racy snapshot); clamp to the top.
+    return bucket_bounds(max(normalized))[1]
 
 
 class MetricsRegistry:

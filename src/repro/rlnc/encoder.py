@@ -108,7 +108,8 @@ class Encoder:
         take_systematic = min(systematic_left, count)
         if take_systematic:
             eye = np.zeros((take_systematic, n), dtype=np.uint8)
-            eye[np.arange(take_systematic), self._emitted + np.arange(take_systematic)] = 1
+            taken = np.arange(take_systematic)
+            eye[taken, self._emitted + taken] = 1
             rows.append(eye)
             # Advance the systematic cursor the moment the identity rows
             # exist, so no later read (or partial failure) can re-derive a

@@ -27,7 +27,9 @@ from repro.rlnc.encoder import Encoder
 FIELD_SIZE = 256
 
 
-def innovative_probability(rank: int, num_blocks: int, field_size: int = FIELD_SIZE) -> float:
+def innovative_probability(
+    rank: int, num_blocks: int, field_size: int = FIELD_SIZE
+) -> float:
     """Probability a uniform random block is innovative at a given rank.
 
     A uniform random vector lies inside a fixed rank-r subspace of F^n

@@ -31,6 +31,8 @@ from repro.rlnc.block import Segment
 from repro.streaming.client import ClientSession, SessionStats, drive_sessions
 from repro.streaming.server import ServerStats, StreamingServer
 from repro.streaming.session import MediaProfile
+from repro.workloads.autoscaler import Autoscaler, AutoscalerConfig
+from repro.workloads.harness import LoadTestReport, run_loadtest
 
 
 @runtime_checkable
@@ -82,12 +84,16 @@ class ServingEndpoint(Protocol):
 
 
 __all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
     "ClientSession",
     "ClusterStats",
+    "LoadTestReport",
     "ServerStats",
     "ServingCluster",
     "ServingEndpoint",
     "SessionStats",
     "StreamingServer",
     "drive_sessions",
+    "run_loadtest",
 ]

@@ -1,0 +1,262 @@
+"""Seeded traffic models for the million-session load harness.
+
+The paper's capacity claim — one GPU server replacing dozens of CPU
+servers — only matters under realistic traffic, so this module models
+the arrival side of a large streaming deployment as small, composable,
+*seeded* processes:
+
+* :class:`PoissonArrivals` — memoryless session arrivals at a constant
+  mean rate (the baseline open-loop model).
+* :class:`DiurnalArrivals` — a day/night sinusoid over the Poisson
+  rate, the classic shape of consumer media traffic.
+* :class:`FlashCrowd` — a multiplicative burst window (premiere,
+  breaking news) layered over any base model.
+* :class:`ZipfPopularity` — heavy-tailed segment popularity, so a few
+  hot segments absorb most of the demand (what makes per-segment
+  request coalescing pay).
+* :class:`TrafficGenerator` — composes the above with a
+  :class:`~repro.faults.ChurnPlan` into one per-round draw.
+
+Determinism contract: every per-round draw comes from
+``default_rng([seed, stream, round_index])`` — a pure function of the
+seed and the round index — so replaying a workload, or evaluating
+rounds out of order, yields the identical schedule.  This is the same
+convention :mod:`repro.faults` uses and is what makes the loadtest
+bench and the replay-determinism test exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.faults import ChurnPlan
+
+
+class PoissonArrivals:
+    """Memoryless arrivals: ``Poisson(rate_per_round)`` each round.
+
+    Args:
+        rate_per_round: mean sessions arriving per round (>= 0).
+        seed: the model's only entropy source.
+    """
+
+    def __init__(self, rate_per_round: float, *, seed: int = 0) -> None:
+        if rate_per_round < 0:
+            raise ConfigurationError(
+                f"rate_per_round must be >= 0, got {rate_per_round}"
+            )
+        self.rate_per_round = rate_per_round
+        self.seed = seed
+
+    def rate(self, round_index: int) -> float:
+        """The mean arrival rate in effect for ``round_index``."""
+        return self.rate_per_round
+
+    def arrivals(self, round_index: int) -> int:
+        """Sessions arriving during ``round_index`` (seeded draw)."""
+        rate = self.rate(round_index)
+        if rate == 0:
+            return 0
+        rng = np.random.default_rng([self.seed, 10, round_index])
+        return int(rng.poisson(rate))
+
+
+class DiurnalArrivals(PoissonArrivals):
+    """A day/night sinusoid over the Poisson rate.
+
+    The instantaneous rate swings between ``base_rate`` (trough) and
+    ``peak_rate`` (crest) over ``period_rounds``, starting at the
+    trough — so a run shorter than one period sees a realistic ramp.
+
+    Args:
+        base_rate: trough mean arrivals per round.
+        peak_rate: crest mean arrivals per round (>= base).
+        period_rounds: rounds per full day/night cycle.
+        seed: entropy source for the per-round Poisson draws.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        peak_rate: float,
+        *,
+        period_rounds: int,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(base_rate, seed=seed)
+        if peak_rate < base_rate:
+            raise ConfigurationError(
+                f"peak_rate {peak_rate} must be >= base_rate {base_rate}"
+            )
+        if period_rounds < 2:
+            raise ConfigurationError(
+                f"period_rounds must be >= 2, got {period_rounds}"
+            )
+        self.peak_rate = peak_rate
+        self.period_rounds = period_rounds
+
+    def rate(self, round_index: int) -> float:
+        phase = 2 * math.pi * (round_index % self.period_rounds)
+        swing = (1 - math.cos(phase / self.period_rounds)) / 2
+        return self.rate_per_round + swing * (
+            self.peak_rate - self.rate_per_round
+        )
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A multiplicative arrival burst over ``[start, start + duration)``.
+
+    Attributes:
+        start_round: first round of the burst.
+        duration_rounds: burst length in rounds.
+        multiplier: arrival-rate factor while the burst is active.
+    """
+
+    start_round: int
+    duration_rounds: int
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.start_round < 0 or self.duration_rounds < 1:
+            raise ConfigurationError(
+                "flash crowd needs start_round >= 0 and duration >= 1"
+            )
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"flash multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    def active(self, round_index: int) -> bool:
+        return (
+            self.start_round
+            <= round_index
+            < self.start_round + self.duration_rounds
+        )
+
+    def factor(self, round_index: int) -> float:
+        return self.multiplier if self.active(round_index) else 1.0
+
+
+class ZipfPopularity:
+    """Heavy-tailed segment popularity over a finite catalog.
+
+    Segment ``i`` (0-based) is drawn with probability proportional to
+    ``1 / (i + 1) ** exponent`` — the truncated Zipf law measured in
+    VoD and CDN catalogs (``numpy``'s unbounded ``zipf`` sampler is
+    unsuitable for a finite catalog, so the pmf is normalized
+    explicitly).
+
+    Args:
+        num_segments: catalog size (>= 1).
+        exponent: tail heaviness (0 = uniform; ~0.8-1.2 measured).
+        seed: entropy source for :meth:`draw`.
+    """
+
+    def __init__(
+        self, num_segments: int, *, exponent: float = 1.0, seed: int = 0
+    ) -> None:
+        if num_segments < 1:
+            raise ConfigurationError(
+                f"num_segments must be >= 1, got {num_segments}"
+            )
+        if exponent < 0:
+            raise ConfigurationError(
+                f"exponent must be >= 0, got {exponent}"
+            )
+        self.num_segments = num_segments
+        self.exponent = exponent
+        self.seed = seed
+        weights = 1.0 / np.arange(1, num_segments + 1) ** exponent
+        self.pmf = weights / weights.sum()
+
+    def draw(self, round_index: int, count: int) -> np.ndarray:
+        """``count`` segment ids drawn by popularity (seeded per round)."""
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        rng = np.random.default_rng([self.seed, 20, round_index])
+        return rng.choice(self.num_segments, size=count, p=self.pmf)
+
+
+@dataclass(frozen=True)
+class RoundTraffic:
+    """One round's drawn traffic: who arrives, who leaves, what's hot.
+
+    Attributes:
+        round_index: the round the draw belongs to.
+        arrivals: sessions arriving this round.
+        departures: modelled sessions churning away this round.
+        segments: popularity-drawn segment id per arriving session.
+        flash_active: whether a flash crowd window covers this round.
+    """
+
+    round_index: int
+    arrivals: int
+    departures: int
+    segments: np.ndarray
+    flash_active: bool
+
+
+class TrafficGenerator:
+    """Composes arrivals, bursts, popularity and churn into round draws.
+
+    Args:
+        arrivals: the base arrival process (Poisson or diurnal).
+        popularity: segment-popularity model for arriving sessions.
+        flash_crowds: burst windows; overlapping factors multiply.
+        churn: optional seeded departure/flap plan
+            (:class:`~repro.faults.ChurnPlan`).
+    """
+
+    def __init__(
+        self,
+        arrivals: PoissonArrivals,
+        popularity: ZipfPopularity,
+        *,
+        flash_crowds: tuple[FlashCrowd, ...] = (),
+        churn: ChurnPlan | None = None,
+    ) -> None:
+        self.arrivals = arrivals
+        self.popularity = popularity
+        self.flash_crowds = tuple(flash_crowds)
+        self.churn = churn
+
+    def flash_factor(self, round_index: int) -> float:
+        factor = 1.0
+        for crowd in self.flash_crowds:
+            factor *= crowd.factor(round_index)
+        return factor
+
+    def draw(self, round_index: int, *, active_sessions: int) -> RoundTraffic:
+        """The complete seeded traffic draw for one round.
+
+        A flash crowd scales the *rate* before the Poisson draw (a
+        burst makes more arrivals likely, it does not teleport a fixed
+        number in), and churn departures are drawn binomially over the
+        currently active modelled population.
+        """
+        factor = self.flash_factor(round_index)
+        rate = self.arrivals.rate(round_index) * factor
+        if rate > 0:
+            rng = np.random.default_rng(
+                [self.arrivals.seed, 10, round_index]
+            )
+            count = int(rng.poisson(rate))
+        else:
+            count = 0
+        departures = (
+            self.churn.departures(round_index, active_sessions)
+            if self.churn is not None
+            else 0
+        )
+        return RoundTraffic(
+            round_index=round_index,
+            arrivals=count,
+            departures=departures,
+            segments=self.popularity.draw(round_index, count),
+            flash_active=factor > 1.0,
+        )

@@ -337,3 +337,106 @@ class TestConstruction:
         with pytest.raises(ConfigurationError):
             cluster.publish(wrong)
         assert cluster.stored_segments == 0
+
+
+class TestElasticMembership:
+    def test_add_worker_moves_only_the_newcomers_segments(self):
+        cluster = make_cluster(num_workers=2)
+        publish_many(cluster, 16)
+        before = cluster.placement()
+        moved = cluster.add_worker()
+        after = cluster.placement()
+        assert set(moved.values()) <= {2}
+        # Everything that changed owners changed *to* the newcomer;
+        # everything else stayed exactly where it was.
+        changed = {
+            sid for sid, owner in after.items() if before[sid] != owner
+        }
+        assert changed == set(moved)
+        assert all(after[sid] == 2 for sid in changed)
+
+    def test_remove_worker_restores_prior_placement(self):
+        cluster = make_cluster(num_workers=2)
+        publish_many(cluster, 16)
+        before = cluster.placement()
+        cluster.add_worker()
+        cluster.remove_worker(2)
+        assert cluster.placement() == before
+        assert cluster.num_workers == 2
+
+    def test_membership_accounting(self):
+        cluster = make_cluster(num_workers=2)
+        publish_many(cluster, 8)
+        moved_up = cluster.add_worker()
+        moved_down = cluster.remove_worker(2)
+        stats = cluster.stats
+        assert stats.workers_added == 1
+        assert stats.workers_removed == 1
+        assert stats.workers_killed == 0
+        assert stats.segments_rebalanced == len(moved_up) + len(moved_down)
+        counters = cluster.stats_snapshot()["counters"]
+        assert counters["cluster_workers_added"] == 1
+        assert counters["cluster_workers_removed"] == 1
+
+    def test_next_worker_id_recycles_the_smallest_free_id(self):
+        cluster = make_cluster(num_workers=3)
+        assert cluster.next_worker_id() == 3
+        cluster.kill_worker(1)
+        assert cluster.next_worker_id() == 1
+
+    def test_add_worker_rejects_live_and_out_of_range_ids(self):
+        cluster = make_cluster(num_workers=2)
+        with pytest.raises(ConfigurationError):
+            cluster.add_worker(1)
+        with pytest.raises(ConfigurationError):
+            cluster.add_worker(128)
+        with pytest.raises(ConfigurationError):
+            cluster.add_worker(-1)
+
+    def test_remove_last_worker_with_segments_is_rejected(self):
+        cluster = make_cluster(num_workers=1)
+        publish_many(cluster, 2)
+        with pytest.raises(ConfigurationError):
+            cluster.remove_worker(0)
+
+    def test_peers_ride_through_grow_and_shrink(self):
+        cluster = make_cluster(num_workers=2)
+        publish_many(cluster, 8)
+        cluster.connect(1)
+        cluster.add_worker()
+        # In-flight asks route to whoever owns the segment now.
+        for segment_id in range(8):
+            assert cluster.request_blocks(1, segment_id, 1) is None
+        cluster.serve_round()
+        cluster.remove_worker(2)
+        for segment_id in range(8):
+            assert cluster.request_blocks(1, segment_id, 1) is None
+        cluster.serve_round()
+        assert cluster.stats.blocks_served == 16
+
+    @BOTH_SUBSTRATES
+    def test_served_bytes_survive_scale_events(self, parallel):
+        # The same seeded workload, static versus scaled mid-stream:
+        # growing then shrinking the ring must never change the bytes
+        # a decoding peer ends up with (coefficients are drawn per
+        # worker, so equality is decoded-rank progress + block counts).
+        cluster = make_cluster(
+            num_workers=capped_workers(2), parallel=parallel
+        )
+        try:
+            publish_many(cluster, 8)
+            cluster.connect(1)
+            for round_index in range(6):
+                # Membership changes land between rounds (the harness
+                # order): asks queued after them are never dropped.
+                if round_index == 1:
+                    cluster.add_worker()
+                if round_index == 4:
+                    cluster.remove_worker(max(cluster.live_workers))
+                for segment_id in range(8):
+                    cluster.request_blocks(1, segment_id, 1)
+                cluster.serve_round()
+            assert cluster.stats.blocks_served == 6 * 8
+            assert cluster.pending_blocks == 0
+        finally:
+            cluster.close()

@@ -538,3 +538,65 @@ class TestSupervisionSnapshot:
             gauges = snapshot["gauges"]
             assert gauges["supervisor_workers_down"] == 1.0
             assert gauges["supervisor_detection_seconds_avg"] >= 0.0
+
+
+class TestElasticMembershipUnderSupervision:
+    def test_scale_down_racing_restart_decommission_wins(self):
+        # The autoscaler decides to retire a worker that the supervisor
+        # has *already* marked down and queued for restart backoff.
+        # remove_worker must win the race: the supervisor forgets the
+        # victim (no zombie restart later), the ring rebalances onto
+        # the survivors, and serving continues.
+        with make_supervised(capped_workers(2)) as cluster:
+            if cluster.num_workers < 2:
+                pytest.skip("needs two workers under the cap")
+            publish_segments(cluster)
+            cluster.connect(0)
+            victim = cluster.placement()[0]
+            sigkill_and_wait(cluster, victim)
+            cluster.supervisor.tick()
+            assert cluster.supervisor.is_down(victim)
+
+            moved = cluster.remove_worker(victim)
+            assert not cluster.supervisor.is_down(victim)
+            assert victim not in cluster.live_workers
+            assert victim not in cluster.supervisor.down_workers
+            assert cluster.stats.workers_removed == 1
+            survivors = set(cluster.live_workers)
+            assert set(moved.values()) <= survivors
+
+            # No resurrection: ticks after the decommission must not
+            # restart (or even track) the forgotten worker.
+            cluster.supervisor.tick()
+            assert victim not in cluster.live_workers
+            for segment_id in cluster.placement():
+                assert cluster.request_blocks(0, segment_id, 1) is None
+            cluster.serve_round()
+
+    def test_scaled_up_worker_is_supervised(self):
+        # watch() must arm the newcomer with the same liveness and
+        # restart machinery the founding workers got.
+        with make_supervised(1) as cluster:
+            publish_segments(cluster)
+            new_id = cluster.next_worker_id()
+            cluster.add_worker(new_id)
+            sigkill_and_wait(cluster, new_id)
+            cluster.supervisor.tick()
+            assert cluster.supervisor.is_down(new_id)
+            assert cluster.supervisor.stats.crashes_detected == 1
+
+    def test_down_worker_id_is_not_recycled_until_forgotten(self):
+        with make_supervised(capped_workers(2)) as cluster:
+            if cluster.num_workers < 2:
+                pytest.skip("needs two workers under the cap")
+            publish_segments(cluster)
+            victim = cluster.placement()[0]
+            sigkill_and_wait(cluster, victim)
+            cluster.supervisor.tick()
+            # The restart path owns the id: scale-up must skip it...
+            assert cluster.next_worker_id() != victim
+            with pytest.raises(ConfigurationError):
+                cluster.add_worker(victim)
+            # ...until a decommission frees the slot.
+            cluster.remove_worker(victim)
+            assert cluster.next_worker_id() == victim

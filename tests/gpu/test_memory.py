@@ -142,7 +142,11 @@ class TestTextureCache:
             cache.access_half_warp((rng.integers(0, 512, size=16) * 4).tolist())
         assert cache.stats.line_fills == before  # no further fills
 
-    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=16))
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=10_000), min_size=1, max_size=16
+        )
+    )
     def test_misses_bounded_by_distinct_lines(self, addresses):
         cache = TextureCacheModel(GTX280)
         misses = cache.access_half_warp(addresses)

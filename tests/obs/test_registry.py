@@ -15,6 +15,7 @@ from repro.obs.registry import (
     obs_counter,
     obs_gauge,
     obs_histogram,
+    quantile_from_buckets,
     set_registry,
 )
 
@@ -190,3 +191,73 @@ class TestSnapshotsAndMerge:
         for thread in threads:
             thread.join()
         assert counter.value == 8000
+
+
+class TestQuantileFromBuckets:
+    def test_empty_distribution_is_zero(self):
+        assert quantile_from_buckets({}, None, 0.99) == 0.0
+        assert quantile_from_buckets({3: 0}, None, 0.5) == 0.0
+
+    def test_single_bucket_interpolates_within_bounds(self):
+        # 100 observations all in [4, 8): quantiles sweep the bucket.
+        buckets = {2: 100}
+        low = quantile_from_buckets(buckets, None, 0.01)
+        mid = quantile_from_buckets(buckets, None, 0.5)
+        high = quantile_from_buckets(buckets, None, 1.0)
+        assert 4.0 <= low < mid < high <= 8.0
+
+    def test_rank_walks_buckets_in_value_order(self):
+        # 90 in [1, 2), 9 in [8, 16), 1 in [64, 128).
+        buckets = {0: 90, 3: 9, 6: 1}
+        assert 1.0 <= quantile_from_buckets(buckets, None, 0.5) < 2.0
+        assert 8.0 <= quantile_from_buckets(buckets, None, 0.95) < 16.0
+        assert 64.0 <= quantile_from_buckets(buckets, None, 1.0) <= 128.0
+
+    def test_string_keys_from_snapshots_are_accepted(self):
+        live = quantile_from_buckets({0: 90, 3: 10}, None, 0.99)
+        snap = quantile_from_buckets({"0": 90, "3": 10}, None, 0.99)
+        assert live == snap
+
+    def test_rank_in_underflow_bucket_is_zero(self):
+        buckets = {UNDERFLOW_BUCKET: 99, 4: 1}
+        assert quantile_from_buckets(buckets, None, 0.5) == 0.0
+        assert quantile_from_buckets(buckets, None, 1.0) >= 16.0
+
+    def test_overstated_count_clamps_to_top_bucket(self):
+        # A racy snapshot can report more observations than the bucket
+        # map holds; the estimate clamps to the top bound, not crash.
+        assert quantile_from_buckets({2: 5}, 1000, 0.99) == 8.0
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(ValueError):
+            quantile_from_buckets({0: 1}, None, 1.5)
+
+    def test_histogram_quantile_matches_free_function(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("delay")
+        for value in (1.0, 1.5, 3.0, 5.0, 40.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == quantile_from_buckets(
+            histogram.buckets(), 5, 0.5
+        )
+        assert histogram.quantile(1.0) >= 40.0
+
+    def test_windowed_delta_sees_only_new_observations(self):
+        # The load-harness trick: p99 over a window = quantile of the
+        # positive delta between two cumulative bucket snapshots.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("delay")
+        for _ in range(1000):
+            histogram.observe(1.0)
+        before = histogram.buckets()
+        for _ in range(10):
+            histogram.observe(100.0)
+        window = {
+            index: count - before.get(index, 0)
+            for index, count in histogram.buckets().items()
+            if count - before.get(index, 0) > 0
+        }
+        spike = quantile_from_buckets(window, None, 0.99)
+        assert spike >= 64.0  # the calm history cannot mask the spike
+        cumulative = histogram.quantile(0.99)
+        assert cumulative <= 2.0  # still inside the calm [1, 2) bucket

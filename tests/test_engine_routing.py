@@ -46,7 +46,9 @@ def test_no_direct_table_access_outside_gf256():
         text = path.read_text()
         for lineno, line in enumerate(text.splitlines(), start=1):
             if FORBIDDEN.search(line):
-                offenders.append(f"{path.relative_to(SRC_ROOT)}:{lineno}: {line.strip()}")
+                offenders.append(
+                    f"{path.relative_to(SRC_ROOT)}:{lineno}: {line.strip()}"
+                )
     assert not offenders, (
         "bulk GF(2^8) operations must route through repro.gf256.engine; "
         "direct table access found:\n" + "\n".join(offenders)

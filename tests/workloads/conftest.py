@@ -1,0 +1,20 @@
+"""Workloads-suite fixtures: metric isolation per test.
+
+The load harness and autoscaler publish to the process-wide default
+metrics registry (``loadtest_utilization`` and friends).  Every test in
+this package runs against a fresh registry so one test's gauge values
+and histogram buckets can never leak into another's windowed-p99
+arithmetic.
+"""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry, set_registry
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    """Install a private default registry for the test's duration."""
+    previous = set_registry(MetricsRegistry())
+    yield
+    set_registry(previous)

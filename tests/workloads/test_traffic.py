@@ -1,0 +1,211 @@
+"""Tests for the seeded traffic models behind ``repro loadtest``."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import ChurnPlan
+from repro.workloads import (
+    DiurnalArrivals,
+    FlashCrowd,
+    PoissonArrivals,
+    TrafficGenerator,
+    ZipfPopularity,
+)
+
+
+class TestPoissonArrivals:
+    def test_draws_are_seeded_per_round(self):
+        model = PoissonArrivals(500.0, seed=3)
+        first = [model.arrivals(r) for r in range(20)]
+        second = [model.arrivals(r) for r in range(20)]
+        assert first == second
+        assert PoissonArrivals(500.0, seed=4).arrivals(0) != first[0]
+
+    def test_rounds_are_independent_streams(self):
+        model = PoissonArrivals(500.0, seed=3)
+        # Evaluating out of order must not change any round's draw.
+        assert model.arrivals(7) == PoissonArrivals(500.0, seed=3).arrivals(7)
+
+    def test_zero_rate_means_zero_arrivals(self):
+        model = PoissonArrivals(0.0, seed=3)
+        assert all(model.arrivals(r) == 0 for r in range(10))
+
+    def test_mean_tracks_the_rate(self):
+        model = PoissonArrivals(200.0, seed=1)
+        draws = [model.arrivals(r) for r in range(400)]
+        assert np.mean(draws) == pytest.approx(200.0, rel=0.05)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(-1.0)
+
+
+class TestDiurnalArrivals:
+    def test_starts_at_trough_and_reaches_crest(self):
+        model = DiurnalArrivals(100.0, 300.0, period_rounds=48, seed=0)
+        assert model.rate(0) == pytest.approx(100.0)
+        assert model.rate(24) == pytest.approx(300.0)
+        rates = [model.rate(r) for r in range(48)]
+        assert min(rates) >= 100.0 - 1e-9
+        assert max(rates) <= 300.0 + 1e-9
+
+    def test_period_wraps(self):
+        model = DiurnalArrivals(100.0, 300.0, period_rounds=48, seed=0)
+        assert model.rate(5) == pytest.approx(model.rate(53))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_rate": 10.0, "peak_rate": 5.0, "period_rounds": 8},
+            {"base_rate": 10.0, "peak_rate": 20.0, "period_rounds": 1},
+        ],
+    )
+    def test_rejects_bad_shapes(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DiurnalArrivals(
+                kwargs["base_rate"],
+                kwargs["peak_rate"],
+                period_rounds=kwargs["period_rounds"],
+            )
+
+
+class TestFlashCrowd:
+    def test_window_is_half_open(self):
+        crowd = FlashCrowd(start_round=10, duration_rounds=5, multiplier=3.0)
+        assert not crowd.active(9)
+        assert crowd.active(10)
+        assert crowd.active(14)
+        assert not crowd.active(15)
+        assert crowd.factor(12) == 3.0
+        assert crowd.factor(20) == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"start_round": -1, "duration_rounds": 5, "multiplier": 2.0},
+            {"start_round": 0, "duration_rounds": 0, "multiplier": 2.0},
+            {"start_round": 0, "duration_rounds": 5, "multiplier": 0.5},
+        ],
+    )
+    def test_rejects_bad_windows(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FlashCrowd(**kwargs)
+
+
+class TestZipfPopularity:
+    def test_pmf_is_normalized_and_monotone(self):
+        model = ZipfPopularity(32, exponent=1.0, seed=0)
+        assert model.pmf.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(model.pmf) < 0)
+
+    def test_exponent_zero_is_uniform(self):
+        model = ZipfPopularity(16, exponent=0.0, seed=0)
+        assert np.allclose(model.pmf, 1.0 / 16)
+
+    def test_draws_are_in_catalog_and_seeded(self):
+        model = ZipfPopularity(32, exponent=1.0, seed=5)
+        first = model.draw(3, 1000)
+        assert first.min() >= 0 and first.max() < 32
+        assert np.array_equal(first, model.draw(3, 1000))
+        assert not np.array_equal(first, model.draw(4, 1000))
+
+    def test_head_dominates_the_tail(self):
+        model = ZipfPopularity(64, exponent=1.0, seed=2)
+        draws = model.draw(0, 20_000)
+        head_share = np.mean(draws < 8)
+        tail_share = np.mean(draws >= 56)
+        assert head_share > 5 * tail_share
+
+    def test_zero_count_draw_is_empty(self):
+        assert ZipfPopularity(8).draw(0, 0).size == 0
+
+    def test_rejects_bad_catalogs(self):
+        with pytest.raises(ConfigurationError):
+            ZipfPopularity(0)
+        with pytest.raises(ConfigurationError):
+            ZipfPopularity(8, exponent=-0.1)
+
+
+class TestChurnPlan:
+    def test_departures_are_deterministic_and_logged(self):
+        plan = ChurnPlan(seed=9, departure_rate=0.1)
+        replay = ChurnPlan(seed=9, departure_rate=0.1)
+        counts = [plan.departures(r, 1000) for r in range(20)]
+        assert counts == [replay.departures(r, 1000) for r in range(20)]
+        assert sum(counts) == sum(
+            event.detail for event in plan.log
+            if event.action == "churn_depart"
+        )
+
+    def test_flaps_are_deterministic(self):
+        plan = ChurnPlan(seed=9, flap_rate=0.2)
+        replay = ChurnPlan(seed=9, flap_rate=0.2)
+        peers = range(16)
+        for round_index in range(10):
+            assert list(plan.flaps(round_index, peers)) == list(
+                replay.flaps(round_index, peers)
+            )
+
+    def test_zero_rates_never_fire(self):
+        plan = ChurnPlan(seed=9)
+        assert plan.departures(0, 10_000) == 0
+        assert list(plan.flaps(0, range(100))) == []
+        assert plan.log == []
+
+    def test_rejects_rates_outside_unit_interval(self):
+        with pytest.raises(ConfigurationError):
+            ChurnPlan(seed=0, departure_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            ChurnPlan(seed=0, flap_rate=-0.1)
+
+
+class TestTrafficGenerator:
+    def make(self, rate=400.0, **kwargs):
+        return TrafficGenerator(
+            PoissonArrivals(rate, seed=7),
+            ZipfPopularity(16, exponent=1.0, seed=7),
+            **kwargs,
+        )
+
+    def test_matches_base_model_without_flash(self):
+        generator = self.make()
+        base = PoissonArrivals(400.0, seed=7)
+        for round_index in range(10):
+            traffic = generator.draw(round_index, active_sessions=0)
+            assert traffic.arrivals == base.arrivals(round_index)
+            assert not traffic.flash_active
+            assert traffic.segments.shape == (traffic.arrivals,)
+
+    def test_flash_scales_the_rate_not_a_fixed_count(self):
+        crowd = FlashCrowd(start_round=0, duration_rounds=50, multiplier=4.0)
+        burst = self.make(flash_crowds=(crowd,))
+        calm = self.make()
+        burst_mean = np.mean(
+            [burst.draw(r, active_sessions=0).arrivals for r in range(50)]
+        )
+        calm_mean = np.mean(
+            [calm.draw(r, active_sessions=0).arrivals for r in range(50)]
+        )
+        assert burst_mean == pytest.approx(4.0 * calm_mean, rel=0.15)
+        assert burst.draw(10, active_sessions=0).flash_active
+
+    def test_overlapping_flash_factors_multiply(self):
+        generator = self.make(
+            flash_crowds=(
+                FlashCrowd(start_round=0, duration_rounds=10, multiplier=2.0),
+                FlashCrowd(start_round=5, duration_rounds=10, multiplier=3.0),
+            )
+        )
+        assert generator.flash_factor(2) == 2.0
+        assert generator.flash_factor(7) == 6.0
+        assert generator.flash_factor(12) == 3.0
+        assert generator.flash_factor(20) == 1.0
+
+    def test_churn_departures_ride_along(self):
+        plan = ChurnPlan(seed=7, departure_rate=0.05)
+        generator = self.make(churn=plan)
+        traffic = generator.draw(3, active_sessions=2000)
+        assert traffic.departures == ChurnPlan(
+            seed=7, departure_rate=0.05
+        ).departures(3, 2000)
