@@ -85,6 +85,14 @@ FAILOVER_DEGRADED_SLOWDOWN_CEILING = 25.0
 LOADTEST_PEAK_SESSIONS_FLOOR = 100_000
 LOADTEST_DELAY_P99_CEILING = 32.0
 
+#: Multicast pipelining acceptance.  Both figures are modelled
+#: (cost-model) time, deterministic and machine-independent, so they
+#: are asserted in smoke mode too: the pipelined wall must beat the
+#: lock-step wall by >= 1.33x, and the cycle-level timeline's per-stage
+#: prediction must land within 20% of what the run actually ledgered.
+MULTICAST_OVERLAP_FLOOR = 1.33
+MULTICAST_STAGE_ERROR_CEILING = 0.20
+
 _results: dict[str, object] = {
     "smoke": SMOKE,
     "shapes": {
@@ -1006,3 +1014,78 @@ def test_loadtest_scale():
             "the flash crowd never forced a scale-up: the autoscaler is "
             "not reacting to load"
         )
+
+
+def test_multicast_pipeline():
+    """What pipelining serve rounds buys over lock-step distribution.
+
+    Drives the identical full-segment demand through the streaming
+    server twice via :func:`repro.multicast.compare_modes` — once
+    lock-step (encode, transmit, decode, barrier, repeat) and once
+    double-buffered (round ``r+1`` encodes while round ``r`` is on the
+    wire and decoding) — on the acceptance geometry (n=16, k=1024,
+    four peers, quota 2).  Records the :class:`OverlapReport` the
+    pipelined run emits: modelled lock-step vs pipelined walls, the
+    overlap efficiency between them, and how far the cycle-level
+    timeline's per-stage predictions landed from the measured ledger.
+
+    ``byte_exact`` must hold unconditionally — pipelining changes
+    *when* work happens, never *what* bytes move.  The efficiency
+    floor and stage-error ceiling are modelled-time figures
+    (deterministic, machine-independent), so unlike the wall-clock
+    floors above they are asserted in smoke mode too.
+    """
+    from repro.multicast import compare_modes
+
+    params = CodingParams(16, 1024)
+    profile = MediaProfile(params=params)
+    segment = Segment.random(params, np.random.default_rng(21))
+    peers = [0, 1, 2, 3]
+    quota = 2
+
+    def make_server():
+        server = StreamingServer(
+            GTX280,
+            profile,
+            rng=np.random.default_rng(3),
+            per_peer_round_quota=quota,
+        )
+        server.publish(segment)
+        return server
+
+    lockstep, pipelined = compare_modes(
+        make_server, peers, segment, quota=quota
+    )
+    byte_exact = pipelined.byte_exact(lockstep)
+    report = pipelined.overlap
+    payload = {
+        "peers": len(peers),
+        "n": params.num_blocks,
+        "k": params.block_size,
+        "quota": quota,
+        "rounds": pipelined.rounds,
+        "byte_exact": byte_exact,
+        "delivered_bytes": pipelined.delivered_bytes,
+        "overlap_efficiency": report.overlap_efficiency,
+        "max_stage_error": report.max_stage_error,
+        "wall_error": report.wall_error,
+        "bottleneck_stage": report.bottleneck_stage,
+        "lockstep_wall_s": report.lockstep_wall,
+        "pipelined_wall_s": report.pipelined_wall,
+    }
+    record("multicast_pipeline", payload)
+
+    assert byte_exact, (
+        "pipelined run diverged from lock-step: pipelining may change "
+        "when work happens, never what bytes move"
+    )
+    assert report.overlap_efficiency >= MULTICAST_OVERLAP_FLOOR, (
+        f"pipelining bought only {report.overlap_efficiency:.2f}x over "
+        f"lock-step on the modelled timeline "
+        f"(floor {MULTICAST_OVERLAP_FLOOR}x)"
+    )
+    assert report.max_stage_error <= MULTICAST_STAGE_ERROR_CEILING, (
+        f"timeline model missed a stage by "
+        f"{report.max_stage_error:.1%}, above the "
+        f"{MULTICAST_STAGE_ERROR_CEILING:.0%} ceiling"
+    )

@@ -1,11 +1,16 @@
-"""End-to-end delivery over an impaired path with a recoding relay.
+"""End-to-end delivery over impaired hops through a recoding relay tree.
 
-Source --(loss, reordering)--> relay --(loss, duplication)--> receiver,
-with every block framed (CRC32) on each wire hop.  Demonstrates the
-robustness properties of Sec. 2: random linear coding shrugs off loss,
-reordering and duplication, the relay refreshes the stream without
-decoding, and the wire checksum catches the corruption coding itself
-cannot see.
+Source --(loss)--> relays --(loss, corruption)--> leaves, with every
+block framed (CRC32) on each wire hop.  Demonstrates the robustness
+properties of Sec. 2 on the unified serving API: random linear coding
+shrugs off loss, the :class:`~repro.multicast.RelayNode` interior nodes
+refresh the stream by recoding without decoding, each hop's NACK loop
+repairs its own losses, and the wire checksum catches the corruption
+coding itself cannot see.
+
+The relay is not wired by hand — it is a
+:class:`~repro.serving.ServingEndpoint` like the origin server, so the
+:class:`~repro.multicast.MulticastTree` stacks them freely.
 
 Run:
     python examples/lossy_relay.py
@@ -13,77 +18,62 @@ Run:
 
 import numpy as np
 
-from repro.errors import DecodingError
+from repro.faults import FaultPlan
 from repro.gpu import GTX280
-from repro.kernels import GpuRecoder
-from repro.rlnc import (
-    ChannelPipeline,
-    CodingParams,
-    CorruptingChannel,
-    DuplicatingChannel,
-    Encoder,
-    LossyChannel,
-    ProgressiveDecoder,
-    ReorderingChannel,
-    Segment,
-    blocks_needed_over_lossy_channel,
-    decode_frame,
-    encode_frame,
-)
+from repro.multicast import MulticastTree
+from repro.rlnc import CodingParams, Segment
+from repro.serving import StreamingServer
+from repro.streaming.session import MediaProfile
 
 
 def main() -> None:
-    rng = np.random.default_rng(99)
     params = CodingParams(num_blocks=24, block_size=512)
-    segment = Segment.random(params, rng)
+    profile = MediaProfile(params=params)
+    segment = Segment.random(params, np.random.default_rng(99))
 
-    first_hop = ChannelPipeline(
-        stages=[LossyChannel(0.25, rng), ReorderingChannel(6, rng)]
+    root = StreamingServer(GTX280, profile, rng=np.random.default_rng(7))
+    root.publish(segment)
+
+    # Impairments: 25% loss on the first relay's uplink, 15% loss plus
+    # 5% corruption on one leaf hop under each relay.  Every hop repairs
+    # itself locally through its NACK loop.
+    tree = MulticastTree(
+        root,
+        profile,
+        relays=2,
+        leaves_per_relay=2,
+        seed=5,
+        uplink_fault_plans={0: FaultPlan(seed=11, drop_rate=0.25)},
+        leaf_fault_plans={
+            (0, 0): FaultPlan(seed=12, drop_rate=0.15, corrupt_rate=0.05),
+            (1, 1): FaultPlan(seed=13, drop_rate=0.15, corrupt_rate=0.05),
+        },
     )
-    second_hop = ChannelPipeline(
-        stages=[LossyChannel(0.15, rng), DuplicatingChannel(0.2, rng)]
+    report = tree.distribute(segment)
+
+    print(f"tree: {report.relays} recoding relays x "
+          f"{report.leaves // report.relays} leaves, min-cut bound "
+          f"{report.min_cut_bound} blocks/round")
+    print(f"all {report.leaves} leaves decoded in {report.rounds} rounds; "
+          f"relays emitted {report.blocks_recoded} fresh combinations")
+    for name, stats in sorted(report.relay_stats.items()):
+        print(f"  {name}: ingested {stats.blocks_ingested}, recoded "
+              f"{stats.blocks_recoded} in {stats.rounds_served} rounds")
+
+    # The integrity layer at work: damaged frames were caught by the
+    # wire checksum and dropped (then repaired by NACK), never decoded.
+    caught = sum(
+        s.stats.wire.checksum_failures for s in tree.leaf_sessions
     )
-
-    budget = blocks_needed_over_lossy_channel(params.num_blocks, 0.25, safety=1.5)
-    source_blocks = Encoder(segment, rng).encode_blocks(budget)
-    print(f"source emitted {budget} coded blocks for n={params.num_blocks} "
-          "(budgeted for 25% loss)")
-
-    relay_input = first_hop.transmit(source_blocks)
-    print(f"relay received {len(relay_input)} blocks after hop 1")
-
-    relay = GpuRecoder(GTX280, params)
-    for block in relay_input:
-        relay.add(block)
-    recoded, stats = relay.recode(
-        blocks_needed_over_lossy_channel(params.num_blocks, 0.15, safety=1.5),
-        rng,
+    dropped = sum(
+        u.wire.checksum_failures + u.wire.malformed for u in tree.uplinks
     )
-    print(f"relay recoded {len(recoded)} fresh blocks in modelled "
-          f"{stats.time_seconds(GTX280) * 1e6:.0f} us on a GTX 280")
+    print(f"wire framing caught {caught} corrupted leaf-hop frames "
+          f"(and uplinks dropped {dropped})")
 
-    delivered = second_hop.transmit(recoded)
-    decoder = ProgressiveDecoder(params)
-    for block in delivered:
-        if decoder.is_complete:
-            break
-        decoder.consume(block)
-    print(f"receiver: rank {decoder.rank}/{params.num_blocks} from "
-          f"{decoder.received} deliveries ({decoder.discarded} redundant)")
-    assert decoder.is_complete
-    assert np.array_equal(decoder.recover_segment().blocks, segment.blocks)
-    print("segment recovered byte-exactly through both impaired hops")
-
-    # The integrity gap and its fix.
-    corruptor = CorruptingChannel(1.0, rng)
-    (corrupted,) = corruptor.transmit(source_blocks[:1])
-    frame = bytearray(encode_frame(source_blocks[0]))
-    frame[30] ^= 0x10  # one flipped bit on the wire
-    try:
-        decode_frame(bytes(frame))
-    except DecodingError as error:
-        print(f"wire framing caught on-path corruption: {error}")
-    assert corrupted is not None
+    assert report.payload_ok, "a leaf decoded the wrong bytes"
+    print("segment recovered byte-exactly at every leaf "
+          "through the impaired tree")
 
 
 if __name__ == "__main__":

@@ -5,6 +5,10 @@ on the butterfly network, coding at the bottleneck delivers both sinks
 at the min-cut rate, while routing cannot; on a random Avalanche-style
 overlay, coded deliveries stay almost always innovative.
 
+Uses the unified simulator entry points — :func:`strategy_showdown` for
+the head-to-head and :func:`run_simulation` for a single seeded run —
+which replaced the deprecated ``compare_strategies``.
+
 Run:
     python examples/p2p_distribution.py
 """
@@ -12,12 +16,12 @@ Run:
 import numpy as np
 
 from repro.p2p import (
-    P2PSimulator,
     Strategy,
     butterfly,
-    compare_strategies,
     multicast_capacity,
     random_overlay,
+    run_simulation,
+    strategy_showdown,
 )
 from repro.rlnc import CodingParams
 
@@ -28,7 +32,7 @@ def run_butterfly() -> None:
     bound = multicast_capacity(graph, "s", ["t1", "t2"])
     print(f"butterfly: min-cut multicast bound = {bound} blocks/round")
 
-    results = compare_strategies(
+    results = strategy_showdown(
         graph, params, source="s", sinks=["t1", "t2"], seed=42
     )
     for strategy, result in results.items():
@@ -49,15 +53,15 @@ def run_overlay() -> None:
     rng = np.random.default_rng(3)
     graph = random_overlay(peers=16, out_degree=3, rng=rng)
     params = CodingParams(num_blocks=16, block_size=64)
-    simulator = P2PSimulator(
+    result = run_simulation(
         graph,
         params,
         source="source",
         sinks=list(range(16)),
         strategy=Strategy.CODING,
-        rng=np.random.default_rng(4),
+        seed=4,
+        max_rounds=300,
     )
-    result = simulator.run(max_rounds=300)
     print(f"\nrandom overlay (16 peers, out-degree 3): all peers decoded "
           f"by round {max(result.completion_round.values())}")
     print(f"  {result.blocks_sent} blocks sent, innovative ratio "

@@ -17,6 +17,9 @@ ceilings are enforced under ``failover_gate`` (>= 4 cores), mirroring
 ``wall_gate``.  The load harness (``loadtest_scale``) must have modelled
 at least 10^5 sessions at peak, kept the p99 admission delay bounded,
 scaled up at least once, and stayed byte-exact on its sampled cohort.
+The pipelined multicast driver (``multicast_pipeline``) must stay
+byte-exact with lock-step, clear the 1.33x modelled overlap floor, and
+keep the timeline model's worst per-stage error under 20%.
 The remaining speedup floors are asserted by the benchmark suite
 itself.
 
@@ -53,6 +56,7 @@ THROUGHPUT_KEYS: dict[str, tuple[str, ...]] = {
     # genuine placement or accounting change, not host noise.
     "cluster_scaleout": ("model_rounds_per_s_w1", "model_rounds_per_s_w4"),
     "loadtest_scale": ("rounds_per_s",),
+    "multicast_pipeline": ("overlap_efficiency",),
 }
 
 #: Measured wall-clock floors for the multiprocess cluster substrate,
@@ -265,6 +269,72 @@ def check_wide_and_rotadd(fresh: dict) -> list[str]:
     return failures
 
 
+#: Multicast pipelining acceptance (absolute, no baseline needed).
+#: Both figures are modelled time — deterministic and
+#: machine-independent — so they are enforced on every fresh run.
+MULTICAST_OVERLAP_FLOOR = 1.33
+MULTICAST_STAGE_ERROR_CEILING = 0.20
+
+
+def check_multicast_pipeline(fresh: dict) -> list[str]:
+    """Absolute checks on the pipelined multicast driver."""
+    failures: list[str] = []
+    section = fresh.get("multicast_pipeline")
+    if section is None:
+        return ["fresh results are missing section 'multicast_pipeline'"]
+    if section.get("byte_exact") is not True:
+        failures.append(
+            "multicast_pipeline.byte_exact is not True: the pipelined "
+            "run diverged from lock-step (pipelining may change when "
+            "work happens, never what bytes move)"
+        )
+    efficiency = section.get("overlap_efficiency")
+    if efficiency is None:
+        failures.append(
+            "fresh multicast_pipeline.overlap_efficiency is missing"
+        )
+    else:
+        measured = float(efficiency)
+        status = (
+            "ok" if measured >= MULTICAST_OVERLAP_FLOOR else "BELOW FLOOR"
+        )
+        print(
+            f"{'multicast_pipeline.overlap_efficiency':<55} "
+            f"floor={MULTICAST_OVERLAP_FLOOR:>10.3g} "
+            f"fresh={measured:>10.3g}  {status}"
+        )
+        if measured < MULTICAST_OVERLAP_FLOOR:
+            failures.append(
+                f"multicast_pipeline.overlap_efficiency measured "
+                f"{measured:.2f}x, below the "
+                f"{MULTICAST_OVERLAP_FLOOR}x floor"
+            )
+    stage_error = section.get("max_stage_error")
+    if stage_error is None:
+        failures.append(
+            "fresh multicast_pipeline.max_stage_error is missing"
+        )
+    else:
+        measured = float(stage_error)
+        status = (
+            "ok"
+            if measured <= MULTICAST_STAGE_ERROR_CEILING
+            else "ABOVE CEILING"
+        )
+        print(
+            f"{'multicast_pipeline.max_stage_error':<55} "
+            f"ceiling={MULTICAST_STAGE_ERROR_CEILING:>9.3g} "
+            f"fresh={measured:>10.3g}  {status}"
+        )
+        if measured > MULTICAST_STAGE_ERROR_CEILING:
+            failures.append(
+                f"multicast_pipeline.max_stage_error measured "
+                f"{measured:.1%}, above the "
+                f"{MULTICAST_STAGE_ERROR_CEILING:.0%} ceiling"
+            )
+    return failures
+
+
 def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     """Return a list of failure messages (empty = gate passes)."""
     failures: list[str] = []
@@ -281,6 +351,7 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
             + check_wide_and_rotadd(fresh)
             + check_cluster_failover(fresh)
             + check_loadtest_scale(fresh)
+            + check_multicast_pipeline(fresh)
         )
     for section, keys in THROUGHPUT_KEYS.items():
         fresh_section = fresh.get(section)
@@ -320,6 +391,7 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     failures.extend(check_wide_and_rotadd(fresh))
     failures.extend(check_cluster_failover(fresh))
     failures.extend(check_loadtest_scale(fresh))
+    failures.extend(check_multicast_pipeline(fresh))
     return failures
 
 

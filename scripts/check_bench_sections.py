@@ -34,6 +34,7 @@ REQUIRED_SECTIONS = frozenset(
         "cluster_failover",
         "rotadd_head_to_head",
         "loadtest_scale",
+        "multicast_pipeline",
     }
 )
 

@@ -17,7 +17,10 @@ simulated CUDA substrate.  The package layers:
 * :mod:`repro.cluster` — scale-out: consistent-hash segment sharding
   across N streaming workers with deterministic failover;
 * :mod:`repro.serving` — the unified serving facade (one protocol over
-  a single server or a cluster);
+  a single server, a cluster, or a recoding relay);
+* :mod:`repro.multicast` — pipelined multicast distribution trees:
+  double-buffered serve rounds, recoding relays, and the cycle-level
+  pipeline timeline model;
 * :mod:`repro.p2p` — P2P content distribution (coding vs routing);
 * :mod:`repro.baselines` — Reed-Solomon, LT fountain and chunked codes;
 * :mod:`repro.bench` — regeneration of every figure in the evaluation.
@@ -45,6 +48,7 @@ from repro.errors import (
     FieldError,
     IntegrityError,
     LaunchError,
+    PipelineStallError,
     ReproError,
     RetryExhaustedError,
     RetryLater,
@@ -57,6 +61,15 @@ from repro.faults import (
     FaultInjectionChannel,
     FaultPlan,
     WorkerKillPlan,
+)
+from repro.multicast import (
+    MulticastTree,
+    OverlapReport,
+    RelayNode,
+    TimelineModel,
+    compare_modes,
+    run_lockstep,
+    run_pipelined,
 )
 from repro.rlnc import (
     CodedBlock,
@@ -98,8 +111,12 @@ __all__ = [
     "IntegrityError",
     "LaunchError",
     "MultiSegmentDecoder",
+    "MulticastTree",
+    "OverlapReport",
+    "PipelineStallError",
     "ProgressiveDecoder",
     "Recoder",
+    "RelayNode",
     "ReproError",
     "RetryExhaustedError",
     "RetryLater",
@@ -110,9 +127,13 @@ __all__ = [
     "SessionStats",
     "SingularMatrixError",
     "StreamingServer",
+    "TimelineModel",
     "TwoStageDecoder",
     "WireError",
     "WorkerKillPlan",
     "__version__",
+    "compare_modes",
     "drive_sessions",
+    "run_lockstep",
+    "run_pipelined",
 ]

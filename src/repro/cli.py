@@ -137,6 +137,55 @@ def build_parser() -> argparse.ArgumentParser:
     p2p.add_argument("--loss", type=float, default=0.0)
     p2p.add_argument("--seed", type=int, default=0)
 
+    multicast = commands.add_parser(
+        "multicast",
+        help="demo pipelined multicast: double-buffered rounds vs "
+        "lock-step (overlap report, byte-exactness) plus a recoding "
+        "relay tree under seeded loss",
+    )
+    multicast.add_argument(
+        "--peers", type=int, default=4, help="direct sessions (default 4)"
+    )
+    multicast.add_argument(
+        "-n", "--num-blocks", type=int, default=16,
+        help="source blocks per segment (default 16)",
+    )
+    multicast.add_argument(
+        "-k", "--block-size", type=int, default=1024,
+        help="bytes per block (default 1024)",
+    )
+    multicast.add_argument(
+        "--quota", type=int, default=2,
+        help="per-peer blocks per round (default 2; stretches the run "
+        "so the pipeline has rounds to overlap)",
+    )
+    multicast.add_argument(
+        "--cluster", action="store_true",
+        help="serve from a sharded cluster instead of a single server",
+    )
+    multicast.add_argument(
+        "--workers", type=int, default=2, help="cluster size (default 2)"
+    )
+    multicast.add_argument(
+        "--parallel", action="store_true",
+        help="multiprocess cluster workers (implies --cluster); encode "
+        "genuinely overlaps the caller's intake",
+    )
+    multicast.add_argument(
+        "--relays", type=int, default=2,
+        help="recoding relays in the tree demo (default 2)",
+    )
+    multicast.add_argument(
+        "--leaves", type=int, default=2,
+        help="leaf sessions per relay (default 2)",
+    )
+    multicast.add_argument(
+        "--loss", type=float, default=0.2,
+        help="drop rate injected on one uplink and one leaf hop "
+        "(default 0.2)",
+    )
+    multicast.add_argument("--seed", type=int, default=0)
+
     stats = commands.add_parser(
         "stats",
         help="record a traced serve session and show the per-round breakdown",
@@ -380,8 +429,8 @@ def _cmd_p2p(args: argparse.Namespace) -> int:
     from repro.p2p import (
         Strategy,
         butterfly,
-        compare_strategies,
         random_overlay,
+        strategy_showdown,
     )
 
     rng = np.random.default_rng(args.seed)
@@ -391,8 +440,9 @@ def _cmd_p2p(args: argparse.Namespace) -> int:
         graph = random_overlay(args.peers, 3, rng)
         source, sinks = "source", list(range(args.peers))
     params = CodingParams(args.num_blocks, 64)
-    results = compare_strategies(
-        graph, params, source=source, sinks=sinks, seed=args.seed
+    results = strategy_showdown(
+        graph, params, source=source, sinks=sinks, seed=args.seed,
+        edge_loss=args.loss,
     )
     print(f"topology: {args.topology}, n={args.num_blocks}")
     for strategy, result in results.items():
@@ -406,6 +456,90 @@ def _cmd_p2p(args: argparse.Namespace) -> int:
             f"innovative ratio {result.innovative_ratio:.0%}"
         )
     return 0
+
+
+def _cmd_multicast(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan
+    from repro.gpu.spec import GTX280
+    from repro.multicast import MulticastTree, compare_modes
+    from repro.rlnc.block import Segment
+    from repro.streaming.server import StreamingServer
+
+    params = CodingParams(args.num_blocks, args.block_size)
+    profile = MediaProfile(params=params)
+    segment = Segment.random(params, np.random.default_rng(args.seed + 1))
+    use_cluster = args.cluster or args.parallel
+
+    if use_cluster:
+        from repro.cluster.cluster import ServingCluster
+
+        def make_endpoint():
+            endpoint = ServingCluster(
+                GTX280,
+                profile,
+                num_workers=args.workers,
+                seed=args.seed,
+                per_peer_round_quota=args.quota,
+                parallel=args.parallel,
+            )
+            endpoint.publish(segment)
+            return endpoint
+
+        substrate = (
+            f"{args.workers}-worker "
+            f"{'multiprocess' if args.parallel else 'in-process'} cluster"
+        )
+    else:
+
+        def make_endpoint():
+            endpoint = StreamingServer(
+                GTX280,
+                profile,
+                rng=np.random.default_rng(args.seed),
+                per_peer_round_quota=args.quota,
+            )
+            endpoint.publish(segment)
+            return endpoint
+
+        substrate = "single server"
+
+    peers = list(range(args.peers))
+    lockstep, pipelined = compare_modes(
+        make_endpoint, peers, segment, quota=args.quota
+    )
+    exact = pipelined.byte_exact(lockstep)
+    print(
+        f"pipelined multicast over a {substrate}: {args.peers} peers, "
+        f"n={args.num_blocks}, k={args.block_size}, quota={args.quota}"
+    )
+    print(pipelined.overlap.render())
+    print(f"byte-exact vs lock-step: {'yes' if exact else 'NO'}")
+
+    root = StreamingServer(
+        GTX280, profile, rng=np.random.default_rng(args.seed)
+    )
+    root.publish(segment)
+    tree = MulticastTree(
+        root,
+        profile,
+        relays=args.relays,
+        leaves_per_relay=args.leaves,
+        seed=args.seed,
+        uplink_fault_plans={
+            0: FaultPlan(seed=args.seed + 2, drop_rate=args.loss)
+        },
+        leaf_fault_plans={
+            (0, 0): FaultPlan(seed=args.seed + 3, drop_rate=args.loss)
+        },
+    )
+    report = tree.distribute(segment)
+    print(
+        f"relay tree: {report.relays} recoding relays x {args.leaves} "
+        f"leaves with {args.loss:.0%} loss on two hops — "
+        f"{report.rounds} rounds, {report.blocks_recoded} recoded "
+        f"blocks, payload {'ok' if report.payload_ok else 'WRONG'}"
+    )
+    return 0 if exact and report.payload_ok else 1
 
 
 def _record_serve_session(args: argparse.Namespace) -> None:
@@ -714,6 +848,7 @@ _COMMANDS = {
     "capacity": _cmd_capacity,
     "kernels": _cmd_kernels,
     "p2p": _cmd_p2p,
+    "multicast": _cmd_multicast,
     "stats": _cmd_stats,
     "cluster": _cmd_cluster,
     "loadtest": _cmd_loadtest,

@@ -89,7 +89,7 @@ from repro.kernels.cost_model import EncodeScheme
 from repro.obs.registry import get_registry, merge_snapshots
 from repro.rlnc.block import BlockBatch, Segment
 from repro.rlnc.wire import MAX_WORKER_ID, VERSION, unpack_blocks
-from repro.streaming.server import StreamingServer
+from repro.streaming.server import EagerRoundTicket, StreamingServer
 from repro.streaming.session import MediaProfile, PeerSession
 
 
@@ -604,13 +604,92 @@ class ServingCluster:
                 "expected 'batches' or 'frames'"
             )
         if self.parallel:
-            merged, parallel, serial, blocks, served = self._round_parallel(
-                format, checksum, version
+            merged, parallel, serial, blocks, served = self._collect_parallel(
+                self._dispatch_parallel(format, checksum, version)
             )
         else:
             merged, parallel, serial, blocks, served = self._round_serial(
                 format, checksum, version
             )
+        return self._merge_round(
+            format, merged, parallel, serial, blocks, served
+        )
+
+    def begin_round(
+        self,
+        *,
+        format: str = "batches",
+        checksum: bool = True,
+        version: int = VERSION,
+    ) -> object:
+        """Pipelined serving entry: dispatch a round, barrier on it later.
+
+        On the parallel substrate this is the real thing — every live
+        worker's round command is fired and the method returns *without
+        waiting for any reply*, so the per-worker encodes overlap with
+        whatever the caller does next (publishing the previous round's
+        frames, feeding decoders); :meth:`collect_round` is the barrier
+        and produces output byte-identical to :meth:`serve_round`.  On
+        the serial substrate the round runs eagerly and the ticket just
+        parks the result, preserving one driver loop for both modes.
+
+        At most one round may be in flight per worker (the
+        shared-memory ring is bump-allocated per round), so a second
+        ``begin_round`` before ``collect_round`` raises
+        :class:`~repro.errors.ConfigurationError` worker-side.
+
+        Returns:
+            An opaque ticket for :meth:`collect_round`.
+        """
+        if format not in ("batches", "frames"):
+            raise ConfigurationError(
+                f"unknown serve_round format {format!r}; "
+                "expected 'batches' or 'frames'"
+            )
+        if not self.parallel:
+            return EagerRoundTicket(
+                self.serve_round(
+                    format=format, checksum=checksum, version=version
+                )
+            )
+        return self._dispatch_parallel(format, checksum, version)
+
+    def collect_round(
+        self, ticket: object
+    ) -> dict[int, list[BlockBatch]] | dict[int, memoryview | bytes]:
+        """Barrier on a :meth:`begin_round` ticket and merge the round.
+
+        Frames payloads are views into worker shared memory, valid
+        until that worker's *next* round — a pipelined driver copies
+        them out here, before beginning the following round.
+
+        Raises:
+            ConfigurationError: the ticket is foreign or already
+                collected.
+        """
+        if isinstance(ticket, EagerRoundTicket):
+            return ticket.take()
+        if not isinstance(ticket, _ParallelRoundTicket):
+            raise ConfigurationError(
+                "collect_round needs the ticket returned by begin_round"
+            )
+        merged, parallel, serial, blocks, served = self._collect_parallel(
+            ticket
+        )
+        return self._merge_round(
+            ticket.format, merged, parallel, serial, blocks, served
+        )
+
+    def _merge_round(
+        self,
+        format: str,
+        merged: dict[int, list],
+        parallel: float,
+        serial: float,
+        blocks: int,
+        served: bool,
+    ) -> dict[int, list[BlockBatch]] | dict[int, memoryview | bytes]:
+        """Accumulate a finished round's stats and flatten the merge."""
         if served:
             self.stats.rounds_served += 1
             self.stats.blocks_served += blocks
@@ -656,17 +735,15 @@ class ServingCluster:
                 merged.setdefault(peer_id, []).append(payload)
         return merged, parallel, serial, blocks, served
 
-    def _round_parallel(
+    def _dispatch_parallel(
         self, format: str, checksum: bool, version: int
-    ) -> tuple[dict[int, list], float, float, int, bool]:
-        """One round on the process substrate: dispatch all, then barrier.
+    ) -> "_ParallelRoundTicket":
+        """Fire one round's commands at every live worker, no waiting.
 
-        Every live worker's round command is fired before any reply is
-        awaited, so the per-worker encodes run concurrently on real
-        cores; replies are then collected in ascending worker order,
-        which makes the merge deterministic and byte-identical to the
-        serial substrate.  Frames land in each worker's shared-memory
-        ring — the reply carries only ``(offset, length)`` spans — and
+        Every live worker's round command is dispatched before any
+        reply is awaited, so the per-worker encodes run concurrently on
+        real cores.  Frames land in each worker's shared-memory ring —
+        the reply carries only ``(offset, length)`` spans — and
         ``format="batches"`` results travel as sequence-neutral
         checksum-free v1 frames re-hydrated parent-side, so batches
         rounds leave the v2 wire sequences exactly where a serial
@@ -674,11 +751,7 @@ class ServingCluster:
 
         Under supervision the round is additionally self-healing: the
         supervisor ticks first (restarting workers whose backoff
-        elapsed, probing silent ones), down workers are skipped, every
-        ``finish_round`` carries the configured round deadline, and a
-        worker that crashes or hangs mid-round is detected and torn
-        down while the merge completes **degraded** on the survivors —
-        the barrier never blocks on a dead pipe.
+        elapsed, probing silent ones) and down workers are skipped.
         """
         supervisor = self.supervisor
         down: frozenset[int] = frozenset()
@@ -711,12 +784,42 @@ class ServingCluster:
                 failed += 1
                 continue
             dispatched.append((wid, proc, time.monotonic()))
+        return _ParallelRoundTicket(
+            format=format,
+            frames=frames,
+            dispatched=dispatched,
+            down=down,
+            failed=failed,
+            round_timeout=round_timeout,
+        )
+
+    def _collect_parallel(
+        self, ticket: "_ParallelRoundTicket"
+    ) -> tuple[dict[int, list], float, float, int, bool]:
+        """Barrier on a dispatched round and merge the replies.
+
+        Replies are collected in ascending worker order, which makes
+        the merge deterministic and byte-identical to the serial
+        substrate.  Under supervision every ``finish_round`` carries
+        the configured round deadline, and a worker that crashes or
+        hangs mid-round is detected and torn down while the merge
+        completes **degraded** on the survivors — the barrier never
+        blocks on a dead pipe.
+        """
+        if ticket.taken:
+            raise ConfigurationError("round ticket was already collected")
+        ticket.taken = True
+        supervisor = self.supervisor
+        frames = ticket.frames
+        down = ticket.down
+        failed = ticket.failed
+        round_timeout = ticket.round_timeout
         merged: dict[int, list] = {}
         parallel = 0.0
         serial = 0.0
         blocks = 0
         served = False
-        for wid, proc, sent_at in dispatched:
+        for wid, proc, sent_at in ticket.dispatched:
             try:
                 if supervisor is None:
                     spans, delta = proc.finish_round()
@@ -1075,3 +1178,35 @@ class ServingCluster:
         self.stats.segments_withdrawn += 1
         self._m_withdrawn.inc()
         self._m_placed.set(self._router.advertised_segments)
+
+
+class _ParallelRoundTicket:
+    """An in-flight parallel round: dispatched commands awaiting barrier.
+
+    Created by :meth:`ServingCluster.begin_round` on the process
+    substrate; :meth:`ServingCluster.collect_round` consumes it exactly
+    once.  Holds the dispatch-time supervision snapshot (down workers,
+    dispatch failures, round deadline) so the collect half charges
+    degradation to the round that actually suffered it.
+    """
+
+    __slots__ = ("format", "frames", "dispatched", "down", "failed",
+                 "round_timeout", "taken")
+
+    def __init__(
+        self,
+        *,
+        format: str,
+        frames: bool,
+        dispatched: list[tuple[int, WorkerProcess, float]],
+        down: frozenset[int],
+        failed: int,
+        round_timeout: float | None,
+    ) -> None:
+        self.format = format
+        self.frames = frames
+        self.dispatched = dispatched
+        self.down = down
+        self.failed = failed
+        self.round_timeout = round_timeout
+        self.taken = False

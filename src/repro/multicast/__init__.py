@@ -1,0 +1,53 @@
+"""Pipelined multicast distribution over the unified serving protocol.
+
+The three layers of the tentpole, each usable alone:
+
+* :mod:`repro.multicast.timeline` — the cycle-level pipeline model:
+  per-round stage costs (encode / transmit / decode) rolled through the
+  pipeline recurrence into a predicted-vs-measured
+  :class:`OverlapReport`.
+* :mod:`repro.multicast.pipeline` — the lock-step and double-buffered
+  distribution drivers (:func:`run_lockstep` / :func:`run_pipelined` /
+  :func:`compare_modes`) over any
+  :class:`~repro.serving.ServingEndpoint`, byte-exact against each
+  other on the no-loss path.
+* :mod:`repro.multicast.relay` / :mod:`repro.multicast.tree` — recoding
+  :class:`RelayNode` interior nodes (themselves serving endpoints) and
+  the :class:`MulticastTree` that wires a root, relays and leaf cohorts
+  into a seeded, deterministic distribution tree.
+"""
+
+from repro.multicast.pipeline import (
+    PipelineRunReport,
+    RoundTrace,
+    compare_modes,
+    run_lockstep,
+    run_pipelined,
+)
+from repro.multicast.relay import RelayNode, RelayStats
+from repro.multicast.timeline import (
+    STAGES,
+    OverlapReport,
+    StageSample,
+    TimelineModel,
+    pipeline_walls,
+)
+from repro.multicast.tree import MulticastTree, RelayUplink, TreeReport
+
+__all__ = [
+    "MulticastTree",
+    "OverlapReport",
+    "PipelineRunReport",
+    "RelayNode",
+    "RelayStats",
+    "RelayUplink",
+    "RoundTrace",
+    "STAGES",
+    "StageSample",
+    "TimelineModel",
+    "TreeReport",
+    "compare_modes",
+    "pipeline_walls",
+    "run_lockstep",
+    "run_pipelined",
+]

@@ -1,0 +1,425 @@
+"""Recoder-equipped relay nodes behind the unified serving protocol.
+
+The defining move of network coding inside a distribution tree: an
+interior node need not *decode* to serve — it buffers whatever coded
+blocks reach it and emits fresh random combinations downstream
+(:meth:`~repro.rlnc.recoder.Recoder.recode_matrix`, one pair of engine
+matmuls per serving round).  "RLNC on Programmable Switches" puts this
+recoding in the network fabric; here it lives behind the *same*
+:class:`~repro.serving.ServingEndpoint` protocol as a
+:class:`~repro.streaming.server.StreamingServer` and a
+:class:`~repro.cluster.ServingCluster` — ``publish`` / ``connect`` /
+``request_blocks`` / ``serve_round`` / ``stats_snapshot``, plus the
+pipelined ``begin_round`` / ``collect_round`` pair — so a
+:class:`~repro.streaming.client.ClientSession` (or another relay's
+uplink) cannot tell a relay from an origin server, and any endpoint can
+be an interior node of a multicast tree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.errors import CapacityError, ConfigurationError, RetryLater
+from repro.obs.registry import get_registry
+from repro.obs.trace import trace
+from repro.rlnc.block import BlockBatch, Segment
+from repro.rlnc.recoder import Recoder
+from repro.rlnc.wire import VERSION, VERSION2, pack_blocks, stream_size
+from repro.streaming.scheduler import BlockRequest, ServeRoundScheduler
+from repro.streaming.server import EagerRoundTicket
+from repro.streaming.session import MediaProfile, PeerSession
+
+
+@dataclass
+class RelayStats:
+    """Aggregate accounting for one relay lifetime.
+
+    The same explicit cumulative ``snapshot()/delta()/reset()`` contract
+    as :class:`~repro.streaming.server.ServerStats` — the relay only
+    ever adds to these counters.
+    """
+
+    segments_published: int = 0
+    blocks_ingested: int = 0
+    blocks_recoded: int = 0
+    recode_calls: int = 0
+    blocks_served: int = 0
+    bytes_served: int = 0
+    rounds_served: int = 0
+    sessions_evicted: int = 0
+
+    def snapshot(self) -> "RelayStats":
+        """An independent copy of the current totals."""
+        return RelayStats(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def delta(self, since: "RelayStats") -> "RelayStats":
+        """Counts accumulated after ``since`` (an earlier snapshot)."""
+        return RelayStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def reset(self) -> "RelayStats":
+        """Zero the counters; returns a snapshot of the values cleared."""
+        cleared = self.snapshot()
+        for f in fields(self):
+            setattr(self, f.name, f.default)
+        return cleared
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class RelayNode:
+    """A recoding interior node implementing the serving protocol.
+
+    Args:
+        profile: media/coding configuration (shared by the whole tree).
+        rng: randomness source for recoding mix coefficients; pass a
+            seeded generator (``default_rng([seed, relay_index])``) for
+            deterministic trees.
+        name: label used in stats and error messages.
+        per_peer_round_quota: most blocks one downstream peer may be
+            granted per serving round (``None`` = unbounded).
+        worker_id: optional cluster-style stamp carried on version-2
+            frames this relay packs.
+    """
+
+    def __init__(
+        self,
+        profile: MediaProfile,
+        *,
+        rng: np.random.Generator | None = None,
+        name: str = "relay",
+        per_peer_round_quota: int | None = None,
+        worker_id: int | None = None,
+    ) -> None:
+        self.profile = profile
+        self.name = name
+        self.worker_id = worker_id
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._recoders: dict[int, Recoder] = {}
+        self._sessions: dict[int, PeerSession] = {}
+        self._disconnected: set[int] = set()
+        self._queue: deque[BlockRequest] = deque()
+        self._round_scheduler = ServeRoundScheduler(
+            per_peer_quota=per_peer_round_quota
+        )
+        # Double-buffered wire storage: frames from round r stay valid
+        # while round r+1 packs into the other slot — the relay-side
+        # half of pipelined serving.
+        self._wire_buffers = [bytearray(), bytearray()]
+        self._wire_slot = 0
+        self.stats = RelayStats()
+        registry = get_registry()
+        self._m_ingested = registry.counter("relay_blocks_ingested")
+        self._m_recoded = registry.counter("relay_blocks_recoded")
+        self._m_rounds = registry.counter("relay_rounds_served")
+        self._m_bytes = registry.counter("relay_bytes_served")
+
+    # -- upstream side ------------------------------------------------------
+
+    def publish(self, segment: Segment) -> None:
+        """Make a segment servable by seeding the recoder with originals.
+
+        A relay holding the source data *is* a valid tree root: the n
+        original blocks enter the buffer with identity coefficient rows,
+        so every recoded emission is a uniformly random combination of
+        the full segment — indistinguishable downstream from an origin
+        server's encode.
+        """
+        if segment.params != self.profile.params:
+            raise ConfigurationError(
+                f"segment geometry {segment.params} does not match profile "
+                f"{self.profile.params}"
+            )
+        recoder = self._recoder_for(segment.segment_id)
+        n = self.profile.params.num_blocks
+        recoder.add_batch(
+            np.eye(n, dtype=np.uint8), np.ascontiguousarray(segment.blocks)
+        )
+        self.stats.segments_published += 1
+        self.stats.blocks_ingested += n
+        self._m_ingested.inc(n)
+
+    def ingest(self, batch: BlockBatch) -> int:
+        """Buffer upstream coded blocks for recombination; returns count.
+
+        The relay's receive path: whatever an uplink unpacked from its
+        parent's frames lands here (no decode, no rank bookkeeping — the
+        random-mix guarantee makes every buffered block useful).
+        """
+        recoder = self._recoder_for(batch.segment_id)
+        count = len(batch)
+        if count:
+            recoder.add_batch(batch)
+            self.stats.blocks_ingested += count
+            self._m_ingested.inc(count)
+        return count
+
+    def held(self, segment_id: int) -> int:
+        """Coded blocks buffered for a segment (0 when unknown)."""
+        recoder = self._recoders.get(segment_id)
+        return 0 if recoder is None else recoder.buffered
+
+    def _recoder_for(self, segment_id: int) -> Recoder:
+        recoder = self._recoders.get(segment_id)
+        if recoder is None:
+            recoder = Recoder(self.profile.params, segment_id)
+            self._recoders[segment_id] = recoder
+        return recoder
+
+    # -- downstream (ServingEndpoint) side ----------------------------------
+
+    def connect(self, peer_id: int) -> PeerSession:
+        """Register a downstream peer (idempotent)."""
+        if peer_id not in self._sessions:
+            self._sessions[peer_id] = PeerSession(peer_id, self.profile)
+            self._disconnected.discard(peer_id)
+        return self._sessions[peer_id]
+
+    def disconnect(self, peer_id: int) -> None:
+        """Evict a downstream peer and drop its queued requests."""
+        if self._sessions.pop(peer_id, None) is None:
+            raise ConfigurationError(f"peer {peer_id} is not connected")
+        self._disconnected.add(peer_id)
+        if self._queue:
+            self._queue = deque(
+                request
+                for request in self._queue
+                if request.peer_id != peer_id
+            )
+        self.stats.sessions_evicted += 1
+
+    @property
+    def pending_requests(self) -> int:
+        """Queued block requests awaiting the next serving round."""
+        return len(self._queue)
+
+    @property
+    def pending_blocks(self) -> int:
+        """Total coded blocks the queue is waiting on."""
+        return sum(request.num_blocks for request in self._queue)
+
+    def session_counters(self) -> dict[int, tuple[int, int, int]]:
+        """Per-peer ``(requested, received, pending)`` block counters."""
+        return {
+            peer_id: (
+                session.blocks_requested,
+                session.blocks_received,
+                session.blocks_pending,
+            )
+            for peer_id, session in self._sessions.items()
+        }
+
+    def request_blocks(
+        self, peer_id: int, segment_id: int, num_blocks: int
+    ) -> RetryLater | None:
+        """Enqueue a downstream ask for recoded blocks.
+
+        Requests carry the same nearly-complete-first priority as the
+        origin server, so NACK retransmissions outrank bulk fetches.
+
+        Raises:
+            CapacityError: the relay holds nothing for the segment yet
+                (its uplink has not delivered), or the peer's session
+                was evicted.
+            ConfigurationError: unknown peers or non-positive counts.
+        """
+        if peer_id not in self._sessions:
+            if peer_id in self._disconnected:
+                raise CapacityError(
+                    f"peer {peer_id} session was evicted; reconnect first"
+                )
+            raise ConfigurationError(f"peer {peer_id} is not connected")
+        if num_blocks < 1:
+            raise ConfigurationError("must request at least one block")
+        if self.held(segment_id) == 0:
+            raise CapacityError(
+                f"relay {self.name!r} holds no blocks of segment "
+                f"{segment_id} yet"
+            )
+        priority = max(0, self.profile.params.num_blocks - num_blocks)
+        self._queue.append(
+            BlockRequest(peer_id, segment_id, num_blocks, priority=priority)
+        )
+        self._sessions[peer_id].record_request(num_blocks)
+        return None
+
+    def serve_round(
+        self,
+        *,
+        format: str = "batches",
+        checksum: bool = True,
+        version: int = VERSION,
+    ) -> dict[int, list[BlockBatch]] | dict[int, memoryview]:
+        """Drain one scheduling round of the downstream request queue.
+
+        All grants against the same segment coalesce into a *single*
+        :meth:`~repro.rlnc.recoder.Recoder.recode_matrix` emission (one
+        mix-matrix draw, one pair of engine matmuls) fanned back out as
+        zero-copy row views — the relay's analogue of the server's
+        coalesced encode.
+
+        Args:
+            format: ``"batches"`` returns ``peer_id -> [BlockBatch]``;
+                ``"frames"`` packs the round into the relay's
+                double-buffered wire storage and returns ``peer_id ->
+                memoryview`` (valid for two rounds — one pipelined round
+                may be in flight while the next packs).
+            checksum: frames format only — integrity trailers.
+            version: frames format only — wire version (``version=2``
+                stamps per-session sequences and the worker id).
+        """
+        if format == "batches":
+            return self._round_batches()
+        if format == "frames":
+            return self._round_frames(checksum=checksum, version=version)
+        raise ConfigurationError(
+            f"unknown serve_round format {format!r}; "
+            "expected 'batches' or 'frames'"
+        )
+
+    def begin_round(
+        self,
+        *,
+        format: str = "batches",
+        checksum: bool = True,
+        version: int = VERSION,
+    ) -> object:
+        """Pipelined entry: run this round now, collect its result later.
+
+        A relay recodes synchronously, so the overlap is modelled (the
+        timeline model prices the stages); the ticket protocol matches
+        the cluster's genuinely-concurrent implementation so pipelined
+        drivers treat every endpoint alike.
+        """
+        return EagerRoundTicket(
+            self.serve_round(format=format, checksum=checksum, version=version)
+        )
+
+    def collect_round(self, ticket: object) -> dict:
+        """Barrier on a :meth:`begin_round` ticket; returns its result."""
+        if not isinstance(ticket, EagerRoundTicket):
+            raise ConfigurationError(
+                "collect_round needs the ticket returned by begin_round"
+            )
+        return ticket.take()
+
+    def _round_batches(self) -> dict[int, list[BlockBatch]]:
+        if not self._queue:
+            return {}
+        with trace("relay_round", relay=self.name):
+            plan = self._round_scheduler.plan_round(self._queue)
+            for segment_id in plan.grants:
+                if self.held(segment_id) == 0:
+                    raise CapacityError(
+                        f"relay {self.name!r} holds no blocks of segment "
+                        f"{segment_id}"
+                    )
+            self._queue = deque(plan.carryover)
+            fanout: dict[int, list[BlockBatch]] = {}
+            for segment_id, grants in plan.grants.items():
+                counts = [count for _, count in grants]
+                total = sum(counts)
+                batch = self._recoders[segment_id].recode_matrix(
+                    total, self._rng
+                )
+                self.stats.recode_calls += 1
+                self.stats.blocks_recoded += total
+                self.stats.blocks_served += total
+                self._m_recoded.inc(total)
+                row = 0
+                for (peer_id, count) in grants:
+                    view = BlockBatch(
+                        coefficients=batch.coefficients[row : row + count],
+                        payloads=batch.payloads[row : row + count],
+                        segment_id=segment_id,
+                    )
+                    row += count
+                    fanout.setdefault(peer_id, []).append(view)
+                    self._sessions[peer_id].record_blocks(count)
+            for peer_id in fanout:
+                self._sessions[peer_id].rounds_served += 1
+            self.stats.rounds_served += 1
+            self._m_rounds.inc()
+        return fanout
+
+    def _round_frames(
+        self, *, checksum: bool, version: int
+    ) -> dict[int, memoryview]:
+        fanout = self._round_batches()
+        if not fanout:
+            return {}
+        total = sum(
+            stream_size(
+                len(batch),
+                batch.num_blocks,
+                batch.block_size,
+                checksum=checksum,
+                version=version,
+            )
+            for batches in fanout.values()
+            for batch in batches
+        )
+        slot = self._wire_slot
+        self._wire_slot = (slot + 1) % len(self._wire_buffers)
+        if len(self._wire_buffers[slot]) < total:
+            self._wire_buffers[slot] = bytearray(total)
+        view = memoryview(self._wire_buffers[slot])
+        offset = 0
+        frames: dict[int, memoryview] = {}
+        stamp = self.worker_id if version == VERSION2 else None
+        with trace("relay_wire_pack", relay=self.name):
+            for peer_id, batches in fanout.items():
+                session = self._sessions[peer_id]
+                start = offset
+                for batch in batches:
+                    sequence = session.tx_sequence if version == VERSION2 else 0
+                    packed = pack_blocks(
+                        batch,
+                        checksum=checksum,
+                        out=view,
+                        offset=offset,
+                        version=version,
+                        first_sequence=sequence,
+                        worker_id=stamp,
+                    )
+                    if version == VERSION2:
+                        session.tx_sequence += len(batch)
+                    offset += len(packed)
+                frames[peer_id] = view[start:offset]
+                self.stats.bytes_served += offset - start
+                self._m_bytes.inc(offset - start)
+        return frames
+
+    def stats_snapshot(self) -> dict:
+        """A registry-shaped counters/gauges/histograms snapshot."""
+        stats = self.stats
+        return {
+            "counters": {
+                "relay_blocks_ingested": float(stats.blocks_ingested),
+                "relay_blocks_recoded": float(stats.blocks_recoded),
+                "relay_blocks_served": float(stats.blocks_served),
+                "relay_bytes_served": float(stats.bytes_served),
+                "relay_recode_calls": float(stats.recode_calls),
+                "relay_rounds_served": float(stats.rounds_served),
+                "relay_segments_published": float(stats.segments_published),
+                "relay_sessions_evicted": float(stats.sessions_evicted),
+            },
+            "gauges": {
+                "relay_queue_blocks": float(self.pending_blocks),
+                "relay_queue_depth": float(len(self._queue)),
+                "relay_segments_buffered": float(len(self._recoders)),
+            },
+            "histograms": {},
+        }
+

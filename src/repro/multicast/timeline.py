@@ -1,0 +1,255 @@
+"""Cycle-level timeline model for pipelined serve rounds.
+
+The lock-step serving loop pays ``encode + transmit + decode`` per round;
+the double-buffered pipeline overlaps the stages so steady-state round
+latency approaches ``max(encode, transmit, decode)``.  This module keeps
+both books:
+
+* **predicted** — closed-form stage estimates made *before* the run
+  (encode from the paper's kernel cost model, transmit from the
+  :class:`~repro.streaming.nic.NicModel`, decode from the GPU decode
+  model), rolled through the classic pipeline recurrence;
+* **measured** — per-round, per-stage costs observed while actually
+  driving rounds (the drivers in :mod:`repro.multicast.pipeline` feed
+  them in, mirrored as ``repro.obs`` spans).
+
+:meth:`TimelineModel.report` emits the :class:`OverlapReport` the bench
+gates on: ``overlap_efficiency`` (lock-step sum over pipelined wall) and
+the per-stage predicted-vs-measured model error.
+
+Every figure is *modelled* time (cost-model seconds), so the report is
+deterministic and machine-independent — the same discipline as the
+cluster's ``gpu_parallel_seconds`` / ``gpu_serial_seconds`` split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: The three pipeline stages, in flow order.
+STAGES = ("encode", "transmit", "decode")
+
+
+@dataclass(frozen=True)
+class StageSample:
+    """One stage of one round: the atom the timeline accumulates."""
+
+    round_index: int
+    stage: str
+    seconds: float
+
+
+def pipeline_walls(rounds: list[dict[str, float]]) -> tuple[float, float]:
+    """Lock-step and pipelined wall seconds for a list of round costs.
+
+    Each entry maps stage name -> seconds for one round.  The lock-step
+    wall is the plain sum.  The pipelined wall runs the standard
+    resource-constrained pipeline recurrence — each stage is one
+    resource (the encoder, the wire, the decoder), so stage ``s`` of
+    round ``r`` starts when both round ``r``'s previous stage and round
+    ``r-1``'s same stage have finished:
+
+    ``finish[r][s] = max(finish[r][s-1], finish[r-1][s]) + cost[r][s]``
+
+    and the wall is the last round's decode finish.
+    """
+    lockstep = 0.0
+    finish = {stage: 0.0 for stage in STAGES}
+    for costs in rounds:
+        prev_stage_finish = 0.0
+        for stage in STAGES:
+            cost = float(costs.get(stage, 0.0))
+            lockstep += cost
+            start = max(prev_stage_finish, finish[stage])
+            finish[stage] = start + cost
+            prev_stage_finish = finish[stage]
+    return lockstep, finish[STAGES[-1]]
+
+
+@dataclass(frozen=True)
+class OverlapReport:
+    """Predicted-vs-measured overlap accounting for one pipelined run.
+
+    Attributes:
+        rounds: serve rounds driven.
+        predicted: per-stage total seconds the pre-run model expected.
+        measured: per-stage total seconds actually accumulated.
+        predicted_pipelined_wall: the model's pipelined wall estimate.
+        lockstep_wall: measured lock-step wall (sum of all stages).
+        pipelined_wall: measured wall under the pipeline recurrence.
+    """
+
+    rounds: int
+    predicted: dict[str, float]
+    measured: dict[str, float]
+    predicted_pipelined_wall: float
+    lockstep_wall: float
+    pipelined_wall: float
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """How much the pipeline compresses the lock-step sum (>= 1)."""
+        if self.pipelined_wall <= 0:
+            return 1.0
+        return self.lockstep_wall / self.pipelined_wall
+
+    def stage_error(self, stage: str) -> float:
+        """Relative predicted-vs-measured error for one stage."""
+        if stage not in STAGES:
+            raise ConfigurationError(f"unknown pipeline stage {stage!r}")
+        measured = self.measured.get(stage, 0.0)
+        predicted = self.predicted.get(stage, 0.0)
+        if measured <= 0:
+            return 0.0 if predicted <= 0 else float("inf")
+        return abs(predicted - measured) / measured
+
+    @property
+    def max_stage_error(self) -> float:
+        """Worst per-stage relative model error."""
+        return max(self.stage_error(stage) for stage in STAGES)
+
+    @property
+    def wall_error(self) -> float:
+        """Relative error of the predicted pipelined wall."""
+        if self.pipelined_wall <= 0:
+            return 0.0
+        return (
+            abs(self.predicted_pipelined_wall - self.pipelined_wall)
+            / self.pipelined_wall
+        )
+
+    @property
+    def bottleneck_stage(self) -> str:
+        """The measured critical-path stage."""
+        return max(STAGES, key=lambda stage: self.measured.get(stage, 0.0))
+
+    def as_dict(self) -> dict:
+        """A JSON-able rendering (bench sections, CLI output)."""
+        return {
+            "rounds": self.rounds,
+            "predicted": dict(self.predicted),
+            "measured": dict(self.measured),
+            "predicted_pipelined_wall_s": self.predicted_pipelined_wall,
+            "lockstep_wall_s": self.lockstep_wall,
+            "pipelined_wall_s": self.pipelined_wall,
+            "overlap_efficiency": self.overlap_efficiency,
+            "max_stage_error": self.max_stage_error,
+            "wall_error": self.wall_error,
+            "bottleneck_stage": self.bottleneck_stage,
+        }
+
+    def render(self) -> str:
+        """A fixed-width table for terminal output."""
+        lines = [
+            f"{'stage':<10} {'predicted':>12} {'measured':>12} {'error':>8}"
+        ]
+        for stage in STAGES:
+            lines.append(
+                f"{stage:<10} {self.predicted.get(stage, 0.0):>12.6f} "
+                f"{self.measured.get(stage, 0.0):>12.6f} "
+                f"{self.stage_error(stage):>7.1%}"
+            )
+        lines.append(
+            f"{'wall':<10} {self.predicted_pipelined_wall:>12.6f} "
+            f"{self.pipelined_wall:>12.6f} {self.wall_error:>7.1%}"
+        )
+        lines.append(
+            f"lock-step sum {self.lockstep_wall:.6f}s -> pipelined "
+            f"{self.pipelined_wall:.6f}s  "
+            f"(overlap efficiency {self.overlap_efficiency:.2f}x, "
+            f"bottleneck: {self.bottleneck_stage})"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class TimelineModel:
+    """Accumulates per-round stage costs and prices the pipeline.
+
+    Drivers call :meth:`predict_round` once per expected round *before*
+    running (or :meth:`predict_uniform` for a uniform estimate), then
+    :meth:`observe` with each measured stage cost; :meth:`report`
+    reconciles the two.
+    """
+
+    _predicted_rounds: list[dict[str, float]] = field(default_factory=list)
+    _measured: dict[int, dict[str, float]] = field(default_factory=dict)
+    _samples: list[StageSample] = field(default_factory=list)
+
+    def predict_round(self, **stage_seconds: float) -> None:
+        """Append one round's predicted stage costs (keywords per stage)."""
+        for stage in stage_seconds:
+            if stage not in STAGES:
+                raise ConfigurationError(f"unknown pipeline stage {stage!r}")
+        self._predicted_rounds.append(
+            {stage: float(stage_seconds.get(stage, 0.0)) for stage in STAGES}
+        )
+
+    def predict_uniform(
+        self,
+        rounds: int,
+        *,
+        encode: float,
+        transmit: float,
+        decode: float,
+    ) -> None:
+        """Predict ``rounds`` identical rounds (the steady-state model)."""
+        if rounds < 1:
+            raise ConfigurationError("must predict at least one round")
+        for _ in range(rounds):
+            self.predict_round(
+                encode=encode, transmit=transmit, decode=decode
+            )
+
+    def observe(self, round_index: int, stage: str, seconds: float) -> None:
+        """Record one measured stage cost for one round."""
+        if stage not in STAGES:
+            raise ConfigurationError(f"unknown pipeline stage {stage!r}")
+        if seconds < 0:
+            raise ConfigurationError("stage cost cannot be negative")
+        costs = self._measured.setdefault(
+            round_index, {stage: 0.0 for stage in STAGES}
+        )
+        costs[stage] += float(seconds)
+        self._samples.append(StageSample(round_index, stage, float(seconds)))
+
+    @property
+    def samples(self) -> list[StageSample]:
+        """Every recorded measurement, in arrival order."""
+        return list(self._samples)
+
+    @property
+    def rounds_observed(self) -> int:
+        return len(self._measured)
+
+    def report(self) -> OverlapReport:
+        """Reconcile predictions against measurements.
+
+        Raises:
+            ConfigurationError: nothing was measured yet.
+        """
+        if not self._measured:
+            raise ConfigurationError("no rounds observed yet")
+        measured_rounds = [
+            self._measured[index] for index in sorted(self._measured)
+        ]
+        lockstep, pipelined = pipeline_walls(measured_rounds)
+        _, predicted_wall = pipeline_walls(self._predicted_rounds)
+        predicted_totals = {
+            stage: sum(costs[stage] for costs in self._predicted_rounds)
+            for stage in STAGES
+        }
+        measured_totals = {
+            stage: sum(costs[stage] for costs in measured_rounds)
+            for stage in STAGES
+        }
+        return OverlapReport(
+            rounds=len(measured_rounds),
+            predicted=predicted_totals,
+            measured=measured_totals,
+            predicted_pipelined_wall=predicted_wall,
+            lockstep_wall=lockstep,
+            pipelined_wall=pipelined,
+        )

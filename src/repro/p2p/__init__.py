@@ -1,12 +1,17 @@
 """P2P content distribution on the network-coding codec.
 
-Topology builders (butterfly, overlays), node strategies (coding vs
-store-and-forward), and a round-based distribution simulator measuring
-time-to-decode against the min-cut multicast bound.
+Topology builders (butterfly, overlays, multicast distribution trees),
+node strategies (coding vs store-and-forward), and a round-based
+distribution simulator measuring time-to-decode against the min-cut
+multicast bound.  The unified entry points are :func:`run_simulation`
+(one seeded run) and :func:`strategy_showdown` (coding vs forwarding on
+identical inputs); :func:`compare_strategies` is a deprecated
+one-release alias of the latter.
 """
 
 from repro.p2p.metrics import (
     CodingAdvantage,
+    DistributionStats,
     ExperimentSummary,
     coding_advantage,
     run_experiment,
@@ -17,11 +22,14 @@ from repro.p2p.simulator import (
     SimulationResult,
     Strategy,
     compare_strategies,
+    run_simulation,
+    strategy_showdown,
 )
 from repro.p2p.topology import (
     BUTTERFLY_SINKS,
     BUTTERFLY_SOURCE,
     butterfly,
+    distribution_tree,
     line,
     min_cut_to,
     multicast_capacity,
@@ -34,6 +42,7 @@ __all__ = [
     "BUTTERFLY_SOURCE",
     "CodingAdvantage",
     "CodingNode",
+    "DistributionStats",
     "ExperimentSummary",
     "ForwardingNode",
     "P2PSimulator",
@@ -42,10 +51,13 @@ __all__ = [
     "butterfly",
     "coding_advantage",
     "compare_strategies",
+    "distribution_tree",
     "line",
     "min_cut_to",
     "multicast_capacity",
     "random_overlay",
     "run_experiment",
+    "run_simulation",
     "star",
+    "strategy_showdown",
 ]

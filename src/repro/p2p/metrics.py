@@ -10,13 +10,79 @@ speedup with its spread.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.p2p.simulator import P2PSimulator, SimulationResult, Strategy
 from repro.rlnc.block import CodingParams, Segment
+
+
+@dataclass
+class DistributionStats:
+    """Cumulative accounting across p2p simulation runs.
+
+    The p2p side's adoption of the explicit cumulative
+    ``snapshot()/delta()/reset()`` contract every other stats object in
+    the library honors (:class:`~repro.streaming.server.ServerStats`,
+    :class:`~repro.streaming.client.SessionStats`,
+    :class:`~repro.cluster.ClusterStats`,
+    :class:`~repro.rlnc.wire.WireStats`): counters only grow as
+    :meth:`record` absorbs :class:`SimulationResult` outcomes; nothing
+    resets behind the caller's back.
+    """
+
+    runs: int = 0
+    completed_runs: int = 0
+    rounds: int = 0
+    blocks_sent: int = 0
+    blocks_received: int = 0
+    blocks_lost: int = 0
+    innovative_received: int = 0
+
+    def record(self, result: SimulationResult) -> None:
+        """Absorb one run's outcome into the cumulative totals."""
+        self.runs += 1
+        if result.all_sinks_complete:
+            self.completed_runs += 1
+        self.rounds += result.rounds
+        self.blocks_sent += result.blocks_sent
+        self.blocks_received += result.blocks_received
+        self.blocks_lost += result.blocks_lost
+        self.innovative_received += result.innovative_received
+
+    @property
+    def innovative_ratio(self) -> float:
+        """Fraction of all deliveries that raised a receiver's rank."""
+        if self.blocks_received == 0:
+            return 0.0
+        return self.innovative_received / self.blocks_received
+
+    def snapshot(self) -> "DistributionStats":
+        """An independent copy of the current totals."""
+        return DistributionStats(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def delta(self, since: "DistributionStats") -> "DistributionStats":
+        """Counts accumulated after ``since`` (an earlier snapshot)."""
+        return DistributionStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def reset(self) -> "DistributionStats":
+        """Zero the counters; returns a snapshot of the values cleared."""
+        cleared = self.snapshot()
+        for f in fields(self):
+            setattr(self, f.name, f.default)
+        return cleared
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 @dataclass(frozen=True)
@@ -65,6 +131,7 @@ def run_experiment(
     seeds: list[int],
     max_rounds: int = 2000,
     edge_loss: float = 0.0,
+    stats: DistributionStats | None = None,
 ) -> ExperimentSummary:
     """Run one scenario across seeds and summarize.
 
@@ -72,6 +139,9 @@ def run_experiment(
         graph_builder: zero-argument callable returning a fresh topology
             (rebuilt per run so random overlays vary with the seed when
             the builder closes over its own rng).
+        stats: optional cumulative :class:`DistributionStats` that every
+            run's outcome is recorded into (the caller keeps it across
+            experiments and phases it with ``snapshot()/delta()``).
     """
     if not seeds:
         raise ConfigurationError("need at least one seed")
@@ -91,6 +161,8 @@ def run_experiment(
             edge_loss=edge_loss,
         )
         result: SimulationResult = simulator.run(max_rounds=max_rounds)
+        if stats is not None:
+            stats.record(result)
         ratios.append(result.innovative_ratio)
         sent.append(result.blocks_sent)
         if result.all_sinks_complete:

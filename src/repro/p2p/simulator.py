@@ -180,6 +180,80 @@ class P2PSimulator:
         }
 
 
+def run_simulation(
+    graph: nx.DiGraph,
+    params: CodingParams,
+    *,
+    source,
+    sinks,
+    strategy: Strategy = Strategy.CODING,
+    seed: int = 0,
+    max_rounds: int = 10_000,
+    edge_loss: float = 0.0,
+    departures: dict | None = None,
+    segment: Segment | None = None,
+) -> SimulationResult:
+    """One seeded distribution run — the unified simulator entry point.
+
+    Constructs the :class:`P2PSimulator` with the same deterministic
+    seeding discipline as every other facade in the package
+    (``default_rng(seed)`` for the run, ``default_rng(seed + 1)`` for
+    the segment content, so two strategies compared at the same seed
+    distribute identical data) and runs it to completion.  Callers
+    needing the simulator object itself — recovered segments, node
+    state — still construct :class:`P2PSimulator` directly.
+    """
+    rng = np.random.default_rng(seed)
+    if segment is None:
+        segment = Segment.random(params, np.random.default_rng(seed + 1))
+    simulator = P2PSimulator(
+        graph,
+        params,
+        source=source,
+        sinks=sinks,
+        strategy=strategy,
+        rng=rng,
+        segment=segment,
+        edge_loss=edge_loss,
+        departures=departures,
+    )
+    return simulator.run(max_rounds=max_rounds)
+
+
+def strategy_showdown(
+    graph: nx.DiGraph,
+    params: CodingParams,
+    *,
+    source,
+    sinks,
+    seed: int = 0,
+    max_rounds: int = 10_000,
+    edge_loss: float = 0.0,
+    departures: dict | None = None,
+) -> dict[Strategy, SimulationResult]:
+    """Run both strategies on identical inputs and return their results.
+
+    Each strategy gets the same seed, the same segment content and the
+    same loss/churn schedule, so the comparison isolates exactly the
+    coding-vs-forwarding decision — the butterfly's factor-2 advantage
+    and its lossy-network robustness both fall out of this one call.
+    """
+    return {
+        strategy: run_simulation(
+            graph,
+            params,
+            source=source,
+            sinks=sinks,
+            strategy=strategy,
+            seed=seed,
+            max_rounds=max_rounds,
+            edge_loss=edge_loss,
+            departures=departures,
+        )
+        for strategy in Strategy
+    }
+
+
 def compare_strategies(
     graph: nx.DiGraph,
     params: CodingParams,
@@ -189,19 +263,28 @@ def compare_strategies(
     seed: int = 0,
     max_rounds: int = 10_000,
 ) -> dict[Strategy, SimulationResult]:
-    """Run both strategies on identical inputs and return their results."""
-    results = {}
-    for strategy in Strategy:
-        rng = np.random.default_rng(seed)
-        segment = Segment.random(params, np.random.default_rng(seed + 1))
-        simulator = P2PSimulator(
-            graph,
-            params,
-            source=source,
-            sinks=sinks,
-            strategy=strategy,
-            rng=rng,
-            segment=segment,
-        )
-        results[strategy] = simulator.run(max_rounds=max_rounds)
-    return results
+    """Deprecated alias of :func:`strategy_showdown` (one-release shim).
+
+    .. deprecated::
+        The bespoke p2p entry points are folding into the unified
+        simulator facade; call :func:`strategy_showdown` (identical
+        semantics, plus loss/churn knobs) or :func:`run_simulation`
+        for a single strategy.  This alias warns now and will be
+        removed next release.
+    """
+    import warnings
+
+    warnings.warn(
+        "compare_strategies is deprecated; use strategy_showdown "
+        "(same results) or run_simulation for a single strategy",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return strategy_showdown(
+        graph,
+        params,
+        source=source,
+        sinks=sinks,
+        seed=seed,
+        max_rounds=max_rounds,
+    )

@@ -100,6 +100,40 @@ def random_overlay(
     return graph
 
 
+def distribution_tree(
+    relays: int,
+    leaves_per_relay: int,
+    *,
+    capacity: int = 1,
+    source: str = "source",
+) -> nx.DiGraph:
+    """A two-level multicast distribution tree: source -> relays -> leaves.
+
+    The topology :class:`repro.multicast.tree.MulticastTree` instantiates
+    with live endpoints: the source fans out to ``relays`` recoding
+    interior nodes, each serving its own cohort of ``leaves_per_relay``
+    leaf clients.  Node attributes carry the role (``role`` in
+    ``{"source", "relay", "leaf"}``) and deterministic names —
+    ``relay{i}`` and ``leaf{i}.{j}`` for relay ``i``'s ``j``-th leaf —
+    so tree construction is reproducible and addressable.
+    """
+    if relays < 1:
+        raise ConfigurationError("tree needs at least one relay")
+    if leaves_per_relay < 1:
+        raise ConfigurationError("each relay needs at least one leaf")
+    graph = nx.DiGraph()
+    graph.add_node(source, role="source")
+    for i in range(relays):
+        relay = f"relay{i}"
+        graph.add_node(relay, role="relay")
+        graph.add_edge(source, relay, capacity=capacity)
+        for j in range(leaves_per_relay):
+            leaf = f"leaf{i}.{j}"
+            graph.add_node(leaf, role="leaf")
+            graph.add_edge(relay, leaf, capacity=capacity)
+    return graph
+
+
 def min_cut_to(graph: nx.DiGraph, source, sink) -> int:
     """Max-flow min-cut from source to sink in blocks/round.
 

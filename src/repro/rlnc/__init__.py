@@ -39,6 +39,7 @@ from repro.rlnc.wire import (
     digest64,
     encode_frame,
     encode_stream,
+    frame_sequence,
     frame_size,
     frame_worker_id,
     pack_blocks,
@@ -75,6 +76,7 @@ __all__ = [
     "encode_frame",
     "encode_stream",
     "expected_extra_blocks",
+    "frame_sequence",
     "frame_size",
     "frame_worker_id",
     "full_rank_probability",

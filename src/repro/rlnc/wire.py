@@ -333,6 +333,25 @@ def frame_worker_id(data, offset: int = 0) -> int | None:
     return stamp - 1 if stamp else None
 
 
+def frame_sequence(data, offset: int = 0) -> int | None:
+    """The per-session sequence number of the frame at ``offset``.
+
+    Version-1 frames carry no sequence and return ``None``.  This is the
+    in-flight *round tagging* primitive for pipelined serving: a server
+    round stamps consecutive sequences per session, so a round's frames
+    occupy one contiguous sequence span — the pipelined drivers read the
+    span boundaries here (no new frame version, no extra header bytes)
+    and verify rounds arrive in order and without overlap.
+
+    Raises:
+        WireError: if the bytes at ``offset`` are not a parseable
+            frame header.
+    """
+    view = memoryview(data)
+    version, _, _, _, _, sequence, _ = _parse_header(view, offset)
+    return None if version == VERSION else sequence
+
+
 def frame_size(
     num_blocks: int, block_size: int, *, checksum: bool = True, version: int = VERSION
 ) -> int:

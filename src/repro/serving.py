@@ -27,6 +27,7 @@ from typing import Protocol, runtime_checkable
 
 from repro.cluster.cluster import ClusterStats, ServingCluster
 from repro.errors import RetryLater
+from repro.multicast.relay import RelayNode
 from repro.rlnc.block import Segment
 from repro.streaming.client import ClientSession, SessionStats, drive_sessions
 from repro.streaming.server import ServerStats, StreamingServer
@@ -40,11 +41,13 @@ class ServingEndpoint(Protocol):
     """What it means to serve network-coded segments.
 
     The structural contract shared by :class:`StreamingServer` (one
-    simulated GPU) and :class:`ServingCluster` (N of them behind a
-    consistent-hash ring).  :class:`ClientSession` and
+    simulated GPU), :class:`ServingCluster` (N of them behind a
+    consistent-hash ring) and the recoding
+    :class:`~repro.multicast.relay.RelayNode` (an interior node of a
+    multicast tree).  :class:`ClientSession` and
     :func:`drive_sessions` are written against this protocol only, so
-    transports and tests never care which side of the scale-out line
-    they run on.
+    transports and tests never care which side of the scale-out line —
+    or which level of a distribution tree — they run on.
 
     Beyond the methods below, an endpoint's ``connect`` must return an
     object exposing ``blocks_pending`` (the client's NACK accounting
@@ -78,6 +81,26 @@ class ServingEndpoint(Protocol):
         """Drain one coalesced scheduling round (batches or frames)."""
         ...
 
+    def begin_round(
+        self,
+        *,
+        format: str = "batches",
+        checksum: bool = True,
+        version: int = 1,
+    ) -> object:
+        """Start a round pipelined; returns a ticket for collect_round.
+
+        Serial endpoints may run the round eagerly inside this call;
+        the multiprocess cluster genuinely overlaps it with the
+        caller's work.  Either way ``collect_round(ticket)`` yields
+        output byte-identical to a plain ``serve_round``.
+        """
+        ...
+
+    def collect_round(self, ticket: object) -> dict:
+        """Barrier on a ``begin_round`` ticket; returns its round."""
+        ...
+
     def stats_snapshot(self) -> dict:
         """A registry-shaped counters/gauges/histograms snapshot."""
         ...
@@ -89,6 +112,7 @@ __all__ = [
     "ClientSession",
     "ClusterStats",
     "LoadTestReport",
+    "RelayNode",
     "ServerStats",
     "ServingCluster",
     "ServingEndpoint",

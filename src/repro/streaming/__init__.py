@@ -17,6 +17,7 @@ from repro.streaming.live import LiveJoinPoint, LiveWindow
 from repro.streaming.nic import DUAL_GIGABIT_ETHERNET, GIGABIT_ETHERNET, NicModel
 from repro.streaming.scheduler import (
     BlockRequest,
+    RoundPipeline,
     RoundPlan,
     ScheduledRequest,
     SegmentScheduler,
@@ -52,6 +53,7 @@ __all__ = [
     "PeerSession",
     "PlaybackReport",
     "REFERENCE_PROFILE",
+    "RoundPipeline",
     "RoundPlan",
     "ScheduledRequest",
     "SegmentScheduler",

@@ -162,7 +162,12 @@ class StreamingServer:
         self._round_scheduler = ServeRoundScheduler(
             per_peer_quota=per_peer_round_quota
         )
-        self._wire_buffer = bytearray()
+        # Double-buffered wire storage: ``format="frames"`` rounds pack
+        # into alternating slots, so round r's frames stay valid while
+        # round r+1 encodes and packs — the server-side half of the
+        # pipelined (begin_round/collect_round) serving mode.
+        self._wire_buffers = [bytearray(), bytearray()]
+        self._wire_slot = 0
         self.stats = ServerStats()
         # Registry write-through handles, cached once per server so the
         # serve paths pay a plain method call, not a label resolution.
@@ -477,10 +482,12 @@ class StreamingServer:
         Args:
             format: ``"batches"`` (default) returns ``peer_id ->
                 [BlockBatch, ...]`` zero-copy row views; ``"frames"``
-                additionally packs the round into one reused contiguous
-                wire buffer and returns ``peer_id -> memoryview`` slices
-                of it (valid until the next frames round — consume or
-                copy before then).
+                additionally packs the round into reused contiguous
+                wire storage (two alternating slots) and returns
+                ``peer_id -> memoryview`` slices of it (valid for two
+                frames rounds — one round may stay on the wire while
+                the next packs; consume or copy before the slot is
+                reused).
             checksum: frames format only — whether frames carry
                 integrity trailers.
             version: frames format only — wire format version.
@@ -641,23 +648,90 @@ class StreamingServer:
         """Serve one round straight onto the wire, zero-copy.
 
         :meth:`serve_round_into` targeting the server's own contiguous
-        wire buffer (reused and grown across rounds); each peer's frames
-        come back as one ``memoryview`` slice of it — no per-block
-        ``bytes()`` objects anywhere on the path.
+        wire storage (two alternating slots, each reused and grown
+        across rounds); each peer's frames come back as one
+        ``memoryview`` slice of the round's slot — no per-block
+        ``bytes()`` objects anywhere on the path.  Because the slots
+        alternate, one previous round's frames remain valid while this
+        round packs — the double buffering pipelined serving relies on.
         """
+        slot = self._wire_slot
+        self._wire_slot = (slot + 1) % len(self._wire_buffers)
 
         def alloc(total: int) -> tuple[bytearray, int]:
-            if len(self._wire_buffer) < total:
-                self._wire_buffer = bytearray(total)
-            return self._wire_buffer, 0
+            if len(self._wire_buffers[slot]) < total:
+                self._wire_buffers[slot] = bytearray(total)
+            return self._wire_buffers[slot], 0
 
         spans = self.serve_round_into(
             alloc, checksum=checksum, version=version
         )
-        view = memoryview(self._wire_buffer)
+        view = memoryview(self._wire_buffers[slot])
         frames: dict[int, memoryview] = {}
         for peer_id, peer_spans in spans.items():
             start = peer_spans[0][0]
             end = peer_spans[-1][0] + peer_spans[-1][1]
             frames[peer_id] = view[start:end]
         return frames
+
+    def begin_round(
+        self,
+        *,
+        format: str = "batches",
+        checksum: bool = True,
+        version: int = VERSION,
+    ) -> object:
+        """Pipelined serving entry: start a round, collect it later.
+
+        On a single in-process server the encode runs synchronously (the
+        returned ticket already holds the result), but the two-phase
+        protocol — and the double-buffered wire storage backing
+        ``format="frames"`` — lets a pipelined driver issue round
+        ``r+1`` before round ``r``'s frames have been consumed.  The
+        multiprocess :class:`~repro.cluster.ServingCluster` implements
+        the same pair with genuine overlap (workers encode while the
+        driver transmits), so drivers treat every
+        :class:`~repro.serving.ServingEndpoint` alike.
+
+        Returns:
+            An opaque ticket for :meth:`collect_round`.
+        """
+        return EagerRoundTicket(
+            self.serve_round(format=format, checksum=checksum, version=version)
+        )
+
+    def collect_round(self, ticket: object) -> dict:
+        """Barrier on a :meth:`begin_round` ticket; returns the round.
+
+        Raises:
+            ConfigurationError: the ticket is foreign or already
+                collected.
+        """
+        if not isinstance(ticket, EagerRoundTicket):
+            raise ConfigurationError(
+                "collect_round needs the ticket returned by begin_round"
+            )
+        return ticket.take()
+
+
+class EagerRoundTicket:
+    """A begin_round result computed eagerly, awaiting collection.
+
+    Serial endpoints (:class:`StreamingServer`, relays, serial-substrate
+    clusters) run a round synchronously inside ``begin_round`` and park
+    the result here; ``collect_round`` hands it over exactly once.  The
+    class is shared so every eager endpoint raises identical errors on
+    double collection.
+    """
+
+    __slots__ = ("_result", "_taken")
+
+    def __init__(self, result: dict) -> None:
+        self._result = result
+        self._taken = False
+
+    def take(self) -> dict:
+        if self._taken:
+            raise ConfigurationError("round ticket was already collected")
+        self._taken = True
+        return self._result

@@ -9,12 +9,14 @@ from repro.gpu import GTX280
 from repro.rlnc import CodingParams, Segment
 from repro.serving import (
     ClientSession,
+    RelayNode,
     ServingCluster,
     ServingEndpoint,
     StreamingServer,
     drive_sessions,
 )
 from repro.streaming import MediaProfile, ServerStats, SessionStats
+from repro.streaming.server import EagerRoundTicket
 
 SMALL_PROFILE = MediaProfile(params=CodingParams(8, 64))
 
@@ -37,13 +39,21 @@ def make_cluster(num_workers=1):
     )
 
 
+def make_relay():
+    return RelayNode(SMALL_PROFILE, rng=np.random.default_rng(0))
+
+
+ENDPOINT_FACTORIES = [make_server, make_cluster, make_relay]
+
+
 class TestProtocol:
-    def test_server_and_cluster_implement_serving_endpoint(self):
+    def test_server_cluster_and_relay_implement_serving_endpoint(self):
         assert isinstance(make_server(), ServingEndpoint)
         assert isinstance(make_cluster(), ServingEndpoint)
+        assert isinstance(make_relay(), ServingEndpoint)
 
-    @pytest.mark.parametrize("factory", [make_server, make_cluster])
-    def test_one_driver_serves_both_endpoints(self, factory):
+    @pytest.mark.parametrize("factory", ENDPOINT_FACTORIES)
+    def test_one_driver_serves_every_endpoint(self, factory):
         endpoint = factory()
         segment = make_segment(0)
         endpoint.publish(segment)
@@ -58,12 +68,62 @@ class TestProtocol:
             assert np.array_equal(recovered.blocks, segment.blocks)
 
     def test_connect_exposes_blocks_pending(self):
-        for endpoint in (make_server(), make_cluster(num_workers=2)):
+        for factory in ENDPOINT_FACTORIES:
+            endpoint = factory()
             endpoint.publish(make_segment(0))
             view = endpoint.connect(5)
             assert view.blocks_pending == 0
             endpoint.request_blocks(5, 0, 3)
             assert view.blocks_pending == 3
+
+    @pytest.mark.parametrize("factory", ENDPOINT_FACTORIES)
+    def test_stats_snapshot_is_registry_shaped(self, factory):
+        snapshot = factory().stats_snapshot()
+        assert set(snapshot) >= {"counters", "gauges", "histograms"}
+
+
+class TestPipelinedRounds:
+    @pytest.mark.parametrize("factory", ENDPOINT_FACTORIES)
+    def test_begin_collect_matches_serve_round(self, factory):
+        # Two identically-seeded endpoints: one driven by serve_round,
+        # one by the split begin/collect pair — byte-identical frames.
+        plain, split = factory(), factory()
+        for endpoint in (plain, split):
+            endpoint.publish(make_segment(0))
+            endpoint.connect(1)
+            endpoint.request_blocks(1, 0, 4)
+        expected = plain.serve_round(format="frames", version=2)
+        ticket = split.begin_round(format="frames", version=2)
+        produced = split.collect_round(ticket)
+        assert {p: bytes(f) for p, f in expected.items()} == {
+            p: bytes(f) for p, f in produced.items()
+        }
+
+    @pytest.mark.parametrize("factory", ENDPOINT_FACTORIES)
+    def test_ticket_cannot_be_collected_twice(self, factory):
+        endpoint = factory()
+        endpoint.publish(make_segment(0))
+        endpoint.connect(1)
+        endpoint.request_blocks(1, 0, 2)
+        ticket = endpoint.begin_round()
+        endpoint.collect_round(ticket)
+        with pytest.raises(ConfigurationError, match="already collected"):
+            endpoint.collect_round(ticket)
+
+    @pytest.mark.parametrize("factory", ENDPOINT_FACTORIES)
+    def test_foreign_ticket_rejected(self, factory):
+        endpoint = factory()
+        with pytest.raises(ConfigurationError):
+            endpoint.collect_round(object())
+
+    def test_eager_ticket_is_shared_by_serial_endpoints(self):
+        server, relay = make_server(), make_relay()
+        for endpoint in (server, relay):
+            endpoint.publish(make_segment(0))
+            endpoint.connect(1)
+            endpoint.request_blocks(1, 0, 2)
+        assert isinstance(server.begin_round(), EagerRoundTicket)
+        assert isinstance(relay.begin_round(), EagerRoundTicket)
 
 
 class TestUnifiedServeRound:
@@ -149,13 +209,21 @@ class TestRootReexports:
         [
             "ClientSession",
             "ClusterStats",
+            "MulticastTree",
+            "OverlapReport",
+            "PipelineStallError",
+            "RelayNode",
             "ServerStats",
             "ServingCluster",
             "ServingEndpoint",
             "SessionStats",
             "StreamingServer",
+            "TimelineModel",
             "WorkerKillPlan",
+            "compare_modes",
             "drive_sessions",
+            "run_lockstep",
+            "run_pipelined",
         ],
     )
     def test_serving_api_is_importable_from_the_root(self, name):

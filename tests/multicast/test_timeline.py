@@ -1,0 +1,143 @@
+"""Tests for the cycle-level pipeline timeline model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multicast import (
+    STAGES,
+    OverlapReport,
+    TimelineModel,
+    pipeline_walls,
+)
+
+
+class TestPipelineWalls:
+    def test_single_round_has_no_overlap(self):
+        lockstep, pipelined = pipeline_walls(
+            [{"encode": 1.0, "transmit": 2.0, "decode": 3.0}]
+        )
+        assert lockstep == pipelined == 6.0
+
+    def test_steady_state_approaches_bottleneck_stage(self):
+        # r rounds of (1, 2, 1): fill 4, then the wire (the bottleneck)
+        # gates every later round at 2s.
+        rounds = [{"encode": 1.0, "transmit": 2.0, "decode": 1.0}] * 10
+        lockstep, pipelined = pipeline_walls(rounds)
+        assert lockstep == 40.0
+        assert pipelined == pytest.approx(4.0 + 2.0 * 9)
+
+    def test_recurrence_hand_computed(self):
+        # Round 1: e=2 t=1 d=1; round 2: e=1 t=3 d=1.
+        # finish: e1=2 t1=3 d1=4; e2=3, t2=max(3,3)+3=6, d2=max(6,4)+1=7.
+        lockstep, pipelined = pipeline_walls(
+            [
+                {"encode": 2.0, "transmit": 1.0, "decode": 1.0},
+                {"encode": 1.0, "transmit": 3.0, "decode": 1.0},
+            ]
+        )
+        assert lockstep == 9.0
+        assert pipelined == 7.0
+
+    def test_missing_stages_cost_nothing(self):
+        lockstep, pipelined = pipeline_walls([{"encode": 1.0}])
+        assert lockstep == pipelined == 1.0
+
+    def test_empty_schedule(self):
+        assert pipeline_walls([]) == (0.0, 0.0)
+
+
+class TestTimelineModel:
+    def make_observed(self, rounds=4):
+        model = TimelineModel()
+        model.predict_uniform(
+            rounds, encode=1.0, transmit=2.0, decode=1.0
+        )
+        for index in range(rounds):
+            model.observe(index, "encode", 1.0)
+            model.observe(index, "transmit", 2.0)
+            model.observe(index, "decode", 1.0)
+        return model
+
+    def test_perfect_prediction_has_zero_error(self):
+        report = self.make_observed().report()
+        assert report.max_stage_error == 0.0
+        assert report.wall_error == 0.0
+        assert report.bottleneck_stage == "transmit"
+
+    def test_overlap_efficiency_exceeds_one_with_multiple_rounds(self):
+        report = self.make_observed(rounds=8).report()
+        assert report.overlap_efficiency > 1.33
+        assert report.lockstep_wall > report.pipelined_wall
+
+    def test_stage_error_reflects_model_miss(self):
+        model = TimelineModel()
+        model.predict_uniform(2, encode=2.0, transmit=1.0, decode=1.0)
+        for index in range(2):
+            model.observe(index, "encode", 1.0)
+            model.observe(index, "transmit", 1.0)
+            model.observe(index, "decode", 1.0)
+        report = model.report()
+        assert report.stage_error("encode") == pytest.approx(1.0)
+        assert report.stage_error("transmit") == 0.0
+        assert report.max_stage_error == pytest.approx(1.0)
+
+    def test_observations_accumulate_within_a_round(self):
+        model = TimelineModel()
+        model.observe(0, "decode", 1.0)
+        model.observe(0, "decode", 0.5)
+        assert model.report().measured["decode"] == pytest.approx(1.5)
+
+    def test_samples_keep_arrival_order(self):
+        model = TimelineModel()
+        model.observe(1, "encode", 0.1)
+        model.observe(0, "decode", 0.2)
+        stages = [sample.stage for sample in model.samples]
+        assert stages == ["encode", "decode"]
+        assert model.rounds_observed == 2
+
+    def test_report_requires_observations(self):
+        with pytest.raises(ConfigurationError, match="no rounds"):
+            TimelineModel().report()
+
+    def test_unknown_stage_rejected(self):
+        model = TimelineModel()
+        with pytest.raises(ConfigurationError):
+            model.observe(0, "teleport", 1.0)
+        with pytest.raises(ConfigurationError):
+            model.predict_round(teleport=1.0)
+        with pytest.raises(ConfigurationError):
+            model.observe(0, "encode", -1.0)
+
+    def test_predict_uniform_validates_rounds(self):
+        with pytest.raises(ConfigurationError):
+            TimelineModel().predict_uniform(
+                0, encode=1.0, transmit=1.0, decode=1.0
+            )
+
+
+class TestOverlapReport:
+    def make_report(self):
+        return OverlapReport(
+            rounds=3,
+            predicted={"encode": 3.0, "transmit": 6.0, "decode": 3.0},
+            measured={"encode": 3.0, "transmit": 6.0, "decode": 3.0},
+            predicted_pipelined_wall=8.0,
+            lockstep_wall=12.0,
+            pipelined_wall=8.0,
+        )
+
+    def test_as_dict_is_json_shaped(self):
+        rendered = self.make_report().as_dict()
+        assert rendered["overlap_efficiency"] == pytest.approx(1.5)
+        assert rendered["bottleneck_stage"] == "transmit"
+        assert set(rendered["measured"]) == set(STAGES)
+
+    def test_render_mentions_every_stage(self):
+        text = self.make_report().render()
+        for stage in STAGES:
+            assert stage in text
+        assert "overlap efficiency" in text
+
+    def test_unknown_stage_error_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_report().stage_error("warp")

@@ -11,7 +11,9 @@ from repro.p2p import (
     compare_strategies,
     line,
     random_overlay,
+    run_simulation,
     star,
+    strategy_showdown,
 )
 from repro.rlnc import CodingParams, Segment
 
@@ -22,7 +24,7 @@ class TestButterflyAdvantage:
 
     def test_coding_beats_forwarding_on_butterfly(self):
         params = CodingParams(16, 32)
-        results = compare_strategies(
+        results = strategy_showdown(
             butterfly(), params, source="s", sinks=["t1", "t2"], seed=3
         )
         coding = results[Strategy.CODING]
@@ -51,7 +53,7 @@ class TestButterflyAdvantage:
 
     def test_coding_deliveries_are_mostly_innovative(self):
         params = CodingParams(16, 16)
-        results = compare_strategies(
+        results = strategy_showdown(
             butterfly(), params, source="s", sinks=["t1", "t2"], seed=5
         )
         assert results[Strategy.CODING].innovative_ratio > 0.85
@@ -135,6 +137,56 @@ class TestOtherTopologies:
         assert result.rounds == 5
         assert not result.all_sinks_complete
         assert result.achieved_rate(64) == 0.0
+
+
+class TestUnifiedEntryPoints:
+    def test_run_simulation_matches_direct_construction(self):
+        params = CodingParams(8, 16)
+        via_facade = run_simulation(
+            butterfly(), params, source="s", sinks=["t1", "t2"], seed=9
+        )
+        segment = Segment.random(params, np.random.default_rng(10))
+        direct = P2PSimulator(
+            butterfly(),
+            params,
+            source="s",
+            sinks=["t1", "t2"],
+            strategy=Strategy.CODING,
+            rng=np.random.default_rng(9),
+            segment=segment,
+        ).run()
+        assert via_facade.rounds == direct.rounds
+        assert via_facade.completion_round == direct.completion_round
+        assert via_facade.blocks_sent == direct.blocks_sent
+
+    def test_showdown_runs_both_strategies_on_identical_inputs(self):
+        params = CodingParams(8, 16)
+        results = strategy_showdown(
+            butterfly(), params, source="s", sinks=["t1", "t2"], seed=4
+        )
+        assert set(results) == set(Strategy)
+        for strategy, result in results.items():
+            assert result.strategy is strategy
+
+    def test_compare_strategies_warns_and_forwards(self):
+        # One-release deprecation shim: same results, plus the warning.
+        params = CodingParams(8, 16)
+        with pytest.warns(DeprecationWarning, match="strategy_showdown"):
+            deprecated = compare_strategies(
+                butterfly(), params, source="s", sinks=["t1", "t2"], seed=7
+            )
+        fresh = strategy_showdown(
+            butterfly(), params, source="s", sinks=["t1", "t2"], seed=7
+        )
+        for strategy in Strategy:
+            assert (
+                deprecated[strategy].completion_round
+                == fresh[strategy].completion_round
+            )
+            assert (
+                deprecated[strategy].blocks_sent
+                == fresh[strategy].blocks_sent
+            )
 
 
 class TestValidation:

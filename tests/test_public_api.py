@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.gf65536",
     "repro.gpu",
     "repro.kernels",
+    "repro.multicast",
     "repro.p2p",
     "repro.rlnc",
     "repro.serving",
